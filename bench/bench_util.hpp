@@ -1,0 +1,99 @@
+#pragma once
+
+// Shared helpers for the EXP benches: fixed-width table printing in the
+// style of a paper's evaluation section, plus common sweep plumbing.
+//
+// Each expN binary regenerates one experiment from DESIGN.md §4 and prints
+// (a) the measured series and (b) the paper's claimed shape next to it, so
+// EXPERIMENTS.md rows can be checked by eye from the bench output alone.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace dyncon::bench {
+
+/// Print a rule line, a centered title, and a rule line.
+inline void banner(const std::string& title) {
+  std::puts("");
+  std::puts(std::string(78, '=').c_str());
+  std::printf("  %s\n", title.c_str());
+  std::puts(std::string(78, '=').c_str());
+}
+
+inline void subhead(const std::string& text) {
+  std::printf("\n-- %s\n", text.c_str());
+}
+
+/// Minimal fixed-width table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    // DYNCON_CSV=1 switches every bench table to machine-readable CSV
+    // (for plotting scripts); the default is the human-readable layout.
+    if (const char* csv = std::getenv("DYNCON_CSV");
+        csv != nullptr && csv[0] == '1') {
+      print_csv();
+      return;
+    }
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        std::printf("  %-*s", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 2;
+    for (auto w : width) total += w + 2;
+    std::puts(std::string(total, '-').c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  void print_csv() const {
+    auto emit = [](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        if (c) std::printf(",");
+        // Cells are simple tokens; quote anything containing a comma.
+        if (r[c].find(',') != std::string::npos) {
+          std::printf("\"%s\"", r[c].c_str());
+        } else {
+          std::printf("%s", r[c].c_str());
+        }
+      }
+      std::printf("\n");
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string num(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fp(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace dyncon::bench

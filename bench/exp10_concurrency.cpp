@@ -1,0 +1,81 @@
+// EXP10 — Concurrency and the locking discipline (§4, Lemmas 4.2-4.5).
+//
+// The paper proves the distributed controller by serializing concurrent
+// executions; message complexity must therefore be (a) schedule-independent
+// and (b) essentially unchanged by concurrency.  We issue the same request
+// mix fully serialized vs in bursts of growing width, across delay
+// adversaries, and report messages per request plus the end-to-end
+// simulated-time speedup concurrency buys.
+
+#include "bench_util.hpp"
+#include "core/distributed_controller.hpp"
+#include "workload/shapes.hpp"
+
+using namespace dyncon;
+using namespace dyncon::core;
+using namespace dyncon::bench;
+
+namespace {
+
+struct RunStats {
+  std::uint64_t messages;
+  std::uint64_t granted;
+  SimTime makespan;
+};
+
+RunStats run(sim::DelayKind kind, std::uint64_t burst) {
+  const std::uint64_t n = 512, reqs = 256;
+  Rng rng(53);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(kind, 59));
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kCaterpillar, n, rng);
+  DistributedController::Options opts;
+  opts.track_domains = false;
+  DistributedController ctrl(net, t, Params(reqs, reqs / 2, 2 * n), opts);
+  const auto nodes = t.alive_nodes();
+  std::uint64_t granted = 0;
+  Rng pick(61);
+  std::uint64_t remaining = reqs;
+  while (remaining > 0) {
+    const std::uint64_t k = std::min(burst, remaining);
+    remaining -= k;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      ctrl.submit_event(nodes[pick.index(nodes.size())],
+                        [&granted](const Result& r) {
+                          granted += r.granted();
+                        });
+    }
+    queue.run();
+  }
+  return {ctrl.messages_used(), granted, queue.now()};
+}
+
+}  // namespace
+
+int main() {
+  banner("EXP10: concurrency, locks and schedule independence");
+
+  for (sim::DelayKind kind :
+       {sim::DelayKind::kFixed, sim::DelayKind::kUniform,
+        sim::DelayKind::kBiased}) {
+    subhead(std::string("delay adversary = ") + sim::delay_kind_name(kind));
+    Table tab({"burst width", "granted", "messages", "msgs/request",
+               "makespan (ticks)", "speedup vs serial"});
+    const RunStats serial = run(kind, 1);
+    for (std::uint64_t burst : {1u, 4u, 16u, 64u, 256u}) {
+      const RunStats s = run(kind, burst);
+      tab.row({num(burst), num(s.granted), num(s.messages),
+               fp(static_cast<double>(s.messages) / 256.0, 1),
+               num(s.makespan),
+               fp(static_cast<double>(serial.makespan) /
+                  static_cast<double>(std::max<SimTime>(s.makespan, 1)))});
+    }
+    tab.print();
+  }
+  std::printf("\nshape check: msgs/request stays flat as burst width grows "
+              "(locks serialize conflicting walks without retries), while "
+              "makespan drops — concurrency is free in messages, per the "
+              "Lemma 4.3 reduction.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// EXP12 — The fully distributed applications, end to end on the
+// asynchronous simulator: size estimation (Thm 5.1), name assignment
+// (Thm 5.2) and two-phase commit (§1.3), with every control message
+// (broadcast/convergecast, DFS token walks) on the wire.
+//
+// The table reports amortized messages per membership change and the
+// protocol invariants' worst observations.
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/distributed_name_assignment.hpp"
+#include "apps/distributed_size_estimation.hpp"
+#include "apps/two_phase_commit.hpp"
+#include "bench_util.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+using namespace dyncon;
+using namespace dyncon::bench;
+
+namespace {
+
+struct Sim {
+  sim::EventQueue queue;
+  sim::Network net;
+  tree::DynamicTree tree;
+  Sim() : net(queue, sim::make_delay(sim::DelayKind::kUniform, 3)) {}
+};
+
+}  // namespace
+
+int main() {
+  banner("EXP12: distributed applications, end to end");
+
+  subhead("distributed size estimation (beta = 2)");
+  {
+    Table tab({"churn", "n0", "changes", "n_final", "iters", "worst ratio",
+               "msgs/change", "/log^2 n"});
+    for (auto model : workload::all_churn_models()) {
+      Sim s;
+      Rng rng(7);
+      workload::build(s.tree, workload::Shape::kRandomAttach, 128, rng);
+      apps::DistributedSizeEstimation est(s.net, s.tree, 2.0);
+      workload::ChurnGenerator churn(model, Rng(9));
+      double worst = 1.0;
+      std::uint64_t changes = 0;
+      for (int i = 0; i < 800 && s.tree.size() >= 4; ++i) {
+        est.submit(churn.next(s.tree), [&](const core::Result& r) {
+          changes += r.granted();
+        });
+        if (i % 4 == 3) {
+          s.queue.run();
+          const double ratio = static_cast<double>(est.estimate()) /
+                               static_cast<double>(s.tree.size());
+          worst = std::max({worst, ratio, 1.0 / ratio});
+        }
+      }
+      s.queue.run();
+      const double per = static_cast<double>(est.messages()) /
+                         std::max<std::uint64_t>(changes, 1);
+      const double lg = std::log2(static_cast<double>(
+          std::max<std::uint64_t>(s.tree.size(), 4)));
+      tab.row({workload::churn_name(model), num(128), num(changes),
+               num(s.tree.size()), num(est.iterations()), fp(worst),
+               fp(per, 1), fp(per / (lg * lg), 3)});
+    }
+    tab.print();
+  }
+
+  subhead("distributed name assignment");
+  {
+    Table tab({"churn", "changes", "n_final", "iters", "worst max_id/n",
+               "unique?", "msgs/change"});
+    for (auto model :
+         {workload::ChurnModel::kGrowOnly, workload::ChurnModel::kBirthDeath,
+          workload::ChurnModel::kInternalChurn}) {
+      Sim s;
+      Rng rng(11);
+      workload::build(s.tree, workload::Shape::kRandomAttach, 96, rng);
+      apps::DistributedNameAssignment names(s.net, s.tree);
+      workload::ChurnGenerator churn(model, Rng(13));
+      std::uint64_t changes = 0;
+      double worst = 0;
+      bool unique = true;
+      for (int i = 0; i < 500 && s.tree.size() >= 4; ++i) {
+        names.submit(churn.next(s.tree), [&](const core::Result& r) {
+          changes += r.granted();
+        });
+        if (i % 8 == 7) {
+          s.queue.run();
+          worst = std::max(worst, static_cast<double>(names.max_id()) /
+                                      static_cast<double>(s.tree.size()));
+          unique = unique && names.ids_unique();
+        }
+      }
+      s.queue.run();
+      tab.row({workload::churn_name(model), num(changes),
+               num(s.tree.size()), num(names.iterations()), fp(worst),
+               unique ? "yes" : "NO",
+               fp(static_cast<double>(names.messages()) /
+                      std::max<std::uint64_t>(changes, 1),
+                  1)});
+    }
+    tab.print();
+  }
+
+  subhead("two-phase commit rounds under churn (beta = 1.3)");
+  {
+    Table tab({"round", "nodes", "estimate", "threshold", "yes frac",
+               "decision", "sound?"});
+    Sim s;
+    Rng rng(15);
+    workload::build(s.tree, workload::Shape::kRandomAttach, 100, rng);
+    apps::TwoPhaseCommit tpc(s.net, s.tree, 1.3);
+    Rng coin(17);
+    std::unordered_map<NodeId, apps::Vote> ballot;
+    auto vote = [&](NodeId v, double p) {
+      const auto w = coin.chance(p) ? apps::Vote::kYes : apps::Vote::kNo;
+      ballot[v] = w;
+      tpc.set_vote(v, w);
+    };
+    for (NodeId v : s.tree.alive_nodes()) vote(v, 0.8);
+    workload::ChurnGenerator churn(workload::ChurnModel::kBirthDeath,
+                                   Rng(19));
+    for (int round = 1; round <= 6; ++round) {
+      const double p = 0.9 - 0.1 * round;
+      for (int i = 0; i < 30; ++i) {
+        const auto spec = churn.next(s.tree);
+        if (spec.type == core::RequestSpec::Type::kAddLeaf) {
+          tpc.submit_add_leaf(spec.subject, [&, p](const core::Result& r) {
+            if (r.granted()) vote(r.new_node, p);
+          });
+        } else if (spec.type == core::RequestSpec::Type::kRemove) {
+          tpc.submit_remove(spec.subject, [](const core::Result&) {});
+        }
+      }
+      s.queue.run();
+      apps::Decision d = apps::Decision::kAbort;
+      tpc.run_round([&](apps::Decision dd) { d = dd; });
+      s.queue.run();
+      std::uint64_t yes = 0;
+      for (NodeId v : s.tree.alive_nodes()) {
+        auto it = ballot.find(v);
+        yes += it != ballot.end() && it->second == apps::Vote::kYes;
+      }
+      const bool sound =
+          d == apps::Decision::kAbort || 2 * yes > s.tree.size();
+      tab.row({num(static_cast<std::uint64_t>(round)), num(s.tree.size()),
+               num(tpc.size_estimate()), num(tpc.commit_threshold()),
+               fp(static_cast<double>(yes) /
+                  static_cast<double>(s.tree.size())),
+               d == apps::Decision::kCommit ? "COMMIT" : "abort",
+               sound ? "yes" : "NO"});
+    }
+    tab.print();
+  }
+
+  std::printf("\ninvariants: size ratio <= beta; ids unique and <= 4n; "
+              "every COMMIT backed by a strict true majority.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// EXP13 — Where the message budget goes.
+//
+// The paper's bounds decompose into agent walks (the dominant term),
+// the one-time reject flood (O(U)), iteration-control broadcast/upcasts,
+// and graceful-deletion data handoffs.  This bench runs the distributed
+// iterated controller under each churn model and reports the measured
+// per-kind breakdown, validating that the side terms stay side terms.
+
+#include "bench_util.hpp"
+#include "core/distributed_iterated.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+using namespace dyncon;
+using namespace dyncon::core;
+using namespace dyncon::bench;
+
+int main() {
+  banner("EXP13: message-kind breakdown of the distributed controller");
+
+  Table tab({"churn", "requests", "total msgs", "agent%", "reject%",
+             "control%", "datamove%", "max bits"});
+  for (auto model : workload::all_churn_models()) {
+    Rng rng(71);
+    sim::EventQueue queue;
+    sim::Network net(queue, sim::make_delay(sim::DelayKind::kUniform, 73));
+    tree::DynamicTree t;
+    workload::build(t, workload::Shape::kRandomAttach, 128, rng);
+    const std::uint64_t M = 600;
+    DistributedIterated::Options opts;
+    opts.track_domains = false;
+    DistributedIterated ctrl(net, t, M, /*W=*/1, /*U=*/4096, opts);
+    workload::ChurnGenerator churn(model, Rng(79));
+    std::uint64_t requests = 0;
+    for (int i = 0; i < 900; ++i) {
+      if (t.size() < 4) break;
+      ++requests;
+      ctrl.submit(churn.next(t), [](const Result&) {});
+      if (i % 8 == 7) queue.run();
+    }
+    queue.run();
+    const auto& st = net.stats();
+    const double total = static_cast<double>(st.messages);
+    auto pct = [&](sim::MsgKind k) {
+      return fp(100.0 * static_cast<double>(st.kind(k)) / total, 1);
+    };
+    tab.row({workload::churn_name(model), num(requests), num(st.messages),
+             pct(sim::MsgKind::kAgent), pct(sim::MsgKind::kReject),
+             pct(sim::MsgKind::kControl), pct(sim::MsgKind::kDataMove),
+             num(st.max_message_bits)});
+  }
+  tab.print();
+  std::printf("\nshape check: agent hops dominate; the reject flood is a "
+              "one-time O(n) blip; control and datamove stay single-digit "
+              "percentages — the side terms of Thm. 4.7's bound.\n");
+  return 0;
+}

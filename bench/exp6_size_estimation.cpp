@@ -1,0 +1,71 @@
+// EXP6 — The size-estimation protocol (Theorem 5.1): every node holds a
+// beta-approximation of n at all times, with O(n0 log^2 n0 + sum log^2 n_j)
+// messages.
+//
+// Sweep: churn models x beta; report the worst observed estimate/true
+// ratio (must stay within [1/beta, beta]), amortized messages per change,
+// and the polylog normalization.
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/size_estimation.hpp"
+#include "bench_util.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+using namespace dyncon;
+using namespace dyncon::bench;
+
+int main() {
+  banner("EXP6: size estimation (Thm 5.1)");
+
+  for (double beta : {1.5, 2.0, 3.0}) {
+    subhead("beta = " + fp(beta, 1));
+    Table tab({"churn", "n0", "changes", "n_final", "iters",
+               "worst over", "worst under", "msgs/change", "/log^2 n"});
+    for (auto model : workload::all_churn_models()) {
+      const std::uint64_t n0 = 256, steps = 2000;
+      Rng rng(19);
+      tree::DynamicTree t;
+      workload::build(t, workload::Shape::kRandomAttach, n0, rng);
+      apps::SizeEstimation est(t, beta);
+      workload::ChurnGenerator churn(model, Rng(23));
+      double worst_over = 1.0, worst_under = 1.0;
+      std::uint64_t changes = 0;
+      for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
+        const auto spec = churn.next(t);
+        core::Result r;
+        switch (spec.type) {
+          case core::RequestSpec::Type::kAddLeaf:
+            r = est.request_add_leaf(spec.subject);
+            break;
+          case core::RequestSpec::Type::kAddInternal:
+            r = est.request_add_internal_above(spec.subject);
+            break;
+          case core::RequestSpec::Type::kRemove:
+            r = est.request_remove(spec.subject);
+            break;
+          default:
+            continue;
+        }
+        changes += r.granted();
+        const double ratio = static_cast<double>(est.estimate()) /
+                             static_cast<double>(t.size());
+        worst_over = std::max(worst_over, ratio);
+        worst_under = std::max(worst_under, 1.0 / ratio);
+      }
+      const double per = static_cast<double>(est.messages()) /
+                         std::max<std::uint64_t>(changes, 1);
+      const double lg = std::log2(static_cast<double>(std::max<std::uint64_t>(
+          t.size(), 4)));
+      tab.row({workload::churn_name(model), num(n0), num(changes),
+               num(t.size()), num(est.iterations()), fp(worst_over),
+               fp(worst_under), fp(per, 1), fp(per / (lg * lg), 3)});
+    }
+    tab.print();
+    std::printf("invariant: worst over/under must both stay <= beta = %s\n",
+                fp(beta, 1).c_str());
+  }
+  return 0;
+}

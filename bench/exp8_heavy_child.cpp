@@ -1,0 +1,70 @@
+// EXP8 — Heavy-child decomposition maintenance (Theorem 5.4): at all times
+// every node has O(log n) light ancestors; maintaining the pointers at most
+// doubles the subtree-estimator's message count.
+//
+// Sweep churn models and sizes; report the maximum light-ancestor count
+// against log2(n) and the messaging overhead factor.
+
+#include <cmath>
+
+#include "apps/heavy_child.hpp"
+#include "bench_util.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+using namespace dyncon;
+using namespace dyncon::bench;
+
+int main() {
+  banner("EXP8: heavy-child decomposition (Thm 5.4)");
+
+  Table tab({"churn", "n0", "n_final", "max light anc", "log2(n)",
+             "ratio", "msgs", "overhead vs estimator"});
+  for (auto model :
+       {workload::ChurnModel::kGrowOnly, workload::ChurnModel::kBirthDeath,
+        workload::ChurnModel::kInternalChurn,
+        workload::ChurnModel::kFlashCrowd}) {
+    const std::uint64_t n0 = 128, steps = 1200;
+    Rng rng(41);
+    tree::DynamicTree t;
+    workload::build(t, workload::Shape::kRandomAttach, n0, rng);
+    apps::HeavyChild hc(t);
+    workload::ChurnGenerator churn(model, Rng(43));
+    std::uint64_t worst_light = 0;
+    for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
+      const auto spec = churn.next(t);
+      switch (spec.type) {
+        case core::RequestSpec::Type::kAddLeaf:
+          hc.request_add_leaf(spec.subject);
+          break;
+        case core::RequestSpec::Type::kAddInternal:
+          hc.request_add_internal_above(spec.subject);
+          break;
+        case core::RequestSpec::Type::kRemove:
+          hc.request_remove(spec.subject);
+          break;
+        default:
+          break;
+      }
+      if (i % 32 == 0) {
+        worst_light = std::max(worst_light, hc.max_light_ancestors());
+      }
+    }
+    worst_light = std::max(worst_light, hc.max_light_ancestors());
+    const double lg =
+        std::log2(static_cast<double>(std::max<std::uint64_t>(t.size(), 4)));
+    const double overhead =
+        static_cast<double>(hc.messages()) /
+        static_cast<double>(std::max<std::uint64_t>(
+            hc.estimator().messages(), 1));
+    tab.row({workload::churn_name(model), num(n0), num(t.size()),
+             num(worst_light), fp(lg, 1),
+             fp(static_cast<double>(worst_light) / lg), num(hc.messages()),
+             fp(overhead)});
+  }
+  tab.print();
+  std::printf("\nshape check: max light ancestors stays a small constant "
+              "times log2(n); overhead factor stays ~<= 2 (paper: the "
+              "parent reports at most double the message count).\n");
+  return 0;
+}

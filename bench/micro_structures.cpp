@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) for the hot data structures under
+// the controller: event queue, dynamic tree operations, package table,
+// RNG, and a full centralized request.
+
+#include <benchmark/benchmark.h>
+
+#include "agent/convergecast.hpp"
+#include "core/centralized_controller.hpp"
+#include "core/distributed_controller.hpp"
+#include "core/package.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "tree/validate.hpp"
+#include "workload/shapes.hpp"
+
+namespace {
+
+using namespace dyncon;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    q.schedule_after(1, [&sink] { ++sink; });
+    q.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueBurst(benchmark::State& state) {
+  const auto burst = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      q.schedule_after(i % 7 + 1, [&sink] { ++sink; });
+    }
+    q.run();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueBurst)->Arg(64)->Arg(1024);
+
+void BM_TreeAddRemoveLeaf(benchmark::State& state) {
+  tree::DynamicTree t;
+  for (auto _ : state) {
+    const NodeId u = t.add_leaf(t.root());
+    t.remove_leaf(u);
+  }
+}
+BENCHMARK(BM_TreeAddRemoveLeaf);
+
+void BM_TreeDepthQuery(benchmark::State& state) {
+  Rng rng(3);
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kPath,
+                  static_cast<std::uint64_t>(state.range(0)), rng);
+  const NodeId deep = t.alive_nodes().back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.depth(deep));
+  }
+}
+BENCHMARK(BM_TreeDepthQuery)->Arg(64)->Arg(1024);
+
+void BM_PackageSplitCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PackageTable tbl;
+    core::PackageId p = tbl.create_mobile(0, 6, 64);
+    // Split all the way down to level 0.
+    for (int lvl = 6; lvl > 0; --lvl) {
+      auto [a, b] = tbl.split_mobile(p);
+      tbl.cancel(a);
+      p = b;
+    }
+    benchmark::DoNotOptimize(tbl.permits_in_packages());
+  }
+}
+BENCHMARK(BM_PackageSplitCycle);
+
+void BM_CentralizedRequest(benchmark::State& state) {
+  Rng rng(5);
+  tree::DynamicTree t;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  workload::build(t, workload::Shape::kRandomAttach, n, rng);
+  core::CentralizedController::Options opts;
+  opts.track_domains = false;
+  // Effectively unbounded M so the loop never exhausts.
+  core::CentralizedController ctrl(t, core::Params(1u << 30, 1u << 29, 2 * n),
+                                   opts);
+  const auto nodes = t.alive_nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctrl.request_event(nodes[i++ % nodes.size()]).outcome);
+  }
+}
+BENCHMARK(BM_CentralizedRequest)->Arg(256)->Arg(4096);
+
+void BM_DistributedRequest(benchmark::State& state) {
+  Rng rng(7);
+  sim::EventQueue queue;
+  sim::Network net(queue,
+                   sim::make_delay(sim::DelayKind::kFixed, 1));
+  tree::DynamicTree t;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  workload::build(t, workload::Shape::kRandomAttach, n, rng);
+  core::DistributedController::Options opts;
+  opts.track_domains = false;
+  core::DistributedController ctrl(
+      net, t, core::Params(1u << 30, 1u << 29, 2 * n), opts);
+  core::DistributedSyncFacade facade(queue, ctrl);
+  const auto nodes = t.alive_nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        facade.request_event(nodes[i++ % nodes.size()]).outcome);
+  }
+}
+BENCHMARK(BM_DistributedRequest)->Arg(256)->Arg(2048);
+
+void BM_Convergecast(benchmark::State& state) {
+  Rng rng(9);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kFixed, 1));
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach,
+                  static_cast<std::uint64_t>(state.range(0)), rng);
+  agent::Convergecast cast(net, t);
+  for (auto _ : state) {
+    std::uint64_t out = 0;
+    cast.count_nodes([&](std::uint64_t n2) { out = n2; });
+    queue.run();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Convergecast)->Arg(256)->Arg(2048);
+
+void BM_TreeValidate(benchmark::State& state) {
+  Rng rng(11);
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach,
+                  static_cast<std::uint64_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::validate(t).valid);
+  }
+}
+BENCHMARK(BM_TreeValidate)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

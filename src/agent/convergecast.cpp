@@ -1,0 +1,82 @@
+#include "agent/convergecast.hpp"
+
+#include <utility>
+
+#include "agent/runtime.hpp"
+#include "util/error.hpp"
+
+namespace dyncon::agent {
+
+Convergecast::Convergecast(sim::Network& net, tree::DynamicTree& tree)
+    : net_(net), tree_(tree) {}
+
+void Convergecast::run(std::uint64_t broadcast_value, Visit visit,
+                       Combine combine, Done done) {
+  DYNCON_REQUIRE(!running_, "convergecast runs may not overlap");
+  DYNCON_REQUIRE(visit && combine && done, "null convergecast callbacks");
+  running_ = true;
+  visit_ = std::move(visit);
+  combine_ = std::move(combine);
+  done_ = std::move(done);
+  state_.clear();
+  arrived_down(tree_.root(), broadcast_value);
+}
+
+void Convergecast::count_nodes(Done done) {
+  run(
+      0, [](NodeId, std::uint64_t) -> std::uint64_t { return 1; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      std::move(done));
+}
+
+void Convergecast::down(NodeId v, std::uint64_t value) {
+  ++messages_;
+  net_.send(tree_.parent(v), v, sim::MsgKind::kControl,
+            value_message_bits(value),
+            [this, v, value] { arrived_down(v, value); });
+}
+
+void Convergecast::arrived_down(NodeId v, std::uint64_t value) {
+  DYNCON_INVARIANT(tree_.alive(v),
+                   "topology changed under a convergecast run");
+  NodeState& st = state_[v];
+  st.acc = visit_(v, value);
+  const auto& kids = tree_.children(v);
+  st.pending = kids.size();
+  if (st.pending == 0) {
+    complete_node(v);
+    return;
+  }
+  for (NodeId c : kids) down(c, value);
+}
+
+void Convergecast::complete_node(NodeId v) {
+  if (v == tree_.root()) {
+    running_ = false;
+    const std::uint64_t result = state_[v].acc;
+    // Allow `done_` to start the next run.
+    Done done = std::move(done_);
+    done_ = nullptr;
+    done(result);
+    return;
+  }
+  up(v, tree_.parent(v), state_[v].acc);
+}
+
+void Convergecast::up(NodeId child, NodeId parent, std::uint64_t value) {
+  ++messages_;
+  net_.send(child, parent, sim::MsgKind::kControl,
+            value_message_bits(value),
+            [this, parent, value] { arrived_up(parent, value); });
+}
+
+void Convergecast::arrived_up(NodeId parent, std::uint64_t value) {
+  DYNCON_INVARIANT(tree_.alive(parent),
+                   "topology changed under a convergecast run");
+  NodeState& st = state_[parent];
+  DYNCON_INVARIANT(st.pending > 0, "unexpected upcast message");
+  st.acc = combine_(st.acc, value);
+  if (--st.pending == 0) complete_node(parent);
+}
+
+}  // namespace dyncon::agent

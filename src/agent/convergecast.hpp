@@ -1,0 +1,71 @@
+#pragma once
+
+// Broadcast + convergecast (upcast) over the tree, as real messages.
+//
+// The paper's wrappers lean on "a simple broadcast and upcast operation"
+// (Obs. 2.1, §3.3, App. A, §5.1) for counting nodes, disseminating N_i,
+// collecting votes, and detecting termination.  This module implements it
+// as actual network traffic: one message down each tree edge carrying the
+// broadcast value, one message up each edge carrying the aggregated value
+// — 2(n-1) messages of O(log n) bits per run.
+//
+// A run assumes the topology does not change while it is in flight; every
+// caller in this library runs it at iteration boundaries, where the
+// controller has quiesced (the terminating controller's contract).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/network.hpp"
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::agent {
+
+class Convergecast {
+ public:
+  /// Called at every node on the way down: receives the value broadcast
+  /// from the parent and returns this node's local contribution.
+  using Visit = std::function<std::uint64_t(NodeId, std::uint64_t)>;
+  /// Folds a child's aggregated value into the node's accumulator.
+  using Combine =
+      std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+  /// Receives the root's final aggregate.
+  using Done = std::function<void(std::uint64_t)>;
+
+  Convergecast(sim::Network& net, tree::DynamicTree& tree);
+
+  /// Start a run; `done` fires once the upcast reaches the root.  Multiple
+  /// runs may not overlap.
+  void run(std::uint64_t broadcast_value, Visit visit, Combine combine,
+           Done done);
+
+  /// Convenience: count the current nodes (visit = 1, combine = +).
+  void count_nodes(Done done);
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+ private:
+  struct NodeState {
+    std::uint64_t acc = 0;
+    std::size_t pending = 0;
+  };
+
+  void down(NodeId v, std::uint64_t value);
+  void arrived_down(NodeId v, std::uint64_t value);
+  void up(NodeId child, NodeId parent, std::uint64_t value);
+  void arrived_up(NodeId parent, std::uint64_t value);
+  void complete_node(NodeId v);
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  Visit visit_;
+  Combine combine_;
+  Done done_;
+  std::unordered_map<NodeId, NodeState> state_;
+  bool running_ = false;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace dyncon::agent

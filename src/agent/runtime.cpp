@@ -1,0 +1,8 @@
+// Intentionally small: the agent runtime is header-only apart from this
+// translation unit, which exists so the library has a home for future
+// out-of-line helpers and so dyncon_agent always produces an archive.
+#include "agent/runtime.hpp"
+
+namespace dyncon::agent {
+// (no out-of-line definitions yet)
+}  // namespace dyncon::agent

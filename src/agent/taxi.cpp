@@ -1,0 +1,48 @@
+#include "agent/taxi.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::agent {
+
+Taxi::Taxi(sim::Network& net, tree::DynamicTree& tree)
+    : net_(net), tree_(tree) {}
+
+void Taxi::set_on_arrival(Arrival handler) {
+  on_arrival_ = std::move(handler);
+}
+
+void Taxi::hop_up(AgentId a, NodeId from, std::uint64_t payload_bits) {
+  DYNCON_REQUIRE(tree_.alive(from) && from != tree_.root(),
+                 "hop_up from the root or a dead node");
+  // Destination resolved at delivery time (graceful deletions can reparent
+  // `from` while the hop is in flight).
+  net_.send(from, tree_.parent(from), sim::MsgKind::kAgent, payload_bits,
+            [this, a, from] {
+              DYNCON_INVARIANT(tree_.alive(from),
+                               "hop_up sender died mid-flight");
+              on_arrival_(a, tree_.parent(from), from);
+            });
+}
+
+void Taxi::hop_down(AgentId a, NodeId from, NodeId to,
+                    std::uint64_t payload_bits) {
+  DYNCON_REQUIRE(tree_.alive(to), "hop_down to a dead node");
+  net_.send(from, to, sim::MsgKind::kAgent, payload_bits,
+            [this, a, from, to] {
+              DYNCON_INVARIANT(tree_.alive(to),
+                               "hop_down target died mid-flight");
+              on_arrival_(a, to, from);
+            });
+}
+
+void Taxi::resume_local(AgentId a, NodeId at, NodeId came_from) {
+  // Fires before any in-flight message (all link delays are >= 1 tick), so
+  // a dequeued agent acts before newly arriving ones, as §4.3.1 requires.
+  net_.queue().schedule_after(0, [this, a, at, came_from] {
+    on_arrival_(a, at, came_from);
+  });
+}
+
+}  // namespace dyncon::agent

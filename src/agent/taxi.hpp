@@ -1,0 +1,56 @@
+#pragma once
+
+// The taxi layer (§4.3.2): carries agents hop by hop over tree edges.
+//
+// Hops are network messages (one message per hop — the unit of the paper's
+// message complexity).  Deliveries honor the "graceful manner" contract of
+// §4.2:
+//
+//   * an Up hop from node c is resolved against the topology *at delivery
+//     time* ("a message sent to a parent who is being deleted is ...
+//     received by the new parent").  The sender c is always alive at
+//     delivery because only the hopping agent could delete it and it is
+//     mid-hop.
+//   * a Down hop is addressed to the concrete child recorded in the
+//     whiteboard's down pointer; that child is locked by the hopping agent,
+//     so it cannot disappear, and graceful edge insertion forwards the
+//     message across any newly spliced-in node at no modeled cost.
+//
+// The taxi also offers a zero-message local resume used when a queued agent
+// is dequeued after an unlock.
+
+#include <functional>
+
+#include "agent/whiteboard.hpp"
+#include "sim/network.hpp"
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::agent {
+
+class Taxi {
+ public:
+  /// (agent, node it arrived at, child it came from or kNoNode).
+  using Arrival = std::function<void(AgentId, NodeId, NodeId)>;
+
+  Taxi(sim::Network& net, tree::DynamicTree& tree);
+
+  void set_on_arrival(Arrival handler);
+
+  /// One hop toward the root; `from` must not be the root.
+  void hop_up(AgentId a, NodeId from, std::uint64_t payload_bits);
+
+  /// One hop to child `to` of `from` (per the stored down pointer).
+  void hop_down(AgentId a, NodeId from, NodeId to, std::uint64_t payload_bits);
+
+  /// Immediate local re-entry (dequeue after unlock); no message.
+  void resume_local(AgentId a, NodeId at, NodeId came_from);
+
+  [[nodiscard]] sim::Network& network() { return net_; }
+
+ private:
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  Arrival on_arrival_;
+};
+
+}  // namespace dyncon::agent

@@ -1,0 +1,71 @@
+#include "agent/whiteboard.hpp"
+
+namespace dyncon::agent {
+
+const Whiteboard& WhiteboardManager::at(NodeId v) const {
+  static const Whiteboard kEmpty;
+  auto it = boards_.find(v);
+  return it == boards_.end() ? kEmpty : it->second;
+}
+
+bool WhiteboardManager::locked(NodeId v) const { return at(v).locked; }
+
+void WhiteboardManager::lock(NodeId v, AgentId a, NodeId came_from) {
+  Whiteboard& wb = boards_[v];
+  DYNCON_INVARIANT(!wb.locked, "lock of a locked node");
+  wb.locked = true;
+  wb.locked_by = a;
+  wb.down_child = came_from;
+}
+
+std::optional<Whiteboard::Waiter> WhiteboardManager::unlock(NodeId v,
+                                                            AgentId a) {
+  Whiteboard& wb = boards_[v];
+  DYNCON_INVARIANT(wb.locked && wb.locked_by == a,
+                   "unlock by non-holder");
+  wb.locked = false;
+  wb.locked_by = kNoAgent;
+  wb.down_child = kNoNode;
+  if (wb.queue.empty()) return std::nullopt;
+  Whiteboard::Waiter next = wb.queue.front();
+  wb.queue.pop_front();
+  return next;
+}
+
+void WhiteboardManager::release_for_removal(NodeId v, AgentId a) {
+  Whiteboard& wb = boards_[v];
+  DYNCON_INVARIANT(wb.locked && wb.locked_by == a,
+                   "release by non-holder");
+  wb.locked = false;
+  wb.locked_by = kNoAgent;
+  wb.down_child = kNoNode;
+}
+
+void WhiteboardManager::enqueue(NodeId v, AgentId a, NodeId came_from) {
+  Whiteboard& wb = boards_[v];
+  DYNCON_INVARIANT(wb.locked, "enqueue at unlocked node");
+  wb.queue.push_back(Whiteboard::Waiter{a, came_from});
+}
+
+WhiteboardManager::EvictResult WhiteboardManager::evict_to_parent(
+    NodeId v, NodeId parent) {
+  EvictResult out;
+  auto it = boards_.find(v);
+  if (it == boards_.end()) return out;
+  Whiteboard& src = it->second;
+  DYNCON_INVARIANT(!src.locked, "evicting a locked node");
+  Whiteboard& dst = boards_[parent];
+  out.moved = src.queue.size();
+  for (auto& waiter : src.queue) dst.queue.push_back(waiter);
+  // Keep the flood marker conservative: if either saw the wave, the
+  // survivor did.
+  dst.flooded = dst.flooded || src.flooded;
+  boards_.erase(it);
+  if (!dst.locked && !dst.queue.empty()) {
+    out.resume = dst.queue.front();
+    dst.queue.pop_front();
+  }
+  return out;
+}
+
+}  // namespace dyncon::agent

@@ -1,0 +1,84 @@
+#pragma once
+
+// Whiteboards: the per-node storage of the mobile-agent model (§4.3.1).
+//
+// A whiteboard holds the node's lock state, the FIFO queue of agents waiting
+// for the lock, and the "down pointer" the taxi layer records for the
+// locking agent ("the pointer to the edge leading to the child from which
+// the locking agent arrived").  Packages are stored separately in the
+// controller's PackageTable; the whiteboard is pure coordination state.
+//
+// Locking discipline (paper §4.1/§4.3): an agent locks every node on its
+// way toward the root and releases top-down on its way back; an agent that
+// reaches a locked node waits in the FIFO queue and, when dequeued,
+// "continues its actions assuming it has just entered the node".
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace dyncon::agent {
+
+using AgentId = std::uint64_t;
+inline constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
+
+/// One node's coordination state.
+struct Whiteboard {
+  bool locked = false;
+  AgentId locked_by = kNoAgent;
+  /// Child the locking agent arrived from (kNoNode when it was created
+  /// here); consumed by the taxi's Down operation.
+  NodeId down_child = kNoNode;
+  /// Agents waiting for the lock, FIFO.  Each entry remembers the child the
+  /// agent arrived from so it can restore its own down pointer on resume.
+  struct Waiter {
+    AgentId agent;
+    NodeId came_from;
+  };
+  std::deque<Waiter> queue;
+  /// Reject-wave flood marker (each node is flooded at most once).
+  bool flooded = false;
+};
+
+/// Whiteboards for all nodes of one controller instance.
+class WhiteboardManager {
+ public:
+  /// Whiteboard of `v`, created empty on first access.
+  Whiteboard& at(NodeId v) { return boards_[v]; }
+  [[nodiscard]] const Whiteboard& at(NodeId v) const;
+
+  [[nodiscard]] bool locked(NodeId v) const;
+
+  /// Lock `v` for `a`, recording the arrival child.  Requires unlocked.
+  void lock(NodeId v, AgentId a, NodeId came_from);
+
+  /// Unlock `v` (must be held by `a`).  Returns the next waiter to resume,
+  /// if any (the caller reschedules it; FIFO order).
+  [[nodiscard]] std::optional<Whiteboard::Waiter> unlock(NodeId v, AgentId a);
+
+  /// Clear the lock without dequeuing anyone (used just before the node is
+  /// removed and its whole queue is evicted to the parent).
+  void release_for_removal(NodeId v, AgentId a);
+
+  /// Enqueue a waiting agent at locked node `v`.
+  void enqueue(NodeId v, AgentId a, NodeId came_from);
+
+  /// Graceful deletion: move v's queue to `parent` (appended in order) and
+  /// drop v's whiteboard.  Returns the number of agents moved.  If the
+  /// parent is unlocked and gained waiters, the first is returned so the
+  /// caller can resume it.
+  struct EvictResult {
+    std::size_t moved = 0;
+    std::optional<Whiteboard::Waiter> resume;
+  };
+  EvictResult evict_to_parent(NodeId v, NodeId parent);
+
+ private:
+  std::unordered_map<NodeId, Whiteboard> boards_;
+};
+
+}  // namespace dyncon::agent

@@ -1,0 +1,157 @@
+#include "apps/ancestry_labeling.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::Result;
+
+namespace {
+/// Gap between consecutive DFS events; the slack is what insertions consume
+/// between relabels.  Labels stay <= 2*kStride*n, i.e. log n + O(1) bits.
+constexpr std::uint64_t kStride = 16;
+}  // namespace
+
+AncestryLabeling::AncestryLabeling(tree::DynamicTree& tree, Options options)
+    : tree_(tree) {
+  SizeEstimation::Options se;
+  se.track_domains = options.track_domains;
+  se.on_iteration_start = [this] { maybe_relabel(); };
+  size_est_ = std::make_unique<SizeEstimation>(tree, 2.0, std::move(se));
+  relabel();
+}
+
+void AncestryLabeling::relabel() {
+  ++relabels_;
+  labels_.clear();
+  std::uint64_t counter = 0;
+  // Iterative DFS assigning pre on entry and post on exit, stride apart.
+  struct Frame {
+    NodeId v;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{tree_.root(), 0}};
+  labels_[tree_.root()].pre = (counter += kStride);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = tree_.children(f.v);
+    if (f.next_child < kids.size()) {
+      const NodeId c = kids[f.next_child++];
+      labels_[c].pre = (counter += kStride);
+      stack.push_back(Frame{c, 0});
+    } else {
+      labels_[f.v].post = (counter += kStride);
+      stack.pop_back();
+    }
+  }
+  built_for_ = tree_.size();
+  max_component_ = counter;
+  control_messages_ += 2 * tree_.size();  // the relabeling DFS traversal
+}
+
+void AncestryLabeling::maybe_relabel() {
+  // Cor. 5.7's point: when the network shrank enough that the old labels
+  // waste bits, rebuild; amortized against the >= Omega(N_i) changes the
+  // size-estimation iteration admitted.
+  if (tree_.size() * 2 <= built_for_) relabel();
+}
+
+Result AncestryLabeling::request_add_leaf(NodeId parent) {
+  Result r = size_est_->request_add_leaf(parent);
+  if (!r.granted()) return r;
+  const NodeId u = r.new_node;
+  // Place the leaf in its parent's trailing slack: just below post(parent),
+  // above every existing descendant label of parent.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Label lp = labels_.at(parent);
+    std::uint64_t hi = lp.pre;
+    for (NodeId c : tree_.children(parent)) {
+      if (c == u) continue;
+      auto it = labels_.find(c);
+      if (it != labels_.end()) hi = std::max(hi, it->second.post);
+    }
+    if (lp.post - hi >= 3) {
+      labels_[u] = Label{hi + 1, hi + 2};
+      ++control_messages_;  // the parent hands the label over
+      max_component_ = std::max(max_component_, hi + 2);
+      return r;
+    }
+    relabel();  // slack exhausted under this parent
+  }
+  DYNCON_INVARIANT(false, "no label slack even after a fresh relabel");
+  return r;
+}
+
+Result AncestryLabeling::request_add_internal_above(NodeId child) {
+  Result r = size_est_->request_add_internal_above(child);
+  if (!r.granted()) return r;
+  const NodeId m = r.new_node;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Label lc = labels_.at(child);
+    const Label candidate{lc.pre - 1, lc.post + 1};
+    // The wrapper label must nest strictly inside the parent's and collide
+    // with no existing label component (both checks are local to the
+    // parent in a real deployment; the hash probe models them).
+    const NodeId p = tree_.parent(m);
+    const Label lp = labels_.at(p);
+    bool ok = lp.pre < candidate.pre && candidate.post < lp.post;
+    if (ok) {
+      for (const auto& [node, lab] : labels_) {
+        if (!tree_.alive(node)) continue;
+        if (lab.pre == candidate.pre || lab.post == candidate.pre ||
+            lab.pre == candidate.post || lab.post == candidate.post) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      labels_[m] = candidate;
+      ++control_messages_;
+      max_component_ = std::max(max_component_, candidate.post);
+      return r;
+    }
+    relabel();
+  }
+  DYNCON_INVARIANT(false, "no wrapper slack even after a fresh relabel");
+  return r;
+}
+
+Result AncestryLabeling::request_remove(NodeId v) {
+  Result r = size_est_->request_remove(v);
+  // Deletions never invalidate surviving labels (containment among the
+  // survivors is unchanged); the entry is merely dropped.
+  if (r.granted()) labels_.erase(v);
+  return r;
+}
+
+bool AncestryLabeling::is_ancestor(NodeId anc, NodeId v) const {
+  const Label a = label(anc);
+  const Label b = label(v);
+  return a.pre <= b.pre && b.post <= a.post;
+}
+
+AncestryLabeling::Label AncestryLabeling::label(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "label of a dead node");
+  auto it = labels_.find(v);
+  DYNCON_INVARIANT(it != labels_.end(), "alive node without a label");
+  return it->second;
+}
+
+std::uint64_t AncestryLabeling::label_bits() const {
+  std::uint64_t biggest = 1;
+  for (NodeId v : tree_.alive_nodes()) {
+    biggest = std::max(biggest, label(v).post);
+  }
+  return ceil_log2(biggest + 1);
+}
+
+std::uint64_t AncestryLabeling::messages() const {
+  return size_est_->messages() + control_messages_;
+}
+
+}  // namespace dyncon::apps

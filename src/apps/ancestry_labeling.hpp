@@ -1,0 +1,72 @@
+#pragma once
+
+// Dynamic ancestry labeling on trees (§5.4, Corollary 5.7).
+//
+// Static ancestry labels are classic DFS intervals (Kannan–Naor–Rudich
+// [17]): label(v) = [pre(v), post(v)], and u is an ancestor of v iff
+// label(u) contains label(v).  Deletions (of leaves *and* internal nodes)
+// never invalidate containment among the survivors, so the only thing a
+// dynamic scheme must manage is label *size*: after heavy shrinkage the old
+// labels waste bits relative to the optimal O(log n).
+//
+// Following Cor. 5.7, the scheme piggybacks on the size-estimation
+// protocol: when an iteration starts and the counted size has dropped below
+// half of the size the labels were built for, one DFS relabels the tree.
+// Insertions are also supported within an iteration by handing each new
+// node a label hole: a fresh pair from a reserve range sized by the
+// iteration's admission budget (the controller guarantees at most alpha*N_i
+// joins per iteration, so the reserve keeps labels at O(log n) bits).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/size_estimation.hpp"
+
+namespace dyncon::apps {
+
+class AncestryLabeling {
+ public:
+  struct Options {
+    bool track_domains = false;
+  };
+
+  AncestryLabeling(tree::DynamicTree& tree, Options options);
+  explicit AncestryLabeling(tree::DynamicTree& tree)
+      : AncestryLabeling(tree, Options{}) {}
+
+  core::Result request_add_leaf(NodeId parent);
+  core::Result request_add_internal_above(NodeId child);
+  core::Result request_remove(NodeId v);
+
+  /// Ancestry query answered from the two labels alone.
+  [[nodiscard]] bool is_ancestor(NodeId anc, NodeId v) const;
+
+  struct Label {
+    std::uint64_t pre = 0;
+    std::uint64_t post = 0;
+  };
+  [[nodiscard]] Label label(NodeId v) const;
+
+  /// Bits needed for the largest label component currently in use.
+  [[nodiscard]] std::uint64_t label_bits() const;
+
+  [[nodiscard]] std::uint64_t relabels() const { return relabels_; }
+  [[nodiscard]] std::uint64_t messages() const;
+
+ private:
+  void relabel();
+  void maybe_relabel();
+  void assign_fresh(NodeId v, NodeId parent_hint);
+
+  tree::DynamicTree& tree_;
+  std::unique_ptr<SizeEstimation> size_est_;
+  std::unordered_map<NodeId, Label> labels_;
+  std::uint64_t built_for_ = 0;   ///< size the labels were last built for
+  std::uint64_t next_fresh_ = 0;  ///< reserve cursor for joins
+  std::uint64_t max_component_ = 0;
+  std::uint64_t relabels_ = 0;
+  std::uint64_t control_messages_ = 0;
+};
+
+}  // namespace dyncon::apps

@@ -1,0 +1,64 @@
+#pragma once
+
+// Dynamic ancestry labeling over the asynchronous controller (§5.4,
+// Cor. 5.7 — the distributed variant of apps/ancestry_labeling).
+//
+// DFS-interval labels answer "is u an ancestor of v?" from the two labels
+// alone.  Deletions of leaves *and* internal nodes never invalidate
+// containment among survivors; the distributed size estimator triggers a
+// relabel when the network has shrunk past half of what the labels were
+// built for, keeping labels at log n + O(1) bits; insertions consume label
+// slack between relabels.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/distributed_size_estimation.hpp"
+
+namespace dyncon::apps {
+
+class DistributedAncestryLabeling {
+ public:
+  using Callback = core::DistributedController::Callback;
+
+  struct Label {
+    std::uint64_t pre = 0;
+    std::uint64_t post = 0;
+  };
+
+  struct Options {
+    bool track_domains = false;
+  };
+
+  DistributedAncestryLabeling(sim::Network& net, tree::DynamicTree& tree,
+                              Options options);
+  DistributedAncestryLabeling(sim::Network& net, tree::DynamicTree& tree)
+      : DistributedAncestryLabeling(net, tree, Options{}) {}
+
+  void submit_add_leaf(NodeId parent, Callback done);
+  void submit_add_internal_above(NodeId child, Callback done);
+  void submit_remove(NodeId v, Callback done);
+
+  /// Ancestry query from labels alone.
+  [[nodiscard]] bool is_ancestor(NodeId anc, NodeId v) const;
+  [[nodiscard]] Label label(NodeId v) const;
+  [[nodiscard]] std::uint64_t label_bits() const;
+  [[nodiscard]] std::uint64_t relabels() const { return relabels_; }
+  [[nodiscard]] std::uint64_t messages() const;
+
+ private:
+  void relabel();
+  void assign_leaf_label(NodeId u, NodeId parent);
+  void assign_wrapper_label(NodeId m);
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  std::unique_ptr<DistributedSizeEstimation> size_est_;
+  std::unordered_map<NodeId, Label> labels_;
+  std::uint64_t built_for_ = 0;
+  std::uint64_t relabels_ = 0;
+  std::uint64_t control_messages_ = 0;
+};
+
+}  // namespace dyncon::apps

@@ -1,0 +1,264 @@
+#include "apps/distributed_heavy_child.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::RequestSpec;
+using core::Result;
+
+// ---- DistributedSubtreeEstimator ---------------------------------------------
+
+DistributedSubtreeEstimator::DistributedSubtreeEstimator(
+    sim::Network& net, tree::DynamicTree& tree, double beta, Options options)
+    : net_(net), tree_(tree), options_(std::move(options)) {
+  DistributedSizeEstimation::Options se;
+  se.track_domains = options_.track_domains;
+  se.on_pass_down = [this](NodeId v, std::uint64_t permits) {
+    on_pass_down(v, permits);
+  };
+  se.on_iteration_start = [this] { on_iteration_start(); };
+  size_est_ = std::make_unique<DistributedSizeEstimation>(net, tree, beta,
+                                                          std::move(se));
+}
+
+void DistributedSubtreeEstimator::on_iteration_start() {
+  // w0 dissemination: one extra broadcast/upcast (2(n-1) messages) on top
+  // of the size estimator's own counting.
+  net_.charge(sim::MsgKind::kApp, 2 * (tree_.size() - 1),
+              agent::value_message_bits(tree_.size()));
+  w0_.clear();
+  passed_.clear();
+  sw_.clear();
+  const auto order = tree_.alive_nodes();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint64_t w = 1;
+    for (NodeId c : tree_.children(v)) w += w0_[c];
+    w0_[v] = w;
+    sw_[v] = w;
+  }
+  if (options_.on_estimate_update) {
+    for (NodeId v : order) options_.on_estimate_update(v);
+  }
+}
+
+void DistributedSubtreeEstimator::on_pass_down(NodeId v,
+                                               std::uint64_t permits) {
+  passed_[v] += permits;
+  if (options_.on_estimate_update) options_.on_estimate_update(v);
+}
+
+void DistributedSubtreeEstimator::submit(const RequestSpec& spec,
+                                         Callback done) {
+  size_est_->submit(spec, [this, spec, done = std::move(done)](
+                              const Result& r) mutable {
+    if (r.granted()) {
+      if (spec.type == RequestSpec::Type::kAddLeaf && r.new_node != kNoNode) {
+        w0_[r.new_node] = 1;
+        sw_[r.new_node] = 1;
+      } else if (spec.type == RequestSpec::Type::kAddInternal &&
+                 r.new_node != kNoNode && tree_.alive(r.new_node)) {
+        // Graceful bootstrap from the adopted child's counters.
+        const auto& kids = tree_.children(r.new_node);
+        std::uint64_t base = 1;
+        for (NodeId c : kids) {
+          auto w = w0_.find(c);
+          if (w != w0_.end()) base += w->second;
+          auto pd = passed_.find(c);
+          if (pd != passed_.end()) base += pd->second;
+        }
+        w0_[r.new_node] = base;
+        std::uint64_t s = 1;
+        for (NodeId c : kids) {
+          auto it = sw_.find(c);
+          if (it != sw_.end()) s += it->second;
+        }
+        sw_[r.new_node] = s;
+      }
+      // Super-weights of ancestors grow on additions (ever-existed).
+      if (r.new_node != kNoNode && tree_.alive(r.new_node)) {
+        for (NodeId cur = r.new_node; cur != tree_.root();) {
+          cur = tree_.parent(cur);
+          sw_[cur] += 1;
+        }
+      }
+    }
+    done(r);
+  });
+}
+
+void DistributedSubtreeEstimator::submit_add_leaf(NodeId parent,
+                                                  Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedSubtreeEstimator::submit_add_internal_above(NodeId child,
+                                                            Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedSubtreeEstimator::submit_remove(NodeId v, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+std::uint64_t DistributedSubtreeEstimator::estimate(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "estimate of a dead node");
+  std::uint64_t est = 0;
+  if (auto it = w0_.find(v); it != w0_.end()) est += it->second;
+  if (auto it = passed_.find(v); it != passed_.end()) est += it->second;
+  return est;
+}
+
+std::uint64_t DistributedSubtreeEstimator::true_super_weight(
+    NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "super-weight of a dead node");
+  auto it = sw_.find(v);
+  return it == sw_.end() ? 1 : it->second;
+}
+
+std::uint64_t DistributedSubtreeEstimator::messages() const {
+  return size_est_->messages() + 2 * iterations() * tree_.size();
+}
+
+// ---- DistributedHeavyChild --------------------------------------------------
+
+DistributedHeavyChild::DistributedHeavyChild(sim::Network& net,
+                                             tree::DynamicTree& tree,
+                                             Options options)
+    : net_(net), tree_(tree) {
+  DistributedSubtreeEstimator::Options opts;
+  opts.track_domains = options.track_domains;
+  opts.on_estimate_update = [this](NodeId v) { on_estimate_update(v); };
+  est_ = std::make_unique<DistributedSubtreeEstimator>(
+      net, tree, std::sqrt(3.0), std::move(opts));
+  tree_.add_observer(this);
+  for (NodeId v : tree_.alive_nodes()) on_estimate_update(v);
+}
+
+DistributedHeavyChild::~DistributedHeavyChild() {
+  tree_.remove_observer(this);
+}
+
+void DistributedHeavyChild::on_estimate_update(NodeId v) {
+  if (!est_ || !tree_.alive(v) || v == tree_.root()) return;
+  const NodeId p = tree_.parent(v);
+  ++report_messages_;
+  child_reports_[p][v] = est_->estimate(v);
+  recompute_heavy(p);
+}
+
+void DistributedHeavyChild::recompute_heavy(NodeId v) {
+  const auto& kids = tree_.children(v);
+  if (kids.empty()) {
+    heavy_.erase(v);
+    return;
+  }
+  auto& reports = child_reports_[v];
+  NodeId best = kids.front();
+  std::uint64_t best_est = 0;
+  for (NodeId c : kids) {
+    const auto it = reports.find(c);
+    const std::uint64_t e = it == reports.end() ? 1 : it->second;
+    if (e > best_est) {
+      best_est = e;
+      best = c;
+    }
+  }
+  heavy_[v] = best;
+}
+
+void DistributedHeavyChild::submit(const RequestSpec& spec, Callback done) {
+  est_->submit(spec, [this, done = std::move(done)](const Result& r) {
+    if (r.granted() && r.new_node != kNoNode && tree_.alive(r.new_node)) {
+      on_estimate_update(r.new_node);
+    }
+    done(r);
+  });
+}
+
+void DistributedHeavyChild::submit_add_leaf(NodeId parent, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedHeavyChild::submit_add_internal_above(NodeId child,
+                                                      Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedHeavyChild::submit_remove(NodeId v, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+NodeId DistributedHeavyChild::heavy(NodeId v) const {
+  auto it = heavy_.find(v);
+  return it == heavy_.end() ? kNoNode : it->second;
+}
+
+std::uint64_t DistributedHeavyChild::light_ancestors(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "light_ancestors of a dead node");
+  std::uint64_t light = 0;
+  NodeId cur = v;
+  while (cur != tree_.root()) {
+    const NodeId p = tree_.parent(cur);
+    if (heavy(p) != cur) ++light;
+    cur = p;
+  }
+  return light;
+}
+
+std::uint64_t DistributedHeavyChild::max_light_ancestors() const {
+  std::uint64_t best = 0;
+  for (NodeId v : tree_.alive_nodes()) {
+    best = std::max(best, light_ancestors(v));
+  }
+  return best;
+}
+
+std::uint64_t DistributedHeavyChild::messages() const {
+  return est_->messages() + report_messages_;
+}
+
+void DistributedHeavyChild::on_add_leaf(NodeId u, NodeId parent) {
+  child_reports_[parent][u] = 1;
+  recompute_heavy(parent);
+}
+
+void DistributedHeavyChild::on_remove_leaf(NodeId u, NodeId parent) {
+  child_reports_[parent].erase(u);
+  child_reports_.erase(u);
+  heavy_.erase(u);
+  recompute_heavy(parent);
+}
+
+void DistributedHeavyChild::on_add_internal(NodeId u, NodeId parent,
+                                            NodeId child) {
+  auto& preports = child_reports_[parent];
+  const auto it = preports.find(child);
+  const std::uint64_t child_est = it == preports.end() ? 1 : it->second;
+  preports.erase(child);
+  preports[u] = child_est + 1;
+  child_reports_[u][child] = child_est;
+  heavy_[u] = child;
+  recompute_heavy(parent);
+}
+
+void DistributedHeavyChild::on_remove_internal(
+    NodeId u, NodeId parent, const std::vector<NodeId>& children) {
+  auto& preports = child_reports_[parent];
+  preports.erase(u);
+  auto& ureports = child_reports_[u];
+  for (NodeId c : children) {
+    const auto it = ureports.find(c);
+    preports[c] = it == ureports.end() ? 1 : it->second;
+  }
+  child_reports_.erase(u);
+  heavy_.erase(u);
+  recompute_heavy(parent);
+}
+
+}  // namespace dyncon::apps

@@ -1,0 +1,114 @@
+#pragma once
+
+// The subtree estimator and heavy-child decomposition of §5.3, distributed.
+//
+// In the asynchronous protocol the pass-down observation is literally each
+// node watching the permit packages that physically travel through it
+// inside agents' Bags (the on_pass_down hook of the distributed
+// controller) — zero extra messages, exactly the paper's construction.
+// Estimates reset at every size-estimation iteration from a w0
+// broadcast/upcast; each estimate change is reported to the parent (one
+// message), and the parent points its mu(v) at the child with the largest
+// report, giving O(log n) light ancestors at all times (Thm 5.4).
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/distributed_size_estimation.hpp"
+
+namespace dyncon::apps {
+
+class DistributedSubtreeEstimator {
+ public:
+  using Callback = core::DistributedController::Callback;
+
+  struct Options {
+    bool track_domains = false;
+    /// Fired after any estimate update at `node`.
+    std::function<void(NodeId)> on_estimate_update;
+  };
+
+  DistributedSubtreeEstimator(sim::Network& net, tree::DynamicTree& tree,
+                              double beta, Options options);
+  DistributedSubtreeEstimator(sim::Network& net, tree::DynamicTree& tree,
+                              double beta)
+      : DistributedSubtreeEstimator(net, tree, beta, Options{}) {}
+
+  void submit(const core::RequestSpec& spec, Callback done);
+  void submit_add_leaf(NodeId parent, Callback done);
+  void submit_add_internal_above(NodeId child, Callback done);
+  void submit_remove(NodeId v, Callback done);
+
+  [[nodiscard]] std::uint64_t estimate(NodeId v) const;
+  /// Ground-truth super-weight mirror (audits only; no protocol messages).
+  [[nodiscard]] std::uint64_t true_super_weight(NodeId v) const;
+  [[nodiscard]] std::uint64_t size_estimate() const {
+    return size_est_->estimate();
+  }
+  [[nodiscard]] std::uint64_t iterations() const {
+    return size_est_->iterations();
+  }
+  [[nodiscard]] std::uint64_t messages() const;
+
+ private:
+  void on_iteration_start();
+  void on_pass_down(NodeId v, std::uint64_t permits);
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  Options options_;
+  std::unique_ptr<DistributedSizeEstimation> size_est_;
+  std::unordered_map<NodeId, std::uint64_t> w0_;
+  std::unordered_map<NodeId, std::uint64_t> passed_;
+  std::unordered_map<NodeId, std::uint64_t> sw_;
+};
+
+class DistributedHeavyChild final : private tree::TreeObserver {
+ public:
+  using Callback = core::DistributedController::Callback;
+
+  struct Options {
+    bool track_domains = false;
+  };
+
+  DistributedHeavyChild(sim::Network& net, tree::DynamicTree& tree,
+                        Options options);
+  DistributedHeavyChild(sim::Network& net, tree::DynamicTree& tree)
+      : DistributedHeavyChild(net, tree, Options{}) {}
+  ~DistributedHeavyChild() override;
+
+  void submit(const core::RequestSpec& spec, Callback done);
+  void submit_add_leaf(NodeId parent, Callback done);
+  void submit_add_internal_above(NodeId child, Callback done);
+  void submit_remove(NodeId v, Callback done);
+
+  [[nodiscard]] NodeId heavy(NodeId v) const;
+  [[nodiscard]] std::uint64_t light_ancestors(NodeId v) const;
+  [[nodiscard]] std::uint64_t max_light_ancestors() const;
+  [[nodiscard]] std::uint64_t messages() const;
+  [[nodiscard]] const DistributedSubtreeEstimator& estimator() const {
+    return *est_;
+  }
+
+ private:
+  void on_estimate_update(NodeId v);
+  void recompute_heavy(NodeId v);
+
+  void on_add_leaf(NodeId u, NodeId parent) override;
+  void on_remove_leaf(NodeId u, NodeId parent) override;
+  void on_add_internal(NodeId u, NodeId parent, NodeId child) override;
+  void on_remove_internal(NodeId u, NodeId parent,
+                          const std::vector<NodeId>& children) override;
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  std::unique_ptr<DistributedSubtreeEstimator> est_;
+  std::unordered_map<NodeId, std::unordered_map<NodeId, std::uint64_t>>
+      child_reports_;
+  std::unordered_map<NodeId, NodeId> heavy_;
+  std::uint64_t report_messages_ = 0;
+};
+
+}  // namespace dyncon::apps

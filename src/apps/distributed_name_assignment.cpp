@@ -1,0 +1,153 @@
+#include "apps/distributed_name_assignment.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "agent/runtime.hpp"
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::Outcome;
+using core::RequestSpec;
+using core::Result;
+
+DistributedNameAssignment::DistributedNameAssignment(sim::Network& net,
+                                                     tree::DynamicTree& tree,
+                                                     Options options)
+    : net_(net), tree_(tree), options_(options), cast_(net, tree) {
+  start_iteration(tree_.size());
+}
+
+void DistributedNameAssignment::relabel_dfs(std::uint64_t offset) {
+  // One DFS token walk assigning offset + DFS number: 2(n-1) hops of
+  // O(log n) bits, applied atomically here (the network is quiescent at
+  // relabel time, so the walk cannot race anything).
+  std::uint64_t dfs = 0;
+  std::vector<NodeId> stack{tree_.root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ids_[v] = offset + ++dfs;
+    const auto& kids = tree_.children(v);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  const std::uint64_t hops = 2 * (tree_.size() - 1);
+  messages_base_ += hops;
+  net_.charge(sim::MsgKind::kApp, hops,
+              agent::value_message_bits(4 * tree_.size()));
+}
+
+void DistributedNameAssignment::start_iteration(std::uint64_t ni) {
+  ++iterations_;
+  ni = std::max<std::uint64_t>(ni, 1);
+  relabel_dfs(3 * ni);  // temporary range keeps ids unique mid-change
+  relabel_dfs(0);
+  std::erase_if(ids_,
+                [this](const auto& kv) { return !tree_.alive(kv.first); });
+
+  const std::uint64_t Mi = std::max<std::uint64_t>(ni / 2, 1);
+  const std::uint64_t Wi = std::max<std::uint64_t>(ni / 4, 1);
+  core::DistributedTerminating::Options opts;
+  opts.track_domains = options_.track_domains;
+  opts.serials = Interval(ni + 1, ni + Mi);
+  inner_ = std::make_unique<core::DistributedTerminating>(
+      net_, tree_, Mi, Wi, /*U=*/2 * ni + Mi, std::move(opts));
+  rotating_ = false;
+  auto pend = std::move(pending_);
+  pending_.clear();
+  for (auto& [spec, cb] : pend) dispatch(spec, std::move(cb));
+}
+
+void DistributedNameAssignment::begin_rotation() {
+  if (rotating_) return;
+  rotating_ = true;
+  inner_->terminate([this] {
+    net_.queue().schedule_after(0, [this] {
+      messages_base_ += inner_->messages_used();
+      inner_.reset();
+      cast_.count_nodes([this](std::uint64_t n) { start_iteration(n); });
+    });
+  });
+}
+
+void DistributedNameAssignment::dispatch(const RequestSpec& spec,
+                                         Callback done) {
+  if (rotating_) {
+    pending_.emplace_back(spec, std::move(done));
+    return;
+  }
+  inner_->submit(spec, [this, spec, done = std::move(done)](
+                           const Result& r) mutable {
+    if (r.outcome == Outcome::kTerminated) {
+      pending_.emplace_back(spec, std::move(done));
+      begin_rotation();
+      return;
+    }
+    if (r.granted()) {
+      if (r.new_node != kNoNode) {
+        DYNCON_INVARIANT(r.serial.has_value(),
+                         "granted permit carries no name");
+        ids_[r.new_node] = *r.serial;
+      } else if (spec.type == RequestSpec::Type::kRemove) {
+        ids_.erase(spec.subject);
+      }
+    }
+    done(r);
+  });
+}
+
+void DistributedNameAssignment::submit(const RequestSpec& spec,
+                                       Callback done) {
+  DYNCON_REQUIRE(spec.type != RequestSpec::Type::kEvent,
+                 "name assignment meters topological changes only");
+  DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  dispatch(spec, std::move(done));
+}
+
+void DistributedNameAssignment::submit_add_leaf(NodeId parent,
+                                                Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedNameAssignment::submit_add_internal_above(NodeId child,
+                                                          Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedNameAssignment::submit_remove(NodeId v, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+std::uint64_t DistributedNameAssignment::id_of(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "id of a dead node");
+  auto it = ids_.find(v);
+  DYNCON_INVARIANT(it != ids_.end(), "alive node without an identity");
+  return it->second;
+}
+
+std::uint64_t DistributedNameAssignment::max_id() const {
+  std::uint64_t best = 0;
+  for (NodeId v : tree_.alive_nodes()) best = std::max(best, id_of(v));
+  return best;
+}
+
+bool DistributedNameAssignment::ids_unique() const {
+  std::unordered_set<std::uint64_t> seen;
+  for (NodeId v : tree_.alive_nodes()) {
+    if (!seen.insert(id_of(v)).second) return false;
+  }
+  return true;
+}
+
+std::uint64_t DistributedNameAssignment::messages() const {
+  return messages_base_ + cast_.messages() +
+         (inner_ ? inner_->messages_used() : 0);
+}
+
+}  // namespace dyncon::apps

@@ -1,0 +1,151 @@
+#include "apps/distributed_nca_labeling.hpp"
+
+#include <algorithm>
+
+#include "agent/runtime.hpp"
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::Result;
+
+DistributedNcaLabeling::DistributedNcaLabeling(sim::Network& net,
+                                               tree::DynamicTree& tree,
+                                               Options options)
+    : net_(net), tree_(tree), options_(options) {
+  DYNCON_REQUIRE(options.rebuild_drift > 1.0, "drift factor must exceed 1");
+  DistributedHeavyChild::Options hco;
+  hco.track_domains = options_.track_domains;
+  hc_ = std::make_unique<DistributedHeavyChild>(net, tree, hco);
+  rebuild();
+}
+
+void DistributedNcaLabeling::rebuild() {
+  ++rebuilds_;
+  labels_.clear();
+  paths_.clear();
+  // Freeze the protocol's current mu(v) pointers into heavy paths and
+  // label along them, root-down.
+  std::unordered_map<NodeId, Entry> position;
+  for (NodeId v : tree_.alive_nodes()) {
+    Entry pos;
+    if (v == tree_.root()) {
+      pos = Entry{v, 0};
+      labels_[v] = {pos};
+    } else {
+      const NodeId p = tree_.parent(v);
+      const Entry parent_pos = position.at(p);
+      if (hc_->heavy(p) == v) {
+        pos = Entry{parent_pos.head, parent_pos.offset + 1};
+        Label lab = labels_.at(p);
+        lab.back().offset = pos.offset;
+        labels_[v] = std::move(lab);
+      } else {
+        pos = Entry{v, 0};
+        Label lab = labels_.at(p);
+        lab.push_back(pos);
+        labels_[v] = std::move(lab);
+      }
+    }
+    position[v] = pos;
+    auto& members = paths_[pos.head];
+    DYNCON_INVARIANT(members.size() == pos.offset,
+                     "path members built out of order");
+    members.push_back(v);
+  }
+  built_for_ = tree_.size();
+  changes_since_build_ = 0;
+  // The labeling DFS traversal: 2(n-1) hops of O(log n)-entry payloads.
+  const std::uint64_t hops = 2 * (tree_.size() - 1);
+  control_messages_ += hops;
+  net_.charge(sim::MsgKind::kApp, hops,
+              agent::value_message_bits(tree_.size()));
+}
+
+void DistributedNcaLabeling::maybe_rebuild() {
+  const double n = static_cast<double>(std::max<std::uint64_t>(
+      tree_.size(), 1));
+  const double base = static_cast<double>(std::max<std::uint64_t>(
+      built_for_, 1));
+  if (n >= base * options_.rebuild_drift ||
+      n * options_.rebuild_drift <= base) {
+    rebuild();
+  }
+}
+
+void DistributedNcaLabeling::submit_add_leaf(NodeId parent, Callback done) {
+  hc_->submit_add_leaf(
+      parent, [this, parent, done = std::move(done)](const Result& r) {
+        if (r.granted()) {
+          Label lab = labels_.at(parent);
+          lab.push_back(Entry{r.new_node, 0});
+          labels_[r.new_node] = std::move(lab);
+          paths_[r.new_node] = {r.new_node};
+          ++control_messages_;
+          ++changes_since_build_;
+          maybe_rebuild();
+        }
+        done(r);
+      });
+}
+
+void DistributedNcaLabeling::submit_remove_leaf(NodeId v, Callback done) {
+  DYNCON_REQUIRE(tree_.alive(v) && tree_.is_leaf(v),
+                 "NCA labeling supports leaf removals only (Obs. 5.5)");
+  hc_->submit_remove(v, [this, v, done = std::move(done)](const Result& r) {
+    if (r.granted()) {
+      labels_.erase(v);
+      auto it = paths_.find(v);
+      if (it != paths_.end()) {
+        paths_.erase(it);
+      } else {
+        for (auto& [head, members] : paths_) {
+          if (!members.empty() && members.back() == v) {
+            members.pop_back();
+            break;
+          }
+        }
+      }
+      ++changes_since_build_;
+      maybe_rebuild();
+    }
+    done(r);
+  });
+}
+
+NodeId DistributedNcaLabeling::nca(NodeId u, NodeId v) const {
+  const Label& lu = label(u);
+  const Label& lv = label(v);
+  std::size_t j = 0;
+  while (j + 1 < lu.size() && j + 1 < lv.size() &&
+         lu[j + 1].head == lv[j + 1].head) {
+    ++j;
+  }
+  DYNCON_INVARIANT(lu[j].head == lv[j].head, "labels share no path");
+  const std::uint64_t offset = std::min(lu[j].offset, lv[j].offset);
+  const auto& members = paths_.at(lu[j].head);
+  DYNCON_INVARIANT(offset < members.size(), "stale path directory");
+  return members[offset];
+}
+
+const DistributedNcaLabeling::Label& DistributedNcaLabeling::label(
+    NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "label of a dead node");
+  auto it = labels_.find(v);
+  DYNCON_INVARIANT(it != labels_.end(), "alive node without a label");
+  return it->second;
+}
+
+std::uint64_t DistributedNcaLabeling::max_label_entries() const {
+  std::uint64_t best = 0;
+  for (NodeId v : tree_.alive_nodes()) {
+    best = std::max<std::uint64_t>(best, label(v).size());
+  }
+  return best;
+}
+
+std::uint64_t DistributedNcaLabeling::messages() const {
+  return hc_->messages() + control_messages_;
+}
+
+}  // namespace dyncon::apps

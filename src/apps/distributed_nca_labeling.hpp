@@ -1,0 +1,78 @@
+#pragma once
+
+// NCA labeling over the protocol-maintained heavy-child decomposition
+// (§5.3 + §5.4 composed, distributed).
+//
+// The centralized NcaLabeling builds its heavy paths from exact subtree
+// sizes.  This variant uses the decomposition the *protocol itself*
+// maintains — DistributedHeavyChild's mu(v) pointers, which come from
+// beta-approximate super-weight estimates (Thm. 5.4).  The theorem
+// guarantees O(log n) light ancestors even for the approximate pointers,
+// so labels built from them still have O(log n) entries; this module is
+// the end-to-end demonstration that the paper's approximate decomposition
+// is good enough to power the classic labeling construction.
+//
+// Dynamics: leaf joins graft single-node light paths; leaf removals are
+// free (Obs. 5.5); the decomposition snapshot is refreshed (labels
+// rebuilt) at size-estimation iteration boundaries once the tree drifted.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/distributed_heavy_child.hpp"
+
+namespace dyncon::apps {
+
+class DistributedNcaLabeling {
+ public:
+  using Callback = core::DistributedController::Callback;
+
+  struct Entry {
+    NodeId head = kNoNode;
+    std::uint64_t offset = 0;
+    bool operator==(const Entry&) const = default;
+  };
+  using Label = std::vector<Entry>;
+
+  struct Options {
+    bool track_domains = false;
+    /// Rebuild when the size drifts by this factor from the last build.
+    double rebuild_drift = 2.0;
+  };
+
+  DistributedNcaLabeling(sim::Network& net, tree::DynamicTree& tree,
+                         Options options);
+  DistributedNcaLabeling(sim::Network& net, tree::DynamicTree& tree)
+      : DistributedNcaLabeling(net, tree, Options{}) {}
+
+  void submit_add_leaf(NodeId parent, Callback done);
+  void submit_remove_leaf(NodeId v, Callback done);
+
+  [[nodiscard]] NodeId nca(NodeId u, NodeId v) const;
+  [[nodiscard]] const Label& label(NodeId v) const;
+  [[nodiscard]] std::uint64_t max_label_entries() const;
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::uint64_t messages() const;
+  [[nodiscard]] const DistributedHeavyChild& decomposition() const {
+    return *hc_;
+  }
+
+ private:
+  void rebuild();
+  void maybe_rebuild();
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  Options options_;
+  std::unique_ptr<DistributedHeavyChild> hc_;
+  std::unordered_map<NodeId, Label> labels_;
+  std::unordered_map<NodeId, std::vector<NodeId>> paths_;
+  std::uint64_t built_for_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t changes_since_build_ = 0;
+  std::uint64_t control_messages_ = 0;
+};
+
+}  // namespace dyncon::apps

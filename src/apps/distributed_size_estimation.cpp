@@ -1,0 +1,118 @@
+#include "apps/distributed_size_estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::Outcome;
+using core::RequestSpec;
+using core::Result;
+
+DistributedSizeEstimation::DistributedSizeEstimation(
+    sim::Network& net, tree::DynamicTree& tree, double beta, Options options)
+    : net_(net),
+      tree_(tree),
+      beta_(beta),
+      options_(std::move(options)),
+      cast_(net, tree) {
+  DYNCON_REQUIRE(beta > 1.0, "beta must exceed 1");
+  alpha_ = 1.0 - 1.0 / beta;
+  // The initial count is exact and local to construction; subsequent
+  // counts run over the network.
+  start_iteration(tree_.size());
+}
+
+void DistributedSizeEstimation::start_iteration(std::uint64_t ni) {
+  ++iterations_;
+  ni_ = ni;
+  // Disseminating N_i is one broadcast: n-1 control messages.
+  net_.charge(sim::MsgKind::kControl, tree_.size() - 1,
+              agent::value_message_bits(ni));
+  messages_base_ += tree_.size() - 1;
+  const auto budget = static_cast<std::uint64_t>(
+      std::floor(alpha_ * static_cast<double>(ni)));
+  const std::uint64_t Mi = std::max<std::uint64_t>(budget, 1);
+  const std::uint64_t Wi = std::max<std::uint64_t>(Mi / 2, 1);
+  core::DistributedTerminating::Options opts;
+  opts.track_domains = options_.track_domains;
+  opts.on_pass_down = options_.on_pass_down;
+  inner_ = std::make_unique<core::DistributedTerminating>(
+      net_, tree_, Mi, Wi, /*U=*/2 * ni + Mi, std::move(opts));
+  rotating_ = false;
+  if (options_.on_iteration_start) options_.on_iteration_start();
+  // Replay whatever queued up during the rotation.
+  auto pend = std::move(pending_);
+  pending_.clear();
+  for (auto& [spec, cb] : pend) dispatch(spec, std::move(cb));
+}
+
+void DistributedSizeEstimation::begin_rotation() {
+  if (rotating_) return;
+  rotating_ = true;
+  // Drain every in-flight agent of the terminated controller, then (from a
+  // fresh event, so its call chain has fully unwound) count N_{i+1} with a
+  // real broadcast/convergecast and restart.  No topological change can
+  // happen during the count: all grants are drained and new requests are
+  // queued in pending_.
+  inner_->terminate([this] {
+    net_.queue().schedule_after(0, [this] {
+      messages_base_ += inner_->messages_used();
+      inner_.reset();
+      cast_.count_nodes([this](std::uint64_t n) {
+        start_iteration(std::max<std::uint64_t>(n, 1));
+      });
+    });
+  });
+}
+
+void DistributedSizeEstimation::dispatch(const RequestSpec& spec,
+                                         Callback done) {
+  if (rotating_) {
+    pending_.emplace_back(spec, std::move(done));
+    return;
+  }
+  inner_->submit(spec, [this, spec, done = std::move(done)](
+                           const Result& r) mutable {
+    if (r.outcome == Outcome::kTerminated) {
+      // Iteration over: queue the request for the next one and rotate.
+      pending_.emplace_back(spec, std::move(done));
+      begin_rotation();
+      return;
+    }
+    done(r);
+  });
+}
+
+void DistributedSizeEstimation::submit(const RequestSpec& spec,
+                                       Callback done) {
+  DYNCON_REQUIRE(spec.type != RequestSpec::Type::kEvent,
+                 "size estimation meters topological changes only");
+  DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  dispatch(spec, std::move(done));
+}
+
+void DistributedSizeEstimation::submit_add_leaf(NodeId parent,
+                                                Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedSizeEstimation::submit_add_internal_above(NodeId child,
+                                                          Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedSizeEstimation::submit_remove(NodeId v, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+std::uint64_t DistributedSizeEstimation::messages() const {
+  return messages_base_ + cast_.messages() +
+         (inner_ ? inner_->messages_used() : 0);
+}
+
+}  // namespace dyncon::apps

@@ -1,0 +1,176 @@
+#include "apps/distributed_tree_routing.hpp"
+
+#include <algorithm>
+
+#include "agent/runtime.hpp"
+#include "util/error.hpp"
+#include "util/log2.hpp"
+
+namespace dyncon::apps {
+
+using core::Result;
+
+namespace {
+constexpr std::uint64_t kStride = 16;  // label slack between DFS events
+}  // namespace
+
+DistributedTreeRouting::DistributedTreeRouting(sim::Network& net,
+                                               tree::DynamicTree& tree,
+                                               Options options)
+    : net_(net), tree_(tree) {
+  DistributedSizeEstimation::Options se;
+  se.track_domains = options.track_domains;
+  se.on_iteration_start = [this] {
+    if (built_for_ > 0 && tree_.size() * 2 <= built_for_) relabel();
+  };
+  size_est_ = std::make_unique<DistributedSizeEstimation>(net, tree, 2.0,
+                                                          std::move(se));
+  relabel();
+}
+
+void DistributedTreeRouting::relabel() {
+  ++relabels_;
+  labels_.clear();
+  std::uint64_t counter = 0;
+  struct Frame {
+    NodeId v;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{tree_.root(), 0}};
+  labels_[tree_.root()].pre = (counter += kStride);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = tree_.children(f.v);
+    if (f.next_child < kids.size()) {
+      const NodeId c = kids[f.next_child++];
+      labels_[c].pre = (counter += kStride);
+      stack.push_back(Frame{c, 0});
+    } else {
+      labels_[f.v].post = (counter += kStride);
+      stack.pop_back();
+    }
+  }
+  built_for_ = tree_.size();
+  // The relabeling token's walk: 2(n-1) hops of O(log n) bits.
+  const std::uint64_t hops = 2 * (tree_.size() - 1);
+  control_messages_ += hops;
+  net_.charge(sim::MsgKind::kApp, hops,
+              agent::value_message_bits(counter + 1));
+}
+
+void DistributedTreeRouting::assign_leaf_label(NodeId u, NodeId parent) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Label lp = labels_.at(parent);
+    std::uint64_t hi = lp.pre;
+    for (NodeId c : tree_.children(parent)) {
+      if (c == u) continue;
+      auto it = labels_.find(c);
+      if (it != labels_.end()) hi = std::max(hi, it->second.post);
+    }
+    if (lp.post - hi >= 3) {
+      labels_[u] = Label{hi + 1, hi + 2};
+      ++control_messages_;
+      return;
+    }
+    relabel();
+  }
+  DYNCON_INVARIANT(false, "no label slack even after a fresh relabel");
+}
+
+void DistributedTreeRouting::assign_wrapper_label(NodeId m) {
+  // The wrapper adopted exactly one child when it was spliced in.
+  DYNCON_INVARIANT(tree_.children(m).size() == 1,
+                   "wrapper node with unexpected degree");
+  const NodeId child = tree_.children(m).front();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Label lc = labels_.at(child);
+    const Label candidate{lc.pre - 1, lc.post + 1};
+    const Label lp = labels_.at(tree_.parent(m));
+    bool ok = lp.pre < candidate.pre && candidate.post < lp.post;
+    if (ok) {
+      for (const auto& [node, lab] : labels_) {
+        if (!tree_.alive(node)) continue;
+        if (lab.pre == candidate.pre || lab.post == candidate.pre ||
+            lab.pre == candidate.post || lab.post == candidate.post) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      labels_[m] = candidate;
+      ++control_messages_;
+      return;
+    }
+    relabel();
+  }
+  DYNCON_INVARIANT(false, "no wrapper slack even after a fresh relabel");
+}
+
+void DistributedTreeRouting::submit_add_leaf(NodeId parent, Callback done) {
+  size_est_->submit_add_leaf(
+      parent, [this, parent, done = std::move(done)](const Result& r) {
+        if (r.granted()) assign_leaf_label(r.new_node, parent);
+        done(r);
+      });
+}
+
+void DistributedTreeRouting::submit_add_internal_above(NodeId child,
+                                                       Callback done) {
+  size_est_->submit_add_internal_above(
+      child, [this, done = std::move(done)](const Result& r) {
+        if (r.granted() && tree_.alive(r.new_node)) {
+          assign_wrapper_label(r.new_node);
+        }
+        done(r);
+      });
+}
+
+void DistributedTreeRouting::submit_remove(NodeId v, Callback done) {
+  size_est_->submit_remove(
+      v, [this, v, done = std::move(done)](const Result& r) {
+        if (r.granted()) labels_.erase(v);
+        done(r);
+      });
+}
+
+NodeId DistributedTreeRouting::next_hop(NodeId u, NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(u) && tree_.alive(v), "routing dead endpoints");
+  DYNCON_REQUIRE(u != v, "next_hop of a node to itself");
+  const Label lu = labels_.at(u);
+  const Label lv = labels_.at(v);
+  if (!contains(lu, lv)) {
+    DYNCON_INVARIANT(u != tree_.root(), "root's interval must contain all");
+    return tree_.parent(u);
+  }
+  for (NodeId c : tree_.children(u)) {
+    if (contains(labels_.at(c), lv)) return c;
+  }
+  DYNCON_INVARIANT(false, "label containment without a matching child");
+  return kNoNode;
+}
+
+std::vector<NodeId> DistributedTreeRouting::route(NodeId u, NodeId v) const {
+  std::vector<NodeId> hops;
+  NodeId cur = u;
+  while (cur != v) {
+    cur = next_hop(cur, v);
+    hops.push_back(cur);
+    DYNCON_INVARIANT(hops.size() <= tree_.size(), "routing loop");
+  }
+  return hops;
+}
+
+std::uint64_t DistributedTreeRouting::label_bits() const {
+  std::uint64_t biggest = 1;
+  for (NodeId v : tree_.alive_nodes()) {
+    biggest = std::max(biggest, labels_.at(v).post);
+  }
+  return ceil_log2(biggest + 1);
+}
+
+std::uint64_t DistributedTreeRouting::messages() const {
+  return size_est_->messages() + control_messages_;
+}
+
+}  // namespace dyncon::apps

@@ -1,0 +1,73 @@
+#pragma once
+
+// Dynamic compact tree routing over the asynchronous controller
+// (§5.4, Obs. 5.5 / Cor. 5.6 — the distributed variant of
+// apps/tree_routing).
+//
+// Same scheme: DFS-interval labels answer "which neighbor of u is next on
+// the route to v?" locally; deletions never invalidate surviving routes;
+// insertions consume label slack; the size estimator triggers a relabel
+// when the network has shrunk past half of what the labels were built for.
+// Here the membership changes run through the distributed size estimator,
+// so all control traffic (counting convergecasts, N_i broadcasts, the
+// relabeling DFS token) is real messages on the simulated network.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/distributed_size_estimation.hpp"
+
+namespace dyncon::apps {
+
+class DistributedTreeRouting {
+ public:
+  using Callback = core::DistributedController::Callback;
+
+  struct Options {
+    bool track_domains = false;
+  };
+
+  DistributedTreeRouting(sim::Network& net, tree::DynamicTree& tree,
+                         Options options);
+  DistributedTreeRouting(sim::Network& net, tree::DynamicTree& tree)
+      : DistributedTreeRouting(net, tree, Options{}) {}
+
+  void submit_add_leaf(NodeId parent, Callback done);
+  void submit_add_internal_above(NodeId child, Callback done);
+  void submit_remove(NodeId v, Callback done);
+
+  /// Next hop from u toward v, from u's table and v's label alone.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId v) const;
+  /// Full route (audits); empty if u == v.
+  [[nodiscard]] std::vector<NodeId> route(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::uint64_t label_bits() const;
+  [[nodiscard]] std::uint64_t relabels() const { return relabels_; }
+  [[nodiscard]] std::uint64_t messages() const;
+
+ private:
+  struct Label {
+    std::uint64_t pre = 0;
+    std::uint64_t post = 0;
+  };
+
+  void relabel();
+  void assign_leaf_label(NodeId u, NodeId parent);
+  void assign_wrapper_label(NodeId m);
+  [[nodiscard]] bool contains(const Label& outer,
+                              const Label& inner) const {
+    return outer.pre <= inner.pre && inner.post <= outer.post;
+  }
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  std::unique_ptr<DistributedSizeEstimation> size_est_;
+  std::unordered_map<NodeId, Label> labels_;
+  std::uint64_t built_for_ = 0;
+  std::uint64_t relabels_ = 0;
+  std::uint64_t control_messages_ = 0;
+};
+
+}  // namespace dyncon::apps

@@ -1,0 +1,151 @@
+#include "apps/nca_labeling.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::Result;
+
+NcaLabeling::NcaLabeling(tree::DynamicTree& tree, Options options)
+    : tree_(tree) {
+  SizeEstimation::Options se;
+  se.track_domains = options.track_domains;
+  se.on_iteration_start = [this] {
+    // Rebuild at iteration boundaries once the tree drifted enough that
+    // grafted light leaves degrade the label-length guarantee.
+    if (tree_.size() * 2 <= built_for_ || built_for_ * 2 <= tree_.size()) {
+      rebuild();
+    }
+  };
+  size_est_ = std::make_unique<SizeEstimation>(tree, 2.0, std::move(se));
+  rebuild();
+}
+
+void NcaLabeling::rebuild() {
+  ++rebuilds_;
+  labels_.clear();
+  paths_.clear();
+
+  // Exact subtree sizes, children-after-parents order reversed.
+  const auto order = tree_.alive_nodes();
+  std::unordered_map<NodeId, std::uint64_t> size;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::uint64_t w = 1;
+    for (NodeId c : tree_.children(*it)) w += size[c];
+    size[*it] = w;
+  }
+
+  // Heavy child = child with the largest subtree; build labels root-down.
+  std::unordered_map<NodeId, Entry> position;  // node -> its path position
+  for (NodeId v : order) {
+    Entry pos;
+    if (v == tree_.root()) {
+      pos = Entry{v, 0};
+      labels_[v] = {pos};
+    } else {
+      const NodeId p = tree_.parent(v);
+      const Entry parent_pos = position.at(p);
+      // Is v its parent's heavy child?
+      NodeId heavy = tree_.children(p).front();
+      for (NodeId c : tree_.children(p)) {
+        if (size[c] > size[heavy]) heavy = c;
+      }
+      if (v == heavy) {
+        pos = Entry{parent_pos.head, parent_pos.offset + 1};
+        Label lab = labels_.at(p);
+        lab.back().offset = pos.offset;
+        labels_[v] = std::move(lab);
+      } else {
+        pos = Entry{v, 0};
+        Label lab = labels_.at(p);
+        lab.push_back(pos);
+        labels_[v] = std::move(lab);
+      }
+    }
+    position[v] = pos;
+    auto& members = paths_[pos.head];
+    DYNCON_INVARIANT(members.size() == pos.offset,
+                     "path members built out of order");
+    members.push_back(v);
+  }
+  built_for_ = tree_.size();
+  control_messages_ += 2 * tree_.size();  // the rebuilding traversal
+}
+
+Result NcaLabeling::request_add_leaf(NodeId parent) {
+  Result r = size_est_->request_add_leaf(parent);
+  if (!r.granted()) return r;
+  // The new leaf joins as its own single-node light path: one extra label
+  // entry relative to its parent, assigned by a local handshake.
+  const NodeId u = r.new_node;
+  Label lab = labels_.at(parent);
+  lab.push_back(Entry{u, 0});
+  labels_[u] = std::move(lab);
+  paths_[u] = {u};
+  ++control_messages_;
+  return r;
+}
+
+Result NcaLabeling::request_remove_leaf(NodeId v) {
+  DYNCON_REQUIRE(tree_.alive(v) && tree_.is_leaf(v),
+                 "NCA labeling supports leaf removals only (Obs. 5.5)");
+  Result r = size_est_->request_remove(v);
+  if (!r.granted()) return r;
+  // Obs. 5.5: no surviving label references the removed leaf's position
+  // (a leaf is always the terminal node of its path).
+  labels_.erase(v);
+  auto it = paths_.find(v);
+  if (it != paths_.end()) {
+    paths_.erase(it);  // it was a grafted single-node path
+  } else {
+    // It terminated a build-time heavy path: shrink that member array.
+    for (auto& [head, members] : paths_) {
+      if (!members.empty() && members.back() == v) {
+        members.pop_back();
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+NodeId NcaLabeling::nca(NodeId u, NodeId v) const {
+  const Label& lu = label(u);
+  const Label& lv = label(v);
+  // Longest shared-head prefix; heads agreeing implies the earlier exit
+  // offsets agree too (a heavy path has a unique entry point).
+  std::size_t j = 0;
+  while (j + 1 < lu.size() && j + 1 < lv.size() &&
+         lu[j + 1].head == lv[j + 1].head) {
+    ++j;
+  }
+  DYNCON_INVARIANT(lu[j].head == lv[j].head,
+                   "labels share no path (different trees?)");
+  const std::uint64_t offset = std::min(lu[j].offset, lv[j].offset);
+  const auto& members = paths_.at(lu[j].head);
+  DYNCON_INVARIANT(offset < members.size(), "stale path directory");
+  return members[offset];
+}
+
+const NcaLabeling::Label& NcaLabeling::label(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "label of a dead node");
+  auto it = labels_.find(v);
+  DYNCON_INVARIANT(it != labels_.end(), "alive node without a label");
+  return it->second;
+}
+
+std::uint64_t NcaLabeling::max_label_entries() const {
+  std::uint64_t best = 0;
+  for (NodeId v : tree_.alive_nodes()) {
+    best = std::max<std::uint64_t>(best, label(v).size());
+  }
+  return best;
+}
+
+std::uint64_t NcaLabeling::messages() const {
+  return size_est_->messages() + control_messages_;
+}
+
+}  // namespace dyncon::apps

@@ -1,0 +1,113 @@
+#include "apps/subtree_estimator.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dyncon::apps {
+
+using core::Result;
+
+SubtreeEstimator::SubtreeEstimator(tree::DynamicTree& tree, double beta,
+                                   Options options)
+    : tree_(tree), options_(std::move(options)) {
+  SizeEstimation::Options se;
+  se.track_domains = options_.track_domains;
+  se.on_pass_down = [this](NodeId v, std::uint64_t permits) {
+    on_pass_down(v, permits);
+  };
+  se.on_iteration_start = [this] { on_iteration_start(); };
+  size_est_ = std::make_unique<SizeEstimation>(tree, beta, std::move(se));
+}
+
+void SubtreeEstimator::on_iteration_start() {
+  // Broadcast + upcast computing w0(v, i) = |descendants of v| for every
+  // node; already charged inside SizeEstimation's per-iteration 2n, we add
+  // the dedicated w0 upcast the paper describes.
+  w0_.clear();
+  passed_.clear();
+  sw_.clear();
+  // Post-order accumulation (children have larger BFS indices, so iterate
+  // the BFS order backwards).
+  const auto order = tree_.alive_nodes();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    std::uint64_t w = 1;
+    for (NodeId c : tree_.children(v)) w += w0_[c];
+    w0_[v] = w;
+    sw_[v] = w;
+  }
+  if (options_.on_estimate_update) {
+    for (NodeId v : order) options_.on_estimate_update(v);
+  }
+}
+
+void SubtreeEstimator::on_pass_down(NodeId v, std::uint64_t permits) {
+  passed_[v] += permits;
+  if (options_.on_estimate_update) options_.on_estimate_update(v);
+}
+
+void SubtreeEstimator::bump_ancestors(NodeId from) {
+  for (NodeId cur = from;;) {
+    if (cur == tree_.root()) break;
+    cur = tree_.parent(cur);
+    sw_[cur] += 1;
+  }
+}
+
+template <typename Fn>
+Result SubtreeEstimator::request(Fn&& go) {
+  return go(*size_est_);
+}
+
+Result SubtreeEstimator::request_add_leaf(NodeId parent) {
+  Result r = size_est_->request_add_leaf(parent);
+  if (r.granted()) {
+    w0_[r.new_node] = 1;
+    sw_[r.new_node] = 1;
+    bump_ancestors(r.new_node);
+  }
+  return r;
+}
+
+Result SubtreeEstimator::request_add_internal_above(NodeId child) {
+  Result r = size_est_->request_add_internal_above(child);
+  if (r.granted()) {
+    // Graceful-insertion bootstrap: the new node adopts its child's current
+    // counters (one local handshake) so its estimate reflects the subtree
+    // it now roots.
+    const NodeId m = r.new_node;
+    w0_[m] = w0_[child] + passed_[child] + 1;
+    sw_[m] = sw_[child] + 1;
+    bump_ancestors(m);
+    if (options_.on_estimate_update) options_.on_estimate_update(m);
+  }
+  return r;
+}
+
+Result SubtreeEstimator::request_remove(NodeId v) {
+  // Super-weights count nodes that *ever* existed this iteration, so a
+  // removal changes nothing upward.
+  return size_est_->request_remove(v);
+}
+
+std::uint64_t SubtreeEstimator::estimate(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "estimate of a dead node");
+  std::uint64_t est = 0;
+  if (auto it = w0_.find(v); it != w0_.end()) est += it->second;
+  if (auto it = passed_.find(v); it != passed_.end()) est += it->second;
+  return est;
+}
+
+std::uint64_t SubtreeEstimator::true_super_weight(NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(v), "super-weight of a dead node");
+  auto it = sw_.find(v);
+  return it == sw_.end() ? 1 : it->second;
+}
+
+std::uint64_t SubtreeEstimator::messages() const {
+  // The w0 dissemination is one extra broadcast/upcast per iteration.
+  return size_est_->messages() + 2 * iterations() * tree_.size();
+}
+
+}  // namespace dyncon::apps

@@ -1,0 +1,79 @@
+#pragma once
+
+// The subtree-estimator protocol of §5.3 (Lemma 5.3).
+//
+// During iteration i of the size-estimation protocol, node u's *super-
+// weight* SW(u) is the number of descendants u had at the iteration start
+// plus every node that existed below u at some point during the iteration.
+// Each node estimates its super-weight locally as
+//
+//     w~(u) = w0(u, i) + S(u)
+//
+// where w0 is its descendant count computed by a broadcast/upcast at the
+// iteration start, and S(u) counts the permits of the size-estimation
+// controller that passed down the tree through u during the iteration —
+// a purely local observation (the on_pass_down hook).
+//
+// The estimator also maintains the exact super-weight per node (an O(depth)
+// bookkeeping walk per granted change) so tests and benches can audit the
+// approximation; this mirror costs no protocol messages.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/size_estimation.hpp"
+
+namespace dyncon::apps {
+
+class SubtreeEstimator {
+ public:
+  struct Options {
+    bool track_domains = false;
+    /// Invoked after any estimate update at `node` (used by HeavyChild to
+    /// forward new estimates to the parent).
+    std::function<void(NodeId)> on_estimate_update;
+  };
+
+  SubtreeEstimator(tree::DynamicTree& tree, double beta, Options options);
+  SubtreeEstimator(tree::DynamicTree& tree, double beta)
+      : SubtreeEstimator(tree, beta, Options{}) {}
+
+  core::Result request_add_leaf(NodeId parent);
+  core::Result request_add_internal_above(NodeId child);
+  core::Result request_remove(NodeId v);
+
+  /// The node's current super-weight estimate w~(u).
+  [[nodiscard]] std::uint64_t estimate(NodeId v) const;
+
+  /// Ground-truth super-weight (for audits; not a protocol quantity).
+  [[nodiscard]] std::uint64_t true_super_weight(NodeId v) const;
+
+  /// Network size estimate (from the underlying size estimation).
+  [[nodiscard]] std::uint64_t size_estimate() const {
+    return size_est_->estimate();
+  }
+
+  [[nodiscard]] double beta() const { return size_est_->beta(); }
+  [[nodiscard]] std::uint64_t messages() const;
+  [[nodiscard]] std::uint64_t iterations() const {
+    return size_est_->iterations();
+  }
+
+ private:
+  void on_iteration_start();
+  void on_pass_down(NodeId v, std::uint64_t permits);
+  void bump_ancestors(NodeId from);
+  template <typename Fn>
+  core::Result request(Fn&& go);
+
+  tree::DynamicTree& tree_;
+  Options options_;
+  std::unique_ptr<SizeEstimation> size_est_;
+
+  std::unordered_map<NodeId, std::uint64_t> w0_;      ///< iteration baseline
+  std::unordered_map<NodeId, std::uint64_t> passed_;  ///< S(u)
+  std::unordered_map<NodeId, std::uint64_t> sw_;      ///< exact mirror
+};
+
+}  // namespace dyncon::apps

@@ -1,0 +1,163 @@
+#include "apps/tree_routing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log2.hpp"
+
+namespace dyncon::apps {
+
+using core::Result;
+
+namespace {
+/// Gap between DFS events; insertions consume the slack between relabels.
+constexpr std::uint64_t kStride = 16;
+}  // namespace
+
+TreeRouting::TreeRouting(tree::DynamicTree& tree, Options options)
+    : tree_(tree) {
+  SizeEstimation::Options se;
+  se.track_domains = options.track_domains;
+  se.on_iteration_start = [this] { maybe_relabel(); };
+  size_est_ = std::make_unique<SizeEstimation>(tree, 2.0, std::move(se));
+  relabel();
+}
+
+void TreeRouting::relabel() {
+  ++relabels_;
+  labels_.clear();
+  std::uint64_t counter = 0;
+  struct Frame {
+    NodeId v;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{tree_.root(), 0}};
+  labels_[tree_.root()].pre = (counter += kStride);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = tree_.children(f.v);
+    if (f.next_child < kids.size()) {
+      const NodeId c = kids[f.next_child++];
+      labels_[c].pre = (counter += kStride);
+      stack.push_back(Frame{c, 0});
+    } else {
+      labels_[f.v].post = (counter += kStride);
+      stack.pop_back();
+    }
+  }
+  built_for_ = tree_.size();
+  control_messages_ += 2 * tree_.size();  // the relabeling traversal
+}
+
+void TreeRouting::maybe_relabel() {
+  if (tree_.size() * 2 <= built_for_) relabel();
+}
+
+void TreeRouting::assign_leaf_label(NodeId u, NodeId parent) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Label lp = labels_.at(parent);
+    std::uint64_t hi = lp.pre;
+    for (NodeId c : tree_.children(parent)) {
+      if (c == u) continue;
+      auto it = labels_.find(c);
+      if (it != labels_.end()) hi = std::max(hi, it->second.post);
+    }
+    if (lp.post - hi >= 3) {
+      labels_[u] = Label{hi + 1, hi + 2};
+      ++control_messages_;
+      return;
+    }
+    relabel();  // no slack left under this parent
+  }
+  DYNCON_INVARIANT(false, "no label slack even after a fresh relabel");
+}
+
+void TreeRouting::assign_wrapper_label(NodeId m, NodeId child) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Label lc = labels_.at(child);
+    const Label candidate{lc.pre - 1, lc.post + 1};
+    const NodeId p = tree_.parent(m);
+    const Label lp = labels_.at(p);
+    bool ok = lp.pre < candidate.pre && candidate.post < lp.post;
+    if (ok) {
+      for (const auto& [node, lab] : labels_) {
+        if (!tree_.alive(node)) continue;
+        if (lab.pre == candidate.pre || lab.post == candidate.pre ||
+            lab.pre == candidate.post || lab.post == candidate.post) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      labels_[m] = candidate;
+      ++control_messages_;
+      return;
+    }
+    relabel();
+  }
+  DYNCON_INVARIANT(false, "no wrapper slack even after a fresh relabel");
+}
+
+Result TreeRouting::request_add_leaf(NodeId parent) {
+  Result r = size_est_->request_add_leaf(parent);
+  if (r.granted()) assign_leaf_label(r.new_node, parent);
+  return r;
+}
+
+Result TreeRouting::request_add_internal_above(NodeId child) {
+  Result r = size_est_->request_add_internal_above(child);
+  if (r.granted()) assign_wrapper_label(r.new_node, child);
+  return r;
+}
+
+Result TreeRouting::request_remove(NodeId v) {
+  // Obs. 5.5: deletions never invalidate surviving routes (on a tree the
+  // survivor-to-survivor paths only contract).
+  Result r = size_est_->request_remove(v);
+  if (r.granted()) labels_.erase(v);
+  return r;
+}
+
+NodeId TreeRouting::next_hop(NodeId u, NodeId v) const {
+  DYNCON_REQUIRE(tree_.alive(u) && tree_.alive(v), "routing dead endpoints");
+  DYNCON_REQUIRE(u != v, "next_hop of a node to itself");
+  const Label lu = labels_.at(u);
+  const Label lv = labels_.at(v);
+  if (!contains(lu, lv)) {
+    // v is outside u's subtree: go up.
+    DYNCON_INVARIANT(u != tree_.root(), "root's interval must contain all");
+    return tree_.parent(u);
+  }
+  // v is strictly below u: forward to the child whose interval holds it.
+  for (NodeId c : tree_.children(u)) {
+    if (contains(labels_.at(c), lv)) return c;
+  }
+  DYNCON_INVARIANT(false, "label containment without a matching child");
+  return kNoNode;
+}
+
+std::vector<NodeId> TreeRouting::route(NodeId u, NodeId v) const {
+  std::vector<NodeId> hops;
+  NodeId cur = u;
+  while (cur != v) {
+    cur = next_hop(cur, v);
+    hops.push_back(cur);
+    DYNCON_INVARIANT(hops.size() <= tree_.size(), "routing loop");
+  }
+  return hops;
+}
+
+std::uint64_t TreeRouting::label_bits() const {
+  std::uint64_t biggest = 1;
+  for (NodeId v : tree_.alive_nodes()) {
+    biggest = std::max(biggest, labels_.at(v).post);
+  }
+  return ceil_log2(biggest + 1);
+}
+
+std::uint64_t TreeRouting::messages() const {
+  return size_est_->messages() + control_messages_;
+}
+
+}  // namespace dyncon::apps

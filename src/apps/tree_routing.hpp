@@ -1,0 +1,85 @@
+#pragma once
+
+// Dynamic compact tree routing (§5.4, Observation 5.5 / Corollary 5.6).
+//
+// The classic interval routing scheme answers "which neighbor of u is next
+// on the route to v?" from u's routing table and v's label alone: labels
+// are DFS intervals, and the next hop from u toward v is the child whose
+// interval contains label(v), or u's parent when none does.  This is an
+// *exact (stretch 1)* scheme, and by Obs. 5.5 its correctness survives
+// deletions of degree-one nodes — in fact, on trees, deletions of internal
+// nodes too (survivor-to-survivor routes only ever shorten).
+//
+// Per Cor. 5.6, the dynamic extension uses the size-estimation protocol to
+// trigger a rebuild when the network has shrunk enough that the old labels
+// waste bits; insertions reuse the slack mechanism of the ancestry scheme.
+// Message complexity: O(n0 log^2 n0 + M(pi, n0) + sum_i(log^2 n_i +
+// M(pi, n_i)/n_i)) where M(pi, n) = O(n) is the relabeling cost.
+//
+// The route queries themselves are free (label inspection); `route` walks
+// the hop sequence for tests and demos and reports its length.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/size_estimation.hpp"
+
+namespace dyncon::apps {
+
+class TreeRouting {
+ public:
+  struct Options {
+    bool track_domains = false;
+  };
+
+  TreeRouting(tree::DynamicTree& tree, Options options);
+  explicit TreeRouting(tree::DynamicTree& tree)
+      : TreeRouting(tree, Options{}) {}
+
+  // Controlled topological changes (through the size estimator).
+  core::Result request_add_leaf(NodeId parent);
+  core::Result request_add_internal_above(NodeId child);
+  core::Result request_remove(NodeId v);
+
+  /// The next hop from u toward v, decided from u's local table and v's
+  /// label only.  Requires u != v.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId v) const;
+
+  /// Full route from u to v (for audits); empty if u == v.
+  [[nodiscard]] std::vector<NodeId> route(NodeId u, NodeId v) const;
+
+  /// Bits of the largest label component in use (O(log n) claim).
+  [[nodiscard]] std::uint64_t label_bits() const;
+
+  [[nodiscard]] std::uint64_t relabels() const { return relabels_; }
+  [[nodiscard]] std::uint64_t messages() const;
+  [[nodiscard]] std::uint64_t size_estimate() const {
+    return size_est_->estimate();
+  }
+
+ private:
+  struct Label {
+    std::uint64_t pre = 0;   ///< interval start (also the node's address)
+    std::uint64_t post = 0;  ///< interval end
+  };
+
+  void relabel();
+  void maybe_relabel();
+  [[nodiscard]] bool contains(const Label& outer,
+                              const Label& inner) const {
+    return outer.pre <= inner.pre && inner.post <= outer.post;
+  }
+  void assign_leaf_label(NodeId u, NodeId parent);
+  void assign_wrapper_label(NodeId m, NodeId child);
+
+  tree::DynamicTree& tree_;
+  std::unique_ptr<SizeEstimation> size_est_;
+  std::unordered_map<NodeId, Label> labels_;
+  std::uint64_t built_for_ = 0;
+  std::uint64_t relabels_ = 0;
+  std::uint64_t control_messages_ = 0;
+};
+
+}  // namespace dyncon::apps

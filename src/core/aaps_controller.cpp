@@ -1,0 +1,92 @@
+#include "core/aaps_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log2.hpp"
+
+namespace dyncon::core {
+
+AAPSController::AAPSController(tree::DynamicTree& tree, std::uint64_t M,
+                               std::uint64_t W, std::uint64_t U)
+    : tree_(tree) {
+  DYNCON_REQUIRE(M >= 1 && U >= 1, "M, U must be >= 1");
+  top_level_ = ceil_log2(U) + 2;
+  // Bin granularity scaled so that the sum of all bin capacities below the
+  // top stays <= W (waste bound): ~U bins per level, top_level_ levels.
+  const std::uint64_t denom = 2 * U * (top_level_ + 1);
+  phi_ = std::max<std::uint64_t>(W / denom, 1);
+  bins_[BinKey{tree_.root(), top_level_}] = M;  // the root storage
+}
+
+std::uint64_t AAPSController::capacity(std::uint32_t level) const {
+  return sat_mul(pow2(level), phi_);
+}
+
+std::uint64_t AAPSController::pull(NodeId v, std::uint64_t depth,
+                                   std::uint32_t level, std::uint64_t need) {
+  // Note: no reference into bins_ may be held across the recursive pull
+  // below — the map may rehash.
+  const std::uint64_t have = bins_[BinKey{v, level}];
+  if (have >= need || level == top_level_) return have;
+
+  // Supervisor: the level-(l+1) bin at the nearest ancestor whose depth is
+  // divisible by 2^(l+1).  Our depth is divisible by 2^l, so the supervisor
+  // is either this node or the ancestor 2^l hops up... except near the
+  // root, where the walk stops at depth 0.
+  const std::uint64_t stride = pow2(level);
+  const std::uint64_t up = std::min<std::uint64_t>(depth % (2 * stride),
+                                                   depth);
+  const NodeId w = tree_.ancestor_at(v, up);
+  const std::uint64_t w_depth = depth - up;
+
+  const std::uint64_t load = capacity(level);
+  const std::uint64_t avail = pull(w, w_depth, level + 1, load);
+  const std::uint64_t take = std::min(avail, load);
+  if (take > 0) {
+    bins_[BinKey{w, level + 1}] -= take;
+    // The requesting agent walks up to the supervisor and the permits walk
+    // back down (free when the supervisor is co-located).
+    cost_ += 2 * up;
+    return bins_[BinKey{v, level}] += take;
+  }
+  return bins_[BinKey{v, level}];
+}
+
+Result AAPSController::handle(NodeId u) {
+  DYNCON_REQUIRE(tree_.alive(u), "request at dead node");
+  if (wave_) {
+    ++rejects_;
+    return Result{Outcome::kRejected};
+  }
+  const std::uint64_t d = tree_.depth(u);
+  if (pull(u, d, 0, 1) == 0) {
+    wave_ = true;
+    cost_ += tree_.size();  // reject broadcast, charged once
+    ++rejects_;
+    return Result{Outcome::kRejected};
+  }
+  --bins_[BinKey{u, 0}];
+  ++granted_;
+  return Result{Outcome::kGranted};
+}
+
+Result AAPSController::request_event(NodeId u) { return handle(u); }
+
+Result AAPSController::request_add_leaf(NodeId parent) {
+  Result r = handle(parent);
+  if (r.granted()) r.new_node = tree_.add_leaf(parent);
+  return r;
+}
+
+Result AAPSController::request_add_internal_above(NodeId) {
+  throw ContractError(
+      "AAPS controller supports leaf insertion only (dynamic model of [4])");
+}
+
+Result AAPSController::request_remove(NodeId) {
+  throw ContractError(
+      "AAPS controller supports leaf insertion only (dynamic model of [4])");
+}
+
+}  // namespace dyncon::core

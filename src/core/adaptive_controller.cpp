@@ -1,0 +1,120 @@
+#include "core/adaptive_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+AdaptiveController::AdaptiveController(tree::DynamicTree& tree,
+                                       std::uint64_t M, std::uint64_t W,
+                                       Options options)
+    : tree_(tree), options_(options), w_(W), mi_(M) {
+  DYNCON_REQUIRE(M >= 1, "M must be >= 1");
+  start_iteration();
+}
+
+void AdaptiveController::start_iteration() {
+  ++iterations_;
+  const std::uint64_t n = tree_.size();
+  max_n_ = std::max(max_n_, n);
+  ui_ = options_.policy == Policy::kChangeCount ? 2 * n : 2 * max_n_;
+  zi_ = 0;
+  adds_ = 0;
+  TerminatingController::Options opts;
+  opts.track_domains = options_.track_domains;
+  inner_ = std::make_unique<TerminatingController>(tree_, mi_, w_, ui_,
+                                                   std::move(opts));
+}
+
+bool AdaptiveController::should_rotate() const {
+  if (options_.policy == Policy::kChangeCount) {
+    return zi_ >= std::max<std::uint64_t>(ui_ / 4, 1);
+  }
+  // Size doubling, with the additions guard keeping the U_i bound sound.
+  return tree_.size() >= 2 * max_n_ || adds_ >= std::max<std::uint64_t>(
+                                                    max_n_, 1);
+}
+
+void AdaptiveController::rotate() {
+  // End-of-iteration bookkeeping: terminate the inner controller (its
+  // broadcast/upcast verifies granted events), then one more broadcast and
+  // upcast counts N_{i+1} and Y_i and resets the data structure.
+  inner_->terminate_now();
+  const std::uint64_t yi = inner_->permits_granted();
+  cost_base_ += inner_->cost() + 2 * tree_.size();
+  granted_base_ += yi;
+  inner_.reset();
+  DYNCON_INVARIANT(yi <= mi_, "granted more than the iteration budget");
+  mi_ -= yi;
+  if (mi_ == 0) {
+    done_ = true;
+    return;
+  }
+  start_iteration();
+}
+
+template <typename Fn>
+Result AdaptiveController::run(Fn&& submit, bool topological) {
+  for (;;) {
+    if (done_) {
+      if (!wave_charged_) {
+        cost_base_ += tree_.size();  // the outer reject wave
+        wave_charged_ = true;
+      }
+      ++rejects_;
+      return Result{Outcome::kRejected};
+    }
+    Result r = submit(*inner_);
+    if (r.outcome == Outcome::kTerminated) {
+      // The inner (M_i, W)-controller exhausted on its own: at most W
+      // permits remain unused anywhere, so the controller rejects from
+      // here on (liveness is already secured).
+      cost_base_ += inner_->cost();
+      granted_base_ += inner_->permits_granted();
+      inner_.reset();
+      done_ = true;
+      continue;
+    }
+    if (r.granted() && topological) {
+      ++zi_;
+      if (r.new_node != kNoNode) ++adds_;
+      if (should_rotate()) rotate();
+    }
+    return r;
+  }
+}
+
+Result AdaptiveController::request_event(NodeId u) {
+  return run([&](TerminatingController& c) { return c.request_event(u); },
+             false);
+}
+
+Result AdaptiveController::request_add_leaf(NodeId parent) {
+  return run(
+      [&](TerminatingController& c) { return c.request_add_leaf(parent); },
+      true);
+}
+
+Result AdaptiveController::request_add_internal_above(NodeId child) {
+  return run(
+      [&](TerminatingController& c) {
+        return c.request_add_internal_above(child);
+      },
+      true);
+}
+
+Result AdaptiveController::request_remove(NodeId v) {
+  return run([&](TerminatingController& c) { return c.request_remove(v); },
+             true);
+}
+
+std::uint64_t AdaptiveController::cost() const {
+  return cost_base_ + (inner_ ? inner_->cost() : 0);
+}
+
+std::uint64_t AdaptiveController::permits_granted() const {
+  return granted_base_ + (inner_ ? inner_->permits_granted() : 0);
+}
+
+}  // namespace dyncon::core

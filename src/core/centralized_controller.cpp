@@ -1,0 +1,219 @@
+#include "core/centralized_controller.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+CentralizedController::CentralizedController(tree::DynamicTree& tree,
+                                             Params params, Options options)
+    : tree_(tree),
+      params_(params),
+      options_(std::move(options)),
+      storage_(params.M()),
+      storage_serials_(options_.serials) {
+  DYNCON_REQUIRE(
+      storage_serials_.empty() || storage_serials_.size() == params.M(),
+      "serial interval must cover exactly M permits");
+  if (options_.track_domains) {
+    domains_ = std::make_unique<DomainTracker>(tree_, params_, packages_);
+    tree_.add_observer(domains_.get());
+  }
+}
+
+CentralizedController::~CentralizedController() {
+  if (domains_) tree_.remove_observer(domains_.get());
+}
+
+Result CentralizedController::request_event(NodeId u) {
+  return handle(u, EventSpec{EventSpec::Type::kNone, kNoNode});
+}
+
+Result CentralizedController::request_add_leaf(NodeId parent) {
+  DYNCON_REQUIRE(tree_.alive(parent), "add_leaf: parent not alive");
+  // "A request to add a node arrives at the node's parent to be."
+  return handle(parent, EventSpec{EventSpec::Type::kAddLeaf, parent});
+}
+
+Result CentralizedController::request_add_internal_above(NodeId child) {
+  DYNCON_REQUIRE(tree_.alive(child), "add_internal: child not alive");
+  DYNCON_REQUIRE(child != tree_.root(), "cannot insert above the root");
+  const NodeId parent = tree_.parent(child);
+  return handle(parent, EventSpec{EventSpec::Type::kAddInternal, child});
+}
+
+Result CentralizedController::request_remove(NodeId v) {
+  DYNCON_REQUIRE(tree_.alive(v), "remove: node not alive");
+  DYNCON_REQUIRE(v != tree_.root(), "the root is never deleted");
+  // "A request to delete a node u arrives at u."
+  return handle(v, EventSpec{EventSpec::Type::kRemove, v});
+}
+
+std::uint64_t CentralizedController::cost() const {
+  return packages_.move_complexity();
+}
+
+std::uint64_t CentralizedController::unused_permits() const {
+  return storage_ + packages_.permits_in_packages();
+}
+
+void CentralizedController::clear_data_structure() {
+  std::uint64_t reclaimed = 0;
+  for (PackageId p : packages_.all_alive()) {
+    const Package& pkg = packages_.get(p);
+    if (pkg.kind != PackageKind::kReject) reclaimed += pkg.size;
+    if (domains_) domains_->drop(p);
+    packages_.cancel(p);
+  }
+  storage_ += reclaimed;
+  storage_serials_ = Interval{};  // serials are not reconstructed
+}
+
+Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
+  DYNCON_REQUIRE(tree_.alive(u), "request at dead node");
+
+  // Step 1: a reject package at u rejects immediately.
+  if (packages_.has_reject(u)) {
+    ++rejects_;
+    return Result{Outcome::kRejected};
+  }
+  if (exhausted_ && options_.mode == Mode::kExhaustSignal) {
+    return Result{Outcome::kExhausted};
+  }
+
+  // Step 2: a static package at u grants immediately.
+  if (PackageId st = packages_.find_static(u); st != kNoPackage) {
+    return grant_from_static(st, u, ev);
+  }
+
+  // Step 3: climb from u to the root looking for the closest filler node.
+  // The filler windows of distinct levels partition the distances, so at
+  // hop distance d only a mobile package of level window(d) qualifies.
+  std::vector<NodeId> path{u};  // path[i] = ancestor of u at distance i
+  std::uint64_t d = 0;
+  NodeId w = u;
+  for (;;) {
+    const std::uint32_t lvl = params_.creation_level(d);
+    DYNCON_INVARIANT(params_.in_filler_window(lvl, d),
+                     "window/creation level mismatch");
+    if (PackageId p = packages_.find_mobile_of_level(w, lvl);
+        p != kNoPackage) {
+      return distribute_and_grant(p, lvl, path, d, u, ev);
+    }
+    if (w == tree_.root()) break;
+    w = tree_.parent(w);
+    path.push_back(w);
+    ++d;
+  }
+
+  // Step 3b: no filler; create a package at the root (or give up).
+  const std::uint32_t j = params_.creation_level(d);
+  const std::uint64_t need = params_.mobile_size(j);
+  if (storage_ < need) {
+    if (options_.mode == Mode::kExhaustSignal) {
+      exhausted_ = true;
+      return Result{Outcome::kExhausted};
+    }
+    start_reject_wave();
+    ++rejects_;
+    return Result{Outcome::kRejected};
+  }
+  Interval serials;
+  if (!storage_serials_.empty()) serials = storage_serials_.take_low(need);
+  storage_ -= need;
+  const PackageId p = packages_.create_mobile(tree_.root(), j, need, serials);
+  return distribute_and_grant(p, j, path, d, u, ev);
+}
+
+Result CentralizedController::grant_from_static(PackageId st, NodeId u,
+                                                const EventSpec& ev) {
+  Result res{Outcome::kGranted};
+  res.serial = packages_.consume_one(st);
+  ++granted_;
+  apply_event(u, ev, res);
+  return res;
+}
+
+void CentralizedController::apply_event(NodeId u, const EventSpec& ev,
+                                        Result& res) {
+  switch (ev.type) {
+    case EventSpec::Type::kNone:
+      return;
+    case EventSpec::Type::kAddLeaf:
+      res.new_node = tree_.add_leaf(ev.subject);
+      return;
+    case EventSpec::Type::kAddInternal:
+      res.new_node = tree_.add_internal_above(ev.subject);
+      return;
+    case EventSpec::Type::kRemove: {
+      DYNCON_INVARIANT(ev.subject == u, "remove request arrives at subject");
+      // Graceful deletion: all packages of u move to its parent in one
+      // message before u disappears (paper item 2, first bullet).
+      packages_.move_all(u, tree_.parent(u));
+      tree_.remove_node(u);
+      return;
+    }
+  }
+}
+
+void CentralizedController::start_reject_wave() {
+  DYNCON_INVARIANT(!wave_, "reject wave started twice");
+  wave_ = true;
+  exhausted_ = true;
+  // A reject package is placed at every node by splitting and moving: one
+  // delivery per alive node.
+  const auto nodes = tree_.alive_nodes();
+  for (NodeId v : nodes) packages_.create_reject(v);
+  packages_.charge_moves(nodes.size());
+}
+
+Result CentralizedController::distribute_and_grant(
+    PackageId p, std::uint32_t j, const std::vector<NodeId>& path,
+    std::uint64_t dist, NodeId u, const EventSpec& ev) {
+  DYNCON_INVARIANT(path.size() == dist + 1 && path[dist] == packages_.get(p).host,
+                   "path/host mismatch");
+  PackageId cur = p;
+  std::uint64_t cur_pos = dist;
+  if (domains_) domains_->drop(cur);  // split/static-conversion cancels it
+
+  const auto note_pass_down = [&](std::uint64_t from_pos,
+                                  std::uint64_t to_pos,
+                                  std::uint64_t permits) {
+    if (!options_.on_pass_down) return;
+    for (std::uint64_t pos = to_pos; pos < from_pos; ++pos) {
+      options_.on_pass_down(path[pos], permits);
+    }
+  };
+
+  for (std::uint32_t k = j; k >= 1; --k) {
+    // Move the level-k package to u_{k-1} and split it there.
+    const std::uint64_t uk_pos = params_.uk_distance(k - 1);
+    DYNCON_INVARIANT(uk_pos < cur_pos, "u_{k-1} not strictly below host");
+    note_pass_down(cur_pos, uk_pos, packages_.get(cur).size);
+    packages_.move(cur, path[uk_pos], cur_pos - uk_pos);
+    auto [stay, go] = packages_.split_mobile(cur);
+    // `stay` (level k-1) remains at u_{k-1}; its domain is the
+    // 2^(k-2)*psi nodes immediately below u_{k-1} on the path toward u.
+    if (domains_) {
+      const std::uint64_t dsize = params_.domain_size(k - 1);
+      DYNCON_INVARIANT(dsize <= uk_pos, "domain would overrun the path");
+      std::vector<NodeId> dom;
+      dom.reserve(dsize);
+      for (std::uint64_t i = 1; i <= dsize; ++i) {
+        dom.push_back(path[uk_pos - i]);
+      }
+      domains_->assign(stay, std::move(dom));
+    }
+    cur = go;
+    cur_pos = uk_pos;
+  }
+
+  // `cur` is now a level-0 package; deliver it to u and make it static.
+  note_pass_down(cur_pos, 0, packages_.get(cur).size);
+  packages_.move(cur, u, cur_pos);
+  packages_.make_static(cur);
+  return grant_from_static(cur, u, ev);
+}
+
+}  // namespace dyncon::core

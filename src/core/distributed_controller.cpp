@@ -1,0 +1,671 @@
+#include "core/distributed_controller.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+using agent::AgentId;
+
+DistributedController::DistributedController(sim::Network& net,
+                                             tree::DynamicTree& tree,
+                                             Params params, Options options)
+    : net_(net),
+      tree_(tree),
+      params_(params),
+      options_(std::move(options)),
+      taxi_(net, tree),
+      storage_(params.M()),
+      storage_serials_(options_.serials) {
+  DYNCON_REQUIRE(
+      storage_serials_.empty() || storage_serials_.size() == params.M(),
+      "serial interval must cover exactly M permits");
+  if (options_.track_domains) {
+    domains_ = std::make_unique<DomainTracker>(tree_, params_, packages_);
+    tree_.add_observer(domains_.get());
+  }
+  taxi_.set_on_arrival([this](AgentId id, NodeId node, NodeId came_from) {
+    on_arrival(id, node, came_from);
+  });
+}
+
+DistributedController::~DistributedController() {
+  if (domains_) tree_.remove_observer(domains_.get());
+}
+
+// ---- submission --------------------------------------------------------------
+
+void DistributedController::submit_event(NodeId u, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kEvent, u}, std::move(done));
+}
+
+void DistributedController::submit_add_leaf(NodeId parent, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedController::submit_add_internal_above(NodeId child,
+                                                      Callback done) {
+  DYNCON_REQUIRE(child != tree_.root(), "cannot insert above the root");
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedController::submit_remove(NodeId v, Callback done) {
+  DYNCON_REQUIRE(v != tree_.root(), "the root is never deleted");
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+void DistributedController::submit(const RequestSpec& spec, Callback done) {
+  DYNCON_REQUIRE(tree_.alive(spec.subject), "request subject not alive");
+  DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  // The request enters the system as an event so the creation is ordered
+  // with everything else in simulated time.
+  net_.queue().schedule_after(0, [this, spec, done = std::move(done)] {
+    if (moot(spec)) {
+      done(Result{Outcome::kMoot});
+      return;
+    }
+    const NodeId arrival = spec.type == RequestSpec::Type::kAddInternal
+                               ? tree_.parent(spec.subject)
+                               : spec.subject;
+    const AgentId id = ids_.next();
+    Agent& a = agents_[id];
+    a.id = id;
+    a.origin = arrival;
+    a.at = arrival;
+    a.request = spec;
+    a.done = std::move(done);
+    on_enter(a, arrival, kNoNode);
+  });
+}
+
+bool DistributedController::moot(const RequestSpec& spec) const {
+  return !tree_.alive(spec.subject);
+}
+
+// ---- movement helpers ----------------------------------------------------------
+
+std::uint64_t DistributedController::hop_bits() const {
+  return agent::agent_message_bits(tree_.size(), params_.max_level());
+}
+
+void DistributedController::hop_up(Agent& a) {
+  ++messages_;
+  if (options_.debug_trace) a.history += " up" + std::to_string(a.at);
+  a.distance += 1;
+  taxi_.hop_up(a.id, a.at, hop_bits());
+}
+
+void DistributedController::hop_down(Agent& a, NodeId to) {
+  ++messages_;
+  if (options_.debug_trace) a.history += " dn" + std::to_string(a.at) + ">" + std::to_string(to);
+  DYNCON_INVARIANT(a.distance >= 1, "hop_down below the origin");
+  a.distance -= 1;
+  taxi_.hop_down(a.id, a.at, to, hop_bits());
+}
+
+DistributedController::Agent& DistributedController::agent(AgentId id) {
+  auto it = agents_.find(id);
+  DYNCON_INVARIANT(it != agents_.end(), "unknown agent id");
+  return it->second;
+}
+
+void DistributedController::resume_waiter(const agent::Whiteboard::Waiter& w,
+                                          NodeId at) {
+  taxi_.resume_local(w.agent, at, w.came_from);
+}
+
+// ---- arrival dispatch ------------------------------------------------------------
+
+void DistributedController::on_arrival(AgentId id, NodeId node,
+                                       NodeId came_from) {
+  Agent& a = agent(id);
+  a.at = node;
+  if (options_.debug_trace) a.history += " @" + std::to_string(node) + "/" + std::to_string(a.distance);
+  switch (a.phase) {
+    case Phase::kStart:
+    case Phase::kClimb:
+      on_enter(a, node, came_from);
+      return;
+    case Phase::kProcDown:
+      // §5.3: a node observes the permits arriving from above (the hook
+      // fires only on real hops, matching the centralized accounting,
+      // which excludes the package's starting host).
+      if (options_.on_pass_down && a.carrying != kNoPackage) {
+        options_.on_pass_down(node, packages_.get(a.carrying).size);
+      }
+      on_proc_down(a, node);
+      return;
+    case Phase::kReturnUp:
+      on_return_up(a, node);
+      return;
+    case Phase::kUnlockDown:
+      unlock_step(a, node);
+      return;
+    case Phase::kRejectDown:
+      reject_step(a, node);
+      return;
+    case Phase::kAbortDown:
+      abort_step(a, node);
+      return;
+  }
+}
+
+void DistributedController::on_enter(Agent& a, NodeId node,
+                                     NodeId came_from) {
+  if (boards_.locked(node)) {
+    if (options_.debug_trace) a.history += " W" + std::to_string(node);
+    boards_.enqueue(node, a.id, came_from);
+    return;
+  }
+  boards_.lock(node, a.id, came_from);
+  ++a.locks_held;
+  if (options_.debug_trace) a.history += " L" + std::to_string(node) + "@" + std::to_string(a.distance);
+  evaluate(a);
+}
+
+void DistributedController::evaluate(Agent& a) {
+  const NodeId node = a.at;
+
+  // A queued request whose subject vanished while it waited has lost its
+  // meaning (§4.2).  The subject cannot die once we hold the origin's lock
+  // (its remover would have to pass through here), so checking when the
+  // origin lock is (re)acquired is sufficient.
+  if (a.distance == 0 && moot(a.request)) {
+    --a.locks_held;
+    if (options_.debug_trace) a.history += " UO" + std::to_string(node);
+    auto waiter = boards_.unlock(node, a.id);
+    a.result = Result{Outcome::kMoot};
+    if (waiter) resume_waiter(*waiter, node);
+    finish(a);
+    return;
+  }
+
+  // Item 1b: a reject node sends the agent home, rejecting.
+  if (packages_.has_reject(node)) {
+    a.phase = Phase::kRejectDown;
+    reject_step(a, node);
+    return;
+  }
+
+  // Item 2: a static package at the *origin* grants on the spot.
+  if (a.distance == 0) {
+    if (PackageId st = packages_.find_static(node); st != kNoPackage) {
+      a.result.outcome = Outcome::kGranted;
+      a.result.serial = packages_.consume_one(st);
+      ++granted_;
+      apply_event_at_grant(a);
+      terminate_at_origin(a);
+      return;
+    }
+  }
+
+  // Item 3: filler check — the windows partition distances by level, so
+  // only one level can match at this node.
+  const std::uint32_t lvl = params_.creation_level(a.distance);
+  if (PackageId p = packages_.find_mobile_of_level(node, lvl);
+      p != kNoPackage) {
+    begin_proc(a, p, lvl);
+    return;
+  }
+
+  if (node == tree_.root()) {
+    root_logic(a);
+    return;
+  }
+
+  a.phase = Phase::kClimb;
+  hop_up(a);
+}
+
+// ---- item 3c: at the root ------------------------------------------------------
+
+void DistributedController::root_logic(Agent& a) {
+  const std::uint32_t j = params_.creation_level(a.distance);
+  const std::uint64_t need = params_.mobile_size(j);
+
+  if (exhausted_ || storage_ < need) {
+    if (options_.mode == Mode::kExhaustSignal) {
+      exhausted_ = true;
+      a.result.outcome = Outcome::kExhausted;
+      a.phase = Phase::kAbortDown;
+      abort_step(a, a.at);
+      return;
+    }
+    if (!wave_) start_reject_flood();
+    a.phase = Phase::kRejectDown;
+    reject_step(a, a.at);
+    return;
+  }
+
+  Interval serials;
+  if (!storage_serials_.empty()) serials = storage_serials_.take_low(need);
+  storage_ -= need;
+  const PackageId p = packages_.create_mobile(tree_.root(), j, need, serials);
+  begin_proc(a, p, j);
+}
+
+// ---- Proc: carry, split, grant ----------------------------------------------------
+
+void DistributedController::begin_proc(Agent& a, PackageId p,
+                                       std::uint32_t level) {
+  a.top_distance = a.distance;
+  if (options_.debug_trace) a.history += " PROC@" + std::to_string(a.distance) + "lvl" + std::to_string(level);
+  if (domains_) domains_->drop(p);  // canceled: the package is being moved
+  packages_.pick_up(p);
+  a.carrying = p;
+  a.bag_level = level;
+  a.phase = Phase::kProcDown;
+  on_proc_down(a, a.at);
+}
+
+void DistributedController::on_proc_down(Agent& a, NodeId node) {
+  const std::uint64_t target =
+      a.bag_level > 0 ? params_.uk_distance(a.bag_level - 1) : 0;
+  if (a.distance > target) {
+    const NodeId down = boards_.at(node).down_child;
+    if (down == kNoNode) {
+      const auto& wb = boards_.at(node);
+      throw InvariantError(
+          "down pointer missing on locked path: agent=" +
+          std::to_string(a.id) + " node=" + std::to_string(node) +
+          " origin=" + std::to_string(a.origin) +
+          " dist=" + std::to_string(a.distance) +
+          " top=" + std::to_string(a.top_distance) +
+          " bag=" + std::to_string(a.bag_level) +
+          " locked=" + std::to_string(wb.locked) +
+          " locked_by=" + std::to_string(wb.locked_by) +
+          " type=" + std::to_string(static_cast<int>(a.request.type)));
+    }
+    hop_down(a, down);
+    return;
+  }
+  DYNCON_INVARIANT(a.distance == target, "overshot u_k on the way down");
+
+  if (a.bag_level == 0) {
+    DYNCON_INVARIANT(node == a.origin, "level-0 delivery away from origin");
+    deliver_grant(a);
+    return;
+  }
+
+  // This node is u_{bag_level-1}: split, leave one half, carry the other.
+  packages_.put_down(a.carrying, node);
+  auto [stay, go] = packages_.split_mobile(a.carrying);
+  if (domains_) {
+    // Domain of the staying level-(k-1) package: the 2^(k-2)*psi nodes
+    // immediately below this node on the (locked, hence stable) path to
+    // the origin.  Analysis-only bookkeeping, no messages (paper §3.2).
+    const std::uint64_t dsize = params_.domain_size(a.bag_level - 1);
+    DYNCON_INVARIANT(dsize <= a.distance, "domain would overrun the path");
+    std::vector<NodeId> dom;
+    dom.reserve(dsize);
+    for (std::uint64_t i = 1; i <= dsize; ++i) {
+      dom.push_back(tree_.ancestor_at(a.origin, a.distance - i));
+    }
+    domains_->assign(stay, std::move(dom));
+  }
+  packages_.pick_up(go);
+  a.carrying = go;
+  a.bag_level -= 1;
+
+  const NodeId down = boards_.at(node).down_child;
+  DYNCON_INVARIANT(down != kNoNode, "down pointer missing at u_k");
+  hop_down(a, down);
+}
+
+void DistributedController::deliver_grant(Agent& a) {
+  packages_.put_down(a.carrying, a.origin);
+  packages_.make_static(a.carrying);
+  a.result.outcome = Outcome::kGranted;
+  a.result.serial = packages_.consume_one(a.carrying);
+  a.carrying = kNoPackage;
+  ++granted_;
+  // "The requested event takes place when the request is granted" (item
+  // 2): applying it here, while every lock from the origin to the topmost
+  // node is still held, is what makes the serialization of Lemmas 4.3-4.5
+  // airtight — in particular no other agent can see the subject between
+  // its own moot check and its grant.
+  apply_event_at_grant(a);
+
+  if (a.top_distance == 0) {
+    // The filler was the origin itself; nothing to unlock above.
+    terminate_at_origin(a);
+    return;
+  }
+  a.phase = Phase::kReturnUp;
+  hop_up(a);
+}
+
+void DistributedController::apply_event_at_grant(Agent& a) {
+  if (!options_.apply_events) return;
+  const NodeId origin = a.origin;
+  switch (a.request.type) {
+    case RequestSpec::Type::kEvent:
+      return;
+    case RequestSpec::Type::kAddLeaf:
+      a.result.new_node = tree_.add_leaf(a.request.subject);
+      return;
+    case RequestSpec::Type::kAddInternal: {
+      // The insertion always splits the edge between the origin (which we
+      // hold locked) and its child toward the subject.  Concurrent
+      // insertions between submit time and now may have put other nodes
+      // between that child and the originally named subject; splitting any
+      // other edge would mutate a path segment some other agent has
+      // locked, which is exactly the race the locking discipline exists to
+      // prevent.
+      DYNCON_INVARIANT(
+          tree_.is_ancestor(origin, a.request.subject) &&
+              origin != a.request.subject,
+          "add-internal subject is not a proper descendant of the origin");
+      NodeId child = a.request.subject;
+      while (tree_.parent(child) != origin) child = tree_.parent(child);
+      const NodeId m = tree_.add_internal_above(child);
+      a.result.new_node = m;
+      // Graceful insertion handshake: at most one agent holds `child`'s
+      // lock and has already counted the child->origin hop (it is waiting
+      // in the origin's queue).  The new node m is spliced into that
+      // agent's locked path: m starts out locked by it with the down
+      // pointer to `child`, the agent's distance grows by the new edge,
+      // and its future lock of the origin records m as the arrival child.
+      for (auto& w : boards_.at(origin).queue) {
+        if (w.came_from != child) continue;
+        Agent& qa = agent(w.agent);
+        qa.distance += 1;
+        boards_.lock(m, qa.id, child);
+        ++qa.locks_held;
+        if (options_.debug_trace) qa.history += " SPLICE" + std::to_string(m);
+        w.came_from = m;
+      }
+      return;
+    }
+    case RequestSpec::Type::kRemove: {
+      DYNCON_INVARIANT(a.request.subject == origin,
+                       "remove request away from its subject");
+      boards_.release_for_removal(origin, a.id);
+      --a.locks_held;
+      if (options_.debug_trace) a.history += " RL" + std::to_string(origin);
+      const NodeId parent = tree_.parent(origin);
+
+      // Requests waiting at the dying node: requests about the node itself
+      // lose their meaning; everything else moves to the parent with its
+      // distance intact (the path contracts by exactly the hop it
+      // counted).
+      agent::Whiteboard& wb = boards_.at(origin);
+      std::deque<agent::Whiteboard::Waiter> kept;
+      std::vector<AgentId> moot_ids;
+      for (const auto& w : wb.queue) {
+        Agent& qa = agent(w.agent);
+        if (qa.origin == origin) {
+          const auto t = qa.request.type;
+          if (t == RequestSpec::Type::kRemove ||
+              t == RequestSpec::Type::kAddLeaf) {
+            moot_ids.push_back(w.agent);
+            continue;
+          }
+          qa.origin = parent;
+          if (t == RequestSpec::Type::kEvent) qa.request.subject = parent;
+        }
+        kept.push_back(w);
+      }
+      wb.queue = std::move(kept);
+
+      const std::size_t npkgs = packages_.move_all(origin, parent);
+      const auto evict = boards_.evict_to_parent(origin, parent);
+
+      // Graceful-deletion data handoff: O(deg(v) + packages + queue)
+      // messages of O(log N) bits (§4.4.1).
+      const std::uint64_t handoff =
+          tree_.children(origin).size() + npkgs + evict.moved + 1;
+      messages_ += handoff;
+      net_.charge(sim::MsgKind::kDataMove, handoff,
+                  agent::value_message_bits(tree_.size()));
+
+      tree_.remove_node(origin);
+
+      for (AgentId mid : moot_ids) {
+        Agent& ma = agent(mid);
+        ma.result = Result{Outcome::kMoot};
+        finish(ma);
+      }
+      // The parent can only be unlocked if we never climbed (a grant from
+      // a static package at the origin); otherwise we hold it ourselves.
+      if (evict.resume) resume_waiter(*evict.resume, parent);
+
+      // The agent itself relocates: its origin is gone, the path above
+      // contracted by exactly one hop.
+      a.origin = parent;
+      a.at = parent;
+      a.distance = 0;
+      if (a.top_distance > 0) a.top_distance -= 1;
+      return;
+    }
+  }
+}
+
+void DistributedController::on_return_up(Agent& a, NodeId node) {
+  if (a.distance < a.top_distance) {
+    hop_up(a);
+    return;
+  }
+  a.phase = Phase::kUnlockDown;
+  unlock_step(a, node);
+}
+
+void DistributedController::unlock_step(Agent& a, NodeId node) {
+  if (node == a.origin) {
+    terminate_at_origin(a);
+    return;
+  }
+  const NodeId down = boards_.at(node).down_child;
+  DYNCON_INVARIANT(down != kNoNode, "down pointer missing on unlock walk");
+  --a.locks_held;
+  if (options_.debug_trace) a.history += " U" + std::to_string(node);
+  auto waiter = boards_.unlock(node, a.id);
+  if (waiter) resume_waiter(*waiter, node);
+  hop_down(a, down);
+}
+
+// ---- rejects -----------------------------------------------------------------
+
+void DistributedController::reject_step(Agent& a, NodeId node) {
+  if (!packages_.has_reject(node)) packages_.create_reject(node);
+  if (node == a.origin) {
+    a.result.outcome = Outcome::kRejected;
+    ++rejects_;
+    terminate_at_origin(a);
+    return;
+  }
+  const NodeId down = boards_.at(node).down_child;
+  DYNCON_INVARIANT(down != kNoNode, "down pointer missing on reject walk");
+  --a.locks_held;
+  if (options_.debug_trace) a.history += " RU" + std::to_string(node);
+  auto waiter = boards_.unlock(node, a.id);
+  if (waiter) resume_waiter(*waiter, node);
+  hop_down(a, down);
+}
+
+void DistributedController::abort_step(Agent& a, NodeId node) {
+  if (node == a.origin) {
+    terminate_at_origin(a);
+    return;
+  }
+  const NodeId down = boards_.at(node).down_child;
+  DYNCON_INVARIANT(down != kNoNode, "down pointer missing on abort walk");
+  --a.locks_held;
+  if (options_.debug_trace) a.history += " AU" + std::to_string(node);
+  auto waiter = boards_.unlock(node, a.id);
+  if (waiter) resume_waiter(*waiter, node);
+  hop_down(a, down);
+}
+
+void DistributedController::start_reject_flood() {
+  wave_ = true;
+  exhausted_ = true;
+  agent::Whiteboard& wb = boards_.at(tree_.root());
+  wb.flooded = true;
+  if (!packages_.has_reject(tree_.root())) {
+    packages_.create_reject(tree_.root());
+  }
+  flood_fanout(tree_.root());
+}
+
+void DistributedController::flood_fanout(NodeId from) {
+  for (NodeId c : tree_.children(from)) {
+    ++messages_;
+    net_.send(from, c, sim::MsgKind::kReject,
+              agent::value_message_bits(tree_.size()), [this, c] {
+                if (!tree_.alive(c)) return;
+                agent::Whiteboard& wb = boards_.at(c);
+                if (wb.flooded) return;
+                wb.flooded = true;
+                if (!packages_.has_reject(c)) packages_.create_reject(c);
+                flood_fanout(c);
+              });
+  }
+}
+
+// ---- termination (the atomic step of Lemma 4.3's serialization) -------------------
+
+void DistributedController::terminate_at_origin(Agent& a) {
+  // Events were already applied at grant time (apply_event_at_grant);
+  // termination only releases the origin's lock — unless a granted removal
+  // already released everything (the origin is gone and the agent stands
+  // relocated at its old parent with no remaining climb).
+  if (a.locks_held > 0) {
+    --a.locks_held;
+    if (options_.debug_trace) a.history += " UO" + std::to_string(a.origin);
+    auto waiter = boards_.unlock(a.origin, a.id);
+    if (waiter) resume_waiter(*waiter, a.origin);
+  }
+  finish(a);
+}
+
+void DistributedController::finish(Agent& a) {
+  if (a.locks_held != 0) {
+    throw InvariantError("agent finishing with locks held: " +
+                         std::to_string(a.locks_held) + " agent=" +
+                         std::to_string(a.id) + " phase=" +
+                         std::to_string(static_cast<int>(a.phase)) +
+                         " type=" +
+                         std::to_string(static_cast<int>(a.request.type)) +
+                         " origin=" + std::to_string(a.origin) +
+                         " top=" + std::to_string(a.top_distance) +
+                         " outcome=" +
+                         outcome_name(a.result.outcome) + " hist:" +
+                         a.history);
+  }
+  const Result res = a.result;
+  Callback done = std::move(a.done);
+  agents_.erase(a.id);
+  if (done) done(res);
+}
+
+// ---- accounting -----------------------------------------------------------------
+
+std::uint64_t DistributedController::unused_permits() const {
+  return storage_ + packages_.permits_in_packages();
+}
+
+std::uint64_t DistributedController::memory_bits(
+    NodeId v, bool designer_port_model) const {
+  const std::uint64_t logN = ceil_log2(std::max<std::uint64_t>(
+      tree_.size(), 2));
+  const std::uint64_t logU = ceil_log2(std::max<std::uint64_t>(
+      params_.U(), 2));
+  const std::uint64_t logM = ceil_log2(std::max<std::uint64_t>(
+      params_.M(), 2));
+
+  std::uint64_t bits = logM + 2 * logU + 8;  // M, W, U, state flag
+  if (v == tree_.root()) bits += logM;       // the Storage variable
+
+  // Mobile packages: per present level, a (level, count) pair.
+  std::vector<std::uint64_t> level_seen(params_.max_level() + 1, 0);
+  std::uint64_t static_permits = 0;
+  for (PackageId p : packages_.at(v)) {
+    const Package& pkg = packages_.get(p);
+    if (pkg.kind == PackageKind::kMobile) {
+      level_seen[pkg.level] = 1;
+    } else if (pkg.kind == PackageKind::kStatic) {
+      static_permits += pkg.size;
+    } else {
+      bits += 1;  // a reject package is one flag
+    }
+  }
+  for (std::uint64_t seen : level_seen) {
+    if (seen) bits += 2 * logU;  // level + count, each <= U
+  }
+  if (static_permits > 0) bits += logM;  // combined static permit count
+
+  // The agent queue: O(log N) bits per waiting agent — or, in the
+  // designer-port model, a single list-head pointer here with the entries
+  // distributed among the children (§4.4.2).
+  if (designer_port_model) {
+    if (!boards_.at(v).queue.empty()) bits += logN;
+  } else {
+    bits += boards_.at(v).queue.size() *
+            agent::agent_message_bits(tree_.size(), params_.max_level());
+  }
+  return bits;
+}
+
+std::string DistributedController::debug_agents() const {
+  std::string out;
+  for (const auto& [id, a] : agents_) {
+    out += "agent " + std::to_string(id) + " at=" + std::to_string(a.at) +
+           " origin=" + std::to_string(a.origin) +
+           " dist=" + std::to_string(a.distance) +
+           " phase=" + std::to_string(static_cast<int>(a.phase)) +
+           " type=" + std::to_string(static_cast<int>(a.request.type));
+    const auto& wb = boards_.at(a.at);
+    out += " [node locked=" + std::to_string(wb.locked) +
+           " by=" + std::to_string(static_cast<long long>(
+                        static_cast<std::int64_t>(wb.locked_by))) +
+           " queue=" + std::to_string(wb.queue.size()) + "]\n";
+  }
+  return out;
+}
+
+// ---- synchronous facade ------------------------------------------------------------
+
+DistributedSyncFacade::DistributedSyncFacade(sim::EventQueue& queue,
+                                             DistributedController& ctrl)
+    : queue_(queue), ctrl_(ctrl) {}
+
+Result DistributedSyncFacade::run(const RequestSpec& spec) {
+  Result out;
+  bool fired = false;
+  ctrl_.submit(spec, [&out, &fired](const Result& r) {
+    out = r;
+    fired = true;
+  });
+  while (!fired && !queue_.empty()) queue_.step();
+  DYNCON_INVARIANT(fired, "request never completed");
+  return out;
+}
+
+Result DistributedSyncFacade::request_event(NodeId u) {
+  return run(RequestSpec{RequestSpec::Type::kEvent, u});
+}
+
+Result DistributedSyncFacade::request_add_leaf(NodeId parent) {
+  return run(RequestSpec{RequestSpec::Type::kAddLeaf, parent});
+}
+
+Result DistributedSyncFacade::request_add_internal_above(NodeId child) {
+  return run(RequestSpec{RequestSpec::Type::kAddInternal, child});
+}
+
+Result DistributedSyncFacade::request_remove(NodeId v) {
+  return run(RequestSpec{RequestSpec::Type::kRemove, v});
+}
+
+std::uint64_t DistributedSyncFacade::cost() const {
+  return ctrl_.messages_used();
+}
+
+std::uint64_t DistributedSyncFacade::permits_granted() const {
+  return ctrl_.permits_granted();
+}
+
+}  // namespace dyncon::core

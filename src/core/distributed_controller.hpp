@@ -1,0 +1,214 @@
+#pragma once
+
+// The distributed (M,W)-controller of paper §4 (fixed, known U).
+//
+// Each request spawns a mobile agent at its arrival node.  The agent:
+//
+//   1. locks its node; a reject package there rejects the request, a static
+//      package grants it on the spot;
+//   2. otherwise climbs toward the root, locking every node (waiting FIFO
+//      at nodes locked by other agents), until it finds a reject node, a
+//      filler node, or the root;
+//   3. at a reject node it walks home placing reject packages and
+//      unlocking; at the root it either creates the level-j(u) package from
+//      Storage or triggers the reject flood;
+//   4. with a package in its Bag it walks down performing Proc (split at
+//      each u_k), grants at the origin, walks back up to the topmost node
+//      it reached, and finally walks down unlocking every node;
+//   5. the requested event is applied atomically at the moment the grant
+//      is delivered at the origin — "the requested event takes place when
+//      the request is granted" (item 2) — while the agent still holds
+//      every lock from the origin to the topmost node it reached.  That
+//      window is the serialization Lemmas 4.3-4.5 reason about: no other
+//      agent can observe the subject between its own moot check and its
+//      grant.
+//
+// Every hop is one network message; the reject flood and the
+// graceful-deletion data handoff are charged per the paper's accounting.
+// The API is asynchronous (callbacks fire from the event loop);
+// `DistributedSyncFacade` below adapts it to IController for benches that
+// issue requests one at a time.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "agent/runtime.hpp"
+#include "agent/taxi.hpp"
+#include "agent/whiteboard.hpp"
+#include "core/controller_iface.hpp"
+#include "core/domain.hpp"
+#include "core/package.hpp"
+#include "core/params.hpp"
+#include "sim/network.hpp"
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::core {
+
+class DistributedController {
+ public:
+  enum class Mode : std::uint8_t { kRejectWave, kExhaustSignal };
+
+  struct Options {
+    Mode mode = Mode::kRejectWave;
+    bool track_domains = true;
+    /// Counting-only instances (App. A's parallel (U/2, U/4)-controller)
+    /// grant permits but never apply topological changes themselves.
+    bool apply_events = true;
+    Interval serials;
+    /// Record a per-agent action trail (lock/unlock/hop); costs memory and
+    /// time, so it is off unless a test is being debugged.
+    bool debug_trace = false;
+    /// Local observation hook (§5.3): called as (node, permits) whenever a
+    /// carried package of `permits` permits arrives at `node` on its way
+    /// down.  In the distributed protocol this is literally each node
+    /// watching its own traffic — zero extra messages.
+    std::function<void(NodeId, std::uint64_t)> on_pass_down;
+  };
+
+  using Callback = std::function<void(const Result&)>;
+
+  DistributedController(sim::Network& net, tree::DynamicTree& tree,
+                        Params params, Options options);
+  DistributedController(sim::Network& net, tree::DynamicTree& tree,
+                        Params params)
+      : DistributedController(net, tree, params, Options{}) {}
+  ~DistributedController();
+
+  DistributedController(const DistributedController&) = delete;
+  DistributedController& operator=(const DistributedController&) = delete;
+
+  // ---- request submission (asynchronous) -----------------------------------
+
+  void submit_event(NodeId u, Callback done);
+  void submit_add_leaf(NodeId parent, Callback done);
+  void submit_add_internal_above(NodeId child, Callback done);
+  void submit_remove(NodeId v, Callback done);
+  void submit(const RequestSpec& spec, Callback done);
+
+  // ---- introspection ---------------------------------------------------------
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] std::uint64_t permits_granted() const { return granted_; }
+  [[nodiscard]] std::uint64_t rejects_delivered() const { return rejects_; }
+  [[nodiscard]] std::uint64_t root_storage() const { return storage_; }
+  [[nodiscard]] std::uint64_t unused_permits() const;
+  [[nodiscard]] bool reject_wave_started() const { return wave_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] std::size_t active_agents() const { return agents_.size(); }
+  [[nodiscard]] const PackageTable& packages() const { return packages_; }
+  [[nodiscard]] const DomainTracker* domains() const {
+    return domains_.get();
+  }
+
+  /// Messages this instance has put on the network (agent hops + reject
+  /// flood + data handoffs): the paper's message complexity.
+  [[nodiscard]] std::uint64_t messages_used() const { return messages_; }
+
+  /// Modeled whiteboard memory at node v in bits (Claim 4.8 accounting).
+  /// In the designer-port model (§4.4.2) the agent queue at v is kept as a
+  /// linked list distributed among v's children, so v itself only pays
+  /// O(log N) for the queue head instead of O(deg(v) log N).
+  [[nodiscard]] std::uint64_t memory_bits(
+      NodeId v, bool designer_port_model = false) const;
+
+  /// One line per active agent (debugging stuck executions in tests).
+  [[nodiscard]] std::string debug_agents() const;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kStart,       ///< evaluating at the origin
+    kClimb,       ///< walking up, locking
+    kProcDown,    ///< carrying a package down, splitting at each u_k
+    kReturnUp,    ///< after the grant: walking back up to the topmost node
+    kUnlockDown,  ///< final walk down, unlocking
+    kRejectDown,  ///< walking home placing reject packages
+    kAbortDown,   ///< exhaust-signal mode: walking home unlocking only
+  };
+
+  struct Agent {
+    agent::AgentId id = agent::kNoAgent;
+    NodeId origin = kNoNode;
+    NodeId at = kNoNode;
+    std::uint64_t distance = 0;      ///< exact hops to origin (path locked)
+    std::uint64_t top_distance = 0;  ///< distance of the topmost node
+    Phase phase = Phase::kStart;
+    std::uint32_t bag_level = 0;
+    PackageId carrying = kNoPackage;
+    RequestSpec request;
+    Callback done;
+    Result result;
+    std::uint64_t locks_held = 0;  ///< debug accounting; 0 at termination
+    std::string history;           ///< debug trail (lock/unlock/hop)
+  };
+
+  void on_arrival(agent::AgentId id, NodeId node, NodeId came_from);
+  void on_enter(Agent& a, NodeId node, NodeId came_from);
+  void evaluate(Agent& a);
+  void begin_proc(Agent& a, PackageId p, std::uint32_t level);
+  void on_proc_down(Agent& a, NodeId node);
+  void deliver_grant(Agent& a);
+  void on_return_up(Agent& a, NodeId node);
+  void unlock_step(Agent& a, NodeId node);
+  void reject_step(Agent& a, NodeId node);
+  void abort_step(Agent& a, NodeId node);
+  void root_logic(Agent& a);
+  void start_reject_flood();
+  void flood_fanout(NodeId from);
+  void terminate_at_origin(Agent& a);
+  void apply_event_at_grant(Agent& a);
+  void finish(Agent& a);
+  void resume_waiter(const agent::Whiteboard::Waiter& w, NodeId at);
+  [[nodiscard]] bool moot(const RequestSpec& spec) const;
+  [[nodiscard]] std::uint64_t hop_bits() const;
+  void hop_up(Agent& a);
+  void hop_down(Agent& a, NodeId to);
+  [[nodiscard]] Agent& agent(agent::AgentId id);
+
+  sim::Network& net_;
+  tree::DynamicTree& tree_;
+  Params params_;
+  Options options_;
+
+  agent::WhiteboardManager boards_;
+  agent::Taxi taxi_;
+  agent::AgentIdAllocator ids_;
+  std::unordered_map<agent::AgentId, Agent> agents_;
+
+  PackageTable packages_;
+  std::unique_ptr<DomainTracker> domains_;
+
+  std::uint64_t storage_;
+  Interval storage_serials_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t rejects_ = 0;
+  std::uint64_t messages_ = 0;
+  bool wave_ = false;
+  bool exhausted_ = false;
+};
+
+/// Adapts the asynchronous controller to the synchronous IController
+/// interface by running the event loop to completion after each request.
+/// Requests therefore never overlap; this is the facade benches use when
+/// comparing against centralized controllers.
+class DistributedSyncFacade final : public IController {
+ public:
+  DistributedSyncFacade(sim::EventQueue& queue, DistributedController& ctrl);
+
+  Result request_event(NodeId u) override;
+  Result request_add_leaf(NodeId parent) override;
+  Result request_add_internal_above(NodeId child) override;
+  Result request_remove(NodeId v) override;
+  [[nodiscard]] std::uint64_t cost() const override;
+  [[nodiscard]] std::uint64_t permits_granted() const override;
+
+ private:
+  Result run(const RequestSpec& spec);
+
+  sim::EventQueue& queue_;
+  DistributedController& ctrl_;
+};
+
+}  // namespace dyncon::core

@@ -1,0 +1,312 @@
+#include "core/distributed_iterated.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "agent/runtime.hpp"
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+DistributedIterated::DistributedIterated(sim::Network& net,
+                                         tree::DynamicTree& tree,
+                                         std::uint64_t M, std::uint64_t W,
+                                         std::uint64_t U, Options options)
+    : net_(net), tree_(tree), m_(M), w_(W), u_(U),
+      options_(std::move(options)) {
+  DYNCON_REQUIRE(M >= 1 && U >= 1, "M, U must be >= 1");
+  const bool first_is_final =
+      (w_ >= 1 && m_ <= 4 * w_) || (w_ == 0 && m_ <= 4);
+  DYNCON_REQUIRE(options_.serials.empty() || first_is_final,
+                 "serial tracking requires a single (final) iteration");
+  start_iteration(m_);
+}
+
+void DistributedIterated::start_iteration(std::uint64_t Mi) {
+  ++iterations_;
+  const bool is_final = (w_ >= 1 && Mi <= 4 * w_) || (w_ == 0 && Mi <= 4);
+  std::uint64_t Wi;
+  Mode inner_mode;
+  if (is_final) {
+    Wi = w_ >= 1 ? w_ : 1;
+    inner_mode = w_ >= 1 ? options_.mode : Mode::kExhaustSignal;
+    phase_ = Phase::kFinal;
+  } else {
+    Wi = std::max<std::uint64_t>(Mi / 2, 1);
+    inner_mode = Mode::kExhaustSignal;
+    phase_ = Phase::kIterating;
+  }
+  DistributedController::Options opts;
+  opts.mode = inner_mode;
+  opts.track_domains = options_.track_domains;
+  opts.apply_events = options_.apply_events;
+  opts.on_pass_down = options_.on_pass_down;
+  if (iterations_ == 1) opts.serials = options_.serials;
+  inner_ = std::make_unique<DistributedController>(
+      net_, tree_, Params(Mi, Wi, u_), std::move(opts));
+}
+
+void DistributedIterated::complete_async(Callback done, Result r) {
+  net_.queue().schedule_after(0, [done = std::move(done), r] { done(r); });
+}
+
+void DistributedIterated::apply_trivial(const RequestSpec& spec, Result& r) {
+  if (!options_.apply_events) return;
+  switch (spec.type) {
+    case RequestSpec::Type::kEvent:
+      return;
+    case RequestSpec::Type::kAddLeaf:
+      r.new_node = tree_.add_leaf(spec.subject);
+      return;
+    case RequestSpec::Type::kAddInternal:
+      r.new_node = tree_.add_internal_above(spec.subject);
+      return;
+    case RequestSpec::Type::kRemove:
+      tree_.remove_node(spec.subject);
+      return;
+  }
+}
+
+void DistributedIterated::dispatch(const RequestSpec& spec, Callback done) {
+  if (frozen_) {
+    complete_async(std::move(done), Result{Outcome::kExhausted});
+    return;
+  }
+  switch (phase_) {
+    case Phase::kDone: {
+      if (options_.mode == Mode::kRejectWave) {
+        if (!wave_charged_) {
+          // One reject package per node (the wave), charged once.
+          messages_base_ += tree_.size();
+          net_.charge(sim::MsgKind::kReject, tree_.size(),
+                      agent::value_message_bits(tree_.size()));
+          wave_charged_ = true;
+        }
+        ++rejects_;
+        complete_async(std::move(done), Result{Outcome::kRejected});
+      } else {
+        complete_async(std::move(done), Result{Outcome::kExhausted});
+      }
+      return;
+    }
+    case Phase::kTrivial: {
+      if (trivial_storage_ == 0) {
+        phase_ = Phase::kDone;
+        dispatch(spec, std::move(done));
+        return;
+      }
+      if (!tree_.alive(spec.subject)) {
+        complete_async(std::move(done), Result{Outcome::kMoot});
+        return;
+      }
+      const NodeId arrival = spec.type == RequestSpec::Type::kAddInternal
+                                 ? tree_.parent(spec.subject)
+                                 : spec.subject;
+      --trivial_storage_;
+      ++granted_base_;
+      const std::uint64_t hops = 2 * tree_.depth(arrival);
+      messages_base_ += hops;
+      net_.charge(sim::MsgKind::kAgent, hops,
+                  agent::value_message_bits(tree_.size()));
+      Result r{Outcome::kGranted};
+      apply_trivial(spec, r);
+      complete_async(std::move(done), r);
+      return;
+    }
+    case Phase::kIterating:
+    case Phase::kFinal: {
+      if (draining_) {
+        pending_.emplace_back(spec, std::move(done));
+        return;
+      }
+      ++inflight_;
+      inner_->submit(spec, [this, spec, done = std::move(done)](
+                               const Result& r) mutable {
+        --inflight_;
+        if (r.outcome == Outcome::kExhausted) {
+          pending_.emplace_back(spec, std::move(done));
+          draining_ = true;
+        } else {
+          if (r.outcome == Outcome::kRejected) ++rejects_;
+          done(r);
+        }
+        maybe_finish_drain();
+      });
+      return;
+    }
+  }
+}
+
+void DistributedIterated::maybe_finish_drain() {
+  if (inflight_ != 0) return;
+  if (frozen_) {
+    // Flush everything still pending as exhausted, then notify.
+    auto pend = std::move(pending_);
+    pending_.clear();
+    for (auto& [spec, cb] : pend) {
+      complete_async(std::move(cb), Result{Outcome::kExhausted});
+    }
+    if (on_frozen_) {
+      auto cb = std::move(on_frozen_);
+      on_frozen_ = nullptr;
+      cb();
+    }
+    return;
+  }
+  if (draining_) rotate();
+}
+
+void DistributedIterated::rotate() {
+  DYNCON_INVARIANT(inner_ != nullptr, "rotate without an active iteration");
+  const std::uint64_t Wi = inner_->params().W();
+  const std::uint64_t L = inner_->unused_permits();
+  // Lemma 3.2 liveness via the reduction of Lemma 4.5, checked live.
+  DYNCON_INVARIANT(L <= Wi, "iteration leftover exceeds waste bound");
+  messages_base_ += inner_->messages_used() + 2 * tree_.size();
+  net_.charge(sim::MsgKind::kControl, 2 * tree_.size(),
+              agent::value_message_bits(std::max(L, tree_.size())));
+  granted_base_ += inner_->permits_granted();
+  const bool was_final = phase_ == Phase::kFinal;
+  inner_.reset();
+  draining_ = false;
+
+  if (was_final) {
+    if (w_ == 0 && L > 0) {
+      trivial_storage_ = L;
+      phase_ = Phase::kTrivial;
+    } else {
+      phase_ = Phase::kDone;
+    }
+  } else if (L == 0) {
+    phase_ = Phase::kDone;
+  } else {
+    start_iteration(L);
+  }
+
+  auto pend = std::move(pending_);
+  pending_.clear();
+  for (auto& [spec, cb] : pend) dispatch(spec, std::move(cb));
+}
+
+void DistributedIterated::freeze(std::function<void()> on_done) {
+  DYNCON_REQUIRE(static_cast<bool>(on_done), "null freeze callback");
+  frozen_ = true;
+  on_frozen_ = std::move(on_done);
+  maybe_finish_drain();
+}
+
+void DistributedIterated::submit(const RequestSpec& spec, Callback done) {
+  DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  dispatch(spec, std::move(done));
+}
+
+void DistributedIterated::submit_event(NodeId u, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kEvent, u}, std::move(done));
+}
+
+void DistributedIterated::submit_add_leaf(NodeId parent, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedIterated::submit_add_internal_above(NodeId child,
+                                                    Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedIterated::submit_remove(NodeId v, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+std::uint64_t DistributedIterated::messages_used() const {
+  return messages_base_ + (inner_ ? inner_->messages_used() : 0);
+}
+
+std::uint64_t DistributedIterated::permits_granted() const {
+  return granted_base_ + (inner_ ? inner_->permits_granted() : 0);
+}
+
+std::uint64_t DistributedIterated::unused_permits() const {
+  return trivial_storage_ + (inner_ ? inner_->unused_permits() : 0);
+}
+
+// ---- DistributedTerminating ---------------------------------------------------
+
+DistributedTerminating::DistributedTerminating(sim::Network& net,
+                                               tree::DynamicTree& tree,
+                                               std::uint64_t M,
+                                               std::uint64_t W,
+                                               std::uint64_t U,
+                                               Options options)
+    : net_(net),
+      tree_(tree),
+      inner_(net, tree, M, W, U,
+             DistributedIterated::Options{
+                 DistributedIterated::Mode::kExhaustSignal,
+                 options.track_domains, options.apply_events,
+                 std::move(options.serials),
+                 std::move(options.on_pass_down)}) {}
+
+void DistributedTerminating::mark_terminated() {
+  if (terminated_) return;
+  terminated_ = true;
+  // Broadcast of the termination signal + upcast of acknowledgements
+  // (waiting for granted events to occur), per Observation 2.1.
+  control_messages_ += 2 * tree_.size();
+  net_.charge(sim::MsgKind::kControl, 2 * tree_.size(),
+              agent::value_message_bits(tree_.size()));
+}
+
+void DistributedTerminating::submit(const RequestSpec& spec, Callback done) {
+  if (terminated_) {
+    net_.queue().schedule_after(
+        0, [done = std::move(done)] { done(Result{Outcome::kTerminated}); });
+    return;
+  }
+  inner_.submit(spec, [this, done = std::move(done)](const Result& r) {
+    if (r.outcome == Outcome::kExhausted) {
+      mark_terminated();
+      done(Result{Outcome::kTerminated});
+      return;
+    }
+    DYNCON_INVARIANT(r.outcome != Outcome::kRejected,
+                     "terminating controller must never reject");
+    done(r);
+  });
+}
+
+void DistributedTerminating::submit_event(NodeId u, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kEvent, u}, std::move(done));
+}
+
+void DistributedTerminating::submit_add_leaf(NodeId parent, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddLeaf, parent}, std::move(done));
+}
+
+void DistributedTerminating::submit_add_internal_above(NodeId child,
+                                                       Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kAddInternal, child},
+         std::move(done));
+}
+
+void DistributedTerminating::submit_remove(NodeId v, Callback done) {
+  submit(RequestSpec{RequestSpec::Type::kRemove, v}, std::move(done));
+}
+
+void DistributedTerminating::terminate(std::function<void()> on_done) {
+  DYNCON_REQUIRE(static_cast<bool>(on_done), "null terminate callback");
+  if (terminated_) {
+    net_.queue().schedule_after(0, std::move(on_done));
+    return;
+  }
+  inner_.freeze([this, on_done = std::move(on_done)] {
+    mark_terminated();
+    on_done();
+  });
+}
+
+std::uint64_t DistributedTerminating::messages_used() const {
+  return inner_.messages_used() + control_messages_;
+}
+
+}  // namespace dyncon::core

@@ -1,0 +1,153 @@
+#include "core/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+namespace {
+const std::vector<NodeId> kEmptyPath;
+}
+
+DomainTracker::DomainTracker(const tree::DynamicTree& tree,
+                             const Params& params,
+                             const PackageTable& packages)
+    : tree_(tree), params_(params), packages_(packages) {}
+
+void DomainTracker::assign(PackageId p, std::vector<NodeId> path) {
+  DYNCON_REQUIRE(!domains_.contains(p), "package already has a domain");
+  for (NodeId v : path) member_of_[v].insert(p);
+  domains_.emplace(p, std::move(path));
+}
+
+void DomainTracker::drop(PackageId p) {
+  auto it = domains_.find(p);
+  if (it == domains_.end()) return;
+  for (NodeId v : it->second) {
+    auto mit = member_of_.find(v);
+    if (mit != member_of_.end()) {
+      mit->second.erase(p);
+      if (mit->second.empty()) member_of_.erase(mit);
+    }
+  }
+  domains_.erase(it);
+}
+
+const std::vector<NodeId>& DomainTracker::domain(PackageId p) const {
+  auto it = domains_.find(p);
+  return it == domains_.end() ? kEmptyPath : it->second;
+}
+
+void DomainTracker::on_add_leaf(NodeId, NodeId) {
+  // Case 3: no effect on any domain.
+}
+
+void DomainTracker::on_remove_leaf(NodeId, NodeId) {
+  // Case 5: the removed node stays a member of every domain it was in.
+}
+
+void DomainTracker::on_remove_internal(NodeId, NodeId,
+                                       const std::vector<NodeId>&) {
+  // Case 5, as above.
+}
+
+void DomainTracker::on_add_internal(NodeId u, NodeId /*parent*/,
+                                    NodeId child) {
+  // Case 4: u was inserted as the parent of `child`; for every domain that
+  // contains `child`, u joins the domain and the bottommost alive member
+  // leaves it.
+  auto mit = member_of_.find(child);
+  if (mit == member_of_.end()) return;
+  // Copy: we mutate member_of_ while iterating.
+  const std::vector<PackageId> affected(mit->second.begin(),
+                                        mit->second.end());
+  for (PackageId p : affected) {
+    auto dit = domains_.find(p);
+    DYNCON_INVARIANT(dit != domains_.end(), "stale member_of entry");
+    std::vector<NodeId>& path = dit->second;
+    auto pos = std::find(path.begin(), path.end(), child);
+    DYNCON_INVARIANT(pos != path.end(), "member_of/domain mismatch");
+    path.insert(pos, u);
+    member_of_[u].insert(p);
+    // Remove the bottommost (last in path order) alive member.
+    for (auto rit = path.rbegin(); rit != path.rend(); ++rit) {
+      if (tree_.alive(*rit)) {
+        const NodeId gone = *rit;
+        path.erase(std::next(rit).base());
+        auto git = member_of_.find(gone);
+        DYNCON_INVARIANT(git != member_of_.end(), "member index missing");
+        git->second.erase(p);
+        if (git->second.empty()) member_of_.erase(git);
+        break;
+      }
+    }
+  }
+}
+
+std::string DomainTracker::check_invariants() const {
+  std::ostringstream bad;
+  // Per-level disjointness bookkeeping.
+  std::unordered_map<std::uint32_t, std::unordered_set<NodeId>> level_members;
+
+  for (PackageId p : packages_.all_alive()) {
+    const Package& pkg = packages_.get(p);
+    if (pkg.kind != PackageKind::kMobile) continue;
+    if (pkg.host == kNoNode) continue;  // carried by an agent mid-Proc
+    auto it = domains_.find(p);
+    if (it == domains_.end()) {
+      // At audit (quiescent) points every hosted mobile package must have a
+      // domain; only packages carried inside an agent's Bag may lack one.
+      bad << "mobile package " << p << " (level " << pkg.level
+          << ") has no domain";
+      return bad.str();
+    }
+    const auto& path = it->second;
+
+    // Invariant 1: exact size.
+    const std::uint64_t want = params_.domain_size(pkg.level);
+    if (path.size() != want) {
+      bad << "package " << p << " level " << pkg.level << " domain size "
+          << path.size() << " != " << want;
+      return bad.str();
+    }
+
+    // Invariant 2: same-level disjointness.
+    auto& seen = level_members[pkg.level];
+    for (NodeId v : path) {
+      if (!seen.insert(v).second) {
+        bad << "node " << v << " in two level-" << pkg.level << " domains";
+        return bad.str();
+      }
+    }
+
+    // Invariant 3: alive members form a downward path from a child of the
+    // host.
+    std::vector<NodeId> alive;
+    for (NodeId v : path) {
+      if (tree_.alive(v)) alive.push_back(v);
+    }
+    if (!alive.empty()) {
+      if (!tree_.alive(pkg.host)) {
+        bad << "package " << p << " hosted at dead node " << pkg.host;
+        return bad.str();
+      }
+      if (tree_.parent(alive.front()) != pkg.host) {
+        bad << "package " << p << ": top alive domain member "
+            << alive.front() << " is not a child of host " << pkg.host;
+        return bad.str();
+      }
+      for (std::size_t i = 1; i < alive.size(); ++i) {
+        if (tree_.parent(alive[i]) != alive[i - 1]) {
+          bad << "package " << p << ": domain members " << alive[i - 1]
+              << " -> " << alive[i] << " not a parent/child chain";
+          return bad.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace dyncon::core

@@ -1,0 +1,78 @@
+#pragma once
+
+// Package domains (paper §3.2).
+//
+// Every mobile package is associated with a *domain*: a path of (possibly
+// already deleted) nodes hanging below its host.  Domains exist purely for
+// the liveness analysis — the algorithm never communicates about them — but
+// this reproduction maintains them explicitly so property tests can check
+// Claim 3.1's three invariants after every step:
+//
+//   1. the domain of a level-k package has exactly 2^(k-1) * psi members;
+//   2. domains of same-level packages are pairwise disjoint;
+//   3. the *alive* members of a domain form a downward path starting at a
+//      child of the package's host.
+//
+// Update rules mirror the paper's Cases 2-5:
+//   * formation (end of Proc): level-k package at u_k gets the 2^(k-1)*psi
+//     nodes immediately below u_k toward u;
+//   * add-leaf: no effect;
+//   * add-internal u above a domain member: u joins that domain and the
+//     bottommost alive member leaves it;
+//   * node removal: the node stays in every domain it belonged to.
+//
+// Tracking is optional (benches turn it off); it costs O(domain size) per
+// package formation.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/package.hpp"
+#include "core/params.hpp"
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::core {
+
+/// Maintains and audits package domains.  Registered as a TreeObserver by
+/// the owning controller.
+class DomainTracker final : public tree::TreeObserver {
+ public:
+  DomainTracker(const tree::DynamicTree& tree, const Params& params,
+                const PackageTable& packages);
+
+  /// Assign the freshly formed level-k package `p` (hosted at u_k) its
+  /// initial domain: `path` must list the domain members top-to-bottom.
+  void assign(PackageId p, std::vector<NodeId> path);
+
+  /// The package was canceled / split / made static: drop its domain.
+  void drop(PackageId p);
+
+  /// Domain of `p` in path order (alive and dead members); empty if none.
+  [[nodiscard]] const std::vector<NodeId>& domain(PackageId p) const;
+
+  // TreeObserver — Cases 3-5.
+  void on_add_leaf(NodeId u, NodeId parent) override;
+  void on_remove_leaf(NodeId u, NodeId parent) override;
+  void on_add_internal(NodeId u, NodeId parent, NodeId child) override;
+  void on_remove_internal(NodeId u, NodeId parent,
+                          const std::vector<NodeId>& children) override;
+
+  /// Check Claim 3.1's three invariants for every alive mobile package.
+  /// Returns an empty string if all hold, else a description of the first
+  /// violation.
+  [[nodiscard]] std::string check_invariants() const;
+
+ private:
+  const tree::DynamicTree& tree_;
+  const Params& params_;
+  const PackageTable& packages_;
+
+  std::unordered_map<PackageId, std::vector<NodeId>> domains_;
+  /// node -> packages whose domain contains it (for Case 4 updates).
+  std::unordered_map<NodeId, std::unordered_set<PackageId>> member_of_;
+};
+
+}  // namespace dyncon::core

@@ -1,0 +1,179 @@
+#include "core/iterated_controller.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+IteratedController::IteratedController(tree::DynamicTree& tree,
+                                       std::uint64_t M, std::uint64_t W,
+                                       std::uint64_t U, Options options)
+    : tree_(tree), m_(M), w_(W), u_(U), options_(std::move(options)) {
+  DYNCON_REQUIRE(M >= 1, "M must be >= 1");
+  DYNCON_REQUIRE(U >= 1, "U must be >= 1");
+  const bool first_is_final =
+      (w_ >= 1 && m_ <= 4 * w_) || (w_ == 0 && m_ <= 4);
+  DYNCON_REQUIRE(options_.serials.empty() || first_is_final,
+                 "serial tracking requires a single (final) iteration");
+  start_iteration(m_);
+}
+
+void IteratedController::start_iteration(std::uint64_t Mi) {
+  ++iterations_;
+  const bool is_final = (w_ >= 1 && Mi <= 4 * w_) || (w_ == 0 && Mi <= 4);
+  std::uint64_t Wi;
+  Mode inner_mode;
+  if (is_final) {
+    // Final iteration: run with the real waste budget.  For W = 0 the final
+    // base iteration uses W = 1 and the trivial (1,0)-controller cleans up,
+    // so the base must signal exhaustion rather than reject.
+    Wi = w_ >= 1 ? w_ : 1;
+    inner_mode = w_ >= 1 ? options_.mode : Mode::kExhaustSignal;
+    phase_ = Phase::kFinal;
+  } else {
+    Wi = std::max<std::uint64_t>(Mi / 2, 1);
+    inner_mode = Mode::kExhaustSignal;
+    phase_ = Phase::kIterating;
+  }
+  CentralizedController::Options opts;
+  opts.mode = inner_mode;
+  opts.track_domains = options_.track_domains;
+  opts.on_pass_down = options_.on_pass_down;
+  if (iterations_ == 1) opts.serials = options_.serials;
+  inner_ = std::make_unique<CentralizedController>(tree_, Params(Mi, Wi, u_),
+                                                   std::move(opts));
+}
+
+void IteratedController::advance() {
+  DYNCON_INVARIANT(inner_ != nullptr, "advance without active iteration");
+  const std::uint64_t Wi = inner_->params().W();
+  const std::uint64_t L = inner_->unused_permits();
+  // Lemma 3.2 liveness, checked in production: at the first would-be
+  // reject, unused permits (storage + packages) never exceed the waste.
+  DYNCON_INVARIANT(L <= Wi, "iteration leftover exceeds waste bound");
+  cost_base_ += inner_->cost();
+  granted_base_ += inner_->permits_granted();
+  rejects_ += inner_->rejects_delivered();
+  inner_.reset();
+
+  if (phase_ == Phase::kFinal) {
+    if (w_ == 0 && L > 0) {
+      trivial_storage_ = L;  // the trivial (1,0) tail
+      phase_ = Phase::kTrivial;
+    } else {
+      phase_ = Phase::kDone;
+    }
+    return;
+  }
+  if (L == 0) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  start_iteration(L);
+}
+
+Result IteratedController::finish_rejecting() {
+  if (options_.mode == Mode::kExhaustSignal) {
+    return Result{Outcome::kExhausted};
+  }
+  if (!wave_charged_) {
+    // One reject package per alive node, exactly once (§2.2 reject wave).
+    cost_base_ += tree_.size();
+    wave_charged_ = true;
+  }
+  ++rejects_;
+  return Result{Outcome::kRejected};
+}
+
+template <typename Fn>
+Result IteratedController::dispatch(Fn&& submit, NodeId request_node) {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kDone:
+        done_ = true;
+        return finish_rejecting();
+      case Phase::kTrivial: {
+        if (trivial_storage_ == 0) {
+          phase_ = Phase::kDone;
+          continue;
+        }
+        // Trivial (1,0)-controller: the permit travels from the root
+        // straight to the requester.
+        --trivial_storage_;
+        ++granted_base_;
+        cost_base_ += tree_.depth(request_node);
+        return Result{Outcome::kGranted};  // caller applies the event
+      }
+      case Phase::kIterating:
+      case Phase::kFinal: {
+        Result r = submit(*inner_);
+        if (r.outcome == Outcome::kExhausted) {
+          advance();
+          continue;
+        }
+        if (r.outcome == Outcome::kRejected) ++rejects_;
+        return r;
+      }
+    }
+  }
+}
+
+Result IteratedController::request_event(NodeId u) {
+  return dispatch(
+      [&](CentralizedController& c) { return c.request_event(u); }, u);
+}
+
+Result IteratedController::request_add_leaf(NodeId parent) {
+  Result r = dispatch(
+      [&](CentralizedController& c) { return c.request_add_leaf(parent); },
+      parent);
+  if (r.granted() && r.new_node == kNoNode) {
+    r.new_node = tree_.add_leaf(parent);  // trivial-phase grant
+  }
+  return r;
+}
+
+Result IteratedController::request_add_internal_above(NodeId child) {
+  DYNCON_REQUIRE(tree_.alive(child) && child != tree_.root(),
+                 "bad add_internal request");
+  const NodeId parent = tree_.parent(child);
+  Result r = dispatch(
+      [&](CentralizedController& c) {
+        return c.request_add_internal_above(child);
+      },
+      parent);
+  if (r.granted() && r.new_node == kNoNode) {
+    r.new_node = tree_.add_internal_above(child);
+  }
+  return r;
+}
+
+Result IteratedController::request_remove(NodeId v) {
+  bool applied_by_inner = false;
+  Result r = dispatch(
+      [&](CentralizedController& c) {
+        Result ir = c.request_remove(v);
+        applied_by_inner = ir.granted();
+        return ir;
+      },
+      v);
+  if (r.granted() && !applied_by_inner) {
+    tree_.remove_node(v);  // trivial-phase grant (no packages to rescue)
+  }
+  return r;
+}
+
+std::uint64_t IteratedController::cost() const {
+  return cost_base_ + (inner_ ? inner_->cost() : 0);
+}
+
+std::uint64_t IteratedController::permits_granted() const {
+  return granted_base_ + (inner_ ? inner_->permits_granted() : 0);
+}
+
+std::uint64_t IteratedController::unused_permits() const {
+  return trivial_storage_ + (inner_ ? inner_->unused_permits() : 0);
+}
+
+}  // namespace dyncon::core

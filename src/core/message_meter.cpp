@@ -1,0 +1,27 @@
+#include "core/message_meter.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+MessageMeter::MessageMeter(IController& ctrl, sim::Network& net)
+    : ctrl_(ctrl), net_(net) {}
+
+bool MessageMeter::send(NodeId from, NodeId to, std::uint64_t payload_bits,
+                        sim::Network::Deliver on_deliver) {
+  DYNCON_REQUIRE(static_cast<bool>(on_deliver), "null delivery handler");
+  // One permit per message: a non-topological request at the sender.
+  const Result r = ctrl_.request_event(from);
+  if (!r.granted()) {
+    ++suppressed_;
+    return false;
+  }
+  ++sent_;
+  net_.send(from, to, sim::MsgKind::kApp, payload_bits,
+            std::move(on_deliver));
+  return true;
+}
+
+}  // namespace dyncon::core

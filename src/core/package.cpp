@@ -1,0 +1,192 @@
+#include "core/package.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+namespace {
+const std::vector<PackageId> kEmpty;
+}
+
+PackageId PackageTable::create_mobile(NodeId host, std::uint32_t level,
+                                      std::uint64_t size, Interval serials) {
+  DYNCON_REQUIRE(serials.empty() || serials.size() == size,
+                 "serial interval size must match package size");
+  const PackageId id = packages_.size();
+  packages_.push_back(
+      Package{id, PackageKind::kMobile, host, size, level, serials, true});
+  attach(id, host);
+  return id;
+}
+
+PackageId PackageTable::create_static(NodeId host, std::uint64_t size,
+                                      Interval serials) {
+  DYNCON_REQUIRE(size >= 1, "static package must hold >= 1 permit");
+  DYNCON_REQUIRE(serials.empty() || serials.size() == size,
+                 "serial interval size must match package size");
+  const PackageId id = packages_.size();
+  packages_.push_back(
+      Package{id, PackageKind::kStatic, host, size, 0, serials, true});
+  attach(id, host);
+  return id;
+}
+
+PackageId PackageTable::create_reject(NodeId host) {
+  const PackageId id = packages_.size();
+  packages_.push_back(
+      Package{id, PackageKind::kReject, host, 0, 0, Interval{}, true});
+  attach(id, host);
+  return id;
+}
+
+void PackageTable::move(PackageId p, NodeId new_host, std::uint64_t hops) {
+  Package& pkg = mut(p);
+  detach(p);
+  pkg.host = new_host;
+  attach(p, new_host);
+  moves_ += hops;
+}
+
+void PackageTable::pick_up(PackageId p) {
+  Package& pkg = mut(p);
+  DYNCON_REQUIRE(pkg.kind == PackageKind::kMobile, "pick_up of non-mobile");
+  DYNCON_REQUIRE(pkg.host != kNoNode, "package already carried");
+  detach(p);
+  pkg.host = kNoNode;
+}
+
+void PackageTable::put_down(PackageId p, NodeId node) {
+  Package& pkg = mut(p);
+  DYNCON_REQUIRE(pkg.host == kNoNode, "put_down of a hosted package");
+  pkg.host = node;
+  attach(p, node);
+}
+
+std::size_t PackageTable::move_all(NodeId node, NodeId parent) {
+  auto it = by_host_.find(node);
+  if (it == by_host_.end() || it->second.empty()) return 0;
+  std::vector<PackageId> moving = it->second;  // copy; attach mutates the map
+  for (PackageId p : moving) {
+    detach(p);
+    mut(p).host = parent;
+    attach(p, parent);
+  }
+  moves_ += 1;  // one message carries the whole set (paper §2.2)
+  return moving.size();
+}
+
+std::pair<PackageId, PackageId> PackageTable::split_mobile(PackageId p) {
+  const Package pkg = get(p);  // copy before cancel
+  DYNCON_REQUIRE(pkg.kind == PackageKind::kMobile, "split of non-mobile");
+  DYNCON_REQUIRE(pkg.level >= 1, "split of level-0 package");
+  DYNCON_INVARIANT(pkg.size % 2 == 0, "mobile size not even");
+  Interval lo, hi;
+  if (!pkg.serials.empty()) std::tie(lo, hi) = pkg.serials.split_half();
+  cancel(p);
+  const PackageId a =
+      create_mobile(pkg.host, pkg.level - 1, pkg.size / 2, lo);
+  const PackageId b =
+      create_mobile(pkg.host, pkg.level - 1, pkg.size / 2, hi);
+  return {a, b};
+}
+
+void PackageTable::make_static(PackageId p) {
+  Package& pkg = mut(p);
+  DYNCON_REQUIRE(pkg.kind == PackageKind::kMobile && pkg.level == 0,
+                 "only level-0 mobile packages become static");
+  pkg.kind = PackageKind::kStatic;
+}
+
+std::optional<std::uint64_t> PackageTable::consume_one(PackageId p) {
+  Package& pkg = mut(p);
+  DYNCON_REQUIRE(pkg.kind == PackageKind::kStatic, "consume from non-static");
+  DYNCON_INVARIANT(pkg.size >= 1, "empty static package still alive");
+  std::optional<std::uint64_t> serial;
+  if (!pkg.serials.empty()) serial = pkg.serials.take_one();
+  pkg.size -= 1;
+  if (pkg.size == 0) cancel(p);
+  return serial;
+}
+
+void PackageTable::cancel(PackageId p) {
+  Package& pkg = mut(p);
+  detach(p);
+  pkg.alive = false;
+}
+
+bool PackageTable::alive(PackageId p) const {
+  return p < packages_.size() && packages_[static_cast<std::size_t>(p)].alive;
+}
+
+const Package& PackageTable::get(PackageId p) const {
+  DYNCON_REQUIRE(p < packages_.size(), "unknown package id");
+  const Package& pkg = packages_[static_cast<std::size_t>(p)];
+  DYNCON_REQUIRE(pkg.alive, "access to dead package");
+  return pkg;
+}
+
+Package& PackageTable::mut(PackageId p) {
+  return const_cast<Package&>(get(p));
+}
+
+const std::vector<PackageId>& PackageTable::at(NodeId node) const {
+  auto it = by_host_.find(node);
+  return it == by_host_.end() ? kEmpty : it->second;
+}
+
+bool PackageTable::has_reject(NodeId node) const {
+  for (PackageId p : at(node)) {
+    if (get(p).kind == PackageKind::kReject) return true;
+  }
+  return false;
+}
+
+PackageId PackageTable::find_static(NodeId node) const {
+  for (PackageId p : at(node)) {
+    if (get(p).kind == PackageKind::kStatic) return p;
+  }
+  return kNoPackage;
+}
+
+PackageId PackageTable::find_mobile_of_level(NodeId node,
+                                             std::uint32_t level) const {
+  for (PackageId p : at(node)) {
+    const Package& pkg = get(p);
+    if (pkg.kind == PackageKind::kMobile && pkg.level == level) return p;
+  }
+  return kNoPackage;
+}
+
+std::vector<PackageId> PackageTable::all_alive() const {
+  std::vector<PackageId> out;
+  for (const Package& pkg : packages_) {
+    if (pkg.alive) out.push_back(pkg.id);
+  }
+  return out;
+}
+
+std::uint64_t PackageTable::permits_in_packages() const {
+  std::uint64_t total = 0;
+  for (const Package& pkg : packages_) {
+    if (pkg.alive && pkg.kind != PackageKind::kReject) total += pkg.size;
+  }
+  return total;
+}
+
+void PackageTable::attach(PackageId p, NodeId host) {
+  by_host_[host].push_back(p);
+}
+
+void PackageTable::detach(PackageId p) {
+  auto it = by_host_.find(get(p).host);
+  DYNCON_INVARIANT(it != by_host_.end(), "package host index missing");
+  auto& vec = it->second;
+  auto pit = std::find(vec.begin(), vec.end(), p);
+  DYNCON_INVARIANT(pit != vec.end(), "package missing from host index");
+  vec.erase(pit);
+  if (vec.empty()) by_host_.erase(it);
+}
+
+}  // namespace dyncon::core

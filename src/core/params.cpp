@@ -1,0 +1,79 @@
+#include "core/params.hpp"
+
+#include <sstream>
+
+namespace dyncon::core {
+
+Params::Params(std::uint64_t M, std::uint64_t W, std::uint64_t U)
+    : m_(M), w_(W), u_(U) {
+  DYNCON_REQUIRE(M >= 1, "M must be >= 1");
+  DYNCON_REQUIRE(W >= 1,
+                 "W must be >= 1 (W = 0 is handled by the iterated wrapper)");
+  DYNCON_REQUIRE(U >= 1, "U must be >= 1");
+
+  phi_ = W / (2 * U);
+  if (phi_ < 1) phi_ = 1;
+
+  const std::uint64_t log_term = ceil_log2(U) + 2;  // ceil(log U) + 2
+  const std::uint64_t ratio = ceil_div(U, W);
+  psi_ = 4 * log_term * (ratio < 1 ? 1 : ratio);
+  DYNCON_INVARIANT(psi_ % 4 == 0, "psi must be a multiple of 4");
+
+  max_level_ = ceil_log2(U) + 2;  // paper: level <= log U + 1
+}
+
+std::uint64_t Params::mobile_size(std::uint32_t level) const {
+  DYNCON_REQUIRE(level <= max_level_, "level out of range");
+  return sat_mul(pow2(level), phi_);
+}
+
+std::uint32_t Params::level_of_size(std::uint64_t size) const {
+  DYNCON_REQUIRE(size >= phi_ && size % phi_ == 0, "not a mobile size");
+  const std::uint64_t q = size / phi_;
+  DYNCON_REQUIRE(std::has_single_bit(q), "not a mobile size (power of two)");
+  return floor_log2(q);
+}
+
+bool Params::in_filler_window(std::uint32_t j, std::uint64_t d) const {
+  if (j == 0) return d <= 2 * psi_;
+  if (j > 63) return false;
+  const std::uint64_t lo = sat_mul(pow2(j), psi_);       // exclusive
+  const std::uint64_t hi = sat_mul(pow2(j + 1), psi_);   // inclusive
+  return lo < d && d <= hi;
+}
+
+std::uint32_t Params::creation_level(std::uint64_t dist_to_root) const {
+  for (std::uint32_t j = 0;; ++j) {
+    if (dist_to_root <= sat_mul(pow2(j + 1), psi_)) return j;
+    DYNCON_INVARIANT(j <= max_level_,
+                     "creation level exceeded max level; U bound violated?");
+  }
+}
+
+std::uint64_t Params::uk_distance(std::uint32_t k) const {
+  // 3 * 2^(k-1) * psi = 3 * (psi/2) * 2^k; psi is a multiple of 4.
+  return sat_mul(3 * (psi_ / 2), pow2(k));
+}
+
+std::uint64_t Params::domain_size(std::uint32_t k) const {
+  // 2^(k-1) * psi = (psi/2) * 2^k.
+  return sat_mul(psi_ / 2, pow2(k));
+}
+
+Params Params::with_psi_scale(std::uint64_t num, std::uint64_t den) const {
+  DYNCON_REQUIRE(num >= 1 && den >= 1, "bad psi scale");
+  Params out = *this;
+  std::uint64_t scaled = sat_mul(psi_, num) / den;
+  scaled -= scaled % 4;  // keep the half-power expressions exact
+  out.psi_ = std::max<std::uint64_t>(scaled, 4);
+  return out;
+}
+
+std::string Params::str() const {
+  std::ostringstream os;
+  os << "(M=" << m_ << ",W=" << w_ << ",U=" << u_ << ",phi=" << phi_
+     << ",psi=" << psi_ << ",maxlvl=" << max_level_ << ")";
+  return os.str();
+}
+
+}  // namespace dyncon::core

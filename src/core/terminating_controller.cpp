@@ -1,0 +1,70 @@
+#include "core/terminating_controller.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+TerminatingController::TerminatingController(tree::DynamicTree& tree,
+                                             std::uint64_t M, std::uint64_t W,
+                                             std::uint64_t U, Options options)
+    : tree_(tree) {
+  IteratedController::Options opts;
+  opts.mode = IteratedController::Mode::kExhaustSignal;
+  opts.track_domains = options.track_domains;
+  opts.serials = std::move(options.serials);
+  opts.on_pass_down = std::move(options.on_pass_down);
+  inner_ =
+      std::make_unique<IteratedController>(tree, M, W, U, std::move(opts));
+}
+
+void TerminatingController::terminate_now() {
+  if (terminated_) return;
+  terminated_ = true;
+  // Broadcast "reject signal" + upcast of termination acknowledgements:
+  // two messages per tree edge (Obs. 2.1's additive O(n) term).
+  control_cost_ += 2 * tree_.size();
+}
+
+template <typename Fn>
+Result TerminatingController::guard(Fn&& submit) {
+  if (terminated_) return Result{Outcome::kTerminated};
+  Result r = submit(*inner_);
+  if (r.outcome == Outcome::kExhausted) {
+    terminate_now();
+    return Result{Outcome::kTerminated};
+  }
+  DYNCON_INVARIANT(r.outcome != Outcome::kRejected,
+                   "terminating controller must never reject");
+  return r;
+}
+
+Result TerminatingController::request_event(NodeId u) {
+  return guard([&](IteratedController& c) { return c.request_event(u); });
+}
+
+Result TerminatingController::request_add_leaf(NodeId parent) {
+  return guard(
+      [&](IteratedController& c) { return c.request_add_leaf(parent); });
+}
+
+Result TerminatingController::request_add_internal_above(NodeId child) {
+  return guard([&](IteratedController& c) {
+    return c.request_add_internal_above(child);
+  });
+}
+
+Result TerminatingController::request_remove(NodeId v) {
+  return guard([&](IteratedController& c) { return c.request_remove(v); });
+}
+
+std::uint64_t TerminatingController::cost() const {
+  return inner_->cost() + control_cost_;
+}
+
+std::uint64_t TerminatingController::permits_granted() const {
+  return inner_->permits_granted();
+}
+
+}  // namespace dyncon::core

@@ -1,0 +1,52 @@
+#include "core/trivial_controller.hpp"
+
+#include "util/error.hpp"
+
+namespace dyncon::core {
+
+TrivialController::TrivialController(tree::DynamicTree& tree, std::uint64_t M)
+    : tree_(tree), storage_(M) {
+  DYNCON_REQUIRE(M >= 1, "M must be >= 1");
+}
+
+bool TrivialController::fetch_permit(NodeId u) {
+  // Request travels to the root; a permit or a reject travels back.
+  cost_ += 2 * tree_.depth(u);
+  if (storage_ == 0) {
+    ++rejects_;
+    return false;
+  }
+  --storage_;
+  ++granted_;
+  return true;
+}
+
+Result TrivialController::request_event(NodeId u) {
+  DYNCON_REQUIRE(tree_.alive(u), "request at dead node");
+  return Result{fetch_permit(u) ? Outcome::kGranted : Outcome::kRejected};
+}
+
+Result TrivialController::request_add_leaf(NodeId parent) {
+  DYNCON_REQUIRE(tree_.alive(parent), "add_leaf: parent not alive");
+  Result r{fetch_permit(parent) ? Outcome::kGranted : Outcome::kRejected};
+  if (r.granted()) r.new_node = tree_.add_leaf(parent);
+  return r;
+}
+
+Result TrivialController::request_add_internal_above(NodeId child) {
+  DYNCON_REQUIRE(tree_.alive(child) && child != tree_.root(),
+                 "bad add_internal request");
+  Result r{fetch_permit(tree_.parent(child)) ? Outcome::kGranted
+                                             : Outcome::kRejected};
+  if (r.granted()) r.new_node = tree_.add_internal_above(child);
+  return r;
+}
+
+Result TrivialController::request_remove(NodeId v) {
+  DYNCON_REQUIRE(tree_.alive(v) && v != tree_.root(), "bad remove request");
+  Result r{fetch_permit(v) ? Outcome::kGranted : Outcome::kRejected};
+  if (r.granted()) tree_.remove_node(v);
+  return r;
+}
+
+}  // namespace dyncon::core

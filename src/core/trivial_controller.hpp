@@ -1,0 +1,42 @@
+#pragma once
+
+// The trivial (M,0)-controller the paper uses as the naive yardstick:
+// every request walks to the root and the permit (or reject) walks back,
+// Omega(n) moves per request, Omega(nM) total (paper §1 intro).
+//
+// Supports the full dynamic model; used as the lower baseline in EXP3.
+
+#include <cstdint>
+
+#include "core/controller_iface.hpp"
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::core {
+
+class TrivialController final : public IController {
+ public:
+  TrivialController(tree::DynamicTree& tree, std::uint64_t M);
+
+  Result request_event(NodeId u) override;
+  Result request_add_leaf(NodeId parent) override;
+  Result request_add_internal_above(NodeId child) override;
+  Result request_remove(NodeId v) override;
+
+  [[nodiscard]] std::uint64_t cost() const override { return cost_; }
+  [[nodiscard]] std::uint64_t permits_granted() const override {
+    return granted_;
+  }
+  [[nodiscard]] std::uint64_t rejects_delivered() const { return rejects_; }
+
+ private:
+  /// Round trip to the root; true iff a permit was obtained.
+  bool fetch_permit(NodeId u);
+
+  tree::DynamicTree& tree_;
+  std::uint64_t storage_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t rejects_ = 0;
+  std::uint64_t cost_ = 0;
+};
+
+}  // namespace dyncon::core

@@ -1,0 +1,124 @@
+#include "sim/delay.hpp"
+
+#include "util/error.hpp"
+
+namespace dyncon::sim {
+
+FixedDelay::FixedDelay(SimTime ticks) : ticks_(ticks) {
+  DYNCON_REQUIRE(ticks >= 1, "delay must be >= 1 tick");
+}
+
+SimTime FixedDelay::delay(NodeId, NodeId, std::uint64_t) { return ticks_; }
+
+std::string FixedDelay::name() const {
+  return "fixed(" + std::to_string(ticks_) + ")";
+}
+
+UniformDelay::UniformDelay(Rng rng, SimTime lo, SimTime hi)
+    : rng_(rng), lo_(lo), hi_(hi) {
+  DYNCON_REQUIRE(lo >= 1 && lo <= hi, "bad uniform delay range");
+}
+
+SimTime UniformDelay::delay(NodeId, NodeId, std::uint64_t) {
+  return rng_.uniform(lo_, hi_);
+}
+
+std::string UniformDelay::name() const {
+  return "uniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+}
+
+HeavyTailDelay::HeavyTailDelay(Rng rng, SimTime cap) : rng_(rng), cap_(cap) {
+  DYNCON_REQUIRE(cap >= 1, "bad heavy-tail cap");
+}
+
+SimTime HeavyTailDelay::delay(NodeId, NodeId, std::uint64_t) {
+  return rng_.zipf_tail(cap_);
+}
+
+std::string HeavyTailDelay::name() const {
+  return "heavytail(cap=" + std::to_string(cap_) + ")";
+}
+
+BiasedDelay::BiasedDelay(Rng rng, double slow_fraction, SimTime slow_ticks)
+    : rng_(rng), slow_fraction_(slow_fraction), slow_ticks_(slow_ticks) {
+  DYNCON_REQUIRE(slow_fraction >= 0.0 && slow_fraction <= 1.0,
+                 "slow_fraction out of range");
+  DYNCON_REQUIRE(slow_ticks >= 1, "slow_ticks must be >= 1");
+  salt_ = rng_.next();
+}
+
+bool BiasedDelay::is_slow(NodeId id) const {
+  // Stable per-node coin flip derived from the policy's salt (full
+  // murmur3 finalizer; one multiply round leaves nearby ids correlated).
+  std::uint64_t h = id ^ salt_;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return u < slow_fraction_;
+}
+
+SimTime BiasedDelay::delay(NodeId from, NodeId to, std::uint64_t) {
+  const bool slow = is_slow(from) || is_slow(to);
+  const SimTime base = rng_.uniform(1, 3);
+  return slow ? base + slow_ticks_ : base;
+}
+
+std::string BiasedDelay::name() const {
+  return "biased(f=" + std::to_string(slow_fraction_) +
+         ",slow=" + std::to_string(slow_ticks_) + ")";
+}
+
+ReorderDelay::ReorderDelay(Rng rng, SimTime window)
+    : rng_(rng), window_(window) {
+  DYNCON_REQUIRE(window >= 2, "reorder window must be >= 2");
+}
+
+SimTime ReorderDelay::delay(NodeId, NodeId, std::uint64_t seq) {
+  // Descending within each window, with a little jitter: message k of a
+  // window waits (window - k) base ticks, so later sends land earlier.
+  const SimTime pos = seq % window_;
+  return (window_ - pos) + rng_.uniform(0, 1);
+}
+
+std::string ReorderDelay::name() const {
+  return "reorder(w=" + std::to_string(window_) + ")";
+}
+
+std::unique_ptr<DelayPolicy> make_delay(DelayKind kind, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case DelayKind::kFixed:
+      return std::make_unique<FixedDelay>(1);
+    case DelayKind::kUniform:
+      return std::make_unique<UniformDelay>(rng, 1, 16);
+    case DelayKind::kHeavyTail:
+      return std::make_unique<HeavyTailDelay>(rng, 256);
+    case DelayKind::kBiased:
+      return std::make_unique<BiasedDelay>(rng, 0.1, 64);
+    case DelayKind::kReorder:
+      return std::make_unique<ReorderDelay>(rng, 8);
+  }
+  throw ContractError("unknown DelayKind");
+}
+
+const char* delay_kind_name(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kFixed:
+      return "fixed";
+    case DelayKind::kUniform:
+      return "uniform";
+    case DelayKind::kHeavyTail:
+      return "heavytail";
+    case DelayKind::kBiased:
+      return "biased";
+    case DelayKind::kReorder:
+      return "reorder";
+  }
+  return "?";
+}
+
+}  // namespace dyncon::sim

@@ -1,0 +1,107 @@
+#pragma once
+
+// Message-delay adversaries.
+//
+// Message complexity — the paper's cost measure — is independent of the
+// delay schedule, but *which execution happens* (which agent wins a lock,
+// which requests overlap) is not.  A DelayPolicy is the adversary that picks
+// each message's in-flight delay; benches and property tests sweep policies
+// to show the complexity bounds hold across schedules (paper Lemmas
+// 4.2–4.5 argue over all executions).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::sim {
+
+/// Strategy deciding each message's delivery delay (>= 1 tick).
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Delay for the `seq`-th message from `from` to `to`.
+  [[nodiscard]] virtual SimTime delay(NodeId from, NodeId to,
+                                      std::uint64_t seq) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Every message takes exactly `ticks`.  FIFO per link, synchronous-like.
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(SimTime ticks = 1);
+  [[nodiscard]] SimTime delay(NodeId, NodeId, std::uint64_t) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime ticks_;
+};
+
+/// Uniform random delay in [lo, hi].
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(Rng rng, SimTime lo, SimTime hi);
+  [[nodiscard]] SimTime delay(NodeId, NodeId, std::uint64_t) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  SimTime lo_, hi_;
+};
+
+/// Heavy-tailed delay: mostly fast, occasionally very slow (stragglers).
+class HeavyTailDelay final : public DelayPolicy {
+ public:
+  HeavyTailDelay(Rng rng, SimTime cap);
+  [[nodiscard]] SimTime delay(NodeId, NodeId, std::uint64_t) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  SimTime cap_;
+};
+
+/// Per-node bias: messages touching "slow" nodes crawl; maximizes overlap
+/// between concurrent agent walks.
+class BiasedDelay final : public DelayPolicy {
+ public:
+  BiasedDelay(Rng rng, double slow_fraction, SimTime slow_ticks);
+  [[nodiscard]] SimTime delay(NodeId from, NodeId to,
+                              std::uint64_t seq) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] bool is_slow(NodeId id) const;
+  Rng rng_;
+  double slow_fraction_;
+  SimTime slow_ticks_;
+  std::uint64_t salt_;
+};
+
+/// Deliberate reordering: consecutive messages get descending delays, so
+/// within every window of `window` sends the later message tends to arrive
+/// first.  The protocols assume nothing about link FIFO-ness; this
+/// adversary is what checks that.
+class ReorderDelay final : public DelayPolicy {
+ public:
+  ReorderDelay(Rng rng, SimTime window);
+  [[nodiscard]] SimTime delay(NodeId, NodeId, std::uint64_t seq) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  SimTime window_;
+};
+
+/// Factory helpers keyed by a small enum, so benches can sweep policies.
+enum class DelayKind { kFixed, kUniform, kHeavyTail, kBiased, kReorder };
+
+[[nodiscard]] std::unique_ptr<DelayPolicy> make_delay(DelayKind kind,
+                                                      std::uint64_t seed);
+[[nodiscard]] const char* delay_kind_name(DelayKind kind);
+
+}  // namespace dyncon::sim

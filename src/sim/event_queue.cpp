@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace dyncon::sim {
+
+void EventQueue::schedule_after(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void EventQueue::schedule_at(SimTime when, Action action) {
+  DYNCON_REQUIRE(when >= now_, "cannot schedule in the past");
+  DYNCON_REQUIRE(static_cast<bool>(action), "null action");
+  heap_.push(Entry{when, seq_++, std::move(action)});
+}
+
+void EventQueue::step() {
+  DYNCON_REQUIRE(!heap_.empty(), "step on empty queue");
+  // Move the action out before popping so it may schedule new events.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = top.when;
+  ++fired_;
+  top.action();
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && n < max_events) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dyncon::sim

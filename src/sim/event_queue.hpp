@@ -1,0 +1,64 @@
+#pragma once
+
+// Discrete-event simulation core.
+//
+// The paper's model is a fully asynchronous message-passing network with
+// arbitrary-but-finite message delays.  We realize executions of that model
+// with a deterministic discrete-event loop: every message delivery (and
+// every environment action, such as a request arrival) is an event with a
+// firing time; ties are broken by insertion sequence so a run is a pure
+// function of (scenario, seed).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace dyncon::sim {
+
+/// Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` to fire `delay` ticks after the current time.
+  void schedule_after(SimTime delay, Action action);
+
+  /// Schedule at an absolute time (must not be in the past).
+  void schedule_at(SimTime when, Action action);
+
+  /// Fire the earliest pending event.  Requires !empty().
+  void step();
+
+  /// Run until no events remain or `max_events` have fired.
+  /// Returns the number of events fired.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace dyncon::sim

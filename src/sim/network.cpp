@@ -1,0 +1,66 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon::sim {
+
+const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kAgent:
+      return "agent";
+    case MsgKind::kReject:
+      return "reject";
+    case MsgKind::kControl:
+      return "control";
+    case MsgKind::kDataMove:
+      return "datamove";
+    case MsgKind::kApp:
+      return "app";
+    case MsgKind::kKindCount__:
+      break;
+  }
+  return "?";
+}
+
+std::string NetStats::str() const {
+  std::ostringstream os;
+  os << "messages=" << messages << " total_bits=" << total_bits
+     << " max_msg_bits=" << max_message_bits;
+  for (std::size_t k = 0; k < by_kind.size(); ++k) {
+    if (by_kind[k] == 0) continue;
+    os << " " << msg_kind_name(static_cast<MsgKind>(k)) << "=" << by_kind[k];
+  }
+  return os.str();
+}
+
+Network::Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay)
+    : queue_(queue), delay_(std::move(delay)) {
+  DYNCON_REQUIRE(delay_ != nullptr, "null delay policy");
+}
+
+void Network::send(NodeId from, NodeId to, MsgKind kind,
+                   std::uint64_t payload_bits, Deliver on_deliver) {
+  DYNCON_REQUIRE(static_cast<bool>(on_deliver), "null delivery handler");
+  ++stats_.messages;
+  stats_.total_bits += payload_bits;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, payload_bits);
+  ++stats_.by_kind[static_cast<std::size_t>(kind)];
+  const SimTime d = delay_->delay(from, to, seq_++);
+  queue_.schedule_after(d, std::move(on_deliver));
+}
+
+void Network::charge(MsgKind kind, std::uint64_t count,
+                     std::uint64_t bits_each) {
+  stats_.messages += count;
+  stats_.total_bits += count * bits_each;
+  if (count > 0) {
+    stats_.max_message_bits = std::max(stats_.max_message_bits, bits_each);
+  }
+  stats_.by_kind[static_cast<std::size_t>(kind)] += count;
+}
+
+}  // namespace dyncon::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Asynchronous point-to-point message transport with cost accounting.
+//
+// `Network` is the only way protocol layers send anything, so its counters
+// are authoritative for the paper's cost measure (message complexity) and
+// for the O(log N)-bit message-size claim (§2.1.1, Lemma 4.5).  It does not
+// know about tree topology; the agent layer is responsible for only sending
+// along tree edges.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/delay.hpp"
+#include "sim/event_queue.hpp"
+#include "util/ids.hpp"
+
+namespace dyncon::sim {
+
+/// Accounting category of a message; the paper's bounds decompose by these.
+enum class MsgKind : std::uint8_t {
+  kAgent,       ///< request-handling agent hop (the dominant cost term)
+  kReject,      ///< reject-wave flooding (O(U) total)
+  kControl,     ///< broadcast/upcast for iteration management (Obs. 2.1, App. A)
+  kDataMove,    ///< graceful-deletion data handoff to parent
+  kApp,         ///< application-layer traffic (DFS relabeling, estimates, ...)
+  kKindCount__  ///< sentinel
+};
+
+[[nodiscard]] const char* msg_kind_name(MsgKind kind);
+
+/// Per-kind and aggregate message statistics.
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgKind::kKindCount__)>
+      by_kind{};
+
+  [[nodiscard]] std::uint64_t kind(MsgKind k) const {
+    return by_kind[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Message transport over the event queue.
+class Network {
+ public:
+  using Deliver = std::function<void()>;
+
+  Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay);
+
+  /// Send one message; `on_deliver` fires when it arrives.
+  /// `payload_bits` is the encoded size the sender claims; the counter
+  /// `max_message_bits` lets tests verify the O(log N) message-size bound.
+  void send(NodeId from, NodeId to, MsgKind kind, std::uint64_t payload_bits,
+            Deliver on_deliver);
+
+  /// Account for `count` messages of `bits_each` bits that are modeled but
+  /// not individually scheduled (e.g., a graceful-deletion data handoff,
+  /// which is applied atomically but costs O(deg + log^2 U) real messages).
+  void charge(MsgKind kind, std::uint64_t count, std::uint64_t bits_each);
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetStats{}; }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue& queue_;
+  std::unique_ptr<DelayPolicy> delay_;
+  NetStats stats_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dyncon::sim

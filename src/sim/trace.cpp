@@ -1,0 +1,27 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+namespace dyncon::sim {
+
+void Trace::log(SimTime now, std::string line) {
+  if (!enabled_) return;
+  ++recorded_;
+  ring_.push_back("[t=" + std::to_string(now) + "] " + std::move(line));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<std::string> Trace::tail(std::size_t n) const {
+  std::vector<std::string> out;
+  const std::size_t start = ring_.size() > n ? ring_.size() - n : 0;
+  out.reserve(ring_.size() - start);
+  for (std::size_t i = start; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+void Trace::clear() {
+  ring_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace dyncon::sim

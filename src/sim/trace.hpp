@@ -1,0 +1,42 @@
+#pragma once
+
+// Optional execution trace for debugging distributed runs.
+//
+// Protocol layers emit compact trace lines ("agent 7 locked node 12");
+// recording is off by default so the hot path costs one branch.  Tests that
+// fail can re-run the same seed with tracing on and dump the tail.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace dyncon::sim {
+
+/// Bounded in-memory trace (keeps the most recent `capacity` lines).
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Record a line (no-op when disabled).
+  void log(SimTime now, std::string line);
+
+  /// Most recent lines, oldest first.
+  [[nodiscard]] std::vector<std::string> tail(std::size_t n = 64) const;
+
+  [[nodiscard]] std::uint64_t lines_recorded() const { return recorded_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::deque<std::string> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace dyncon::sim

@@ -1,0 +1,58 @@
+#include "tree/ports.hpp"
+
+#include "util/error.hpp"
+
+namespace dyncon::tree {
+
+PortId PortAssigner::attach(NodeId node, NodeId neighbor) {
+  Table& t = tables_[node];
+  DYNCON_REQUIRE(!t.by_neighbor.contains(neighbor),
+                 "port to this neighbor already exists");
+  // Adversarial-looking port id; retry on the (rare) per-node collision.
+  PortId p;
+  do {
+    p = rng_.next();
+  } while (t.by_port.contains(p));
+  t.by_port.emplace(p, neighbor);
+  t.by_neighbor.emplace(neighbor, p);
+  return p;
+}
+
+void PortAssigner::detach(NodeId node, NodeId neighbor) {
+  auto it = tables_.find(node);
+  if (it == tables_.end()) return;
+  auto nit = it->second.by_neighbor.find(neighbor);
+  if (nit == it->second.by_neighbor.end()) return;
+  it->second.by_port.erase(nit->second);
+  it->second.by_neighbor.erase(nit);
+}
+
+void PortAssigner::drop_node(NodeId node) { tables_.erase(node); }
+
+bool PortAssigner::has_port(NodeId node, NodeId neighbor) const {
+  auto it = tables_.find(node);
+  return it != tables_.end() && it->second.by_neighbor.contains(neighbor);
+}
+
+PortId PortAssigner::port_to(NodeId node, NodeId neighbor) const {
+  auto it = tables_.find(node);
+  DYNCON_REQUIRE(it != tables_.end(), "node has no ports");
+  auto nit = it->second.by_neighbor.find(neighbor);
+  DYNCON_REQUIRE(nit != it->second.by_neighbor.end(), "no port to neighbor");
+  return nit->second;
+}
+
+NodeId PortAssigner::neighbor_at(NodeId node, PortId port) const {
+  auto it = tables_.find(node);
+  DYNCON_REQUIRE(it != tables_.end(), "node has no ports");
+  auto pit = it->second.by_port.find(port);
+  DYNCON_REQUIRE(pit != it->second.by_port.end(), "no such port");
+  return pit->second;
+}
+
+std::size_t PortAssigner::degree(NodeId node) const {
+  auto it = tables_.find(node);
+  return it == tables_.end() ? 0 : it->second.by_port.size();
+}
+
+}  // namespace dyncon::tree

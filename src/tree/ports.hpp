@@ -1,0 +1,48 @@
+#pragma once
+
+// Adversarial port numbering (paper §2.1.2).
+//
+// "We assume the relatively wasteful model in which the port numbers are
+//  assigned by an adversary ... encoded using O(log N) bits."
+//
+// The assigner hands out arbitrary-looking (but deterministic) port numbers
+// that are unique per node; nothing in the protocols may rely on ports being
+// small or consecutive, and tests assert per-node uniqueness.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::tree {
+
+/// Per-node port table: port -> neighbor and neighbor -> port.
+class PortAssigner {
+ public:
+  explicit PortAssigner(std::uint64_t seed = 0xdecafbadULL) : rng_(seed) {}
+
+  /// Assign a fresh port at `node` leading to `neighbor`.
+  PortId attach(NodeId node, NodeId neighbor);
+
+  /// Remove the port at `node` leading to `neighbor` (edge deleted).
+  void detach(NodeId node, NodeId neighbor);
+
+  /// Drop all ports of a deleted node.
+  void drop_node(NodeId node);
+
+  [[nodiscard]] bool has_port(NodeId node, NodeId neighbor) const;
+  [[nodiscard]] PortId port_to(NodeId node, NodeId neighbor) const;
+  [[nodiscard]] NodeId neighbor_at(NodeId node, PortId port) const;
+  [[nodiscard]] std::size_t degree(NodeId node) const;
+
+ private:
+  struct Table {
+    std::unordered_map<PortId, NodeId> by_port;
+    std::unordered_map<NodeId, PortId> by_neighbor;
+  };
+  std::unordered_map<NodeId, Table> tables_;
+  Rng rng_;
+};
+
+}  // namespace dyncon::tree

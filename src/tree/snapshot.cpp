@@ -1,0 +1,59 @@
+#include "tree/snapshot.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dyncon::tree {
+
+std::string snapshot(const DynamicTree& t) {
+  std::ostringstream os;
+  os << "tree v1\n";
+  for (NodeId v : t.alive_nodes()) {
+    os << v << ' ';
+    if (v == t.root()) {
+      os << "-";
+    } else {
+      os << t.parent(v);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+DynamicTree restore(const std::string& text) {
+  std::istringstream is(text);
+  std::string header;
+  std::getline(is, header);
+  DYNCON_REQUIRE(header == "tree v1", "unknown snapshot header: " + header);
+  std::vector<std::pair<NodeId, NodeId>> parent_of;
+  std::string line;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    NodeId id = 0;
+    std::string parent;
+    if (!(ls >> id >> parent)) {
+      throw ContractError("malformed snapshot line " +
+                          std::to_string(lineno) + ": " + line);
+    }
+    parent_of.emplace_back(
+        id, parent == "-" ? kNoNode : std::stoull(parent));
+  }
+  return DynamicTree::from_structure(parent_of);
+}
+
+bool same_topology(const DynamicTree& a, const DynamicTree& b) {
+  if (a.size() != b.size()) return false;
+  for (NodeId v : a.alive_nodes()) {
+    if (!b.alive(v)) return false;
+    if (v == a.root()) continue;
+    if (!b.alive(a.parent(v)) || a.parent(v) != b.parent(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace dyncon::tree

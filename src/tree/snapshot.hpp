@@ -1,0 +1,36 @@
+#pragma once
+
+// Tree snapshots: a text serialization of the live topology.
+//
+// Format is one line per alive node in BFS order:
+//
+//     tree v1
+//     0 -           # the root
+//     3 0           # node 3, child of node 0
+//     7 3
+//
+// Restoring builds an *isomorphic* tree whose alive node ids equal the
+// snapshot's (achieved by creating and deleting filler nodes so the id
+// counter lines up), which lets recorded Scripts replay against a restored
+// tree.  Snapshots are how long experiments checkpoint, and how failing
+// randomized runs get turned into fixture files.
+
+#include <string>
+
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::tree {
+
+/// Serialize the alive topology of `t`.
+[[nodiscard]] std::string snapshot(const DynamicTree& t);
+
+/// Rebuild a tree from `text`; the result's alive node ids match the
+/// snapshot's ids exactly.  Throws ContractError on malformed input or on
+/// ids that cannot be reproduced (a snapshot's root must be node 0).
+[[nodiscard]] DynamicTree restore(const std::string& text);
+
+/// True iff the two trees have identical alive topology (same ids, same
+/// parent relation).
+[[nodiscard]] bool same_topology(const DynamicTree& a, const DynamicTree& b);
+
+}  // namespace dyncon::tree

@@ -1,0 +1,66 @@
+#include "tree/validate.hpp"
+
+#include <unordered_set>
+
+namespace dyncon::tree {
+
+namespace {
+ValidationResult fail(std::string detail) {
+  return ValidationResult{false, std::move(detail)};
+}
+}  // namespace
+
+ValidationResult validate(const DynamicTree& t) {
+  const auto nodes = t.alive_nodes();  // BFS from the root
+  if (nodes.empty() || nodes.front() != t.root()) {
+    return fail("BFS does not start at the root");
+  }
+  if (nodes.size() != t.size()) {
+    return fail("alive_count (" + std::to_string(t.size()) +
+                ") != reachable nodes (" + std::to_string(nodes.size()) + ")");
+  }
+
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : nodes) {
+    if (!t.alive(v)) return fail("BFS reached dead node " + std::to_string(v));
+    if (!seen.insert(v).second) {
+      return fail("node visited twice (cycle?): " + std::to_string(v));
+    }
+    // Parent/child symmetry.
+    if (v != t.root()) {
+      const NodeId p = t.parent(v);
+      if (!t.alive(p)) return fail("dead parent of " + std::to_string(v));
+      bool found = false;
+      for (NodeId c : t.children(p)) found |= (c == v);
+      if (!found) {
+        return fail("node " + std::to_string(v) +
+                    " missing from parent's child list");
+      }
+      // Port symmetry along the tree edge.
+      if (!t.ports().has_port(v, p) || !t.ports().has_port(p, v)) {
+        return fail("missing port on tree edge " + std::to_string(p) + "-" +
+                    std::to_string(v));
+      }
+    }
+    for (NodeId c : t.children(v)) {
+      if (!t.alive(c)) {
+        return fail("dead child " + std::to_string(c) + " of " +
+                    std::to_string(v));
+      }
+      if (t.parent(c) != v) {
+        return fail("child " + std::to_string(c) + " has wrong parent");
+      }
+    }
+    // Port table round-trips.
+    const std::size_t deg =
+        t.children(v).size() + (v == t.root() ? 0u : 1u);
+    if (t.ports().degree(v) != deg) {
+      return fail("port degree mismatch at " + std::to_string(v) + ": " +
+                  std::to_string(t.ports().degree(v)) + " vs " +
+                  std::to_string(deg));
+    }
+  }
+  return ValidationResult{};
+}
+
+}  // namespace dyncon::tree

@@ -1,0 +1,58 @@
+#pragma once
+
+// Error-handling primitives for dyncon.
+//
+// Invariant violations inside the simulator or the controllers indicate a
+// bug (either in this library or in how a scenario drives it), never a
+// recoverable runtime condition, so they throw `dyncon::InvariantError`
+// carrying the failing expression and location.  Tests catch these to turn
+// violated protocol invariants into failures.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dyncon {
+
+/// Thrown when an internal invariant of the library is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a caller passes arguments outside a function's contract.
+class ContractError : public std::invalid_argument {
+ public:
+  explicit ContractError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failed(
+    const char* expr, const char* msg,
+    const std::source_location loc = std::source_location::current()) {
+  throw InvariantError(std::string("invariant violated: ") + expr + " (" +
+                       msg + ") at " + loc.file_name() + ":" +
+                       std::to_string(loc.line()));
+}
+}  // namespace detail
+
+}  // namespace dyncon
+
+/// Checked in all build types: protocol invariants are the subject of this
+/// library, so they are never compiled out.
+#define DYNCON_INVARIANT(expr, msg)                   \
+  do {                                                \
+    if (!(expr)) {                                    \
+      ::dyncon::detail::invariant_failed(#expr, msg); \
+    }                                                 \
+  } while (false)
+
+/// Precondition check for public API entry points.
+#define DYNCON_REQUIRE(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      throw ::dyncon::ContractError(std::string("precondition: ") +   \
+                                    #expr + " (" + (msg) + ")");      \
+    }                                                                 \
+  } while (false)

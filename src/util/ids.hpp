@@ -1,0 +1,28 @@
+#pragma once
+
+// Shared identifier and time vocabulary.
+//
+// NodeId is a permanent handle: once a node is deleted its id is never
+// reused, matching the paper's accounting where U bounds "the number of
+// nodes ever to exist in the network (including deleted nodes)".
+
+#include <cstdint>
+
+namespace dyncon {
+
+/// Permanent node identifier (never reused after deletion).
+using NodeId = std::uint64_t;
+
+/// Sentinel for "no node" (e.g., the root's parent).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Simulated time (abstract ticks; only ordering matters for correctness).
+using SimTime = std::uint64_t;
+
+/// Port number on a node, assigned adversarially (paper §2.1.2).
+using PortId = std::uint64_t;
+
+/// Request identifier, unique per submitted request.
+using RequestId = std::uint64_t;
+
+}  // namespace dyncon

@@ -1,0 +1,85 @@
+#pragma once
+
+// Closed integer intervals [lo, hi].
+//
+// The name-assignment protocol (paper §5.2) represents the permits stored in
+// the root and in every package as an explicit interval of "serial numbers";
+// splitting a package splits its interval into two equal halves, and the
+// identity handed to a joining node is the single integer in a size-one
+// interval.  This type implements exactly that arithmetic.
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace dyncon {
+
+/// Closed interval of 64-bit identifiers; may be empty.
+class Interval {
+ public:
+  /// Empty interval.
+  constexpr Interval() : lo_(1), hi_(0) {}
+
+  /// Closed interval [lo, hi]; lo > hi denotes empty, normalized to {1,0}.
+  constexpr Interval(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {
+    if (lo_ > hi_) {
+      lo_ = 1;
+      hi_ = 0;
+    }
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return lo_ > hi_; }
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return empty() ? 0 : hi_ - lo_ + 1;
+  }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+
+  [[nodiscard]] constexpr bool contains(std::uint64_t x) const {
+    return !empty() && lo_ <= x && x <= hi_;
+  }
+
+  [[nodiscard]] constexpr bool intersects(const Interval& o) const {
+    if (empty() || o.empty()) return false;
+    return lo_ <= o.hi_ && o.lo_ <= hi_;
+  }
+
+  /// Remove and return the lowest `k` elements as a new interval.
+  /// Requires k <= size().
+  Interval take_low(std::uint64_t k) {
+    DYNCON_REQUIRE(k <= size(), "take_low: not enough elements");
+    if (k == 0) return Interval{};
+    Interval out(lo_, lo_ + k - 1);
+    lo_ += k;
+    if (lo_ > hi_) *this = Interval{};
+    return out;
+  }
+
+  /// Remove and return the single lowest element.  Requires non-empty.
+  std::uint64_t take_one() {
+    DYNCON_REQUIRE(!empty(), "take_one on empty interval");
+    return take_low(1).lo();
+  }
+
+  /// Split into two halves of equal size; requires even, non-zero size.
+  [[nodiscard]] std::pair<Interval, Interval> split_half() const {
+    DYNCON_REQUIRE(size() > 0 && size() % 2 == 0,
+                   "split_half: size must be even and positive");
+    const std::uint64_t mid = lo_ + size() / 2 - 1;
+    return {Interval(lo_, mid), Interval(mid + 1, hi_)};
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  if (iv.empty()) return os << "[]";
+  return os << "[" << iv.lo() << "," << iv.hi() << "]";
+}
+
+}  // namespace dyncon

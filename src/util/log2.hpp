@@ -1,0 +1,53 @@
+#pragma once
+
+// Integer log/exp helpers used by the controller's parameter formulas.
+//
+// The paper's constants are built from expressions such as
+//   phi = max(floor(W / 2U), 1)
+//   psi = 4 * ceil(log2(U) + 2) * max(ceil(U / W), 1)
+// and package levels are exponents in sizes 2^i * phi.  Everything here is
+// exact integer arithmetic (no floating point), matching the paper's
+// ceil/floor usage.
+
+#include <bit>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace dyncon {
+
+/// floor(log2(x)); requires x >= 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  DYNCON_INVARIANT(x >= 1, "floor_log2 of zero");
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x >= 1.  ceil_log2(1) == 0.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  DYNCON_INVARIANT(x >= 1, "ceil_log2 of zero");
+  const std::uint32_t fl = floor_log2(x);
+  return std::has_single_bit(x) ? fl : fl + 1;
+}
+
+/// ceil(a / b) for b > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) {
+  DYNCON_INVARIANT(b > 0, "ceil_div by zero");
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// 2^i with overflow check.
+[[nodiscard]] constexpr std::uint64_t pow2(std::uint32_t i) {
+  DYNCON_INVARIANT(i < 64, "pow2 overflow");
+  return std::uint64_t{1} << i;
+}
+
+/// Saturating multiply for cost formulas (benches can request huge M).
+[[nodiscard]] constexpr std::uint64_t sat_mul(std::uint64_t a,
+                                              std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > UINT64_MAX / b) return UINT64_MAX;
+  return a * b;
+}
+
+}  // namespace dyncon

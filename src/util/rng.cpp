@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace dyncon {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  DYNCON_REQUIRE(lo <= hi, "uniform: empty range");
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return next();
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t draw;
+  do {
+    draw = next();
+  } while (draw >= limit);
+  return lo + draw % bound;
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::zipf_tail(std::uint64_t cap) {
+  DYNCON_REQUIRE(cap >= 1, "zipf_tail: cap must be >= 1");
+  // Inverse-CDF of P(X >= k) = 1/k on [1, cap]: X = 1/U clipped.
+  const double u = uniform01();
+  const double x = 1.0 / (u + 1.0 / static_cast<double>(cap));
+  auto k = static_cast<std::uint64_t>(x);
+  if (k < 1) k = 1;
+  if (k > cap) k = cap;
+  return k;
+}
+
+std::size_t Rng::index(std::size_t size) {
+  DYNCON_REQUIRE(size > 0, "index: empty container");
+  return static_cast<std::size_t>(uniform(0, size - 1));
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd6e8feb86659fd93ULL); }
+
+}  // namespace dyncon

@@ -1,0 +1,66 @@
+#pragma once
+
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the simulator (delay adversaries, workload
+// generators, shuffles) draws from an explicitly seeded `Rng`, so any run is
+// reproducible from its seed.  The generator is xoshiro256** seeded via
+// splitmix64, which is fast, has a 256-bit state, and — unlike
+// std::mt19937 — has a guaranteed identical stream across platforms.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dyncon {
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli(p) draw.
+  bool chance(double p);
+
+  /// Geometric-ish heavy-tail draw in [1, cap]: P(X >= k) ~ 1/k.
+  std::uint64_t zipf_tail(std::uint64_t cap);
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dyncon

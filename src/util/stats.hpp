@@ -1,0 +1,52 @@
+#pragma once
+
+// Streaming summary statistics used by benches and EXPERIMENTS reporting.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dyncon {
+
+/// Online mean/min/max/variance accumulator (Welford).
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// "mean=… min=… max=… n=…" one-liner for bench output.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a stored sample (used for tail-latency style rows).
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] double at(double q) const;  ///< q in [0,1]; 0 if empty.
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Least-squares slope of log(y) vs log(x): empirical scaling exponent.
+/// Returns 0 if fewer than two distinct points.
+[[nodiscard]] double loglog_slope(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace dyncon

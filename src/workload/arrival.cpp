@@ -1,0 +1,82 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dyncon::workload {
+
+UniformArrivals::UniformArrivals(SimTime gap) : gap_(gap) {}
+
+SimTime UniformArrivals::next_gap() { return gap_; }
+
+std::string UniformArrivals::name() const {
+  return "uniform(" + std::to_string(gap_) + ")";
+}
+
+PoissonArrivals::PoissonArrivals(Rng rng, double mean_gap) : rng_(rng) {
+  DYNCON_REQUIRE(mean_gap >= 1.0, "mean gap must be >= 1 tick");
+  // The floor-of-exponential draw below is the "failures before success"
+  // geometric with mean (1-p)/p, so solve that for the requested mean.
+  p_ = 1.0 / (mean_gap + 1.0);
+}
+
+SimTime PoissonArrivals::next_gap() {
+  // Geometric via inverse CDF: gap = floor(ln(U) / ln(1-p)).
+  const double u = rng_.uniform01();
+  if (u <= 0.0) return 0;
+  const double g = std::floor(std::log(1.0 - u) / std::log(1.0 - p_));
+  return g < 0 ? 0 : static_cast<SimTime>(g);
+}
+
+std::string PoissonArrivals::name() const {
+  return "poisson(p=" + std::to_string(p_) + ")";
+}
+
+BurstyArrivals::BurstyArrivals(Rng rng, std::uint64_t burst, SimTime pause)
+    : rng_(rng), burst_(burst), pause_(pause), left_in_burst_(burst) {
+  DYNCON_REQUIRE(burst >= 1, "burst must be >= 1");
+  DYNCON_REQUIRE(pause >= 1, "pause must be >= 1");
+}
+
+SimTime BurstyArrivals::next_gap() {
+  if (left_in_burst_ > 0) {
+    --left_in_burst_;
+    return 0;
+  }
+  left_in_burst_ = rng_.uniform(1, burst_);
+  return pause_ + rng_.uniform(0, pause_ / 2 + 1);
+}
+
+std::string BurstyArrivals::name() const {
+  return "bursty(b=" + std::to_string(burst_) +
+         ",pause=" + std::to_string(pause_) + ")";
+}
+
+std::unique_ptr<ArrivalProcess> make_arrivals(ArrivalKind kind,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case ArrivalKind::kUniform:
+      return std::make_unique<UniformArrivals>(4);
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(rng, 4.0);
+    case ArrivalKind::kBursty:
+      return std::make_unique<BurstyArrivals>(rng, 12, 64);
+  }
+  throw ContractError("unknown ArrivalKind");
+}
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kUniform:
+      return "uniform";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+}  // namespace dyncon::workload

@@ -1,0 +1,72 @@
+#pragma once
+
+// Request arrival-time processes for asynchronous experiments.
+//
+// Burst drivers submit k requests and drain the queue; an ArrivalProcess
+// instead schedules each submission at a simulated time, so requests
+// overlap with the protocol's own messages the way they would in a live
+// system.  All processes are seeded and deterministic.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::workload {
+
+/// Produces successive inter-arrival gaps (in simulated ticks, >= 0).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual SimTime next_gap() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Constant spacing (a paced client).
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(SimTime gap);
+  [[nodiscard]] SimTime next_gap() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimTime gap_;
+};
+
+/// Memoryless arrivals: geometric gaps with mean `mean_gap` (the discrete
+/// analogue of a Poisson process).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(Rng rng, double mean_gap);
+  [[nodiscard]] SimTime next_gap() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  double p_;  ///< per-tick arrival probability = 1 / mean_gap
+};
+
+/// On/off bursts: `burst` back-to-back arrivals, then a long pause — the
+/// flash-crowd arrival pattern.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(Rng rng, std::uint64_t burst, SimTime pause);
+  [[nodiscard]] SimTime next_gap() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  std::uint64_t burst_;
+  SimTime pause_;
+  std::uint64_t left_in_burst_;
+};
+
+enum class ArrivalKind { kUniform, kPoisson, kBursty };
+
+[[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrivals(
+    ArrivalKind kind, std::uint64_t seed);
+[[nodiscard]] const char* arrival_kind_name(ArrivalKind kind);
+
+}  // namespace dyncon::workload

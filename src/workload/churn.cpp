@@ -1,0 +1,82 @@
+#include "workload/churn.hpp"
+
+#include "workload/shapes.hpp"
+
+namespace dyncon::workload {
+
+using core::RequestSpec;
+
+const char* churn_name(ChurnModel m) {
+  switch (m) {
+    case ChurnModel::kGrowOnly:
+      return "grow";
+    case ChurnModel::kBirthDeath:
+      return "birthdeath";
+    case ChurnModel::kInternalChurn:
+      return "internal";
+    case ChurnModel::kFlashCrowd:
+      return "flashcrowd";
+    case ChurnModel::kShrink:
+      return "shrink";
+  }
+  return "?";
+}
+
+std::vector<ChurnModel> all_churn_models() {
+  return {ChurnModel::kGrowOnly, ChurnModel::kBirthDeath,
+          ChurnModel::kInternalChurn, ChurnModel::kFlashCrowd,
+          ChurnModel::kShrink};
+}
+
+ChurnGenerator::ChurnGenerator(ChurnModel model, Rng rng)
+    : model_(model), rng_(rng) {}
+
+RequestSpec ChurnGenerator::add_leaf(const tree::DynamicTree& t) {
+  return RequestSpec{RequestSpec::Type::kAddLeaf, random_node(t, rng_)};
+}
+
+RequestSpec ChurnGenerator::remove_node(const tree::DynamicTree& t) {
+  if (t.size() < 2) return add_leaf(t);
+  return RequestSpec{RequestSpec::Type::kRemove, random_non_root(t, rng_)};
+}
+
+RequestSpec ChurnGenerator::add_internal(const tree::DynamicTree& t) {
+  if (t.size() < 2) return add_leaf(t);
+  return RequestSpec{RequestSpec::Type::kAddInternal,
+                     random_non_root(t, rng_)};
+}
+
+RequestSpec ChurnGenerator::next(const tree::DynamicTree& t) {
+  switch (model_) {
+    case ChurnModel::kGrowOnly:
+      return add_leaf(t);
+    case ChurnModel::kBirthDeath:
+      return rng_.chance(0.5) ? add_leaf(t) : remove_node(t);
+    case ChurnModel::kInternalChurn: {
+      switch (rng_.uniform(0, 3)) {
+        case 0:
+          return add_leaf(t);
+        case 1:
+          return remove_node(t);
+        case 2:
+          return add_internal(t);
+        default:
+          return remove_node(t);
+      }
+    }
+    case ChurnModel::kFlashCrowd: {
+      if (burst_left_ <= 0) {
+        joining_ = !joining_;
+        burst_left_ =
+            static_cast<std::int64_t>(rng_.uniform(8, 64));
+      }
+      --burst_left_;
+      return joining_ ? add_leaf(t) : remove_node(t);
+    }
+    case ChurnModel::kShrink:
+      return remove_node(t);
+  }
+  return add_leaf(t);
+}
+
+}  // namespace dyncon::workload

@@ -1,0 +1,50 @@
+#pragma once
+
+// Churn models: streams of topological requests over a live tree.
+//
+// Each model proposes the *next* request given the current topology, so a
+// driver can interleave proposals with controller grants (the controlled
+// dynamic model: a change only happens if granted).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller_iface.hpp"
+#include "tree/dynamic_tree.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::workload {
+
+enum class ChurnModel : std::uint8_t {
+  kGrowOnly,       ///< leaf insertions only (the dynamic model of [4])
+  kBirthDeath,     ///< balanced add-leaf / remove-leaf mixture
+  kInternalChurn,  ///< all four change types, uniformly mixed
+  kFlashCrowd,     ///< join bursts followed by leave bursts (P2P motif)
+  kShrink,         ///< removals only (until the root is alone)
+};
+
+[[nodiscard]] const char* churn_name(ChurnModel m);
+[[nodiscard]] std::vector<ChurnModel> all_churn_models();
+
+/// Stateful request proposer.
+class ChurnGenerator {
+ public:
+  ChurnGenerator(ChurnModel model, Rng rng);
+
+  /// Propose the next topological request for the current tree.  Always
+  /// valid at proposal time (alive subjects, non-root removals); may fall
+  /// back to an add-leaf when the model's preferred move is impossible.
+  [[nodiscard]] core::RequestSpec next(const tree::DynamicTree& t);
+
+ private:
+  [[nodiscard]] core::RequestSpec add_leaf(const tree::DynamicTree& t);
+  [[nodiscard]] core::RequestSpec remove_node(const tree::DynamicTree& t);
+  [[nodiscard]] core::RequestSpec add_internal(const tree::DynamicTree& t);
+
+  ChurnModel model_;
+  Rng rng_;
+  std::int64_t burst_left_ = 0;  ///< kFlashCrowd phase counter
+  bool joining_ = true;
+};
+
+}  // namespace dyncon::workload

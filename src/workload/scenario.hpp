@@ -1,0 +1,52 @@
+#pragma once
+
+// Scenario drivers: feed request streams to controllers and tally outcomes.
+
+#include <cstdint>
+#include <string>
+
+#include "core/controller_iface.hpp"
+#include "core/distributed_controller.hpp"
+#include "workload/arrival.hpp"
+#include "workload/churn.hpp"
+
+namespace dyncon::workload {
+
+struct ScenarioStats {
+  std::uint64_t requests = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t moot = 0;
+  std::uint64_t other = 0;  ///< exhausted / terminated
+
+  void count(const core::Result& r);
+  [[nodiscard]] std::string str() const;
+};
+
+/// Drive a synchronous controller with `steps` requests: each step is a
+/// churn proposal with probability (1 - event_fraction), otherwise a
+/// non-topological event at a random node.
+ScenarioStats run_churn(core::IController& ctrl, tree::DynamicTree& tree,
+                        ChurnGenerator& churn, std::uint64_t steps,
+                        double event_fraction, Rng& rng);
+
+/// Submit the same mixture to an asynchronous distributed controller in
+/// bursts of `burst` concurrent requests (stress for the lock/queue
+/// machinery), running the event loop dry between bursts.
+ScenarioStats run_churn_async(core::DistributedController& ctrl,
+                              sim::EventQueue& queue,
+                              tree::DynamicTree& tree, ChurnGenerator& churn,
+                              std::uint64_t steps, std::uint64_t burst,
+                              double event_fraction, Rng& rng);
+
+/// Open-loop driver: submissions fire at the arrival process's simulated
+/// times, overlapping freely with the protocol's own traffic (each request
+/// is proposed against the topology at its arrival instant).  Runs the
+/// queue to completion before returning.
+ScenarioStats run_churn_timed(core::DistributedController& ctrl,
+                              sim::EventQueue& queue,
+                              tree::DynamicTree& tree, ChurnGenerator& churn,
+                              std::uint64_t steps, ArrivalProcess& arrivals,
+                              double event_fraction, Rng& rng);
+
+}  // namespace dyncon::workload

@@ -1,0 +1,72 @@
+#pragma once
+
+// Request-trace record & replay.
+//
+// A Script is a concrete sequence of requests (with node ids resolved),
+// serializable to a line-oriented text format:
+//
+//     event 12
+//     addleaf 0
+//     addinternal 7
+//     remove 3
+//
+// Scripts make failing randomized runs reproducible as checked-in
+// regression inputs, and let two controller implementations be driven by
+// the *identical* request sequence for differential testing.  Replay is
+// tolerant: entries whose subject no longer exists (because the two runs'
+// grant decisions diverged) are skipped and counted.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/controller_iface.hpp"
+#include "tree/dynamic_tree.hpp"
+#include "workload/churn.hpp"
+
+namespace dyncon::workload {
+
+class Script {
+ public:
+  Script() = default;
+
+  void append(const core::RequestSpec& spec) { entries_.push_back(spec); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<core::RequestSpec>& entries() const {
+    return entries_;
+  }
+
+  /// Line-oriented text form (see header comment).
+  [[nodiscard]] std::string str() const;
+
+  /// Parse the text form; throws ContractError on malformed input.
+  static Script parse(const std::string& text);
+
+  /// Record `steps` churn proposals against `tree`, applying each directly
+  /// (recording assumes an all-granting world so the trace is closed under
+  /// replay on the same starting tree).
+  static Script record(tree::DynamicTree& tree, ChurnGenerator& churn,
+                       std::uint64_t steps);
+
+  friend bool operator==(const Script&, const Script&);
+
+ private:
+  std::vector<core::RequestSpec> entries_;
+};
+
+bool operator==(const Script& a, const Script& b);
+
+struct ReplayStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t skipped = 0;  ///< subject vanished (runs diverged)
+  std::uint64_t other = 0;
+};
+
+/// Replay a script through a synchronous controller.
+ReplayStats replay(const Script& script, core::IController& ctrl,
+                   const tree::DynamicTree& tree);
+
+}  // namespace dyncon::workload

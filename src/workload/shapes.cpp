@@ -1,0 +1,101 @@
+#include "workload/shapes.hpp"
+
+#include "util/error.hpp"
+
+namespace dyncon::workload {
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kPath:
+      return "path";
+    case Shape::kStar:
+      return "star";
+    case Shape::kBinary:
+      return "binary";
+    case Shape::kRandomAttach:
+      return "random";
+    case Shape::kCaterpillar:
+      return "caterpillar";
+    case Shape::kBroom:
+      return "broom";
+  }
+  return "?";
+}
+
+std::vector<Shape> all_shapes() {
+  return {Shape::kPath,         Shape::kStar,        Shape::kBinary,
+          Shape::kRandomAttach, Shape::kCaterpillar, Shape::kBroom};
+}
+
+void build(tree::DynamicTree& t, Shape s, std::uint64_t n_total, Rng& rng) {
+  DYNCON_REQUIRE(t.size() <= n_total, "tree already larger than target");
+  std::vector<NodeId> nodes = t.alive_nodes();
+  NodeId spine = t.root();          // kPath / kCaterpillar / kBroom cursor
+  std::uint64_t spine_len = 0;
+  bool leaf_turn = false;           // kCaterpillar alternation
+  const std::uint64_t broom_handle = n_total / 2;
+
+  while (t.size() < n_total) {
+    NodeId parent = t.root();
+    switch (s) {
+      case Shape::kPath:
+        parent = spine;
+        break;
+      case Shape::kStar:
+        parent = t.root();
+        break;
+      case Shape::kBinary: {
+        // Parent of node i (1-based BFS numbering) is node (i-1)/2 by id;
+        // ids are assigned densely during construction.
+        const NodeId next = t.total_ever();
+        parent = (next - 1) / 2;
+        break;
+      }
+      case Shape::kRandomAttach:
+        parent = nodes[rng.index(nodes.size())];
+        break;
+      case Shape::kCaterpillar:
+        parent = spine;
+        break;
+      case Shape::kBroom:
+        parent = spine_len < broom_handle ? spine : spine;
+        break;
+    }
+    const NodeId u = t.add_leaf(parent);
+    nodes.push_back(u);
+    switch (s) {
+      case Shape::kPath:
+        spine = u;
+        break;
+      case Shape::kCaterpillar:
+        // Alternate: extend the spine, then hang one leg off it.
+        if (!leaf_turn) spine = u;
+        leaf_turn = !leaf_turn;
+        break;
+      case Shape::kBroom:
+        if (spine_len < broom_handle) {
+          spine = u;  // grow the handle; afterwards all fan off its tip
+          ++spine_len;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+NodeId random_node(const tree::DynamicTree& t, Rng& rng) {
+  const auto nodes = t.alive_nodes();
+  return nodes[rng.index(nodes.size())];
+}
+
+NodeId random_non_root(const tree::DynamicTree& t, Rng& rng) {
+  DYNCON_REQUIRE(t.size() >= 2, "no non-root node exists");
+  const auto nodes = t.alive_nodes();
+  for (;;) {
+    const NodeId v = nodes[rng.index(nodes.size())];
+    if (v != t.root()) return v;
+  }
+}
+
+}  // namespace dyncon::workload

@@ -1,0 +1,40 @@
+#pragma once
+
+// Tree-shape generators for the initial topology of experiments.
+//
+// Controller costs depend on depth structure (the filler search walks up,
+// package distribution walks down), so every experiment sweeps shapes:
+// paths maximize depth, stars minimize it, caterpillars/brooms mix, random
+// attachment gives the logarithmic-expected-depth middle ground.
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/dynamic_tree.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::workload {
+
+enum class Shape : std::uint8_t {
+  kPath,          ///< single downward chain (max depth)
+  kStar,          ///< all nodes children of the root (min depth)
+  kBinary,        ///< complete binary tree
+  kRandomAttach,  ///< each new leaf picks a uniform random parent
+  kCaterpillar,   ///< a path with one extra leaf at every spine node
+  kBroom,         ///< a path ending in a star of the remaining nodes
+};
+
+[[nodiscard]] const char* shape_name(Shape s);
+[[nodiscard]] std::vector<Shape> all_shapes();
+
+/// Grow `t` (which may be just a root) by leaf insertions until it has
+/// `n_total` nodes, in the given shape.
+void build(tree::DynamicTree& t, Shape s, std::uint64_t n_total, Rng& rng);
+
+/// Pick a uniformly random alive node (possibly the root).
+[[nodiscard]] NodeId random_node(const tree::DynamicTree& t, Rng& rng);
+
+/// Pick a uniformly random alive non-root node; requires size >= 2.
+[[nodiscard]] NodeId random_non_root(const tree::DynamicTree& t, Rng& rng);
+
+}  // namespace dyncon::workload

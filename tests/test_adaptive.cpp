@@ -1,0 +1,112 @@
+// Unit tests for the unknown-U controller of Theorem 3.5 (centralized).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptive_controller.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+#include "workload/scenario.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::core {
+namespace {
+
+using tree::DynamicTree;
+
+TEST(Adaptive, GrantsAndRotatesUnderGrowth) {
+  Rng rng(7);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 8, rng);
+  AdaptiveController ctrl(t, /*M=*/500, /*W=*/1);
+  std::uint64_t granted = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto nodes = t.alive_nodes();
+    granted +=
+        ctrl.request_add_leaf(nodes[rng.index(nodes.size())]).granted();
+  }
+  EXPECT_EQ(granted, 300u);
+  // 8 -> 308 nodes with iterations rotating every ~N_i/2 changes: several
+  // rotations must have happened.
+  EXPECT_GE(ctrl.iterations(), 3u);
+  EXPECT_TRUE(tree::validate(t).ok());
+}
+
+TEST(Adaptive, SafetyAcrossIterations) {
+  Rng rng(8);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 16, rng);
+  const std::uint64_t M = 60;
+  AdaptiveController ctrl(t, M, /*W=*/4);
+  workload::ChurnGenerator churn(workload::ChurnModel::kBirthDeath, Rng(9));
+  const auto stats =
+      workload::run_churn(ctrl, t, churn, 5 * M, /*event_fraction=*/0.3, rng);
+  EXPECT_LE(stats.granted, M);
+  EXPECT_GE(stats.granted, M - 4);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(Adaptive, HandlesShrinkingNetwork) {
+  Rng rng(10);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 200, rng);
+  AdaptiveController ctrl(t, /*M=*/1000, /*W=*/1);
+  workload::ChurnGenerator churn(workload::ChurnModel::kShrink, Rng(11));
+  std::uint64_t removed = 0;
+  while (t.size() > 5) {
+    const auto spec = churn.next(t);
+    removed += ctrl.request_remove(spec.subject).granted();
+    ASSERT_TRUE(tree::validate(t).ok());
+  }
+  EXPECT_EQ(removed, 195u);
+  EXPECT_GE(ctrl.iterations(), 2u);
+}
+
+TEST(Adaptive, InternalChurnStaysCorrect) {
+  Rng rng(12);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kCaterpillar, 40, rng);
+  AdaptiveController ctrl(t, /*M=*/400, /*W=*/8);
+  workload::ChurnGenerator churn(workload::ChurnModel::kInternalChurn,
+                                 Rng(13));
+  const auto stats = workload::run_churn(ctrl, t, churn, 400, 0.1, rng);
+  EXPECT_LE(stats.granted, 400u);
+  EXPECT_TRUE(tree::validate(t).ok());
+}
+
+TEST(Adaptive, SizeDoublingPolicy) {
+  Rng rng(14);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 8, rng);
+  AdaptiveController::Options opts;
+  opts.policy = AdaptiveController::Policy::kSizeDoubling;
+  AdaptiveController ctrl(t, /*M=*/600, /*W=*/1, opts);
+  std::uint64_t granted = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto nodes = t.alive_nodes();
+    granted +=
+        ctrl.request_add_leaf(nodes[rng.index(nodes.size())]).granted();
+  }
+  EXPECT_EQ(granted, 500u);
+  // Size went 8 -> 508: ~6 doublings.
+  EXPECT_GE(ctrl.iterations(), 3u);
+  EXPECT_LE(ctrl.iterations(), 12u);
+}
+
+TEST(Adaptive, RejectsEverythingAfterExhaustion) {
+  DynamicTree t;
+  AdaptiveController ctrl(t, /*M=*/3, /*W=*/1);
+  std::uint64_t granted = 0;
+  for (int i = 0; i < 10; ++i) {
+    granted += ctrl.request_add_leaf(t.root()).granted();
+  }
+  EXPECT_LE(granted, 3u);
+  EXPECT_TRUE(ctrl.done());
+  EXPECT_EQ(ctrl.request_event(t.root()).outcome, Outcome::kRejected);
+  EXPECT_GT(ctrl.rejects_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace dyncon::core

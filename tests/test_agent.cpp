@@ -1,0 +1,189 @@
+// Unit tests for the agent substrate: whiteboards (locks, FIFO queues,
+// eviction), the taxi (hop delivery under topology changes), and the
+// message-size model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "agent/runtime.hpp"
+#include "agent/taxi.hpp"
+#include "agent/whiteboard.hpp"
+#include "sim/network.hpp"
+#include "tree/dynamic_tree.hpp"
+
+namespace dyncon::agent {
+namespace {
+
+TEST(Whiteboard, LockUnlockBasics) {
+  WhiteboardManager wb;
+  EXPECT_FALSE(wb.locked(5));
+  wb.lock(5, 1, 10);
+  EXPECT_TRUE(wb.locked(5));
+  EXPECT_EQ(wb.at(5).locked_by, 1u);
+  EXPECT_EQ(wb.at(5).down_child, 10u);
+  const auto next = wb.unlock(5, 1);
+  EXPECT_FALSE(next.has_value());
+  EXPECT_FALSE(wb.locked(5));
+  EXPECT_EQ(wb.at(5).down_child, kNoNode);
+}
+
+TEST(Whiteboard, DoubleLockIsInvariantViolation) {
+  WhiteboardManager wb;
+  wb.lock(5, 1, kNoNode);
+  EXPECT_THROW(wb.lock(5, 2, kNoNode), InvariantError);
+}
+
+TEST(Whiteboard, UnlockByNonHolderRejected) {
+  WhiteboardManager wb;
+  wb.lock(5, 1, kNoNode);
+  EXPECT_THROW((void)wb.unlock(5, 2), InvariantError);
+}
+
+TEST(Whiteboard, FifoQueueOrder) {
+  WhiteboardManager wb;
+  wb.lock(5, 1, kNoNode);
+  wb.enqueue(5, 2, 20);
+  wb.enqueue(5, 3, 30);
+  wb.enqueue(5, 4, 40);
+  auto first = wb.unlock(5, 1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->agent, 2u);
+  EXPECT_EQ(first->came_from, 20u);
+  // Remaining waiters stay queued in order.
+  EXPECT_EQ(wb.at(5).queue.size(), 2u);
+  EXPECT_EQ(wb.at(5).queue.front().agent, 3u);
+}
+
+TEST(Whiteboard, EnqueueRequiresLocked) {
+  WhiteboardManager wb;
+  EXPECT_THROW(wb.enqueue(5, 1, kNoNode), InvariantError);
+}
+
+TEST(Whiteboard, EvictMovesQueueInOrder) {
+  WhiteboardManager wb;
+  wb.lock(5, 1, kNoNode);
+  wb.enqueue(5, 2, 20);
+  wb.enqueue(5, 3, 30);
+  wb.release_for_removal(5, 1);
+  const auto res = wb.evict_to_parent(5, 4);
+  EXPECT_EQ(res.moved, 2u);
+  // Parent was unlocked: the first mover is handed back for resumption.
+  ASSERT_TRUE(res.resume.has_value());
+  EXPECT_EQ(res.resume->agent, 2u);
+  EXPECT_EQ(wb.at(4).queue.size(), 1u);
+  EXPECT_EQ(wb.at(4).queue.front().agent, 3u);
+}
+
+TEST(Whiteboard, EvictIntoLockedParentJustAppends) {
+  WhiteboardManager wb;
+  wb.lock(4, 9, kNoNode);  // parent locked by someone else
+  wb.lock(5, 1, kNoNode);
+  wb.enqueue(5, 2, 20);
+  wb.release_for_removal(5, 1);
+  const auto res = wb.evict_to_parent(5, 4);
+  EXPECT_EQ(res.moved, 1u);
+  EXPECT_FALSE(res.resume.has_value());
+  EXPECT_EQ(wb.at(4).queue.size(), 1u);
+}
+
+TEST(Whiteboard, EvictPreservesFloodMarker) {
+  WhiteboardManager wb;
+  wb.at(5).flooded = true;
+  const auto res = wb.evict_to_parent(5, 4);
+  EXPECT_EQ(res.moved, 0u);
+  EXPECT_TRUE(wb.at(4).flooded);
+}
+
+struct TaxiFixture {
+  sim::EventQueue queue;
+  sim::Network net;
+  tree::DynamicTree tree;
+  Taxi taxi;
+  std::vector<std::tuple<AgentId, NodeId, NodeId>> arrivals;
+
+  TaxiFixture()
+      : net(queue, std::make_unique<sim::FixedDelay>(1)),
+        taxi(net, tree) {
+    taxi.set_on_arrival([this](AgentId a, NodeId at, NodeId from) {
+      arrivals.emplace_back(a, at, from);
+    });
+  }
+};
+
+TEST(Taxi, HopUpDeliversToParent) {
+  TaxiFixture f;
+  const NodeId a = f.tree.add_leaf(f.tree.root());
+  const NodeId b = f.tree.add_leaf(a);
+  f.taxi.hop_up(7, b, 16);
+  f.queue.run();
+  ASSERT_EQ(f.arrivals.size(), 1u);
+  EXPECT_EQ(std::get<1>(f.arrivals[0]), a);
+  EXPECT_EQ(std::get<2>(f.arrivals[0]), b);
+  EXPECT_EQ(f.net.stats().messages, 1u);
+}
+
+TEST(Taxi, HopUpResolvesAtDeliveryAfterInsertion) {
+  // The paper's graceful-insertion contract: a hop in flight toward the
+  // old parent is received by the node spliced in between.
+  TaxiFixture f;
+  const NodeId a = f.tree.add_leaf(f.tree.root());
+  const NodeId b = f.tree.add_leaf(a);
+  f.taxi.hop_up(7, b, 16);
+  const NodeId m = f.tree.add_internal_above(b);  // while in flight
+  f.queue.run();
+  ASSERT_EQ(f.arrivals.size(), 1u);
+  EXPECT_EQ(std::get<1>(f.arrivals[0]), m);
+}
+
+TEST(Taxi, HopUpResolvesAtDeliveryAfterParentRemoval) {
+  // "A message sent to a parent who is being deleted is ... received by
+  // the new parent."
+  TaxiFixture f;
+  const NodeId a = f.tree.add_leaf(f.tree.root());
+  const NodeId b = f.tree.add_leaf(a);
+  f.taxi.hop_up(7, b, 16);
+  f.tree.remove_internal(a);  // while in flight
+  f.queue.run();
+  ASSERT_EQ(f.arrivals.size(), 1u);
+  EXPECT_EQ(std::get<1>(f.arrivals[0]), f.tree.root());
+}
+
+TEST(Taxi, HopUpFromRootRejected) {
+  TaxiFixture f;
+  EXPECT_THROW(f.taxi.hop_up(7, f.tree.root(), 16), ContractError);
+}
+
+TEST(Taxi, HopDownAddressed) {
+  TaxiFixture f;
+  const NodeId a = f.tree.add_leaf(f.tree.root());
+  const NodeId b = f.tree.add_leaf(a);
+  f.taxi.hop_down(7, a, b, 16);
+  f.queue.run();
+  ASSERT_EQ(f.arrivals.size(), 1u);
+  EXPECT_EQ(std::get<1>(f.arrivals[0]), b);
+}
+
+TEST(Taxi, ResumeLocalBeatsMessages) {
+  TaxiFixture f;
+  const NodeId a = f.tree.add_leaf(f.tree.root());
+  f.taxi.hop_down(1, f.tree.root(), a, 16);  // 1 tick
+  f.taxi.resume_local(2, a, kNoNode);        // 0 ticks
+  f.queue.run();
+  ASSERT_EQ(f.arrivals.size(), 2u);
+  EXPECT_EQ(std::get<0>(f.arrivals[0]), 2u) << "resume must fire first";
+  EXPECT_EQ(f.net.stats().messages, 1u) << "resume is not a message";
+}
+
+TEST(Runtime, MessageBitsLogarithmic) {
+  const auto small = agent_message_bits(16, 4);
+  const auto big = agent_message_bits(1u << 20, 22);
+  EXPECT_LT(small, big);
+  EXPECT_LE(big, 2 * 21 + 6 + 8 + 8);  // 2 counters + bag + flags, roughly
+  EXPECT_GE(agent_message_bits(1, 1), 8u);  // degenerate sizes stay sane
+  EXPECT_GE(value_message_bits(0), 9u);
+  EXPECT_EQ(value_message_bits(1 << 10), ceil_log2(1 << 10) + 9);
+}
+
+}  // namespace
+}  // namespace dyncon::agent

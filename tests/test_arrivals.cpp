@@ -1,0 +1,114 @@
+// Tests for the arrival processes and the open-loop timed driver: requests
+// overlapping freely with protocol traffic under every arrival pattern.
+
+#include <gtest/gtest.h>
+
+#include "core/distributed_controller.hpp"
+#include "tree/validate.hpp"
+#include "workload/arrival.hpp"
+#include "workload/scenario.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::workload {
+namespace {
+
+TEST(Arrivals, UniformIsConstant) {
+  UniformArrivals a(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_gap(), 5u);
+}
+
+TEST(Arrivals, PoissonHasRightMean) {
+  PoissonArrivals a(Rng(1), 8.0);
+  double sum = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(a.next_gap());
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 8.0, 0.5);  // geometric mean gap ~ 1/p
+}
+
+TEST(Arrivals, PoissonRejectsSubTickMean) {
+  EXPECT_THROW(PoissonArrivals(Rng(1), 0.5), ContractError);
+}
+
+TEST(Arrivals, BurstyAlternatesZeroAndPause) {
+  BurstyArrivals a(Rng(2), 6, 50);
+  int zeros = 0, pauses = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto g = a.next_gap();
+    if (g == 0) {
+      ++zeros;
+    } else {
+      EXPECT_GE(g, 50u);
+      ++pauses;
+    }
+  }
+  EXPECT_GT(zeros, pauses);  // bursts dominate counts
+  EXPECT_GT(pauses, 10);
+}
+
+TEST(Arrivals, FactoryCoversKinds) {
+  for (auto k : {ArrivalKind::kUniform, ArrivalKind::kPoisson,
+                 ArrivalKind::kBursty}) {
+    auto a = make_arrivals(k, 7);
+    ASSERT_NE(a, nullptr);
+    (void)a->next_gap();
+    EXPECT_FALSE(a->name().empty());
+  }
+}
+
+TEST(TimedDriver, OpenLoopChurnUnderEveryArrivalPattern) {
+  for (auto kind : {ArrivalKind::kUniform, ArrivalKind::kPoisson,
+                    ArrivalKind::kBursty}) {
+    Rng rng(11);
+    sim::EventQueue queue;
+    sim::Network net(queue,
+                     sim::make_delay(sim::DelayKind::kUniform, 13));
+    tree::DynamicTree t;
+    build(t, Shape::kRandomAttach, 32, rng);
+    const std::uint64_t M = 300, W = 60;
+    core::DistributedController ctrl(net, t, core::Params(M, W, 1024));
+    ChurnGenerator churn(ChurnModel::kInternalChurn, Rng(17));
+    auto arrivals = make_arrivals(kind, 19);
+    const auto stats = run_churn_timed(ctrl, queue, t, churn, /*steps=*/250,
+                                       *arrivals, /*event_fraction=*/0.2,
+                                       rng);
+    EXPECT_EQ(stats.requests, 250u) << arrival_kind_name(kind);
+    EXPECT_LE(ctrl.permits_granted(), M) << arrival_kind_name(kind);
+    if (stats.rejected > 0) {
+      EXPECT_GE(ctrl.permits_granted(), M - W) << arrival_kind_name(kind);
+    }
+    EXPECT_EQ(ctrl.active_agents(), 0u) << arrival_kind_name(kind);
+    const auto valid = tree::validate(t);
+    EXPECT_TRUE(valid.ok()) << arrival_kind_name(kind) << ": "
+                            << valid.detail;
+    ASSERT_NE(ctrl.domains(), nullptr);
+    EXPECT_EQ(ctrl.domains()->check_invariants(), "")
+        << arrival_kind_name(kind);
+    EXPECT_EQ(ctrl.permits_granted() + ctrl.unused_permits(), M)
+        << arrival_kind_name(kind);
+  }
+}
+
+TEST(TimedDriver, BurstyArrivalsRaceTheFlood) {
+  // Tight budget + bursty open-loop arrivals: the reject flood spreads
+  // while whole bursts are still in flight.
+  Rng rng(23);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kHeavyTail, 29));
+  tree::DynamicTree t;
+  build(t, Shape::kCaterpillar, 48, rng);
+  const std::uint64_t M = 25, W = 5;
+  core::DistributedController ctrl(net, t, core::Params(M, W, 256));
+  ChurnGenerator churn(ChurnModel::kGrowOnly, Rng(31));
+  auto arrivals = make_arrivals(ArrivalKind::kBursty, 37);
+  const auto stats = run_churn_timed(ctrl, queue, t, churn, /*steps=*/120,
+                                     *arrivals, 0.0, rng);
+  EXPECT_EQ(stats.requests, 120u);
+  EXPECT_LE(stats.granted, M);
+  EXPECT_GE(stats.granted, M - W);
+  EXPECT_TRUE(ctrl.reject_wave_started());
+  EXPECT_EQ(ctrl.active_agents(), 0u);
+}
+
+}  // namespace
+}  // namespace dyncon::workload

@@ -1,0 +1,204 @@
+// Unit tests for the centralized (M,W)-controller of §3.1: grant/reject
+// semantics, safety, liveness at the reject wave, domain maintenance,
+// topological request handling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/centralized_controller.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::core {
+namespace {
+
+using tree::DynamicTree;
+
+TEST(Centralized, GrantsSimpleRequests) {
+  DynamicTree t;
+  CentralizedController ctrl(t, Params(10, 5, 16));
+  const Result r = ctrl.request_event(t.root());
+  EXPECT_TRUE(r.granted());
+  EXPECT_EQ(ctrl.permits_granted(), 1u);
+}
+
+TEST(Centralized, SafetyNeverExceedsM) {
+  DynamicTree t;
+  const std::uint64_t M = 7;
+  CentralizedController ctrl(t, Params(M, 1, 8));
+  std::uint64_t granted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (ctrl.request_event(t.root()).granted()) ++granted;
+  }
+  EXPECT_LE(granted, M);
+  EXPECT_EQ(granted, ctrl.permits_granted());
+}
+
+TEST(Centralized, LivenessAtFirstReject) {
+  // When a reject is delivered, at least M - W permits must have been (or
+  // will be) granted; in the centralized flow they are granted already.
+  Rng rng(17);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 32, rng);
+  const std::uint64_t M = 40, W = 20;
+  CentralizedController ctrl(t, Params(M, W, 64));
+  const auto nodes = t.alive_nodes();
+  std::uint64_t i = 0;
+  while (!ctrl.reject_wave_started()) {
+    ctrl.request_event(nodes[i++ % nodes.size()]);
+    ASSERT_LT(i, 10 * M) << "controller neither granted M nor rejected";
+  }
+  EXPECT_GE(ctrl.permits_granted(), M - W);
+  EXPECT_LE(ctrl.permits_granted(), M);
+}
+
+TEST(Centralized, RejectWaveRejectsEverywhere) {
+  Rng rng(3);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kPath, 10, rng);
+  CentralizedController ctrl(t, Params(2, 1, 16));
+  const auto nodes = t.alive_nodes();
+  // Exhaust.
+  for (std::uint64_t k = 0; k < 40 && !ctrl.reject_wave_started(); ++k) {
+    ctrl.request_event(nodes[k % nodes.size()]);
+  }
+  ASSERT_TRUE(ctrl.reject_wave_started());
+  for (NodeId v : nodes) {
+    EXPECT_EQ(ctrl.request_event(v).outcome, Outcome::kRejected);
+  }
+}
+
+TEST(Centralized, ExhaustSignalModeNeverRejects) {
+  DynamicTree t;
+  CentralizedController::Options opts;
+  opts.mode = CentralizedController::Mode::kExhaustSignal;
+  CentralizedController ctrl(t, Params(2, 1, 4), opts);
+  int granted = 0, exhausted = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto o = ctrl.request_event(t.root()).outcome;
+    granted += o == Outcome::kGranted;
+    exhausted += o == Outcome::kExhausted;
+    EXPECT_NE(o, Outcome::kRejected);
+  }
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(exhausted, 8);
+  EXPECT_TRUE(ctrl.exhausted());
+}
+
+TEST(Centralized, TopologicalRequestsApplyOnGrant) {
+  DynamicTree t;
+  CentralizedController ctrl(t, Params(100, 50, 128));
+  const Result leaf = ctrl.request_add_leaf(t.root());
+  ASSERT_TRUE(leaf.granted());
+  ASSERT_NE(leaf.new_node, kNoNode);
+  EXPECT_EQ(t.parent(leaf.new_node), t.root());
+
+  const Result mid = ctrl.request_add_internal_above(leaf.new_node);
+  ASSERT_TRUE(mid.granted());
+  EXPECT_EQ(t.parent(leaf.new_node), mid.new_node);
+
+  const Result gone = ctrl.request_remove(mid.new_node);
+  ASSERT_TRUE(gone.granted());
+  EXPECT_FALSE(t.alive(mid.new_node));
+  EXPECT_EQ(t.parent(leaf.new_node), t.root());
+  EXPECT_TRUE(tree::validate(t).ok());
+}
+
+TEST(Centralized, RejectedTopologicalRequestDoesNotApply) {
+  DynamicTree t;
+  CentralizedController ctrl(t, Params(1, 1, 4));
+  ASSERT_TRUE(ctrl.request_event(t.root()).granted());  // burn the permit
+  const std::uint64_t before = t.size();
+  const Result r = ctrl.request_add_leaf(t.root());
+  EXPECT_EQ(r.outcome, Outcome::kRejected);
+  EXPECT_EQ(t.size(), before);
+}
+
+TEST(Centralized, DeletionMovesPackagesToParent) {
+  Rng rng(5);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kPath, 6, rng);
+  CentralizedController ctrl(t, Params(64, 32, 16));
+  // Grant at the deepest node so a static package (and possibly mobile
+  // packages on the path) exist below the root.
+  const auto nodes = t.alive_nodes();
+  const NodeId deep = nodes.back();
+  ASSERT_TRUE(ctrl.request_event(deep).granted());
+  // Remove the deep node: its leftover static package must move up, not
+  // vanish (permit conservation).
+  const std::uint64_t unused_before = ctrl.unused_permits();
+  ASSERT_TRUE(ctrl.request_remove(deep).granted());
+  EXPECT_EQ(ctrl.unused_permits(), unused_before - 1);
+}
+
+TEST(Centralized, PermitConservation) {
+  Rng rng(23);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 20, rng);
+  const std::uint64_t M = 50;
+  CentralizedController ctrl(t, Params(M, 25, 64));
+  const auto nodes = t.alive_nodes();
+  for (int i = 0; i < 30; ++i) {
+    ctrl.request_event(nodes[rng.index(nodes.size())]);
+    EXPECT_EQ(ctrl.permits_granted() + ctrl.unused_permits(), M);
+  }
+}
+
+TEST(Centralized, ProcLeavesPackagesThatServeLaterRequests) {
+  // On a path deep enough that the creation level is >= 1, Proc leaves
+  // mobile packages at the u_k waypoints; a second request at the same deep
+  // node finds one of them (a filler) strictly closer than the root.
+  Rng rng(29);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kPath, 101, rng);
+  CentralizedController ctrl(t, Params(64, 128, 128));
+  const auto nodes = t.alive_nodes();
+  const NodeId deep = nodes.back();
+  ASSERT_GT(t.depth(deep),
+            2 * ctrl.params().psi());  // ensures creation level >= 1
+  ASSERT_TRUE(ctrl.request_event(deep).granted());
+  const std::uint64_t cost_after_first = ctrl.cost();
+  ASSERT_TRUE(ctrl.request_event(deep).granted());
+  const std::uint64_t second_cost = ctrl.cost() - cost_after_first;
+  EXPECT_LT(second_cost, cost_after_first);
+}
+
+TEST(Centralized, SerialsAreUniqueAndExhaustive) {
+  DynamicTree t;
+  CentralizedController::Options opts;
+  opts.serials = Interval(100, 109);
+  CentralizedController ctrl(t, Params(10, 5, 8), opts);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    const Result r = ctrl.request_event(t.root());
+    ASSERT_TRUE(r.granted());
+    ASSERT_TRUE(r.serial.has_value());
+    EXPECT_TRUE(Interval(100, 109).contains(*r.serial));
+    EXPECT_TRUE(seen.insert(*r.serial).second) << "duplicate serial";
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Centralized, CostScalesWithDepthNotN) {
+  // A request near the root must not pay for the whole tree.
+  Rng rng(31);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kStar, 1000, rng);
+  CentralizedController ctrl(t, Params(100, 50, 2000));
+  ASSERT_TRUE(ctrl.request_event(t.root()).granted());
+  EXPECT_LE(ctrl.cost(), 4u);  // star: everything is at depth <= 1
+}
+
+TEST(Centralized, RequestAtDeadNodeThrows) {
+  DynamicTree t;
+  CentralizedController ctrl(t, Params(10, 5, 8));
+  const Result leaf = ctrl.request_add_leaf(t.root());
+  ASSERT_TRUE(ctrl.request_remove(leaf.new_node).granted());
+  EXPECT_THROW(ctrl.request_event(leaf.new_node), ContractError);
+  EXPECT_THROW(ctrl.request_remove(t.root()), ContractError);
+}
+
+}  // namespace
+}  // namespace dyncon::core

@@ -1,0 +1,136 @@
+// Unit tests for the broadcast/convergecast substrate.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "agent/convergecast.hpp"
+#include "sim/delay.hpp"
+#include "util/rng.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::agent {
+namespace {
+
+struct Fixture {
+  sim::EventQueue queue;
+  sim::Network net;
+  tree::DynamicTree tree;
+  Convergecast cast;
+
+  explicit Fixture(sim::DelayKind kind = sim::DelayKind::kFixed)
+      : net(queue, sim::make_delay(kind, 7)), cast(net, tree) {}
+};
+
+TEST(Convergecast, CountsSingleRoot) {
+  Fixture f;
+  std::uint64_t counted = 0;
+  f.cast.count_nodes([&](std::uint64_t n) { counted = n; });
+  f.queue.run();
+  EXPECT_EQ(counted, 1u);
+  EXPECT_EQ(f.cast.messages(), 0u);  // no edges, no messages
+}
+
+TEST(Convergecast, CountsEveryShape) {
+  for (auto shape : workload::all_shapes()) {
+    Fixture f;
+    Rng rng(3);
+    workload::build(f.tree, shape, 60, rng);
+    std::uint64_t counted = 0;
+    f.cast.count_nodes([&](std::uint64_t n) { counted = n; });
+    f.queue.run();
+    EXPECT_EQ(counted, 60u) << workload::shape_name(shape);
+    // Exactly one message down + one up per edge.
+    EXPECT_EQ(f.cast.messages(), 2 * (60 - 1))
+        << workload::shape_name(shape);
+  }
+}
+
+TEST(Convergecast, CountIsDelayScheduleIndependent) {
+  for (auto kind : {sim::DelayKind::kFixed, sim::DelayKind::kUniform,
+                    sim::DelayKind::kHeavyTail, sim::DelayKind::kBiased}) {
+    Fixture f(kind);
+    Rng rng(5);
+    workload::build(f.tree, workload::Shape::kRandomAttach, 40, rng);
+    std::uint64_t counted = 0;
+    f.cast.count_nodes([&](std::uint64_t n) { counted = n; });
+    f.queue.run();
+    EXPECT_EQ(counted, 40u) << sim::delay_kind_name(kind);
+  }
+}
+
+TEST(Convergecast, VisitSeesBroadcastValueEverywhere) {
+  Fixture f;
+  Rng rng(7);
+  workload::build(f.tree, workload::Shape::kBinary, 31, rng);
+  std::unordered_set<NodeId> visited;
+  std::uint64_t result = 0;
+  f.cast.run(
+      42,
+      [&](NodeId v, std::uint64_t val) -> std::uint64_t {
+        EXPECT_EQ(val, 42u);
+        visited.insert(v);
+        return 0;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      [&](std::uint64_t r) { result = r; });
+  f.queue.run();
+  EXPECT_EQ(visited.size(), 31u);
+  EXPECT_EQ(result, 0u);
+}
+
+TEST(Convergecast, AggregatesMax) {
+  Fixture f;
+  Rng rng(9);
+  workload::build(f.tree, workload::Shape::kCaterpillar, 25, rng);
+  std::uint64_t deepest = 0;
+  f.cast.run(
+      0,
+      [&](NodeId v, std::uint64_t) { return f.tree.depth(v); },
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); },
+      [&](std::uint64_t r) { deepest = r; });
+  f.queue.run();
+  std::uint64_t want = 0;
+  for (NodeId v : f.tree.alive_nodes()) {
+    want = std::max(want, f.tree.depth(v));
+  }
+  EXPECT_EQ(deepest, want);
+}
+
+TEST(Convergecast, SequentialRunsAllowedOverlapsRejected) {
+  Fixture f;
+  Rng rng(11);
+  workload::build(f.tree, workload::Shape::kRandomAttach, 10, rng);
+  int done = 0;
+  f.cast.count_nodes([&](std::uint64_t) { ++done; });
+  EXPECT_TRUE(f.cast.running());
+  EXPECT_THROW(f.cast.count_nodes([](std::uint64_t) {}), ContractError);
+  f.queue.run();
+  // Chaining from the done callback is the supported pattern.
+  f.cast.count_nodes([&](std::uint64_t) {
+    ++done;
+    f.cast.count_nodes([&](std::uint64_t) { ++done; });
+  });
+  f.queue.run();
+  EXPECT_EQ(done, 3);
+}
+
+TEST(Convergecast, TopologyChangeMidRunIsLoudlyRejected) {
+  // The substrate's contract: runs only at quiescent points.  Removing a
+  // node a broadcast message is already in flight toward trips an
+  // invariant instead of silently corrupting the aggregate.
+  Fixture f;
+  Rng rng(13);
+  workload::build(f.tree, workload::Shape::kPath, 12, rng);
+  bool finished = false;
+  f.cast.count_nodes([&](std::uint64_t) { finished = true; });
+  // The hop from the root to its child is now in flight; delete that
+  // child (an internal node) before delivery.
+  const NodeId first_child = f.tree.children(f.tree.root()).front();
+  f.tree.remove_internal(first_child);  // contract violation
+  EXPECT_THROW(f.queue.run(), InvariantError);
+  EXPECT_FALSE(finished);
+}
+
+}  // namespace
+}  // namespace dyncon::agent

@@ -1,0 +1,186 @@
+// Unit tests for the domain tracker (§3.2): the Case 2-5 update rules and
+// the three invariants of Claim 3.1, exercised directly and through the
+// centralized controller.
+
+#include <gtest/gtest.h>
+
+#include "core/centralized_controller.hpp"
+#include "core/domain.hpp"
+#include "util/rng.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::core {
+namespace {
+
+using tree::DynamicTree;
+
+/// A tree, params, table and tracker wired together like a controller does.
+struct Fixture {
+  DynamicTree tree;
+  Params params{100, 16, 64};
+  PackageTable packages;
+  DomainTracker domains{tree, params, packages};
+
+  Fixture() { tree.add_observer(&domains); }
+  ~Fixture() { tree.remove_observer(&domains); }
+
+  /// Build a root-to-leaf path of `n` extra nodes; returns them in order.
+  std::vector<NodeId> grow_path(std::uint64_t n) {
+    std::vector<NodeId> out;
+    NodeId cur = tree.root();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      cur = tree.add_leaf(cur);
+      out.push_back(cur);
+    }
+    return out;
+  }
+};
+
+TEST(DomainTracker, AssignAndQuery) {
+  Fixture f;
+  const auto path = f.grow_path(10);
+  // A level-0 package needs a domain of psi/2 nodes; use a fake small
+  // params set instead: here we just exercise bookkeeping with an
+  // arbitrary path, invariant checks are separate.
+  const PackageId p = f.packages.create_mobile(f.tree.root(), 0, 1);
+  f.domains.assign(p, {path[0], path[1], path[2]});
+  EXPECT_EQ(f.domains.domain(p).size(), 3u);
+  f.domains.drop(p);
+  EXPECT_TRUE(f.domains.domain(p).empty());
+  f.domains.drop(p);  // idempotent
+}
+
+TEST(DomainTracker, AddInternalSwapsMembers) {
+  Fixture f;
+  const auto path = f.grow_path(6);
+  const PackageId p = f.packages.create_mobile(path[0], 1, 2);
+  f.domains.assign(p, {path[1], path[2], path[3]});
+  // Insert above path[2] (a domain member): the new node joins, the
+  // bottommost alive member (path[3]) leaves.
+  const NodeId m = f.tree.add_internal_above(path[2]);
+  const auto& dom = f.domains.domain(p);
+  ASSERT_EQ(dom.size(), 3u);
+  EXPECT_EQ(dom[0], path[1]);
+  EXPECT_EQ(dom[1], m);
+  EXPECT_EQ(dom[2], path[2]);
+}
+
+TEST(DomainTracker, AddInternalAboveNonMemberNoChange) {
+  Fixture f;
+  const auto path = f.grow_path(6);
+  const PackageId p = f.packages.create_mobile(path[0], 1, 2);
+  f.domains.assign(p, {path[1], path[2], path[3]});
+  f.tree.add_internal_above(path[5]);  // far below the domain
+  EXPECT_EQ(f.domains.domain(p),
+            (std::vector<NodeId>{path[1], path[2], path[3]}));
+}
+
+TEST(DomainTracker, RemovalKeepsMembership) {
+  Fixture f;
+  const auto path = f.grow_path(6);
+  const PackageId p = f.packages.create_mobile(path[0], 1, 2);
+  f.domains.assign(p, {path[1], path[2], path[3]});
+  f.tree.remove_internal(path[2]);
+  // Case 5: the dead node remains a domain member.
+  EXPECT_EQ(f.domains.domain(p),
+            (std::vector<NodeId>{path[1], path[2], path[3]}));
+}
+
+TEST(DomainTracker, InvariantCheckCatchesWrongSize) {
+  Fixture f;
+  const auto path = f.grow_path(20);
+  const PackageId p = f.packages.create_mobile(path[0], 0, 1);
+  f.domains.assign(p, {path[1], path[2]});  // psi/2 would be 12
+  EXPECT_NE(f.domains.check_invariants(), "");
+}
+
+TEST(DomainTracker, InvariantCheckCatchesOverlap) {
+  Fixture f;
+  const std::uint64_t half_psi = f.params.domain_size(0);
+  const auto path = f.grow_path(2 * half_psi + 4);
+  const PackageId a = f.packages.create_mobile(f.tree.root(), 0, 1);
+  const PackageId b = f.packages.create_mobile(f.tree.root(), 0, 1);
+  std::vector<NodeId> dom_a(path.begin(),
+                            path.begin() + static_cast<long>(half_psi));
+  f.domains.assign(a, dom_a);
+  f.domains.assign(b, dom_a);  // same nodes: must violate invariant 2
+  EXPECT_NE(f.domains.check_invariants(), "");
+}
+
+TEST(DomainTracker, InvariantCheckCatchesBrokenPath) {
+  Fixture f;
+  const std::uint64_t half_psi = f.params.domain_size(0);
+  const auto path = f.grow_path(half_psi + 8);
+  const PackageId p = f.packages.create_mobile(f.tree.root(), 0, 1);
+  // Domain that skips a node: alive members do not chain.
+  std::vector<NodeId> dom;
+  dom.push_back(path[0]);
+  for (std::uint64_t i = 2; dom.size() < half_psi; ++i) dom.push_back(path[i]);
+  f.domains.assign(p, dom);
+  EXPECT_NE(f.domains.check_invariants(), "");
+}
+
+TEST(DomainTracker, NodeMayBelongToDomainsOfDifferentLevels) {
+  // Invariant 2 is per-level: one node in a level-0 and a level-1 domain
+  // simultaneously is legal, and a Case-4 insertion above it updates both.
+  Fixture f;
+  const auto path = f.grow_path(8);
+  const PackageId p0 = f.packages.create_mobile(path[0], 0, 1);
+  const PackageId p1 = f.packages.create_mobile(path[0], 1, 2);
+  f.domains.assign(p0, {path[1], path[2], path[3]});
+  f.domains.assign(p1, {path[1], path[2], path[3], path[4]});
+  // (These hand-built domains exercise only the Case-4 update rule; their
+  // sizes deliberately do not match params_, so no full audit here.)
+  const NodeId m = f.tree.add_internal_above(path[2]);
+  EXPECT_EQ(f.domains.domain(p0),
+            (std::vector<NodeId>{path[1], m, path[2]}));
+  EXPECT_EQ(f.domains.domain(p1),
+            (std::vector<NodeId>{path[1], m, path[2], path[3]}));
+  f.domains.drop(p0);
+  f.domains.drop(p1);
+}
+
+TEST(DomainTracker, ControllerMaintainsInvariantsOnDeepPath) {
+  // Drive the real controller on a deep path and audit after every grant.
+  Rng rng(11);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kPath, 400, rng);
+  CentralizedController ctrl(t, Params(256, 512, 512));
+  ASSERT_GE(ctrl.params().max_level(), 1u);
+  const auto nodes = t.alive_nodes();
+  for (int i = 0; i < 120; ++i) {
+    const NodeId u = nodes[rng.index(nodes.size())];
+    if (!t.alive(u)) continue;
+    ctrl.request_event(u);
+    ASSERT_NE(ctrl.domains(), nullptr);
+    ASSERT_EQ(ctrl.domains()->check_invariants(), "") << "after request " << i;
+  }
+}
+
+TEST(DomainTracker, ControllerMaintainsInvariantsUnderChurn) {
+  Rng rng(13);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kCaterpillar, 300, rng);
+  CentralizedController ctrl(t, Params(400, 800, 1024));
+  for (int i = 0; i < 200; ++i) {
+    const auto nodes = t.alive_nodes();
+    const NodeId u = nodes[rng.index(nodes.size())];
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        ctrl.request_add_leaf(u);
+        break;
+      case 1:
+        if (u != t.root()) ctrl.request_add_internal_above(u);
+        break;
+      case 2:
+        if (u != t.root() && t.size() > 2) ctrl.request_remove(u);
+        break;
+      default:
+        ctrl.request_event(u);
+    }
+    ASSERT_EQ(ctrl.domains()->check_invariants(), "") << "after step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dyncon::core

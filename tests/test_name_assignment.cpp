@@ -1,0 +1,116 @@
+// Tests for the name-assignment protocol (§5.2, Theorem 5.2): identities
+// stay unique and within [1, 4n] at all times, across all churn models.
+
+#include <gtest/gtest.h>
+
+#include "apps/name_assignment.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::apps {
+namespace {
+
+using tree::DynamicTree;
+using workload::ChurnGenerator;
+using workload::ChurnModel;
+
+void drive_and_check(ChurnModel model, std::uint64_t n0, int steps,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, n0, rng);
+  NameAssignment names(t);
+  ChurnGenerator churn(model, Rng(seed + 1));
+  for (int i = 0; i < steps; ++i) {
+    if (t.size() < 4) break;
+    const auto spec = churn.next(t);
+    core::Result r;
+    switch (spec.type) {
+      case core::RequestSpec::Type::kAddLeaf:
+        r = names.request_add_leaf(spec.subject);
+        break;
+      case core::RequestSpec::Type::kAddInternal:
+        r = names.request_add_internal_above(spec.subject);
+        break;
+      case core::RequestSpec::Type::kRemove:
+        r = names.request_remove(spec.subject);
+        break;
+      default:
+        continue;
+    }
+    ASSERT_TRUE(r.granted());
+    ASSERT_TRUE(names.ids_unique())
+        << workload::churn_name(model) << " step " << i;
+    EXPECT_LE(names.max_id(), 4 * t.size())
+        << workload::churn_name(model) << " step " << i;
+  }
+}
+
+TEST(NameAssignment, InitialIdsAreDenseAndUnique) {
+  Rng rng(1);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 50, rng);
+  NameAssignment names(t);
+  EXPECT_TRUE(names.ids_unique());
+  EXPECT_LE(names.max_id(), 50u);  // [1, N_1] after the initial DFS
+  for (NodeId v : t.alive_nodes()) {
+    EXPECT_GE(names.id_of(v), 1u);
+  }
+}
+
+TEST(NameAssignment, GrowOnly) {
+  drive_and_check(ChurnModel::kGrowOnly, 16, 400, 2);
+}
+
+TEST(NameAssignment, BirthDeath) {
+  drive_and_check(ChurnModel::kBirthDeath, 32, 400, 3);
+}
+
+TEST(NameAssignment, InternalChurn) {
+  drive_and_check(ChurnModel::kInternalChurn, 32, 400, 4);
+}
+
+TEST(NameAssignment, Shrink) {
+  drive_and_check(ChurnModel::kShrink, 250, 230, 5);
+}
+
+TEST(NameAssignment, NewNodesGetSerialNames) {
+  Rng rng(6);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 20, rng);
+  NameAssignment names(t);
+  const auto r = names.request_add_leaf(t.root());
+  ASSERT_TRUE(r.granted());
+  // The new identity comes from the serial range (N_i, 3N_i/2].
+  EXPECT_GT(names.id_of(r.new_node), 20u);
+  EXPECT_LE(names.id_of(r.new_node), 30u);
+}
+
+TEST(NameAssignment, IterationRelabelsCompactly) {
+  Rng rng(7);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 16, rng);
+  NameAssignment names(t);
+  // Push enough churn for several iterations.
+  for (int i = 0; i < 200; ++i) {
+    const auto nodes = t.alive_nodes();
+    ASSERT_TRUE(
+        names.request_add_leaf(nodes[rng.index(nodes.size())]).granted());
+  }
+  EXPECT_GE(names.iterations(), 3u);
+  EXPECT_LE(names.max_id(), 4 * t.size());
+}
+
+TEST(NameAssignment, IdOfDeadNodeThrows) {
+  Rng rng(8);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kPath, 5, rng);
+  NameAssignment names(t);
+  const NodeId leaf = t.alive_nodes().back();
+  ASSERT_TRUE(names.request_remove(leaf).granted());
+  EXPECT_THROW(names.id_of(leaf), ContractError);
+}
+
+}  // namespace
+}  // namespace dyncon::apps

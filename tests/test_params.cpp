@@ -1,0 +1,155 @@
+// Unit tests for the (M, W, U) parameter arithmetic of §3.1: phi, psi,
+// filler windows, creation levels, u_k distances, domain sizes.
+
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace dyncon::core {
+namespace {
+
+TEST(Params, PhiSmallWasteIsOne) {
+  // W < 2U  =>  phi = 1.
+  Params p(100, 10, 64);
+  EXPECT_EQ(p.phi(), 1u);
+}
+
+TEST(Params, PhiLargeWaste) {
+  // W >= 2U  =>  phi = floor(W / 2U).
+  Params p(1000, 640, 64);
+  EXPECT_EQ(p.phi(), 5u);
+}
+
+TEST(Params, PsiFormula) {
+  // psi = 4 * (ceil(log2 U) + 2) * max(ceil(U/W), 1).
+  Params p(100, 16, 16);  // ceil(log2 16)=4 -> 4*6*1 = 24
+  EXPECT_EQ(p.psi(), 24u);
+  Params q(100, 4, 16);  // ceil(16/4)=4 -> 4*6*4 = 96
+  EXPECT_EQ(q.psi(), 96u);
+  EXPECT_EQ(p.psi() % 4, 0u);
+  EXPECT_EQ(q.psi() % 4, 0u);
+}
+
+TEST(Params, RejectsBadArguments) {
+  EXPECT_THROW(Params(0, 1, 1), ContractError);
+  EXPECT_THROW(Params(1, 0, 1), ContractError);
+  EXPECT_THROW(Params(1, 1, 0), ContractError);
+}
+
+TEST(Params, MobileSizesArePowersTimesPhi) {
+  Params p(1000, 640, 64);  // phi = 5
+  EXPECT_EQ(p.mobile_size(0), 5u);
+  EXPECT_EQ(p.mobile_size(3), 40u);
+  EXPECT_EQ(p.level_of_size(5), 0u);
+  EXPECT_EQ(p.level_of_size(40), 3u);
+  EXPECT_THROW(p.level_of_size(7), ContractError);
+}
+
+TEST(Params, FillerWindowsPartitionDistances) {
+  // Every distance lies in exactly one level's window, and that level is
+  // creation_level(d).
+  Params p(100, 8, 32);
+  for (std::uint64_t d = 0; d <= 20 * p.psi(); ++d) {
+    int matches = 0;
+    std::uint32_t match_level = 0;
+    for (std::uint32_t j = 0; j <= p.max_level(); ++j) {
+      if (p.in_filler_window(j, d)) {
+        ++matches;
+        match_level = j;
+      }
+    }
+    ASSERT_EQ(matches, 1) << "d=" << d;
+    EXPECT_EQ(match_level, p.creation_level(d)) << "d=" << d;
+  }
+}
+
+TEST(Params, WindowBoundaries) {
+  Params p(100, 16, 16);  // psi = 24
+  const std::uint64_t psi = p.psi();
+  EXPECT_TRUE(p.in_filler_window(0, 0));
+  EXPECT_TRUE(p.in_filler_window(0, 2 * psi));
+  EXPECT_FALSE(p.in_filler_window(0, 2 * psi + 1));
+  EXPECT_FALSE(p.in_filler_window(1, 2 * psi));
+  EXPECT_TRUE(p.in_filler_window(1, 2 * psi + 1));
+  EXPECT_TRUE(p.in_filler_window(1, 4 * psi));
+  EXPECT_FALSE(p.in_filler_window(1, 4 * psi + 1));
+}
+
+TEST(Params, UkDistancesAreExactHalvings) {
+  // u_k at 3 * 2^(k-1) * psi; each level halves toward the origin.
+  Params p(100, 16, 64);
+  const std::uint64_t psi = p.psi();
+  EXPECT_EQ(p.uk_distance(0), 3 * psi / 2);
+  EXPECT_EQ(p.uk_distance(1), 3 * psi);
+  EXPECT_EQ(p.uk_distance(2), 6 * psi);
+  for (std::uint32_t k = 1; k < 10; ++k) {
+    EXPECT_EQ(p.uk_distance(k), 2 * p.uk_distance(k - 1));
+  }
+}
+
+TEST(Params, DomainSizes) {
+  Params p(100, 16, 64);
+  const std::uint64_t psi = p.psi();
+  EXPECT_EQ(p.domain_size(0), psi / 2);
+  EXPECT_EQ(p.domain_size(1), psi);
+  EXPECT_EQ(p.domain_size(4), 8 * psi);
+}
+
+TEST(Params, UkStrictlyInsideWindowBelow) {
+  // For any level j >= 1, u_{j-1} lies strictly below the level-j window's
+  // lower edge, so Proc's first hop is always downward.
+  Params p(100, 8, 128);
+  for (std::uint32_t j = 1; j <= 6; ++j) {
+    EXPECT_LT(p.uk_distance(j - 1), sat_mul(pow2(j), p.psi()));
+  }
+}
+
+TEST(Params, DomainFitsBelowUk) {
+  // domain_size(k) <= uk_distance(k): the domain never runs past the
+  // origin.
+  Params p(100, 8, 128);
+  for (std::uint32_t k = 0; k <= 6; ++k) {
+    EXPECT_LE(p.domain_size(k), p.uk_distance(k));
+  }
+}
+
+TEST(Params, CreationLevelMonotone) {
+  Params p(50, 4, 64);
+  std::uint32_t prev = 0;
+  for (std::uint64_t d = 0; d < 50 * p.psi(); d += 7) {
+    const std::uint32_t j = p.creation_level(d);
+    EXPECT_GE(j, prev);
+    prev = j;
+  }
+}
+
+TEST(Params, ScaledPsiStillPartitionsDistances) {
+  // The window-partition property needs only psi % 4 == 0, which
+  // with_psi_scale preserves — so the ablation never mis-levels a filler.
+  const Params base(100, 8, 32);
+  for (auto [num, den] : {std::pair<std::uint64_t, std::uint64_t>{1, 8},
+                          {1, 3},
+                          {3, 2},
+                          {5, 1}}) {
+    const Params p = base.with_psi_scale(num, den);
+    EXPECT_EQ(p.psi() % 4, 0u);
+    for (std::uint64_t d = 0; d <= 12 * p.psi(); d += 3) {
+      int matches = 0;
+      for (std::uint32_t j = 0; j <= p.max_level(); ++j) {
+        matches += p.in_filler_window(j, d);
+      }
+      ASSERT_EQ(matches, 1) << "scale " << num << "/" << den << " d=" << d;
+      EXPECT_TRUE(p.in_filler_window(p.creation_level(d), d));
+    }
+  }
+}
+
+TEST(Params, StrFormatting) {
+  Params p(10, 5, 8);
+  const std::string s = p.str();
+  EXPECT_NE(s.find("M=10"), std::string::npos);
+  EXPECT_NE(s.find("psi="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyncon::core

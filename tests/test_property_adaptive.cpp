@@ -1,0 +1,124 @@
+// Parameterized property sweep for the adaptive (unknown-U) controllers,
+// centralized and distributed, across rotation policies x churn models x
+// seeds: safety, liveness, structural validity, iteration sanity.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/adaptive_controller.hpp"
+#include "core/distributed_adaptive.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+#include "workload/scenario.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::core {
+namespace {
+
+using tree::DynamicTree;
+using workload::ChurnModel;
+
+using CentralCase =
+    std::tuple<AdaptiveController::Policy, ChurnModel, std::uint64_t>;
+
+class AdaptiveProperty : public ::testing::TestWithParam<CentralCase> {};
+
+TEST_P(AdaptiveProperty, SafetyLivenessValidity) {
+  const auto [policy, model, seed] = GetParam();
+  Rng rng(seed);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 32, rng);
+  const std::uint64_t M = 150, W = 10;
+  AdaptiveController::Options opts;
+  opts.policy = policy;
+  opts.track_domains = false;
+  AdaptiveController ctrl(t, M, W, opts);
+  workload::ChurnGenerator churn(model, Rng(seed * 3 + 1));
+  const auto stats = workload::run_churn(ctrl, t, churn, 4 * M,
+                                         /*event_fraction=*/0.2, rng);
+  EXPECT_LE(ctrl.permits_granted(), M);
+  if (stats.rejected > 0) {
+    EXPECT_GE(ctrl.permits_granted(), M - W);
+  }
+  const auto valid = tree::validate(t);
+  EXPECT_TRUE(valid.ok()) << valid.detail;
+  EXPECT_GE(ctrl.iterations(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptiveProperty,
+    ::testing::Combine(
+        ::testing::Values(AdaptiveController::Policy::kChangeCount,
+                          AdaptiveController::Policy::kSizeDoubling),
+        ::testing::Values(ChurnModel::kGrowOnly, ChurnModel::kBirthDeath,
+                          ChurnModel::kInternalChurn,
+                          ChurnModel::kFlashCrowd),
+        ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<CentralCase>& info) {
+      const auto policy = std::get<0>(info.param);
+      return std::string(policy == AdaptiveController::Policy::kChangeCount
+                             ? "part1"
+                             : "part2") +
+             "_" + workload::churn_name(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+using DistCase =
+    std::tuple<DistributedAdaptive::Policy, sim::DelayKind, std::uint64_t>;
+
+class DistAdaptiveProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistAdaptiveProperty, ConcurrentChurn) {
+  const auto [policy, kind, seed] = GetParam();
+  Rng rng(seed);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(kind, seed * 13 + 3));
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 24, rng);
+  const std::uint64_t M = 120, W = 8;
+  DistributedAdaptive::Options opts;
+  opts.policy = policy;
+  opts.track_domains = false;
+  DistributedAdaptive ctrl(net, t, M, W, opts);
+  workload::ChurnGenerator churn(ChurnModel::kInternalChurn,
+                                 Rng(seed * 17 + 7));
+  std::uint64_t answered = 0, granted = 0, rejected = 0;
+  const std::uint64_t kSteps = 3 * M;
+  for (std::uint64_t i = 0; i < kSteps; ++i) {
+    ctrl.submit(churn.next(t), [&](const Result& r) {
+      ++answered;
+      granted += r.granted();
+      rejected += r.outcome == Outcome::kRejected;
+    });
+    if (i % 6 == 5) queue.run();
+  }
+  queue.run();
+  EXPECT_EQ(answered, kSteps);
+  EXPECT_LE(granted, M);
+  if (rejected > 0) EXPECT_GE(granted, M - W);
+  const auto valid = tree::validate(t);
+  EXPECT_TRUE(valid.ok()) << valid.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistAdaptiveProperty,
+    ::testing::Combine(
+        ::testing::Values(DistributedAdaptive::Policy::kChangeCount,
+                          DistributedAdaptive::Policy::kSizeDoubling),
+        ::testing::Values(sim::DelayKind::kFixed, sim::DelayKind::kUniform,
+                          sim::DelayKind::kHeavyTail),
+        ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      const auto policy = std::get<0>(info.param);
+      return std::string(policy ==
+                                 DistributedAdaptive::Policy::kChangeCount
+                             ? "part1"
+                             : "part2") +
+             "_" + sim::delay_kind_name(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace dyncon::core

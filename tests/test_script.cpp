@@ -1,0 +1,127 @@
+// Tests for request-trace record/replay and differential testing through
+// identical scripts.
+
+#include <gtest/gtest.h>
+
+#include "core/centralized_controller.hpp"
+#include "core/distributed_controller.hpp"
+#include "core/trivial_controller.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/script.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::workload {
+namespace {
+
+using core::RequestSpec;
+using tree::DynamicTree;
+
+TEST(Script, SerializeParseRoundTrip) {
+  Script s;
+  s.append(RequestSpec{RequestSpec::Type::kEvent, 12});
+  s.append(RequestSpec{RequestSpec::Type::kAddLeaf, 0});
+  s.append(RequestSpec{RequestSpec::Type::kAddInternal, 7});
+  s.append(RequestSpec{RequestSpec::Type::kRemove, 3});
+  const Script back = Script::parse(s.str());
+  EXPECT_EQ(s, back);
+}
+
+TEST(Script, ParseSkipsCommentsAndBlanks) {
+  const Script s = Script::parse("# header\n\nevent 5\n# tail\nremove 2\n");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.entries()[0].type, RequestSpec::Type::kEvent);
+  EXPECT_EQ(s.entries()[1].subject, 2u);
+}
+
+TEST(Script, ParseRejectsGarbage) {
+  EXPECT_THROW(Script::parse("frobnicate 3\n"), ContractError);
+  EXPECT_THROW(Script::parse("event\n"), ContractError);
+}
+
+TEST(Script, RecordIsDeterministic) {
+  Rng ra(5), rb(5);
+  DynamicTree ta, tb;
+  workload::build(ta, Shape::kRandomAttach, 20, ra);
+  workload::build(tb, Shape::kRandomAttach, 20, rb);
+  ChurnGenerator ca(ChurnModel::kInternalChurn, Rng(9));
+  ChurnGenerator cb(ChurnModel::kInternalChurn, Rng(9));
+  const Script sa = Script::record(ta, ca, 100);
+  const Script sb = Script::record(tb, cb, 100);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), 100u);
+}
+
+TEST(Script, ReplayReproducesRecordedTopology) {
+  // Record against a copy, then replay through an all-granting controller
+  // on an identical starting tree: the final topologies must agree.
+  Rng r1(7), r2(7);
+  DynamicTree recorded, replayed;
+  workload::build(recorded, Shape::kRandomAttach, 16, r1);
+  workload::build(replayed, Shape::kRandomAttach, 16, r2);
+  ChurnGenerator churn(ChurnModel::kBirthDeath, Rng(11));
+  const Script script = Script::record(recorded, churn, 200);
+
+  core::TrivialController ctrl(replayed, 1u << 20);
+  const ReplayStats stats = replay(script, ctrl, replayed);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.granted, stats.submitted);
+  EXPECT_EQ(replayed.size(), recorded.size());
+  EXPECT_EQ(replayed.total_ever(), recorded.total_ever());
+  EXPECT_TRUE(tree::validate(replayed).ok());
+}
+
+TEST(Script, DifferentialCentralizedVsDistributed) {
+  // The same script through both implementations, permit budgets equal:
+  // the grant/reject sequences must match exactly (Lemma 4.5's reduction,
+  // exercised as a differential test).
+  Rng r0(13);
+  DynamicTree base;
+  workload::build(base, Shape::kRandomAttach, 24, r0);
+  ChurnGenerator churn(ChurnModel::kInternalChurn, Rng(17));
+  DynamicTree recorder;
+  Rng rr(13);
+  workload::build(recorder, Shape::kRandomAttach, 24, rr);
+  const Script script = Script::record(recorder, churn, 150);
+
+  const core::Params params(60, 20, 512);
+
+  Rng r1(13);
+  DynamicTree tc;
+  workload::build(tc, Shape::kRandomAttach, 24, r1);
+  core::CentralizedController cent(tc, params);
+  const ReplayStats sc = replay(script, cent, tc);
+
+  Rng r2(13);
+  DynamicTree td;
+  workload::build(td, Shape::kRandomAttach, 24, r2);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kFixed, 1));
+  core::DistributedController dist(net, td, params);
+  core::DistributedSyncFacade facade(queue, dist);
+  const ReplayStats sd = replay(script, facade, td);
+
+  EXPECT_EQ(sc.granted, sd.granted);
+  EXPECT_EQ(sc.rejected, sd.rejected);
+  EXPECT_EQ(sc.skipped, sd.skipped);
+  EXPECT_EQ(tc.size(), td.size());
+}
+
+TEST(Script, ReplayToleratesDivergence) {
+  // Replay against a tiny budget: later entries reference nodes that were
+  // never created; they must be skipped, not crash.
+  Rng r1(19), r2(19);
+  DynamicTree recorded, replayed;
+  workload::build(recorded, Shape::kRandomAttach, 8, r1);
+  workload::build(replayed, Shape::kRandomAttach, 8, r2);
+  ChurnGenerator churn(ChurnModel::kGrowOnly, Rng(21));
+  const Script script = Script::record(recorded, churn, 100);
+  core::TrivialController ctrl(replayed, 10);  // only 10 grants possible
+  const ReplayStats stats = replay(script, ctrl, replayed);
+  EXPECT_EQ(stats.granted, 10u);
+  EXPECT_GT(stats.skipped, 0u);
+  EXPECT_TRUE(tree::validate(replayed).ok());
+}
+
+}  // namespace
+}  // namespace dyncon::workload

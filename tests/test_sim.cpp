@@ -1,0 +1,174 @@
+// Unit tests for the discrete-event simulator: event ordering, delay
+// policies, network accounting, tracing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace dyncon::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_after(5, [&] { fired.push_back(5); });
+  q.schedule_after(1, [&] { fired.push_back(1); });
+  q.schedule_after(3, [&] { fired.push_back(3); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_after(7, [&fired, i] { fired.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_after(1, recurse);
+  };
+  q.schedule_after(1, recurse);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, MaxEventsBound) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule_after(1, [] {});
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+  EventQueue q;
+  q.schedule_after(10, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(5, [] {}), ContractError);
+}
+
+TEST(EventQueue, ZeroDelayFiresBeforeUnitDelay) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_after(1, [&] {
+    // Scheduled during the same event: 0-delay beats future messages.
+    q.schedule_after(1, [&] { fired.push_back(2); });
+    q.schedule_after(0, [&] { fired.push_back(1); });
+  });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(Delay, FixedIsConstant) {
+  FixedDelay d(3);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d.delay(0, 1, 0), 3u);
+  EXPECT_THROW(FixedDelay(0), ContractError);
+}
+
+TEST(Delay, UniformWithinBounds) {
+  UniformDelay d(Rng(1), 2, 9);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = d.delay(0, 1, 0);
+    EXPECT_GE(t, 2u);
+    EXPECT_LE(t, 9u);
+  }
+}
+
+TEST(Delay, HeavyTailWithinCap) {
+  HeavyTailDelay d(Rng(2), 64);
+  SimTime max_seen = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = d.delay(0, 1, 0);
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, 64u);
+    max_seen = std::max(max_seen, t);
+  }
+  EXPECT_GT(max_seen, 8u) << "tail never materialized";
+}
+
+TEST(Delay, BiasedSlowsSomeNodes) {
+  BiasedDelay d(Rng(3), 0.5, 100);
+  bool saw_slow = false, saw_fast = false;
+  for (NodeId n = 0; n < 64; ++n) {
+    const SimTime t = d.delay(n, n, 0);
+    (t > 100 ? saw_slow : saw_fast) = true;
+  }
+  EXPECT_TRUE(saw_slow);
+  EXPECT_TRUE(saw_fast);
+}
+
+TEST(Delay, FactoryCoversAllKinds) {
+  for (DelayKind k : {DelayKind::kFixed, DelayKind::kUniform,
+                      DelayKind::kHeavyTail, DelayKind::kBiased}) {
+    auto d = make_delay(k, 7);
+    ASSERT_NE(d, nullptr);
+    EXPECT_GE(d->delay(1, 2, 0), 1u);
+    EXPECT_FALSE(d->name().empty());
+  }
+}
+
+TEST(Network, CountsMessagesAndBits) {
+  EventQueue q;
+  Network net(q, std::make_unique<FixedDelay>(2));
+  int delivered = 0;
+  net.send(0, 1, MsgKind::kAgent, 32, [&] { ++delivered; });
+  net.send(1, 2, MsgKind::kReject, 8, [&] { ++delivered; });
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().total_bits, 40u);
+  EXPECT_EQ(net.stats().max_message_bits, 32u);
+  EXPECT_EQ(net.stats().kind(MsgKind::kAgent), 1u);
+  EXPECT_EQ(net.stats().kind(MsgKind::kReject), 1u);
+  q.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Network, ChargeModelsUnscheduledMessages) {
+  EventQueue q;
+  Network net(q, std::make_unique<FixedDelay>(1));
+  net.charge(MsgKind::kDataMove, 5, 16);
+  EXPECT_EQ(net.stats().messages, 5u);
+  EXPECT_EQ(net.stats().total_bits, 80u);
+  EXPECT_EQ(net.stats().kind(MsgKind::kDataMove), 5u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Network, DeliveryRespectsDelayPolicy) {
+  EventQueue q;
+  Network net(q, std::make_unique<FixedDelay>(7));
+  SimTime delivered_at = 0;
+  net.send(0, 1, MsgKind::kApp, 1, [&] { delivered_at = q.now(); });
+  q.run();
+  EXPECT_EQ(delivered_at, 7u);
+}
+
+TEST(Trace, DisabledByDefault) {
+  Trace tr;
+  tr.log(1, "hello");
+  EXPECT_EQ(tr.lines_recorded(), 0u);
+}
+
+TEST(Trace, RecordsAndBounds) {
+  Trace tr(4);
+  tr.enable();
+  for (int i = 0; i < 10; ++i) tr.log(static_cast<SimTime>(i), "line");
+  EXPECT_EQ(tr.lines_recorded(), 10u);
+  EXPECT_EQ(tr.tail(100).size(), 4u);
+  tr.clear();
+  EXPECT_EQ(tr.lines_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace dyncon::sim

@@ -1,0 +1,134 @@
+// Tests for the size-estimation protocol (§5.1, Theorem 5.1): the
+// beta-approximation invariant under every churn model, iteration
+// rotation, and message accounting.
+
+#include <gtest/gtest.h>
+
+#include "apps/size_estimation.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::apps {
+namespace {
+
+using tree::DynamicTree;
+using workload::ChurnGenerator;
+using workload::ChurnModel;
+
+void drive_and_check(ChurnModel model, double beta, std::uint64_t n0,
+                     int steps, std::uint64_t seed) {
+  Rng rng(seed);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, n0, rng);
+  SizeEstimation est(t, beta);
+  ChurnGenerator churn(model, Rng(seed + 1));
+  for (int i = 0; i < steps; ++i) {
+    if (t.size() < 4) break;  // keep small-n integer effects out of scope
+    const auto spec = churn.next(t);
+    core::Result r;
+    switch (spec.type) {
+      case core::RequestSpec::Type::kAddLeaf:
+        r = est.request_add_leaf(spec.subject);
+        break;
+      case core::RequestSpec::Type::kAddInternal:
+        r = est.request_add_internal_above(spec.subject);
+        break;
+      case core::RequestSpec::Type::kRemove:
+        r = est.request_remove(spec.subject);
+        break;
+      default:
+        continue;
+    }
+    ASSERT_TRUE(r.granted()) << "size estimation must admit churn";
+    const double n = static_cast<double>(t.size());
+    const double e = static_cast<double>(est.estimate());
+    EXPECT_GE(e * beta + 1e-9, n)
+        << workload::churn_name(model) << " step " << i;
+    EXPECT_LE(e, beta * n + 1e-9)
+        << workload::churn_name(model) << " step " << i;
+  }
+}
+
+TEST(SizeEstimation, BetaTwoGrowOnly) {
+  drive_and_check(ChurnModel::kGrowOnly, 2.0, 16, 500, 1);
+}
+
+TEST(SizeEstimation, BetaTwoBirthDeath) {
+  drive_and_check(ChurnModel::kBirthDeath, 2.0, 32, 500, 2);
+}
+
+TEST(SizeEstimation, BetaTwoInternalChurn) {
+  drive_and_check(ChurnModel::kInternalChurn, 2.0, 32, 500, 3);
+}
+
+TEST(SizeEstimation, BetaTwoFlashCrowd) {
+  drive_and_check(ChurnModel::kFlashCrowd, 2.0, 32, 600, 4);
+}
+
+TEST(SizeEstimation, BetaTwoShrink) {
+  drive_and_check(ChurnModel::kShrink, 2.0, 300, 280, 5);
+}
+
+TEST(SizeEstimation, TighterBeta) {
+  drive_and_check(ChurnModel::kBirthDeath, 1.3, 128, 400, 6);
+}
+
+TEST(SizeEstimation, LooserBeta) {
+  drive_and_check(ChurnModel::kInternalChurn, 4.0, 32, 400, 7);
+}
+
+TEST(SizeEstimation, IterationsRotate) {
+  Rng rng(8);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 16, rng);
+  SizeEstimation est(t, 2.0);
+  for (int i = 0; i < 300; ++i) {
+    const auto nodes = t.alive_nodes();
+    ASSERT_TRUE(
+        est.request_add_leaf(nodes[rng.index(nodes.size())]).granted());
+  }
+  EXPECT_GE(est.iterations(), 3u);
+  EXPECT_EQ(t.size(), 316u);
+}
+
+TEST(SizeEstimation, EstimateEqualsExactAtIterationStart) {
+  Rng rng(9);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 64, rng);
+  SizeEstimation est(t, 3.0);
+  EXPECT_EQ(est.estimate(), 64u);
+}
+
+TEST(SizeEstimation, RejectsInvalidBeta) {
+  DynamicTree t;
+  EXPECT_THROW(SizeEstimation(t, 1.0), ContractError);
+  EXPECT_THROW(SizeEstimation(t, 0.5), ContractError);
+}
+
+TEST(SizeEstimation, MessageGrowthIsModest) {
+  // Amortized O(log^2 n) per change: total messages for k changes from
+  // size n should be well below k * n for non-trivial n.
+  Rng rng(10);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 256, rng);
+  SizeEstimation est(t, 2.0);
+  ChurnGenerator churn(ChurnModel::kBirthDeath, Rng(11));
+  const int kSteps = 400;
+  for (int i = 0; i < kSteps; ++i) {
+    const auto spec = churn.next(t);
+    if (spec.type == core::RequestSpec::Type::kAddLeaf) {
+      est.request_add_leaf(spec.subject);
+    } else {
+      est.request_remove(spec.subject);
+    }
+  }
+  const double per_change =
+      static_cast<double>(est.messages()) / kSteps;
+  const double n = static_cast<double>(t.size());
+  EXPECT_LT(per_change, n / 2) << "no better than flooding";
+}
+
+}  // namespace
+}  // namespace dyncon::apps

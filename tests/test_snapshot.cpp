@@ -1,0 +1,114 @@
+// Tests for tree snapshots: serialize/restore round trips, id fidelity,
+// Script replay against restored trees, malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include "core/trivial_controller.hpp"
+#include "tree/snapshot.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+#include "workload/churn.hpp"
+#include "workload/script.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::tree {
+namespace {
+
+TEST(Snapshot, RoundTripAllShapes) {
+  for (auto shape : workload::all_shapes()) {
+    Rng rng(1);
+    DynamicTree t;
+    workload::build(t, shape, 60, rng);
+    const DynamicTree back = restore(snapshot(t));
+    EXPECT_TRUE(same_topology(t, back)) << workload::shape_name(shape);
+    EXPECT_TRUE(validate(back).ok()) << workload::shape_name(shape);
+  }
+}
+
+TEST(Snapshot, RoundTripAfterChurnPreservesIds) {
+  // A heavily churned tree has id gaps and internal-insertion history;
+  // restore() must reproduce the exact alive ids anyway.
+  Rng rng(2);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 30, rng);
+  workload::ChurnGenerator churn(workload::ChurnModel::kInternalChurn,
+                                 Rng(3));
+  core::TrivialController ctrl(t, 1u << 20);
+  for (int i = 0; i < 400; ++i) {
+    const auto spec = churn.next(t);
+    switch (spec.type) {
+      case core::RequestSpec::Type::kAddLeaf:
+        ctrl.request_add_leaf(spec.subject);
+        break;
+      case core::RequestSpec::Type::kAddInternal:
+        ctrl.request_add_internal_above(spec.subject);
+        break;
+      case core::RequestSpec::Type::kRemove:
+        ctrl.request_remove(spec.subject);
+        break;
+      default:
+        break;
+    }
+  }
+  const DynamicTree back = restore(snapshot(t));
+  EXPECT_TRUE(same_topology(t, back));
+  for (NodeId v : t.alive_nodes()) {
+    EXPECT_TRUE(back.alive(v));
+    EXPECT_EQ(t.depth(v), back.depth(v));
+  }
+}
+
+TEST(Snapshot, RestoredTreeIsFullyOperational) {
+  Rng rng(4);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kCaterpillar, 25, rng);
+  DynamicTree back = restore(snapshot(t));
+  // All four change types work on the restored tree.
+  const NodeId leaf = back.add_leaf(back.root());
+  const NodeId mid = back.add_internal_above(leaf);
+  back.remove_internal(mid);
+  back.remove_leaf(leaf);
+  EXPECT_TRUE(validate(back).ok());
+  EXPECT_TRUE(same_topology(t, back));
+}
+
+TEST(Snapshot, ScriptReplayAgainstRestoredTree) {
+  // The full checkpoint workflow: snapshot a tree, record churn from it,
+  // then replay the script against the restored snapshot.
+  Rng rng(5);
+  DynamicTree original;
+  workload::build(original, workload::Shape::kRandomAttach, 40, rng);
+  const std::string snap = snapshot(original);
+
+  workload::ChurnGenerator churn(workload::ChurnModel::kBirthDeath, Rng(6));
+  const workload::Script script =
+      workload::Script::record(original, churn, 200);
+
+  DynamicTree restored = restore(snap);
+  core::TrivialController ctrl(restored, 1u << 20);
+  const auto stats = workload::replay(script, ctrl, restored);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_TRUE(same_topology(original, restored));
+}
+
+TEST(Snapshot, MalformedInputsRejected) {
+  EXPECT_THROW(restore("bogus header\n"), ContractError);
+  EXPECT_THROW(restore("tree v1\n0 -\nnot a line\n"), ContractError);
+  EXPECT_THROW(restore("tree v1\n5 -\n"), ContractError);     // root must be 0
+  EXPECT_THROW(restore("tree v1\n0 -\n3 9\n"), ContractError);  // no parent 9
+  EXPECT_THROW(restore("tree v1\n0 -\n1 0\n1 0\n"), ContractError);  // dup
+}
+
+TEST(Snapshot, SameTopologyDetectsDifferences) {
+  Rng rng(7);
+  DynamicTree a, b;
+  workload::build(a, workload::Shape::kPath, 10, rng);
+  Rng rng2(7);
+  workload::build(b, workload::Shape::kPath, 10, rng2);
+  EXPECT_TRUE(same_topology(a, b));
+  b.add_leaf(b.root());
+  EXPECT_FALSE(same_topology(a, b));
+}
+
+}  // namespace
+}  // namespace dyncon::tree

@@ -1,0 +1,204 @@
+// Unit tests for the dynamic tree substrate: the four controlled
+// topological changes, queries, ports, validation, and observers.
+
+#include <gtest/gtest.h>
+
+#include "tree/dynamic_tree.hpp"
+#include "tree/validate.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::tree {
+namespace {
+
+TEST(DynamicTree, StartsWithRootOnly) {
+  DynamicTree t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.total_ever(), 1u);
+  EXPECT_TRUE(t.alive(t.root()));
+  EXPECT_EQ(t.parent(t.root()), kNoNode);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(DynamicTree, AddLeafBasics) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.parent(b), a);
+  EXPECT_EQ(t.depth(b), 2u);
+  EXPECT_FALSE(t.is_leaf(a));
+  EXPECT_TRUE(t.is_leaf(b));
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(DynamicTree, RemoveLeaf) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  t.remove_leaf(b);
+  EXPECT_FALSE(t.alive(b));
+  EXPECT_TRUE(t.is_leaf(a));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.total_ever(), 3u);  // ids are never reused
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(DynamicTree, RemoveLeafRejectsRootAndInternal) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  t.add_leaf(a);
+  EXPECT_THROW(t.remove_leaf(t.root()), ContractError);
+  EXPECT_THROW(t.remove_leaf(a), ContractError);  // a is internal now
+}
+
+TEST(DynamicTree, AddInternalSplitsEdge) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  const NodeId m = t.add_internal_above(b);
+  EXPECT_EQ(t.parent(b), m);
+  EXPECT_EQ(t.parent(m), a);
+  EXPECT_EQ(t.depth(b), 3u);
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(DynamicTree, AddInternalAboveRootChildren) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId m = t.add_internal_above(a);
+  EXPECT_EQ(t.parent(m), t.root());
+  EXPECT_EQ(t.parent(a), m);
+  EXPECT_THROW(t.add_internal_above(t.root()), ContractError);
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(DynamicTree, RemoveInternalReparentsChildren) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  const NodeId c = t.add_leaf(a);
+  t.remove_internal(a);
+  EXPECT_FALSE(t.alive(a));
+  EXPECT_EQ(t.parent(b), t.root());
+  EXPECT_EQ(t.parent(c), t.root());
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(DynamicTree, RemoveNodeDispatches) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  t.remove_node(a);  // internal
+  EXPECT_EQ(t.parent(b), t.root());
+  t.remove_node(b);  // leaf
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(DynamicTree, AncestryQueries) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  const NodeId c = t.add_leaf(t.root());
+  EXPECT_TRUE(t.is_ancestor(t.root(), b));
+  EXPECT_TRUE(t.is_ancestor(a, b));
+  EXPECT_TRUE(t.is_ancestor(b, b));
+  EXPECT_FALSE(t.is_ancestor(b, a));
+  EXPECT_FALSE(t.is_ancestor(c, b));
+  EXPECT_EQ(t.ancestor_at(b, 0), b);
+  EXPECT_EQ(t.ancestor_at(b, 1), a);
+  EXPECT_EQ(t.ancestor_at(b, 2), t.root());
+  EXPECT_THROW(t.ancestor_at(b, 3), ContractError);
+}
+
+TEST(DynamicTree, AliveNodesIsBfsFromRoot) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(t.root());
+  const NodeId c = t.add_leaf(a);
+  const auto nodes = t.alive_nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], t.root());
+  EXPECT_EQ(nodes[1], a);
+  EXPECT_EQ(nodes[2], b);
+  EXPECT_EQ(nodes[3], c);
+}
+
+TEST(DynamicTree, PortsUniqueAndSymmetric) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  EXPECT_TRUE(t.ports().has_port(a, t.root()));
+  EXPECT_TRUE(t.ports().has_port(a, b));
+  const PortId p = t.ports().port_to(a, b);
+  EXPECT_EQ(t.ports().neighbor_at(a, p), b);
+  EXPECT_EQ(t.ports().degree(a), 2u);
+}
+
+TEST(DynamicTree, PortsFollowTopologyChanges) {
+  DynamicTree t;
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  const NodeId m = t.add_internal_above(b);
+  EXPECT_FALSE(t.ports().has_port(a, b));
+  EXPECT_TRUE(t.ports().has_port(a, m));
+  EXPECT_TRUE(t.ports().has_port(m, b));
+  t.remove_internal(m);
+  EXPECT_TRUE(t.ports().has_port(a, b));
+  EXPECT_EQ(t.ports().degree(b), 1u);
+  EXPECT_TRUE(validate(t).ok());
+}
+
+class RecordingObserver final : public TreeObserver {
+ public:
+  int adds = 0, removes = 0, internal_adds = 0, internal_removes = 0;
+  void on_add_leaf(NodeId, NodeId) override { ++adds; }
+  void on_remove_leaf(NodeId, NodeId) override { ++removes; }
+  void on_add_internal(NodeId, NodeId, NodeId) override { ++internal_adds; }
+  void on_remove_internal(NodeId, NodeId,
+                          const std::vector<NodeId>&) override {
+    ++internal_removes;
+  }
+};
+
+TEST(DynamicTree, ObserversSeeEveryChange) {
+  DynamicTree t;
+  RecordingObserver obs;
+  t.add_observer(&obs);
+  const NodeId a = t.add_leaf(t.root());
+  const NodeId b = t.add_leaf(a);
+  const NodeId m = t.add_internal_above(b);
+  t.remove_internal(m);
+  t.remove_leaf(b);
+  t.remove_observer(&obs);
+  t.add_leaf(a);  // not observed
+  EXPECT_EQ(obs.adds, 2);
+  EXPECT_EQ(obs.internal_adds, 1);
+  EXPECT_EQ(obs.internal_removes, 1);
+  EXPECT_EQ(obs.removes, 1);
+}
+
+TEST(DynamicTree, RandomizedChurnKeepsStructureValid) {
+  DynamicTree t;
+  Rng rng(99);
+  std::vector<NodeId> alive{t.root()};
+  for (int step = 0; step < 2000; ++step) {
+    const auto roll = rng.uniform(0, 3);
+    alive = t.alive_nodes();
+    if (roll == 0 || t.size() < 3) {
+      t.add_leaf(alive[rng.index(alive.size())]);
+    } else if (roll == 1) {
+      const NodeId v = alive[rng.index(alive.size())];
+      if (v != t.root()) t.add_internal_above(v);
+    } else {
+      const NodeId v = alive[rng.index(alive.size())];
+      if (v != t.root()) t.remove_node(v);
+    }
+    const auto res = validate(t);
+    ASSERT_TRUE(res.ok()) << "step " << step << ": " << res.detail;
+  }
+}
+
+}  // namespace
+}  // namespace dyncon::tree

@@ -1,0 +1,29 @@
+// Compilation smoke test: the umbrella header exposes the whole public API
+// in one include, with no hidden ordering requirements.
+
+#include "dyncon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  dyncon::tree::DynamicTree tree;
+  dyncon::core::IteratedController ctrl(tree, 4, 2, 8);
+  EXPECT_TRUE(ctrl.request_add_leaf(tree.root()).granted());
+  EXPECT_EQ(tree.size(), 2u);
+
+  dyncon::sim::EventQueue queue;
+  dyncon::sim::Network net(
+      queue, dyncon::sim::make_delay(dyncon::sim::DelayKind::kFixed, 1));
+  dyncon::core::DistributedController dist(net, tree,
+                                           dyncon::core::Params(4, 2, 8));
+  bool fired = false;
+  dist.submit_event(tree.root(), [&](const dyncon::core::Result& r) {
+    fired = r.granted();
+  });
+  queue.run();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Unit tests for src/util: integer log math, RNG determinism, intervals,
+// summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/interval.hpp"
+#include "util/log2.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dyncon {
+namespace {
+
+TEST(Log2, FloorValues) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(UINT64_MAX), 63u);
+}
+
+TEST(Log2, CeilValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1 << 20), 20u);
+  EXPECT_EQ(ceil_log2((1 << 20) + 1), 21u);
+}
+
+TEST(Log2, FloorOfZeroThrows) { EXPECT_THROW(floor_log2(0), InvariantError); }
+
+TEST(Log2, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_THROW(ceil_div(1, 0), InvariantError);
+}
+
+TEST(Log2, Pow2AndSatMul) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(40), std::uint64_t{1} << 40);
+  EXPECT_THROW(pow2(64), InvariantError);
+  EXPECT_EQ(sat_mul(0, UINT64_MAX), 0u);
+  EXPECT_EQ(sat_mul(3, 5), 15u);
+  EXPECT_EQ(sat_mul(UINT64_MAX, 2), UINT64_MAX);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+  EXPECT_THROW(rng.uniform(6, 5), ContractError);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ZipfTailBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.zipf_tail(100);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 100u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Interval, EmptyBasics) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.size(), 0u);
+  EXPECT_FALSE(iv.contains(1));
+}
+
+TEST(Interval, ClosedSemantics) {
+  Interval iv(3, 7);
+  EXPECT_EQ(iv.size(), 5u);
+  EXPECT_TRUE(iv.contains(3));
+  EXPECT_TRUE(iv.contains(7));
+  EXPECT_FALSE(iv.contains(8));
+}
+
+TEST(Interval, TakeLow) {
+  Interval iv(1, 10);
+  Interval lo = iv.take_low(4);
+  EXPECT_EQ(lo, Interval(1, 4));
+  EXPECT_EQ(iv, Interval(5, 10));
+  EXPECT_THROW(iv.take_low(100), ContractError);
+}
+
+TEST(Interval, TakeOneDrains) {
+  Interval iv(5, 6);
+  EXPECT_EQ(iv.take_one(), 5u);
+  EXPECT_EQ(iv.take_one(), 6u);
+  EXPECT_TRUE(iv.empty());
+  EXPECT_THROW(iv.take_one(), ContractError);
+}
+
+TEST(Interval, SplitHalf) {
+  Interval iv(1, 8);
+  auto [a, b] = iv.split_half();
+  EXPECT_EQ(a, Interval(1, 4));
+  EXPECT_EQ(b, Interval(5, 8));
+  Interval odd(1, 3);
+  EXPECT_THROW(odd.split_half(), ContractError);
+}
+
+TEST(Interval, Intersection) {
+  EXPECT_TRUE(Interval(1, 5).intersects(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 5).intersects(Interval(6, 9)));
+  EXPECT_FALSE(Interval().intersects(Interval(1, 5)));
+}
+
+TEST(Stats, SummaryMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.at(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.at(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.at(0.5), 50.5, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // slope 2 in log-log
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeDegenerate) {
+  EXPECT_EQ(loglog_slope({}, {}), 0.0);
+  EXPECT_EQ(loglog_slope({1.0}, {2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace dyncon

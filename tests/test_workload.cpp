@@ -1,0 +1,173 @@
+// Unit tests for the workload module: shape builders, churn generators,
+// scenario drivers.
+
+#include <gtest/gtest.h>
+
+#include "core/trivial_controller.hpp"
+#include "tree/validate.hpp"
+#include "workload/churn.hpp"
+#include "workload/scenario.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::workload {
+namespace {
+
+using tree::DynamicTree;
+
+TEST(Shapes, AllShapesReachTarget) {
+  for (Shape s : all_shapes()) {
+    Rng rng(5);
+    DynamicTree t;
+    build(t, s, 100, rng);
+    EXPECT_EQ(t.size(), 100u) << shape_name(s);
+    EXPECT_TRUE(tree::validate(t).ok()) << shape_name(s);
+  }
+}
+
+TEST(Shapes, PathIsDeep) {
+  Rng rng(1);
+  DynamicTree t;
+  build(t, Shape::kPath, 50, rng);
+  EXPECT_EQ(t.depth(t.alive_nodes().back()), 49u);
+}
+
+TEST(Shapes, StarIsShallow) {
+  Rng rng(1);
+  DynamicTree t;
+  build(t, Shape::kStar, 50, rng);
+  for (NodeId v : t.alive_nodes()) EXPECT_LE(t.depth(v), 1u);
+}
+
+TEST(Shapes, BinaryDepthLogarithmic) {
+  Rng rng(1);
+  DynamicTree t;
+  build(t, Shape::kBinary, 127, rng);
+  std::uint64_t max_depth = 0;
+  for (NodeId v : t.alive_nodes()) {
+    max_depth = std::max(max_depth, t.depth(v));
+  }
+  EXPECT_EQ(max_depth, 6u);
+}
+
+TEST(Shapes, CaterpillarHasSpineAndLegs) {
+  Rng rng(1);
+  DynamicTree t;
+  build(t, Shape::kCaterpillar, 60, rng);
+  std::uint64_t leaves = 0;
+  for (NodeId v : t.alive_nodes()) leaves += t.is_leaf(v);
+  EXPECT_GE(leaves, 25u);  // roughly half the nodes are legs
+  std::uint64_t max_depth = 0;
+  for (NodeId v : t.alive_nodes()) {
+    max_depth = std::max(max_depth, t.depth(v));
+  }
+  EXPECT_GE(max_depth, 20u);  // and there is a long spine
+}
+
+TEST(Shapes, BroomHandleThenFan) {
+  Rng rng(1);
+  DynamicTree t;
+  build(t, Shape::kBroom, 40, rng);
+  // Handle of ~20, then ~20 bristles at its tip.
+  std::uint64_t leaves = 0;
+  for (NodeId v : t.alive_nodes()) leaves += t.is_leaf(v);
+  EXPECT_GE(leaves, 18u);
+}
+
+TEST(Shapes, RandomPickers) {
+  Rng rng(2);
+  DynamicTree t;
+  build(t, Shape::kRandomAttach, 20, rng);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(t.alive(random_node(t, rng)));
+    EXPECT_NE(random_non_root(t, rng), t.root());
+  }
+}
+
+TEST(Churn, GrowOnlyProposesOnlyAdds) {
+  Rng rng(3);
+  DynamicTree t;
+  build(t, Shape::kRandomAttach, 10, rng);
+  ChurnGenerator gen(ChurnModel::kGrowOnly, Rng(4));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen.next(t).type, core::RequestSpec::Type::kAddLeaf);
+  }
+}
+
+TEST(Churn, ShrinkProposesOnlyRemovals) {
+  Rng rng(3);
+  DynamicTree t;
+  build(t, Shape::kRandomAttach, 10, rng);
+  ChurnGenerator gen(ChurnModel::kShrink, Rng(4));
+  for (int i = 0; i < 20; ++i) {
+    const auto spec = gen.next(t);
+    EXPECT_EQ(spec.type, core::RequestSpec::Type::kRemove);
+    EXPECT_NE(spec.subject, t.root());
+  }
+}
+
+TEST(Churn, ProposalsAlwaysValid) {
+  for (ChurnModel m : all_churn_models()) {
+    Rng rng(5);
+    DynamicTree t;
+    build(t, Shape::kRandomAttach, 12, rng);
+    ChurnGenerator gen(m, Rng(6));
+    core::TrivialController ctrl(t, 100000);
+    for (int i = 0; i < 300; ++i) {
+      const auto spec = gen.next(t);
+      EXPECT_TRUE(t.alive(spec.subject)) << churn_name(m);
+      // Applying through a controller must never throw.
+      switch (spec.type) {
+        case core::RequestSpec::Type::kAddLeaf:
+          ctrl.request_add_leaf(spec.subject);
+          break;
+        case core::RequestSpec::Type::kAddInternal:
+          ctrl.request_add_internal_above(spec.subject);
+          break;
+        case core::RequestSpec::Type::kRemove:
+          ctrl.request_remove(spec.subject);
+          break;
+        case core::RequestSpec::Type::kEvent:
+          ctrl.request_event(spec.subject);
+          break;
+      }
+      ASSERT_TRUE(tree::validate(t).ok()) << churn_name(m) << " step " << i;
+    }
+  }
+}
+
+TEST(Churn, FlashCrowdAlternates) {
+  Rng rng(7);
+  DynamicTree t;
+  build(t, Shape::kRandomAttach, 30, rng);
+  ChurnGenerator gen(ChurnModel::kFlashCrowd, Rng(8));
+  int adds = 0, removes = 0;
+  core::TrivialController ctrl(t, 100000);
+  for (int i = 0; i < 400; ++i) {
+    const auto spec = gen.next(t);
+    if (spec.type == core::RequestSpec::Type::kAddLeaf) {
+      ++adds;
+      ctrl.request_add_leaf(spec.subject);
+    } else if (spec.type == core::RequestSpec::Type::kRemove) {
+      ++removes;
+      ctrl.request_remove(spec.subject);
+    }
+  }
+  EXPECT_GT(adds, 50);
+  EXPECT_GT(removes, 50);
+}
+
+TEST(Scenario, StatsTally) {
+  Rng rng(9);
+  DynamicTree t;
+  build(t, Shape::kRandomAttach, 10, rng);
+  core::TrivialController ctrl(t, 20);
+  ChurnGenerator gen(ChurnModel::kBirthDeath, Rng(10));
+  const auto stats = run_churn(ctrl, t, gen, 100, 0.5, rng);
+  EXPECT_EQ(stats.requests, 100u);
+  EXPECT_LE(stats.granted, 20u);
+  EXPECT_EQ(stats.granted + stats.rejected + stats.moot + stats.other, 100u);
+  EXPECT_FALSE(stats.str().empty());
+}
+
+}  // namespace
+}  // namespace dyncon::workload

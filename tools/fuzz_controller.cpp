@@ -1,0 +1,162 @@
+// Continuous randomized stress for the distributed controller stack.
+//
+// Runs random (seed, shape, churn, delay, burst) combinations until the
+// time budget expires, auditing after every burst:
+//   * structural validity of the tree,
+//   * all agents drained,
+//   * Claim 3.1 domain invariants,
+//   * permit conservation, safety, and the liveness band.
+//
+// On a violation it prints the failing configuration (which is enough to
+// reproduce deterministically — everything is seeded) and exits nonzero.
+//
+//   usage: fuzz_controller [--seconds N] [--start-seed S]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/distributed_iterated.hpp"
+#include "tree/validate.hpp"
+#include "workload/churn.hpp"
+#include "workload/shapes.hpp"
+
+using namespace dyncon;
+
+namespace {
+
+struct Config {
+  std::uint64_t seed;
+  sim::DelayKind delay;
+  workload::Shape shape;
+  workload::ChurnModel churn;
+  std::uint64_t n0;
+  std::uint64_t m;
+  std::uint64_t w;
+  std::uint64_t steps;
+  std::uint64_t max_burst;
+
+  void print() const {
+    std::fprintf(stderr,
+                 "config: seed=%llu delay=%s shape=%s churn=%s n0=%llu "
+                 "M=%llu W=%llu steps=%llu burst<=%llu\n",
+                 static_cast<unsigned long long>(seed),
+                 sim::delay_kind_name(delay), workload::shape_name(shape),
+                 workload::churn_name(churn),
+                 static_cast<unsigned long long>(n0),
+                 static_cast<unsigned long long>(m),
+                 static_cast<unsigned long long>(w),
+                 static_cast<unsigned long long>(steps),
+                 static_cast<unsigned long long>(max_burst));
+  }
+};
+
+Config roll(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const auto shapes = workload::all_shapes();
+  const auto churns = workload::all_churn_models();
+  Config c;
+  c.seed = seed;
+  c.delay = static_cast<sim::DelayKind>(rng.uniform(0, 3));
+  c.shape = shapes[rng.index(shapes.size())];
+  c.churn = churns[rng.index(churns.size())];
+  c.n0 = rng.uniform(2, 96);
+  c.m = rng.uniform(1, 400);
+  c.w = rng.uniform(0, c.m);
+  c.steps = rng.uniform(50, 600);
+  c.max_burst = rng.uniform(1, 16);
+  return c;
+}
+
+/// Returns an empty string on success, a description on failure.
+std::string run_one(const Config& c) {
+  Rng rng(c.seed);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(c.delay, c.seed * 31 + 7));
+  tree::DynamicTree t;
+  workload::build(t, c.shape, c.n0, rng);
+  core::DistributedIterated ctrl(net, t, c.m, c.w, /*U=*/8192);
+  workload::ChurnGenerator churn(c.churn, Rng(c.seed * 7 + 3));
+
+  std::uint64_t answered = 0, granted = 0, rejected = 0, moot = 0;
+  std::uint64_t submitted = 0;
+  while (submitted < c.steps) {
+    const std::uint64_t burst = rng.uniform(1, c.max_burst);
+    for (std::uint64_t i = 0; i < burst && submitted < c.steps; ++i) {
+      ++submitted;
+      const core::RequestSpec spec =
+          rng.chance(0.25)
+              ? core::RequestSpec{core::RequestSpec::Type::kEvent,
+                                  workload::random_node(t, rng)}
+              : churn.next(t);
+      ctrl.submit(spec, [&](const core::Result& r) {
+        ++answered;
+        granted += r.granted();
+        rejected += r.outcome == core::Outcome::kRejected;
+        moot += r.outcome == core::Outcome::kMoot;
+      });
+    }
+    queue.run();
+    const auto valid = tree::validate(t);
+    if (!valid.ok()) return "tree corrupt: " + valid.detail;
+    if (const auto* inner = ctrl.inner()) {
+      if (inner->active_agents() != 0) return "agents leaked";
+      if (const auto* dom = inner->domains()) {
+        const std::string err = dom->check_invariants();
+        if (!err.empty()) return "domain invariant: " + err;
+      }
+      if (inner->permits_granted() + inner->unused_permits() !=
+          inner->params().M()) {
+        return "permit conservation broken";
+      }
+    }
+  }
+  if (answered != submitted) return "requests lost";
+  if (answered != granted + rejected + moot) return "outcome mismatch";
+  if (ctrl.permits_granted() > c.m) return "safety violated";
+  if (rejected > 0 && ctrl.permits_granted() + c.w < c.m) {
+    return "liveness violated";
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seconds = 10, seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seconds") && i + 1 < argc) {
+      seconds = std::stoull(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--start-seed") && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--seconds N] [--start-seed S]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(seconds);
+  std::uint64_t runs = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Config c = roll(seed++);
+    std::string failure;
+    try {
+      failure = run_one(c);
+    } catch (const std::exception& e) {
+      failure = std::string("exception: ") + e.what();
+    }
+    if (!failure.empty()) {
+      std::fprintf(stderr, "FAILURE: %s\n", failure.c_str());
+      c.print();
+      return 2;
+    }
+    ++runs;
+  }
+  std::printf("fuzz_controller: %llu configurations clean (%llus)\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(seconds));
+  return 0;
+}
