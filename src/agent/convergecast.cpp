@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::agent {
@@ -31,8 +30,8 @@ void Convergecast::count_nodes(Done done) {
 
 void Convergecast::down(NodeId v, std::uint64_t value) {
   ++messages_;
-  net_.send(tree_.parent(v), v, sim::MsgKind::kControl,
-            value_message_bits(value),
+  net_.send(tree_.parent(v), v,
+            sim::Message::control(sim::ControlTopic::kBroadcast, value),
             [this, v, value] { arrived_down(v, value); });
 }
 
@@ -65,8 +64,8 @@ void Convergecast::complete_node(NodeId v) {
 
 void Convergecast::up(NodeId child, NodeId parent, std::uint64_t value) {
   ++messages_;
-  net_.send(child, parent, sim::MsgKind::kControl,
-            value_message_bits(value),
+  net_.send(child, parent,
+            sim::Message::control(sim::ControlTopic::kUpcast, value),
             [this, parent, value] { arrived_up(parent, value); });
 }
 

@@ -1,14 +1,15 @@
 #pragma once
 
-// Shared agent-runtime helpers: id allocation and the O(log N)-bit message
-// encoding model.
+// Shared agent-runtime helpers: id allocation and the O(log N)-bit
+// *memory* model for parked agent state.
 //
 // An agent in flight carries: its distance counter (<= current tree depth,
 // so O(log N) bits — §4.4.1 argues the locked path keeps the counter below
 // the live node count), its DistToTop counter, its Bag (a package level,
-// O(log log U) bits), and a constant number of phase/flag bits.  Message
-// payload sizes reported to the network use this encoding so the
-// max-message-bits statistic is meaningful for the paper's O(log N) claim.
+// O(log log U) bits), and a constant number of phase/flag bits.  Wire sizes
+// are no longer modeled here — they are measured by encoding a typed
+// `sim::Message` (sim/wire.hpp).  `agent_message_bits` remains only as the
+// Claim 4.8 accounting for an agent's state parked in a whiteboard queue.
 
 #include <cstdint>
 
@@ -26,20 +27,15 @@ class AgentIdAllocator {
   std::uint64_t next_ = 0;
 };
 
-/// Modeled encoded size (bits) of an agent message when the tree currently
-/// has `n` live nodes and package levels go up to `max_level`.
+/// Modeled size (bits) of one agent's parked state when the tree currently
+/// has `n` live nodes and package levels go up to `max_level` — the
+/// per-waiter term of the Claim 4.8 whiteboard memory accounting.
 [[nodiscard]] inline std::uint64_t agent_message_bits(std::uint64_t n,
                                                       std::uint32_t max_level) {
   const std::uint64_t counter_bits = ceil_log2(n < 2 ? 2 : n) + 1;
   const std::uint64_t bag_bits =
       ceil_log2(max_level < 2 ? 2 : max_level) + 1;
   return 2 * counter_bits + bag_bits + 8;  // two counters, bag, phase/flags
-}
-
-/// Modeled encoded size of a control/application message carrying one
-/// O(log n)-bit value.
-[[nodiscard]] inline std::uint64_t value_message_bits(std::uint64_t value) {
-  return ceil_log2(value < 2 ? 2 : value) + 9;
 }
 
 }  // namespace dyncon::agent

@@ -13,12 +13,14 @@ void Taxi::set_on_arrival(Arrival handler) {
   on_arrival_ = std::move(handler);
 }
 
-void Taxi::hop_up(AgentId a, NodeId from, std::uint64_t payload_bits) {
+void Taxi::hop_up(AgentId a, NodeId from, const sim::Message& msg) {
   DYNCON_REQUIRE(tree_.alive(from) && from != tree_.root(),
                  "hop_up from the root or a dead node");
+  DYNCON_REQUIRE(msg.kind() == sim::MsgKind::kAgent,
+                 "the taxi carries agent messages only");
   // Destination resolved at delivery time (graceful deletions can reparent
   // `from` while the hop is in flight).
-  net_.send(from, tree_.parent(from), sim::MsgKind::kAgent, payload_bits,
+  net_.send(from, tree_.parent(from), msg,
             [this, a, from] {
               DYNCON_INVARIANT(tree_.alive(from),
                                "hop_up sender died mid-flight");
@@ -27,9 +29,11 @@ void Taxi::hop_up(AgentId a, NodeId from, std::uint64_t payload_bits) {
 }
 
 void Taxi::hop_down(AgentId a, NodeId from, NodeId to,
-                    std::uint64_t payload_bits) {
+                    const sim::Message& msg) {
   DYNCON_REQUIRE(tree_.alive(to), "hop_down to a dead node");
-  net_.send(from, to, sim::MsgKind::kAgent, payload_bits,
+  DYNCON_REQUIRE(msg.kind() == sim::MsgKind::kAgent,
+                 "the taxi carries agent messages only");
+  net_.send(from, to, msg,
             [this, a, from, to] {
               DYNCON_INVARIANT(tree_.alive(to),
                                "hop_down target died mid-flight");

@@ -36,11 +36,13 @@ class Taxi {
 
   void set_on_arrival(Arrival handler);
 
-  /// One hop toward the root; `from` must not be the root.
-  void hop_up(AgentId a, NodeId from, std::uint64_t payload_bits);
+  /// One hop toward the root; `from` must not be the root.  `msg` is the
+  /// encoded agent state the hop carries (kind must be kAgent); its
+  /// measured size is what the network charges.
+  void hop_up(AgentId a, NodeId from, const sim::Message& msg);
 
   /// One hop to child `to` of `from` (per the stored down pointer).
-  void hop_down(AgentId a, NodeId from, NodeId to, std::uint64_t payload_bits);
+  void hop_down(AgentId a, NodeId from, NodeId to, const sim::Message& msg);
 
   /// Immediate local re-entry (dequeue after unlock); no message.
   void resume_local(AgentId a, NodeId at, NodeId came_from);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <vector>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 #include "util/log2.hpp"
 
@@ -53,8 +52,7 @@ void DistributedAncestryLabeling::relabel() {
   built_for_ = tree_.size();
   const std::uint64_t hops = 2 * (tree_.size() - 1);
   control_messages_ += hops;
-  net_.charge(sim::MsgKind::kApp, hops,
-              agent::value_message_bits(counter + 1));
+  net_.charge(sim::Message::app_value(sim::AppTopic::kToken, counter), hops);
 }
 
 void DistributedAncestryLabeling::assign_leaf_label(NodeId u,

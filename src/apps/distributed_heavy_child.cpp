@@ -27,8 +27,8 @@ DistributedSubtreeEstimator::DistributedSubtreeEstimator(
 void DistributedSubtreeEstimator::on_iteration_start() {
   // w0 dissemination: one extra broadcast/upcast (2(n-1) messages) on top
   // of the size estimator's own counting.
-  net_.charge(sim::MsgKind::kApp, 2 * (tree_.size() - 1),
-              agent::value_message_bits(tree_.size()));
+  net_.charge(sim::Message::app_value(sim::AppTopic::kReport, tree_.size()),
+              2 * (tree_.size() - 1));
   w0_.clear();
   passed_.clear();
   sw_.clear();

@@ -5,7 +5,6 @@
 #include <utility>
 #include <vector>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::apps {
@@ -38,8 +37,9 @@ void DistributedNameAssignment::relabel_dfs(std::uint64_t offset) {
   }
   const std::uint64_t hops = 2 * (tree_.size() - 1);
   messages_base_ += hops;
-  net_.charge(sim::MsgKind::kApp, hops,
-              agent::value_message_bits(4 * tree_.size()));
+  net_.charge(
+      sim::Message::app_value(sim::AppTopic::kToken, 4 * tree_.size()),
+      hops);
 }
 
 void DistributedNameAssignment::start_iteration(std::uint64_t ni) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::apps {
@@ -58,8 +57,8 @@ void DistributedNcaLabeling::rebuild() {
   // The labeling DFS traversal: 2(n-1) hops of O(log n)-entry payloads.
   const std::uint64_t hops = 2 * (tree_.size() - 1);
   control_messages_ += hops;
-  net_.charge(sim::MsgKind::kApp, hops,
-              agent::value_message_bits(tree_.size()));
+  net_.charge(sim::Message::app_value(sim::AppTopic::kToken, tree_.size()),
+              hops);
 }
 
 void DistributedNcaLabeling::maybe_rebuild() {

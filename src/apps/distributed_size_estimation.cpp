@@ -30,8 +30,8 @@ void DistributedSizeEstimation::start_iteration(std::uint64_t ni) {
   ++iterations_;
   ni_ = ni;
   // Disseminating N_i is one broadcast: n-1 control messages.
-  net_.charge(sim::MsgKind::kControl, tree_.size() - 1,
-              agent::value_message_bits(ni));
+  net_.charge(sim::Message::control(sim::ControlTopic::kBroadcast, ni),
+              tree_.size() - 1);
   messages_base_ += tree_.size() - 1;
   const auto budget = static_cast<std::uint64_t>(
       std::floor(alpha_ * static_cast<double>(ni)));

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 #include "util/log2.hpp"
 
@@ -54,8 +53,7 @@ void DistributedTreeRouting::relabel() {
   // The relabeling token's walk: 2(n-1) hops of O(log n) bits.
   const std::uint64_t hops = 2 * (tree_.size() - 1);
   control_messages_ += hops;
-  net_.charge(sim::MsgKind::kApp, hops,
-              agent::value_message_bits(counter + 1));
+  net_.charge(sim::Message::app_value(sim::AppTopic::kToken, counter), hops);
 }
 
 void DistributedTreeRouting::assign_leaf_label(NodeId u, NodeId parent) {

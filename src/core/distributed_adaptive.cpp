@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -63,9 +62,10 @@ void DistributedAdaptive::finish_rotation(bool main_exhausted) {
     const std::uint64_t yi = main_->permits_granted();
     messages_base_ += main_->messages_used() + counter_->messages_used() +
                       2 * tree_.size();
-    net_.charge(sim::MsgKind::kControl, 2 * tree_.size(),
-                agent::value_message_bits(std::max<std::uint64_t>(
-                    tree_.size(), yi + 1)));
+    net_.charge(sim::Message::control(
+                    sim::ControlTopic::kRotate,
+                    std::max<std::uint64_t>(tree_.size(), yi + 1)),
+                2 * tree_.size());
     granted_base_ += yi;
     main_.reset();
     counter_.reset();
@@ -107,8 +107,7 @@ void DistributedAdaptive::dispatch(const RequestSpec& spec, Callback done) {
   if (done_) {
     if (!wave_charged_) {
       messages_base_ += tree_.size();
-      net_.charge(sim::MsgKind::kReject, tree_.size(),
-                  agent::value_message_bits(tree_.size()));
+      net_.charge(sim::Message::reject_wave(), tree_.size());
       wave_charged_ = true;
     }
     ++rejects_;

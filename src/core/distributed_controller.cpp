@@ -28,9 +28,19 @@ DistributedController::DistributedController(sim::Network& net,
   taxi_.set_on_arrival([this](AgentId id, NodeId node, NodeId came_from) {
     on_arrival(id, node, came_from);
   });
+  // Assert (in debug builds) the network.hpp contract that the agent layer
+  // only sends along tree edges.  kApp traffic (the §2.2 message meter) is
+  // point-to-point by design and exempt; everything else must ride a live
+  // parent-child edge at send time.
+  net_.set_link_check(this, [this](NodeId from, NodeId to, sim::MsgKind k) {
+    if (k == sim::MsgKind::kApp) return true;
+    if (!tree_.alive(from) || !tree_.alive(to)) return false;
+    return tree_.parent(from) == to || tree_.parent(to) == from;
+  });
 }
 
 DistributedController::~DistributedController() {
+  net_.clear_link_check(this);
   if (domains_) tree_.remove_observer(domains_.get());
 }
 
@@ -86,15 +96,22 @@ bool DistributedController::moot(const RequestSpec& spec) const {
 
 // ---- movement helpers ----------------------------------------------------------
 
-std::uint64_t DistributedController::hop_bits() const {
-  return agent::agent_message_bits(tree_.size(), params_.max_level());
+sim::Message DistributedController::hop_message(const Agent& a) const {
+  // The hop carries exactly the agent state §4.3 says rides the taxi: the
+  // two distance counters, the Bag level, and the phase/flag bits.  Its
+  // measured encoding is what the network charges — Lemma 4.5's O(log N)
+  // claim is checked against these bits, not a formula.
+  return sim::Message::agent_hop(a.id, a.distance, a.top_distance,
+                                 a.bag_level,
+                                 static_cast<std::uint8_t>(a.phase),
+                                 a.carrying != kNoPackage);
 }
 
 void DistributedController::hop_up(Agent& a) {
   ++messages_;
   if (options_.debug_trace) a.history += " up" + std::to_string(a.at);
   a.distance += 1;
-  taxi_.hop_up(a.id, a.at, hop_bits());
+  taxi_.hop_up(a.id, a.at, hop_message(a));
 }
 
 void DistributedController::hop_down(Agent& a, NodeId to) {
@@ -102,7 +119,7 @@ void DistributedController::hop_down(Agent& a, NodeId to) {
   if (options_.debug_trace) a.history += " dn" + std::to_string(a.at) + ">" + std::to_string(to);
   DYNCON_INVARIANT(a.distance >= 1, "hop_down below the origin");
   a.distance -= 1;
-  taxi_.hop_down(a.id, a.at, to, hop_bits());
+  taxi_.hop_down(a.id, a.at, to, hop_message(a));
 }
 
 DistributedController::Agent& DistributedController::agent(AgentId id) {
@@ -418,8 +435,9 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       const std::uint64_t handoff =
           tree_.children(origin).size() + npkgs + evict.moved + 1;
       messages_ += handoff;
-      net_.charge(sim::MsgKind::kDataMove, handoff,
-                  agent::value_message_bits(tree_.size()));
+      // Each handoff record references the dying node; the prototype's
+      // measured size is what every modeled message is charged.
+      net_.charge(sim::Message::data_move(origin), handoff);
 
       tree_.remove_node(origin);
 
@@ -513,8 +531,7 @@ void DistributedController::start_reject_flood() {
 void DistributedController::flood_fanout(NodeId from) {
   for (NodeId c : tree_.children(from)) {
     ++messages_;
-    net_.send(from, c, sim::MsgKind::kReject,
-              agent::value_message_bits(tree_.size()), [this, c] {
+    net_.send(from, c, sim::Message::reject_wave(), [this, c] {
                 if (!tree_.alive(c)) return;
                 agent::Whiteboard& wb = boards_.at(c);
                 if (wb.flooded) return;

@@ -162,7 +162,7 @@ class DistributedController {
   void finish(Agent& a);
   void resume_waiter(const agent::Whiteboard::Waiter& w, NodeId at);
   [[nodiscard]] bool moot(const RequestSpec& spec) const;
-  [[nodiscard]] std::uint64_t hop_bits() const;
+  [[nodiscard]] sim::Message hop_message(const Agent& a) const;
   void hop_up(Agent& a);
   void hop_down(Agent& a, NodeId to);
   [[nodiscard]] Agent& agent(agent::AgentId id);

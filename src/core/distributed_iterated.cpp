@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "agent/runtime.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -78,8 +77,7 @@ void DistributedIterated::dispatch(const RequestSpec& spec, Callback done) {
         if (!wave_charged_) {
           // One reject package per node (the wave), charged once.
           messages_base_ += tree_.size();
-          net_.charge(sim::MsgKind::kReject, tree_.size(),
-                      agent::value_message_bits(tree_.size()));
+          net_.charge(sim::Message::reject_wave(), tree_.size());
           wave_charged_ = true;
         }
         ++rejects_;
@@ -104,10 +102,15 @@ void DistributedIterated::dispatch(const RequestSpec& spec, Callback done) {
                                  : spec.subject;
       --trivial_storage_;
       ++granted_base_;
-      const std::uint64_t hops = 2 * tree_.depth(arrival);
+      const std::uint64_t depth = tree_.depth(arrival);
+      const std::uint64_t hops = 2 * depth;
       messages_base_ += hops;
-      net_.charge(sim::MsgKind::kAgent, hops,
-                  agent::value_message_bits(tree_.size()));
+      // The trivial phase walks one agent to the root and back; its hops
+      // are modeled with a worst-case (deepest-point) hop message.
+      net_.charge(sim::Message::agent_hop(granted_base_, depth, depth,
+                                          /*bag_level=*/0, /*phase=*/0,
+                                          /*carrying=*/true),
+                  hops);
       Result r{Outcome::kGranted};
       apply_trivial(spec, r);
       complete_async(std::move(done), r);
@@ -163,8 +166,9 @@ void DistributedIterated::rotate() {
   // Lemma 3.2 liveness via the reduction of Lemma 4.5, checked live.
   DYNCON_INVARIANT(L <= Wi, "iteration leftover exceeds waste bound");
   messages_base_ += inner_->messages_used() + 2 * tree_.size();
-  net_.charge(sim::MsgKind::kControl, 2 * tree_.size(),
-              agent::value_message_bits(std::max(L, tree_.size())));
+  net_.charge(sim::Message::control(sim::ControlTopic::kRotate,
+                                    std::max(L, tree_.size())),
+              2 * tree_.size());
   granted_base_ += inner_->permits_granted();
   const bool was_final = phase_ == Phase::kFinal;
   inner_.reset();
@@ -253,8 +257,9 @@ void DistributedTerminating::mark_terminated() {
   // Broadcast of the termination signal + upcast of acknowledgements
   // (waiting for granted events to occur), per Observation 2.1.
   control_messages_ += 2 * tree_.size();
-  net_.charge(sim::MsgKind::kControl, 2 * tree_.size(),
-              agent::value_message_bits(tree_.size()));
+  net_.charge(sim::Message::control(sim::ControlTopic::kTerminate,
+                                    tree_.size()),
+              2 * tree_.size());
 }
 
 void DistributedTerminating::submit(const RequestSpec& spec, Callback done) {

@@ -19,7 +19,7 @@ bool MessageMeter::send(NodeId from, NodeId to, std::uint64_t payload_bits,
     return false;
   }
   ++sent_;
-  net_.send(from, to, sim::MsgKind::kApp, payload_bits,
+  net_.send(from, to, sim::Message::app_payload(payload_bits),
             std::move(on_deliver));
   return true;
 }

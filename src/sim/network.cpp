@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <utility>
 
@@ -8,31 +9,14 @@
 
 namespace dyncon::sim {
 
-const char* msg_kind_name(MsgKind kind) {
-  switch (kind) {
-    case MsgKind::kAgent:
-      return "agent";
-    case MsgKind::kReject:
-      return "reject";
-    case MsgKind::kControl:
-      return "control";
-    case MsgKind::kDataMove:
-      return "datamove";
-    case MsgKind::kApp:
-      return "app";
-    case MsgKind::kKindCount__:
-      break;
-  }
-  return "?";
-}
-
 std::string NetStats::str() const {
   std::ostringstream os;
   os << "messages=" << messages << " total_bits=" << total_bits
      << " max_msg_bits=" << max_message_bits;
   for (std::size_t k = 0; k < by_kind.size(); ++k) {
     if (by_kind[k] == 0) continue;
-    os << " " << msg_kind_name(static_cast<MsgKind>(k)) << "=" << by_kind[k];
+    os << " " << msg_kind_name(static_cast<MsgKind>(k)) << "=" << by_kind[k]
+       << "(max " << max_bits_by_kind[k] << "b)";
   }
   return os.str();
 }
@@ -42,25 +26,68 @@ Network::Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay)
   DYNCON_REQUIRE(delay_ != nullptr, "null delay policy");
 }
 
-void Network::send(NodeId from, NodeId to, MsgKind kind,
-                   std::uint64_t payload_bits, Deliver on_deliver) {
+void Network::set_link_check(const void* owner, LinkCheck check) {
+  DYNCON_REQUIRE(owner != nullptr && static_cast<bool>(check),
+                 "link check needs an owner and a predicate");
+  link_check_ = std::move(check);
+  link_check_owner_ = owner;
+}
+
+void Network::clear_link_check(const void* owner) {
+  if (link_check_owner_ != owner) return;  // replaced by a later installer
+  link_check_ = nullptr;
+  link_check_owner_ = nullptr;
+}
+
+void Network::account(MsgKind kind, std::uint64_t bits, std::uint64_t count) {
+  if (strict_max_bits_ != 0 && bits > strict_max_bits_) {
+    throw InvariantError("oversized message: " + std::to_string(bits) +
+                         " bits of " + msg_kind_name(kind) +
+                         " exceeds the strict envelope of " +
+                         std::to_string(strict_max_bits_) + " bits");
+  }
+  const auto k = static_cast<std::size_t>(kind);
+  stats_.messages += count;
+  stats_.total_bits += bits * count;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+  stats_.by_kind[k] += count;
+  stats_.bits_by_kind[k] += bits * count;
+  stats_.max_bits_by_kind[k] = std::max(stats_.max_bits_by_kind[k], bits);
+  stats_.size_histogram[std::bit_width(bits)] += count;
+}
+
+void Network::send(NodeId from, NodeId to, const Message& msg,
+                   Deliver on_deliver) {
   DYNCON_REQUIRE(static_cast<bool>(on_deliver), "null delivery handler");
-  ++stats_.messages;
-  stats_.total_bits += payload_bits;
-  stats_.max_message_bits = std::max(stats_.max_message_bits, payload_bits);
-  ++stats_.by_kind[static_cast<std::size_t>(kind)];
+  const Encoded enc = msg.encode();
+#ifndef NDEBUG
+  // Round-trip verification: any field the encoder drops or mangles fails
+  // at the send site, with the offending message in the error text.
+  DYNCON_INVARIANT(Message::decode(enc) == msg,
+                   "wire round-trip mismatch for " + msg.str());
+  ++stats_.roundtrip_checks;
+  if (link_check_) {
+    DYNCON_INVARIANT(
+        link_check_(from, to, msg.kind()),
+        "send violates the installed topology contract: " +
+            std::to_string(from) + " -> " + std::to_string(to) + " " +
+            msg.str());
+  }
+#endif
+  account(msg.kind(), enc.bits, 1);
   const SimTime d = delay_->delay(from, to, seq_++);
   queue_.schedule_after(d, std::move(on_deliver));
 }
 
-void Network::charge(MsgKind kind, std::uint64_t count,
-                     std::uint64_t bits_each) {
-  stats_.messages += count;
-  stats_.total_bits += count * bits_each;
-  if (count > 0) {
-    stats_.max_message_bits = std::max(stats_.max_message_bits, bits_each);
-  }
-  stats_.by_kind[static_cast<std::size_t>(kind)] += count;
+void Network::charge(const Message& prototype, std::uint64_t count) {
+  if (count == 0) return;
+  const Encoded enc = prototype.encode();
+#ifndef NDEBUG
+  DYNCON_INVARIANT(Message::decode(enc) == prototype,
+                   "wire round-trip mismatch for " + prototype.str());
+  ++stats_.roundtrip_checks;
+#endif
+  account(prototype.kind(), enc.bits, count);
 }
 
 }  // namespace dyncon::sim

@@ -4,9 +4,12 @@
 //
 // `Network` is the only way protocol layers send anything, so its counters
 // are authoritative for the paper's cost measure (message complexity) and
-// for the O(log N)-bit message-size claim (§2.1.1, Lemma 4.5).  It does not
-// know about tree topology; the agent layer is responsible for only sending
-// along tree edges.
+// for the O(log N)-bit message-size claim (§2.1.1, Lemma 4.5).  Every send
+// takes a typed `Message` (sim/wire.hpp) and *measures* its encoded size —
+// no caller ever claims a bit count.  In debug builds each message is also
+// decoded back and compared against the original, and an optional link
+// check asserts the agent layer's "only send along tree edges" contract
+// instead of assuming it.
 
 #include <array>
 #include <cstdint>
@@ -16,32 +19,40 @@
 
 #include "sim/delay.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/wire.hpp"
 #include "util/ids.hpp"
 
 namespace dyncon::sim {
 
-/// Accounting category of a message; the paper's bounds decompose by these.
-enum class MsgKind : std::uint8_t {
-  kAgent,       ///< request-handling agent hop (the dominant cost term)
-  kReject,      ///< reject-wave flooding (O(U) total)
-  kControl,     ///< broadcast/upcast for iteration management (Obs. 2.1, App. A)
-  kDataMove,    ///< graceful-deletion data handoff to parent
-  kApp,         ///< application-layer traffic (DFS relabeling, estimates, ...)
-  kKindCount__  ///< sentinel
-};
-
-[[nodiscard]] const char* msg_kind_name(MsgKind kind);
-
-/// Per-kind and aggregate message statistics.
+/// Per-kind and aggregate message statistics, all derived from measured
+/// (encoded) sizes.
 struct NetStats {
+  static constexpr std::size_t kKinds =
+      static_cast<std::size_t>(MsgKind::kKindCount__);
+
   std::uint64_t messages = 0;
   std::uint64_t total_bits = 0;
   std::uint64_t max_message_bits = 0;
-  std::array<std::uint64_t, static_cast<std::size_t>(MsgKind::kKindCount__)>
-      by_kind{};
+  std::array<std::uint64_t, kKinds> by_kind{};
+  std::array<std::uint64_t, kKinds> bits_by_kind{};
+  std::array<std::uint64_t, kKinds> max_bits_by_kind{};
+  /// size_histogram[w] counts messages whose encoded size has bit-width w,
+  /// i.e., sizes in [2^(w-1), 2^w); bucket 0 is the (impossible) empty
+  /// message.  The histogram is the measured shape exp9/exp13 report
+  /// against the c*log N envelope.
+  std::array<std::uint64_t, 65> size_histogram{};
+  /// Number of debug-build encode->decode->compare round trips performed
+  /// (0 in NDEBUG builds); lets tests assert the verification actually ran.
+  std::uint64_t roundtrip_checks = 0;
 
   [[nodiscard]] std::uint64_t kind(MsgKind k) const {
     return by_kind[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t kind_bits(MsgKind k) const {
+    return bits_by_kind[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t kind_max_bits(MsgKind k) const {
+    return max_bits_by_kind[static_cast<std::size_t>(k)];
   }
   [[nodiscard]] std::string str() const;
 };
@@ -50,19 +61,41 @@ struct NetStats {
 class Network {
  public:
   using Deliver = std::function<void()>;
+  /// Debug contract hook: returns whether a (from, to, kind) send is legal
+  /// under the installing protocol's topology contract.
+  using LinkCheck = std::function<bool(NodeId, NodeId, MsgKind)>;
 
   Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay);
 
-  /// Send one message; `on_deliver` fires when it arrives.
-  /// `payload_bits` is the encoded size the sender claims; the counter
-  /// `max_message_bits` lets tests verify the O(log N) message-size bound.
-  void send(NodeId from, NodeId to, MsgKind kind, std::uint64_t payload_bits,
-            Deliver on_deliver);
+  /// Send one encoded message; `on_deliver` fires when it arrives.  The
+  /// payload size charged to the stats is measured from the encoding —
+  /// senders cannot claim a size.
+  void send(NodeId from, NodeId to, const Message& msg, Deliver on_deliver);
 
-  /// Account for `count` messages of `bits_each` bits that are modeled but
-  /// not individually scheduled (e.g., a graceful-deletion data handoff,
-  /// which is applied atomically but costs O(deg + log^2 U) real messages).
-  void charge(MsgKind kind, std::uint64_t count, std::uint64_t bits_each);
+  /// Account for `count` messages shaped like `prototype` that are modeled
+  /// but not individually scheduled (e.g., a graceful-deletion data
+  /// handoff, which is applied atomically but costs O(deg + log^2 U) real
+  /// messages).  The per-message size is measured from the prototype.
+  void charge(const Message& prototype, std::uint64_t count);
+
+  /// Opt-in strict mode: any message (sent or charged) whose measured size
+  /// exceeds `limit` bits aborts the run with an InvariantError.  0
+  /// disables.  Benches set this to the c*log N envelope so a message-size
+  /// regression fails the experiment instead of skewing a column.
+  void set_strict_max_bits(std::uint64_t limit) { strict_max_bits_ = limit; }
+  [[nodiscard]] std::uint64_t strict_max_bits() const {
+    return strict_max_bits_;
+  }
+
+  /// Install the debug-only adjacency hook (checked in debug builds on
+  /// every send).  `owner` identifies the installer so nested protocols can
+  /// replace each other's hooks and `clear_link_check` only removes its
+  /// own.  The distributed controllers wire this to their DynamicTree so
+  /// the header's "the agent layer only sends along tree edges" contract
+  /// is asserted instead of assumed.
+  void set_link_check(const void* owner, LinkCheck check);
+  /// Remove the hook iff `owner` installed the current one.
+  void clear_link_check(const void* owner);
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetStats{}; }
@@ -70,10 +103,15 @@ class Network {
   [[nodiscard]] EventQueue& queue() { return queue_; }
 
  private:
+  void account(MsgKind kind, std::uint64_t bits, std::uint64_t count);
+
   EventQueue& queue_;
   std::unique_ptr<DelayPolicy> delay_;
   NetStats stats_;
   std::uint64_t seq_ = 0;
+  std::uint64_t strict_max_bits_ = 0;
+  LinkCheck link_check_;
+  const void* link_check_owner_ = nullptr;
 };
 
 }  // namespace dyncon::sim

@@ -1,0 +1,269 @@
+#include "sim/wire.hpp"
+
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+#include "util/log2.hpp"
+
+namespace dyncon::sim {
+
+const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kAgent:
+      return "agent";
+    case MsgKind::kReject:
+      return "reject";
+    case MsgKind::kControl:
+      return "control";
+    case MsgKind::kDataMove:
+      return "datamove";
+    case MsgKind::kApp:
+      return "app";
+    case MsgKind::kKindCount__:
+      break;
+  }
+  return "invalid";
+}
+
+std::ostream& operator<<(std::ostream& os, MsgKind kind) {
+  const char* name = msg_kind_name(kind);
+  os << name;
+  if (name[0] == 'i') {  // "invalid": show the raw byte too
+    os << "(MsgKind=" << static_cast<unsigned>(kind) << ")";
+  }
+  return os;
+}
+
+// ---- BitWriter --------------------------------------------------------------
+
+void BitWriter::put_bit(bool bit) {
+  const std::uint64_t offset = out_.bits % 8;
+  if (offset == 0) out_.bytes.push_back(0);
+  if (bit) out_.bytes.back() |= static_cast<std::uint8_t>(1u << (7 - offset));
+  ++out_.bits;
+}
+
+void BitWriter::put_bits(std::uint64_t value, std::uint32_t width) {
+  DYNCON_REQUIRE(width <= 64, "bit-field width exceeds 64");
+  DYNCON_REQUIRE(width == 64 || value < (std::uint64_t{1} << width),
+                 "value does not fit the declared bit-field width");
+  for (std::uint32_t i = width; i-- > 0;) {
+    put_bit((value >> i) & 1u);
+  }
+}
+
+void BitWriter::put_gamma(std::uint64_t v) {
+  DYNCON_REQUIRE(v < (std::uint64_t{1} << 62), "gamma field overflow");
+  const std::uint64_t n = v + 1;
+  const std::uint32_t len = floor_log2(n);
+  for (std::uint32_t i = 0; i < len; ++i) put_bit(false);
+  put_bits(n, len + 1);
+}
+
+void BitWriter::put_varint(std::uint64_t v) {
+  // High 7-bit groups first; every group but the last sets the
+  // continuation bit.
+  std::uint32_t groups = 1;
+  for (std::uint64_t rest = v >> 7; rest != 0; rest >>= 7) ++groups;
+  for (std::uint32_t g = groups; g-- > 0;) {
+    const std::uint64_t chunk = (v >> (7 * g)) & 0x7Fu;
+    put_bit(g != 0);  // continuation
+    put_bits(chunk, 7);
+  }
+}
+
+void BitWriter::pad_zeros(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) put_bit(false);
+}
+
+// ---- BitReader --------------------------------------------------------------
+
+bool BitReader::get_bit() {
+  DYNCON_REQUIRE(pos_ < enc_.bits, "wire underrun: read past end of message");
+  const std::uint64_t byte = pos_ / 8;
+  const std::uint64_t offset = pos_ % 8;
+  ++pos_;
+  return (enc_.bytes[byte] >> (7 - offset)) & 1u;
+}
+
+std::uint64_t BitReader::get_bits(std::uint32_t width) {
+  DYNCON_REQUIRE(width <= 64, "bit-field width exceeds 64");
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(get_bit());
+  }
+  return v;
+}
+
+std::uint64_t BitReader::get_gamma() {
+  std::uint32_t len = 0;
+  while (!get_bit()) {
+    ++len;
+    DYNCON_REQUIRE(len < 63, "malformed gamma code: runaway zero prefix");
+  }
+  std::uint64_t n = 1;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    n = (n << 1) | static_cast<std::uint64_t>(get_bit());
+  }
+  return n - 1;
+}
+
+std::uint64_t BitReader::get_varint() {
+  std::uint64_t v = 0;
+  for (std::uint32_t groups = 0;; ++groups) {
+    DYNCON_REQUIRE(groups < 10, "malformed varint: too many groups");
+    const bool more = get_bit();
+    v = (v << 7) | get_bits(7);
+    if (!more) return v;
+  }
+}
+
+void BitReader::skip(std::uint64_t n) {
+  DYNCON_REQUIRE(n <= remaining(), "wire underrun: skip past end of message");
+  pos_ += n;
+}
+
+// ---- Message ----------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kTagBits = 3;    // 5 kinds
+constexpr std::uint32_t kTopicBits = 2;  // <= 4 topics per kind
+constexpr std::uint32_t kPhaseBits = 3;  // controller phases fit in 3 bits
+}  // namespace
+
+Message Message::agent_hop(std::uint64_t agent, std::uint64_t distance,
+                           std::uint64_t top_distance, std::uint32_t bag_level,
+                           std::uint8_t phase, bool carrying) {
+  DYNCON_REQUIRE(phase < (1u << kPhaseBits), "phase tag does not fit 3 bits");
+  return Message(AgentHopMsg{agent, distance, top_distance, bag_level, phase,
+                             carrying});
+}
+
+Message Message::reject_wave() { return Message(RejectWaveMsg{}); }
+
+Message Message::control(ControlTopic topic, std::uint64_t value) {
+  return Message(ControlMsg{topic, value});
+}
+
+Message Message::data_move(std::uint64_t item) {
+  return Message(DataMoveMsg{item});
+}
+
+Message Message::app_value(AppTopic topic, std::uint64_t value) {
+  DYNCON_REQUIRE(topic != AppTopic::kMetered,
+                 "metered payloads go through app_payload()");
+  return Message(AppMsg{topic, value, 0});
+}
+
+Message Message::app_payload(std::uint64_t opaque_bits) {
+  return Message(AppMsg{AppTopic::kMetered, 0, opaque_bits});
+}
+
+Encoded Message::encode() const {
+  BitWriter w;
+  w.put_bits(body_.index(), kTagBits);
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AgentHopMsg>) {
+          w.put_varint(m.agent);
+          w.put_gamma(m.distance);
+          w.put_gamma(m.top_distance);
+          w.put_gamma(m.bag_level);
+          w.put_bits(m.phase, kPhaseBits);
+          w.put_bit(m.carrying);
+        } else if constexpr (std::is_same_v<T, RejectWaveMsg>) {
+          // Pure signal: the tag is the message.
+        } else if constexpr (std::is_same_v<T, ControlMsg>) {
+          w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
+          w.put_gamma(m.value);
+        } else if constexpr (std::is_same_v<T, DataMoveMsg>) {
+          w.put_gamma(m.item);
+        } else {
+          static_assert(std::is_same_v<T, AppMsg>);
+          w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
+          w.put_varint(m.value);
+          w.put_gamma(m.opaque_bits);
+          w.pad_zeros(m.opaque_bits);
+        }
+      },
+      body_);
+  return w.finish();
+}
+
+Message Message::decode(const Encoded& e) {
+  BitReader r(e);
+  const std::uint64_t tag = r.get_bits(kTagBits);
+  DYNCON_REQUIRE(tag < static_cast<std::uint64_t>(MsgKind::kKindCount__),
+                 "malformed message: unknown kind tag");
+  Body body;
+  switch (static_cast<MsgKind>(tag)) {
+    case MsgKind::kAgent: {
+      AgentHopMsg m;
+      m.agent = r.get_varint();
+      m.distance = r.get_gamma();
+      m.top_distance = r.get_gamma();
+      m.bag_level = static_cast<std::uint32_t>(r.get_gamma());
+      m.phase = static_cast<std::uint8_t>(r.get_bits(kPhaseBits));
+      m.carrying = r.get_bit();
+      body = m;
+      break;
+    }
+    case MsgKind::kReject:
+      body = RejectWaveMsg{};
+      break;
+    case MsgKind::kControl: {
+      ControlMsg m;
+      m.topic = static_cast<ControlTopic>(r.get_bits(kTopicBits));
+      m.value = r.get_gamma();
+      body = m;
+      break;
+    }
+    case MsgKind::kDataMove:
+      body = DataMoveMsg{r.get_gamma()};
+      break;
+    case MsgKind::kApp: {
+      AppMsg m;
+      m.topic = static_cast<AppTopic>(r.get_bits(kTopicBits));
+      m.value = r.get_varint();
+      m.opaque_bits = r.get_gamma();
+      r.skip(m.opaque_bits);
+      body = m;
+      break;
+    }
+    case MsgKind::kKindCount__:
+      break;  // unreachable: tag < kKindCount__ checked above
+  }
+  DYNCON_REQUIRE(r.finished(),
+                 "malformed message: trailing bits after the last field");
+  return Message(std::move(body));
+}
+
+std::string Message::str() const {
+  std::ostringstream os;
+  os << kind() << "{";
+  std::visit(
+      [&os](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AgentHopMsg>) {
+          os << "agent=" << m.agent << " dist=" << m.distance
+             << " top=" << m.top_distance << " bag=" << m.bag_level
+             << " phase=" << static_cast<unsigned>(m.phase)
+             << " carrying=" << m.carrying;
+        } else if constexpr (std::is_same_v<T, ControlMsg>) {
+          os << "topic=" << static_cast<unsigned>(m.topic)
+             << " value=" << m.value;
+        } else if constexpr (std::is_same_v<T, DataMoveMsg>) {
+          os << "item=" << m.item;
+        } else if constexpr (std::is_same_v<T, AppMsg>) {
+          os << "topic=" << static_cast<unsigned>(m.topic)
+             << " value=" << m.value << " opaque_bits=" << m.opaque_bits;
+        }
+      },
+      body_);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dyncon::sim

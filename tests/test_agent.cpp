@@ -109,13 +109,19 @@ struct TaxiFixture {
       arrivals.emplace_back(a, at, from);
     });
   }
+
+  /// A representative agent-hop message for tests that only care about the
+  /// hop itself, not the payload.
+  static sim::Message hop_msg(AgentId a) {
+    return sim::Message::agent_hop(a, 1, 1, 0, 0, false);
+  }
 };
 
 TEST(Taxi, HopUpDeliversToParent) {
   TaxiFixture f;
   const NodeId a = f.tree.add_leaf(f.tree.root());
   const NodeId b = f.tree.add_leaf(a);
-  f.taxi.hop_up(7, b, 16);
+  f.taxi.hop_up(7, b, TaxiFixture::hop_msg(7));
   f.queue.run();
   ASSERT_EQ(f.arrivals.size(), 1u);
   EXPECT_EQ(std::get<1>(f.arrivals[0]), a);
@@ -129,7 +135,7 @@ TEST(Taxi, HopUpResolvesAtDeliveryAfterInsertion) {
   TaxiFixture f;
   const NodeId a = f.tree.add_leaf(f.tree.root());
   const NodeId b = f.tree.add_leaf(a);
-  f.taxi.hop_up(7, b, 16);
+  f.taxi.hop_up(7, b, TaxiFixture::hop_msg(7));
   const NodeId m = f.tree.add_internal_above(b);  // while in flight
   f.queue.run();
   ASSERT_EQ(f.arrivals.size(), 1u);
@@ -142,7 +148,7 @@ TEST(Taxi, HopUpResolvesAtDeliveryAfterParentRemoval) {
   TaxiFixture f;
   const NodeId a = f.tree.add_leaf(f.tree.root());
   const NodeId b = f.tree.add_leaf(a);
-  f.taxi.hop_up(7, b, 16);
+  f.taxi.hop_up(7, b, TaxiFixture::hop_msg(7));
   f.tree.remove_internal(a);  // while in flight
   f.queue.run();
   ASSERT_EQ(f.arrivals.size(), 1u);
@@ -151,14 +157,25 @@ TEST(Taxi, HopUpResolvesAtDeliveryAfterParentRemoval) {
 
 TEST(Taxi, HopUpFromRootRejected) {
   TaxiFixture f;
-  EXPECT_THROW(f.taxi.hop_up(7, f.tree.root(), 16), ContractError);
+  EXPECT_THROW(f.taxi.hop_up(7, f.tree.root(), TaxiFixture::hop_msg(7)),
+               ContractError);
+}
+
+TEST(Taxi, RejectsNonAgentMessages) {
+  TaxiFixture f;
+  const NodeId a = f.tree.add_leaf(f.tree.root());
+  const NodeId b = f.tree.add_leaf(a);
+  EXPECT_THROW(f.taxi.hop_up(7, b, sim::Message::reject_wave()),
+               ContractError);
+  EXPECT_THROW(f.taxi.hop_down(7, a, b, sim::Message::app_payload(8)),
+               ContractError);
 }
 
 TEST(Taxi, HopDownAddressed) {
   TaxiFixture f;
   const NodeId a = f.tree.add_leaf(f.tree.root());
   const NodeId b = f.tree.add_leaf(a);
-  f.taxi.hop_down(7, a, b, 16);
+  f.taxi.hop_down(7, a, b, TaxiFixture::hop_msg(7));
   f.queue.run();
   ASSERT_EQ(f.arrivals.size(), 1u);
   EXPECT_EQ(std::get<1>(f.arrivals[0]), b);
@@ -167,7 +184,7 @@ TEST(Taxi, HopDownAddressed) {
 TEST(Taxi, ResumeLocalBeatsMessages) {
   TaxiFixture f;
   const NodeId a = f.tree.add_leaf(f.tree.root());
-  f.taxi.hop_down(1, f.tree.root(), a, 16);  // 1 tick
+  f.taxi.hop_down(1, f.tree.root(), a, TaxiFixture::hop_msg(1));  // 1 tick
   f.taxi.resume_local(2, a, kNoNode);        // 0 ticks
   f.queue.run();
   ASSERT_EQ(f.arrivals.size(), 2u);
@@ -181,8 +198,6 @@ TEST(Runtime, MessageBitsLogarithmic) {
   EXPECT_LT(small, big);
   EXPECT_LE(big, 2 * 21 + 6 + 8 + 8);  // 2 counters + bag + flags, roughly
   EXPECT_GE(agent_message_bits(1, 1), 8u);  // degenerate sizes stay sane
-  EXPECT_GE(value_message_bits(0), 9u);
-  EXPECT_EQ(value_message_bits(1 << 10), ceil_log2(1 << 10) + 9);
 }
 
 }  // namespace

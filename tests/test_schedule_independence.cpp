@@ -142,7 +142,7 @@ TEST(ScheduleIndependence, ReorderDelayActuallyReorders) {
                    std::make_unique<sim::ReorderDelay>(Rng(2), 8));
   std::vector<int> order;
   for (int i = 0; i < 8; ++i) {
-    net.send(0, 1, sim::MsgKind::kApp, 1, [&order, i] {
+    net.send(0, 1, sim::Message::app_payload(1), [&order, i] {
       order.push_back(i);
     });
   }

@@ -124,11 +124,14 @@ TEST(Network, CountsMessagesAndBits) {
   EventQueue q;
   Network net(q, std::make_unique<FixedDelay>(2));
   int delivered = 0;
-  net.send(0, 1, MsgKind::kAgent, 32, [&] { ++delivered; });
-  net.send(1, 2, MsgKind::kReject, 8, [&] { ++delivered; });
+  const Message hop = Message::agent_hop(1, 3, 3, 0, 0, false);
+  const Message wave = Message::reject_wave();
+  net.send(0, 1, hop, [&] { ++delivered; });
+  net.send(1, 2, wave, [&] { ++delivered; });
   EXPECT_EQ(net.stats().messages, 2u);
-  EXPECT_EQ(net.stats().total_bits, 40u);
-  EXPECT_EQ(net.stats().max_message_bits, 32u);
+  EXPECT_EQ(net.stats().total_bits,
+            hop.measured_bits() + wave.measured_bits());
+  EXPECT_EQ(net.stats().max_message_bits, hop.measured_bits());
   EXPECT_EQ(net.stats().kind(MsgKind::kAgent), 1u);
   EXPECT_EQ(net.stats().kind(MsgKind::kReject), 1u);
   q.run();
@@ -138,9 +141,10 @@ TEST(Network, CountsMessagesAndBits) {
 TEST(Network, ChargeModelsUnscheduledMessages) {
   EventQueue q;
   Network net(q, std::make_unique<FixedDelay>(1));
-  net.charge(MsgKind::kDataMove, 5, 16);
+  const Message move = Message::data_move(12);
+  net.charge(move, 5);
   EXPECT_EQ(net.stats().messages, 5u);
-  EXPECT_EQ(net.stats().total_bits, 80u);
+  EXPECT_EQ(net.stats().total_bits, 5 * move.measured_bits());
   EXPECT_EQ(net.stats().kind(MsgKind::kDataMove), 5u);
   EXPECT_TRUE(q.empty());
 }
@@ -149,7 +153,7 @@ TEST(Network, DeliveryRespectsDelayPolicy) {
   EventQueue q;
   Network net(q, std::make_unique<FixedDelay>(7));
   SimTime delivered_at = 0;
-  net.send(0, 1, MsgKind::kApp, 1, [&] { delivered_at = q.now(); });
+  net.send(0, 1, Message::app_payload(1), [&] { delivered_at = q.now(); });
   q.run();
   EXPECT_EQ(delivered_at, 7u);
 }

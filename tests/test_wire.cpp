@@ -1,0 +1,332 @@
+// Unit tests for the bit-level wire format (sim/wire.hpp): the bit stream
+// primitives, the per-variant codecs (exact sizes and random round trips),
+// and the measured-size accounting in Network/NetStats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/wire.hpp"
+#include "util/log2.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::sim {
+namespace {
+
+// ---- bit stream primitives --------------------------------------------------
+
+TEST(BitStream, BitsRoundTripMsbFirst) {
+  BitWriter w;
+  w.put_bits(0b1011, 4);
+  w.put_bit(true);
+  w.put_bits(0x1234'5678'9abc'def0ULL, 64);
+  const Encoded e = w.finish();
+  EXPECT_EQ(e.bits, 4u + 1u + 64u);
+  BitReader r(e);
+  EXPECT_EQ(r.get_bits(4), 0b1011u);
+  EXPECT_TRUE(r.get_bit());
+  EXPECT_EQ(r.get_bits(64), 0x1234'5678'9abc'def0ULL);
+  EXPECT_TRUE(r.finished());
+}
+
+TEST(BitStream, FirstBitIsByteMsb) {
+  BitWriter w;
+  w.put_bit(true);
+  const Encoded e = w.finish();
+  ASSERT_EQ(e.bytes.size(), 1u);
+  EXPECT_EQ(e.bytes[0], 0x80u);
+}
+
+TEST(BitStream, GammaCostMatchesFormula) {
+  // Elias-gamma of v encodes v+1: 2*floor(log2(v+1)) + 1 bits.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 20,
+                          (1ull << 62) - 1}) {
+    BitWriter w;
+    w.put_gamma(v);
+    const Encoded e = w.finish();
+    EXPECT_EQ(e.bits, 2 * floor_log2(v + 1) + 1) << "v=" << v;
+    BitReader r(e);
+    EXPECT_EQ(r.get_gamma(), v);
+    EXPECT_TRUE(r.finished());
+  }
+}
+
+TEST(BitStream, GammaRejectsOverflow) {
+  BitWriter w;
+  EXPECT_THROW(w.put_gamma(std::uint64_t{1} << 62), ContractError);
+  EXPECT_THROW(w.put_gamma(kNoNode), ContractError);  // 2^64 - 1
+}
+
+TEST(BitStream, VarintCostIsEightBitsPerGroup) {
+  const struct {
+    std::uint64_t v;
+    std::uint64_t bits;
+  } cases[] = {{0, 8},        {127, 8},          {128, 16},
+               {(1ull << 14) - 1, 16}, {1ull << 14, 24}, {UINT64_MAX, 80}};
+  for (const auto& c : cases) {
+    BitWriter w;
+    w.put_varint(c.v);
+    const Encoded e = w.finish();
+    EXPECT_EQ(e.bits, c.bits) << "v=" << c.v;
+    BitReader r(e);
+    EXPECT_EQ(r.get_varint(), c.v);
+  }
+}
+
+TEST(BitStream, ReaderUnderrunThrows) {
+  BitWriter w;
+  w.put_bits(3, 2);
+  const Encoded e = w.finish();
+  BitReader r(e);
+  EXPECT_THROW((void)r.get_bits(3), ContractError);
+  BitReader r2(e);
+  EXPECT_THROW(r2.skip(3), ContractError);
+}
+
+TEST(BitStream, MalformedGammaPrefixThrows) {
+  BitWriter w;
+  w.pad_zeros(64);  // a gamma code may never have 63+ leading zeros
+  const Encoded e = w.finish();
+  BitReader r(e);
+  EXPECT_THROW((void)r.get_gamma(), ContractError);
+}
+
+// ---- message codec ----------------------------------------------------------
+
+TEST(Wire, KindNamesAreDefensive) {
+  EXPECT_STREQ(msg_kind_name(MsgKind::kAgent), "agent");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kReject), "reject");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kControl), "control");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kDataMove), "datamove");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kApp), "app");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kKindCount__), "invalid");
+  EXPECT_STREQ(msg_kind_name(static_cast<MsgKind>(200)), "invalid");
+}
+
+TEST(Wire, KindStreamInsertion) {
+  std::ostringstream os;
+  os << MsgKind::kControl << " " << static_cast<MsgKind>(9);
+  EXPECT_EQ(os.str(), "control invalid(MsgKind=9)");
+}
+
+TEST(Wire, VariantIndexMatchesKind) {
+  EXPECT_EQ(Message::agent_hop(0, 0, 0, 0, 0, false).kind(), MsgKind::kAgent);
+  EXPECT_EQ(Message::reject_wave().kind(), MsgKind::kReject);
+  EXPECT_EQ(Message::control(ControlTopic::kRotate, 1).kind(),
+            MsgKind::kControl);
+  EXPECT_EQ(Message::data_move(1).kind(), MsgKind::kDataMove);
+  EXPECT_EQ(Message::app_value(AppTopic::kToken, 1).kind(), MsgKind::kApp);
+  EXPECT_EQ(Message::app_payload(16).kind(), MsgKind::kApp);
+}
+
+TEST(Wire, RejectWaveIsTagOnly) {
+  EXPECT_EQ(Message::reject_wave().measured_bits(), 3u);
+}
+
+TEST(Wire, AppPayloadPaysForEveryOpaqueBit) {
+  // Growing the opaque payload by k bits grows the wire size by k plus the
+  // (logarithmic) growth of the length field: the padding is really paid.
+  const auto p1 = Message::app_payload(1).measured_bits();
+  const auto p1000 = Message::app_payload(1000).measured_bits();
+  EXPECT_GE(p1000, 1000u);
+  EXPECT_GE(p1000 - p1, 999u);
+  EXPECT_LE(p1000 - p1, 999u + 24u);
+}
+
+TEST(Wire, DecodeRejectsUnknownTag) {
+  BitWriter w;
+  w.put_bits(static_cast<std::uint64_t>(MsgKind::kKindCount__), 3);
+  EXPECT_THROW((void)Message::decode(w.finish()), ContractError);
+}
+
+TEST(Wire, DecodeRejectsTrailingBits) {
+  Encoded e = Message::reject_wave().encode();
+  BitWriter w;
+  w.put_bits(static_cast<std::uint64_t>(MsgKind::kReject), 3);
+  w.put_bit(false);  // one stray bit
+  EXPECT_THROW((void)Message::decode(w.finish()), ContractError);
+  EXPECT_EQ(Message::decode(e), Message::reject_wave());
+}
+
+TEST(Wire, DecodeRejectsTruncation) {
+  Encoded e = Message::control(ControlTopic::kUpcast, 12345).encode();
+  e.bits -= 4;  // chop the value's tail
+  EXPECT_THROW((void)Message::decode(e), ContractError);
+}
+
+TEST(Wire, FactoryContracts) {
+  EXPECT_THROW(Message::agent_hop(0, 0, 0, 0, /*phase=*/8, false),
+               ContractError);
+  EXPECT_THROW(Message::app_value(AppTopic::kMetered, 1), ContractError);
+}
+
+// Random round trips per variant, with fields up to the N = 2^20 regime the
+// complexity tests exercise (and far beyond, for the unbounded id fields).
+TEST(Wire, RandomRoundTripEveryVariant) {
+  Rng rng(0xa11ce);
+  constexpr std::uint64_t kBig = 1ull << 20;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<Message> msgs;
+    msgs.push_back(Message::agent_hop(
+        rng.uniform(0, UINT64_MAX), rng.uniform(0, kBig),
+        rng.uniform(0, kBig), static_cast<std::uint32_t>(rng.uniform(0, 63)),
+        static_cast<std::uint8_t>(rng.uniform(0, 7)), rng.chance(0.5)));
+    msgs.push_back(Message::reject_wave());
+    msgs.push_back(Message::control(
+        static_cast<ControlTopic>(rng.uniform(0, 3)), rng.uniform(0, kBig)));
+    msgs.push_back(Message::data_move(rng.uniform(0, kBig)));
+    msgs.push_back(Message::app_value(
+        static_cast<AppTopic>(rng.uniform(0, 1)), rng.uniform(0, UINT64_MAX)));
+    msgs.push_back(Message::app_payload(rng.uniform(0, 512)));
+    for (const Message& m : msgs) {
+      const Encoded e = m.encode();
+      EXPECT_EQ(e.bits, m.measured_bits());
+      EXPECT_EQ(e.bytes.size(), (e.bits + 7) / 8);
+      const Message back = Message::decode(e);
+      ASSERT_EQ(back, m) << m.str() << " vs " << back.str();
+    }
+  }
+}
+
+// Message sizes must be O(log N) in every field (Lemma 4.5's budget): a
+// doubling of the field value adds O(1) bits.
+TEST(Wire, SizesAreLogarithmicInFields) {
+  std::uint64_t prev = 0;
+  for (std::uint32_t p = 1; p <= 40; ++p) {
+    const std::uint64_t n = 1ull << p;
+    const auto bits =
+        Message::agent_hop(n, n, n, 20, 3, true).measured_bits();
+    if (p > 1) EXPECT_LE(bits, prev + 16) << "p=" << p;
+    prev = bits;
+  }
+  EXPECT_LE(Message::control(ControlTopic::kBroadcast, 1ull << 40)
+                .measured_bits(),
+            3u + 2u + (2 * 40 + 1));
+}
+
+// ---- NetStats accounting ----------------------------------------------------
+
+struct NetFixture {
+  EventQueue q;
+  Network net{q, std::make_unique<FixedDelay>(1)};
+};
+
+TEST(NetStats, PerKindCountersAndMaxima) {
+  NetFixture f;
+  const Message hop = Message::agent_hop(3, 9, 9, 2, 1, true);
+  const Message ctrl = Message::control(ControlTopic::kUpcast, 1000);
+  f.net.send(0, 1, hop, [] {});
+  f.net.send(1, 0, ctrl, [] {});
+  f.net.send(0, 1, Message::reject_wave(), [] {});
+  const NetStats& s = f.net.stats();
+  EXPECT_EQ(s.messages, 3u);
+  EXPECT_EQ(s.kind(MsgKind::kAgent), 1u);
+  EXPECT_EQ(s.kind(MsgKind::kControl), 1u);
+  EXPECT_EQ(s.kind(MsgKind::kReject), 1u);
+  EXPECT_EQ(s.kind_bits(MsgKind::kAgent), hop.measured_bits());
+  EXPECT_EQ(s.kind_max_bits(MsgKind::kControl), ctrl.measured_bits());
+  EXPECT_EQ(s.total_bits, hop.measured_bits() + ctrl.measured_bits() + 3);
+  EXPECT_EQ(s.max_message_bits,
+            std::max(hop.measured_bits(), ctrl.measured_bits()));
+#ifndef NDEBUG
+  EXPECT_EQ(s.roundtrip_checks, 3u);
+#endif
+}
+
+TEST(NetStats, ChargeInteractsWithMaxBits) {
+  NetFixture f;
+  const Message big = Message::data_move(1ull << 30);
+  const Message small = Message::data_move(1);
+  f.net.charge(big, 2);
+  f.net.charge(small, 5);
+  f.net.charge(small, 0);  // a no-op, not a crash
+  const NetStats& s = f.net.stats();
+  EXPECT_EQ(s.messages, 7u);
+  EXPECT_EQ(s.kind(MsgKind::kDataMove), 7u);
+  EXPECT_EQ(s.max_message_bits, big.measured_bits());
+  EXPECT_EQ(s.kind_max_bits(MsgKind::kDataMove), big.measured_bits());
+  EXPECT_EQ(s.total_bits,
+            2 * big.measured_bits() + 5 * small.measured_bits());
+  EXPECT_TRUE(f.q.empty()) << "charge must not schedule deliveries";
+}
+
+TEST(NetStats, HistogramBucketsByBitWidth) {
+  NetFixture f;
+  const Message wave = Message::reject_wave();  // 3 bits -> bucket 2
+  f.net.charge(wave, 4);
+  const Message pay = Message::app_payload(100);  // >= 100 bits -> bucket 7
+  f.net.send(0, 1, pay, [] {});
+  const NetStats& s = f.net.stats();
+  EXPECT_EQ(s.size_histogram[2], 4u);
+  EXPECT_EQ(s.size_histogram[std::bit_width(pay.measured_bits())], 1u);
+  EXPECT_EQ(s.size_histogram[0], 0u);
+}
+
+TEST(NetStats, ResetClearsEverything) {
+  NetFixture f;
+  f.net.send(0, 1, Message::reject_wave(), [] {});
+  f.net.charge(Message::data_move(7), 3);
+  ASSERT_GT(f.net.stats().messages, 0u);
+  f.net.reset_stats();
+  const NetStats& s = f.net.stats();
+  EXPECT_EQ(s.messages, 0u);
+  EXPECT_EQ(s.total_bits, 0u);
+  EXPECT_EQ(s.max_message_bits, 0u);
+  EXPECT_EQ(s.roundtrip_checks, 0u);
+  for (std::size_t k = 0; k < NetStats::kKinds; ++k) {
+    EXPECT_EQ(s.by_kind[k], 0u);
+    EXPECT_EQ(s.bits_by_kind[k], 0u);
+    EXPECT_EQ(s.max_bits_by_kind[k], 0u);
+  }
+  for (const auto b : s.size_histogram) EXPECT_EQ(b, 0u);
+}
+
+TEST(NetStats, StrBreaksDownByKind) {
+  NetFixture f;
+  f.net.send(0, 1, Message::control(ControlTopic::kBroadcast, 5), [] {});
+  const std::string s = f.net.stats().str();
+  EXPECT_NE(s.find("control"), std::string::npos) << s;
+}
+
+// ---- strict envelope + link check -------------------------------------------
+
+TEST(Network, StrictModeAbortsOnOversize) {
+  NetFixture f;
+  f.net.set_strict_max_bits(16);
+  EXPECT_EQ(f.net.strict_max_bits(), 16u);
+  f.net.send(0, 1, Message::reject_wave(), [] {});  // 3 bits: fine
+  EXPECT_THROW(f.net.send(0, 1, Message::app_payload(64), [] {}),
+               InvariantError);
+  EXPECT_THROW(f.net.charge(Message::app_payload(64), 1), InvariantError);
+  f.net.set_strict_max_bits(0);  // disabled again
+  f.net.send(0, 1, Message::app_payload(64), [] {});
+}
+
+#ifndef NDEBUG
+TEST(Network, LinkCheckRejectsOffTreeSends) {
+  NetFixture f;
+  int owner = 0;
+  f.net.set_link_check(&owner, [](NodeId from, NodeId to, MsgKind) {
+    return from + 1 == to;  // only "adjacent" ids
+  });
+  f.net.send(4, 5, Message::reject_wave(), [] {});
+  EXPECT_THROW(f.net.send(4, 9, Message::reject_wave(), [] {}),
+               InvariantError);
+  // A different owner must not be able to clear the hook...
+  int other = 0;
+  f.net.clear_link_check(&other);
+  EXPECT_THROW(f.net.send(4, 9, Message::reject_wave(), [] {}),
+               InvariantError);
+  // ...but the installer can.
+  f.net.clear_link_check(&owner);
+  f.net.send(4, 9, Message::reject_wave(), [] {});
+}
+#endif
+
+}  // namespace
+}  // namespace dyncon::sim
