@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_concurrency.dir/exp10_concurrency.cpp.o"
+  "CMakeFiles/exp10_concurrency.dir/exp10_concurrency.cpp.o.d"
+  "exp10_concurrency"
+  "exp10_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

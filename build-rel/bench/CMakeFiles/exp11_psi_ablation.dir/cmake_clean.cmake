@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_psi_ablation.dir/exp11_psi_ablation.cpp.o"
+  "CMakeFiles/exp11_psi_ablation.dir/exp11_psi_ablation.cpp.o.d"
+  "exp11_psi_ablation"
+  "exp11_psi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_psi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_distributed_apps.dir/exp12_distributed_apps.cpp.o"
+  "CMakeFiles/exp12_distributed_apps.dir/exp12_distributed_apps.cpp.o.d"
+  "exp12_distributed_apps"
+  "exp12_distributed_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_distributed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_message_breakdown.dir/exp13_message_breakdown.cpp.o"
+  "CMakeFiles/exp13_message_breakdown.dir/exp13_message_breakdown.cpp.o.d"
+  "exp13_message_breakdown"
+  "exp13_message_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_message_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

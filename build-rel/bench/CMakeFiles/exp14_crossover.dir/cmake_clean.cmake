@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_crossover.dir/exp14_crossover.cpp.o"
+  "CMakeFiles/exp14_crossover.dir/exp14_crossover.cpp.o.d"
+  "exp14_crossover"
+  "exp14_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_distributed_adaptive.dir/exp15_distributed_adaptive.cpp.o"
+  "CMakeFiles/exp15_distributed_adaptive.dir/exp15_distributed_adaptive.cpp.o.d"
+  "exp15_distributed_adaptive"
+  "exp15_distributed_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_distributed_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

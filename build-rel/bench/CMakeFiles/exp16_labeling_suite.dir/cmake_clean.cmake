@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp16_labeling_suite.dir/exp16_labeling_suite.cpp.o"
+  "CMakeFiles/exp16_labeling_suite.dir/exp16_labeling_suite.cpp.o.d"
+  "exp16_labeling_suite"
+  "exp16_labeling_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp16_labeling_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

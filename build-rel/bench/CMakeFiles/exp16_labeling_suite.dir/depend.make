@@ -1,0 +1,2 @@
+# Empty dependencies file for exp16_labeling_suite.
+# This may be replaced when dependencies are built.

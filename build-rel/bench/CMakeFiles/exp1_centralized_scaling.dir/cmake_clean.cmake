@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_centralized_scaling.dir/exp1_centralized_scaling.cpp.o"
+  "CMakeFiles/exp1_centralized_scaling.dir/exp1_centralized_scaling.cpp.o.d"
+  "exp1_centralized_scaling"
+  "exp1_centralized_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_centralized_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp1_centralized_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_distributed_scaling.dir/exp2_distributed_scaling.cpp.o"
+  "CMakeFiles/exp2_distributed_scaling.dir/exp2_distributed_scaling.cpp.o.d"
+  "exp2_distributed_scaling"
+  "exp2_distributed_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_distributed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_baseline_comparison.dir/exp3_baseline_comparison.cpp.o"
+  "CMakeFiles/exp3_baseline_comparison.dir/exp3_baseline_comparison.cpp.o.d"
+  "exp3_baseline_comparison"
+  "exp3_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_waste_tradeoff.dir/exp4_waste_tradeoff.cpp.o"
+  "CMakeFiles/exp4_waste_tradeoff.dir/exp4_waste_tradeoff.cpp.o.d"
+  "exp4_waste_tradeoff"
+  "exp4_waste_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_waste_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

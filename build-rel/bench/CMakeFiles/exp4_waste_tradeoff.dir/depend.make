@@ -1,0 +1,2 @@
+# Empty dependencies file for exp4_waste_tradeoff.
+# This may be replaced when dependencies are built.

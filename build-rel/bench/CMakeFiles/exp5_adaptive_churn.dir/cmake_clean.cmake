@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_adaptive_churn.dir/exp5_adaptive_churn.cpp.o"
+  "CMakeFiles/exp5_adaptive_churn.dir/exp5_adaptive_churn.cpp.o.d"
+  "exp5_adaptive_churn"
+  "exp5_adaptive_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_adaptive_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_size_estimation.dir/exp6_size_estimation.cpp.o"
+  "CMakeFiles/exp6_size_estimation.dir/exp6_size_estimation.cpp.o.d"
+  "exp6_size_estimation"
+  "exp6_size_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_size_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

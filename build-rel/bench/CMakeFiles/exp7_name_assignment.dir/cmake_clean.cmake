@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_name_assignment.dir/exp7_name_assignment.cpp.o"
+  "CMakeFiles/exp7_name_assignment.dir/exp7_name_assignment.cpp.o.d"
+  "exp7_name_assignment"
+  "exp7_name_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_name_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

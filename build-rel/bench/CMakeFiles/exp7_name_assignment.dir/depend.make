@@ -1,0 +1,2 @@
+# Empty dependencies file for exp7_name_assignment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_heavy_child.dir/exp8_heavy_child.cpp.o"
+  "CMakeFiles/exp8_heavy_child.dir/exp8_heavy_child.cpp.o.d"
+  "exp8_heavy_child"
+  "exp8_heavy_child.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_heavy_child.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_message_size.dir/exp9_message_size.cpp.o"
+  "CMakeFiles/exp9_message_size.dir/exp9_message_size.cpp.o.d"
+  "exp9_message_size"
+  "exp9_message_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majority_vote.dir/majority_vote.cpp.o"
+  "CMakeFiles/majority_vote.dir/majority_vote.cpp.o.d"
+  "majority_vote"
+  "majority_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majority_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_router.dir/overlay_router.cpp.o"
+  "CMakeFiles/overlay_router.dir/overlay_router.cpp.o.d"
+  "overlay_router"
+  "overlay_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

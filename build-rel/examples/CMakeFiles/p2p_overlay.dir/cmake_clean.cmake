@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_overlay.dir/p2p_overlay.cpp.o"
+  "CMakeFiles/p2p_overlay.dir/p2p_overlay.cpp.o.d"
+  "p2p_overlay"
+  "p2p_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_sales.dir/ticket_sales.cpp.o"
+  "CMakeFiles/ticket_sales.dir/ticket_sales.cpp.o.d"
+  "ticket_sales"
+  "ticket_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ticket_sales.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/convergecast.cpp" "src/CMakeFiles/dyncon_agent.dir/agent/convergecast.cpp.o" "gcc" "src/CMakeFiles/dyncon_agent.dir/agent/convergecast.cpp.o.d"
+  "/root/repo/src/agent/runtime.cpp" "src/CMakeFiles/dyncon_agent.dir/agent/runtime.cpp.o" "gcc" "src/CMakeFiles/dyncon_agent.dir/agent/runtime.cpp.o.d"
+  "/root/repo/src/agent/taxi.cpp" "src/CMakeFiles/dyncon_agent.dir/agent/taxi.cpp.o" "gcc" "src/CMakeFiles/dyncon_agent.dir/agent/taxi.cpp.o.d"
+  "/root/repo/src/agent/whiteboard.cpp" "src/CMakeFiles/dyncon_agent.dir/agent/whiteboard.cpp.o" "gcc" "src/CMakeFiles/dyncon_agent.dir/agent/whiteboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_tree.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_agent.dir/agent/convergecast.cpp.o"
+  "CMakeFiles/dyncon_agent.dir/agent/convergecast.cpp.o.d"
+  "CMakeFiles/dyncon_agent.dir/agent/runtime.cpp.o"
+  "CMakeFiles/dyncon_agent.dir/agent/runtime.cpp.o.d"
+  "CMakeFiles/dyncon_agent.dir/agent/taxi.cpp.o"
+  "CMakeFiles/dyncon_agent.dir/agent/taxi.cpp.o.d"
+  "CMakeFiles/dyncon_agent.dir/agent/whiteboard.cpp.o"
+  "CMakeFiles/dyncon_agent.dir/agent/whiteboard.cpp.o.d"
+  "libdyncon_agent.a"
+  "libdyncon_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

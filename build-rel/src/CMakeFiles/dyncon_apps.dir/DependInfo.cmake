@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ancestry_labeling.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/ancestry_labeling.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/ancestry_labeling.cpp.o.d"
+  "/root/repo/src/apps/distributed_ancestry_labeling.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_ancestry_labeling.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_ancestry_labeling.cpp.o.d"
+  "/root/repo/src/apps/distributed_heavy_child.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_heavy_child.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_heavy_child.cpp.o.d"
+  "/root/repo/src/apps/distributed_name_assignment.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_name_assignment.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_name_assignment.cpp.o.d"
+  "/root/repo/src/apps/distributed_nca_labeling.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_nca_labeling.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_nca_labeling.cpp.o.d"
+  "/root/repo/src/apps/distributed_size_estimation.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_size_estimation.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_size_estimation.cpp.o.d"
+  "/root/repo/src/apps/distributed_tree_routing.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_tree_routing.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/distributed_tree_routing.cpp.o.d"
+  "/root/repo/src/apps/heavy_child.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/heavy_child.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/heavy_child.cpp.o.d"
+  "/root/repo/src/apps/majority_commit.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/majority_commit.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/majority_commit.cpp.o.d"
+  "/root/repo/src/apps/name_assignment.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/name_assignment.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/name_assignment.cpp.o.d"
+  "/root/repo/src/apps/nca_labeling.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/nca_labeling.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/nca_labeling.cpp.o.d"
+  "/root/repo/src/apps/size_estimation.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/size_estimation.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/size_estimation.cpp.o.d"
+  "/root/repo/src/apps/subtree_estimator.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/subtree_estimator.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/subtree_estimator.cpp.o.d"
+  "/root/repo/src/apps/tree_routing.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/tree_routing.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/tree_routing.cpp.o.d"
+  "/root/repo/src/apps/two_phase_commit.cpp" "src/CMakeFiles/dyncon_apps.dir/apps/two_phase_commit.cpp.o" "gcc" "src/CMakeFiles/dyncon_apps.dir/apps/two_phase_commit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_agent.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_tree.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

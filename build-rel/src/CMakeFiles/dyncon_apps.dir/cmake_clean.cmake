@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_apps.dir/apps/ancestry_labeling.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/ancestry_labeling.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_ancestry_labeling.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_ancestry_labeling.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_heavy_child.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_heavy_child.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_name_assignment.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_name_assignment.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_nca_labeling.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_nca_labeling.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_size_estimation.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_size_estimation.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_tree_routing.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/distributed_tree_routing.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/heavy_child.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/heavy_child.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/majority_commit.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/majority_commit.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/name_assignment.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/name_assignment.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/nca_labeling.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/nca_labeling.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/size_estimation.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/size_estimation.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/subtree_estimator.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/subtree_estimator.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/tree_routing.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/tree_routing.cpp.o.d"
+  "CMakeFiles/dyncon_apps.dir/apps/two_phase_commit.cpp.o"
+  "CMakeFiles/dyncon_apps.dir/apps/two_phase_commit.cpp.o.d"
+  "libdyncon_apps.a"
+  "libdyncon_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aaps_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/aaps_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/aaps_controller.cpp.o.d"
+  "/root/repo/src/core/adaptive_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/adaptive_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/adaptive_controller.cpp.o.d"
+  "/root/repo/src/core/centralized_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/centralized_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/centralized_controller.cpp.o.d"
+  "/root/repo/src/core/distributed_adaptive.cpp" "src/CMakeFiles/dyncon_core.dir/core/distributed_adaptive.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/distributed_adaptive.cpp.o.d"
+  "/root/repo/src/core/distributed_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/distributed_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/distributed_controller.cpp.o.d"
+  "/root/repo/src/core/distributed_iterated.cpp" "src/CMakeFiles/dyncon_core.dir/core/distributed_iterated.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/distributed_iterated.cpp.o.d"
+  "/root/repo/src/core/domain.cpp" "src/CMakeFiles/dyncon_core.dir/core/domain.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/domain.cpp.o.d"
+  "/root/repo/src/core/iterated_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/iterated_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/iterated_controller.cpp.o.d"
+  "/root/repo/src/core/message_meter.cpp" "src/CMakeFiles/dyncon_core.dir/core/message_meter.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/message_meter.cpp.o.d"
+  "/root/repo/src/core/package.cpp" "src/CMakeFiles/dyncon_core.dir/core/package.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/package.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/dyncon_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/terminating_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/terminating_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/terminating_controller.cpp.o.d"
+  "/root/repo/src/core/trivial_controller.cpp" "src/CMakeFiles/dyncon_core.dir/core/trivial_controller.cpp.o" "gcc" "src/CMakeFiles/dyncon_core.dir/core/trivial_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_agent.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_tree.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_core.dir/core/aaps_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/aaps_controller.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/adaptive_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/adaptive_controller.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/centralized_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/centralized_controller.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/distributed_adaptive.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/distributed_adaptive.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/distributed_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/distributed_controller.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/distributed_iterated.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/distributed_iterated.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/domain.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/domain.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/iterated_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/iterated_controller.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/message_meter.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/message_meter.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/package.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/package.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/params.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/params.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/terminating_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/terminating_controller.cpp.o.d"
+  "CMakeFiles/dyncon_core.dir/core/trivial_controller.cpp.o"
+  "CMakeFiles/dyncon_core.dir/core/trivial_controller.cpp.o.d"
+  "libdyncon_core.a"
+  "libdyncon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

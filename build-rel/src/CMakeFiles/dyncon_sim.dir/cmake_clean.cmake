@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_sim.dir/sim/delay.cpp.o"
+  "CMakeFiles/dyncon_sim.dir/sim/delay.cpp.o.d"
+  "CMakeFiles/dyncon_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/dyncon_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/dyncon_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/dyncon_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/dyncon_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/dyncon_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/dyncon_sim.dir/sim/wire.cpp.o"
+  "CMakeFiles/dyncon_sim.dir/sim/wire.cpp.o.d"
+  "libdyncon_sim.a"
+  "libdyncon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/dynamic_tree.cpp" "src/CMakeFiles/dyncon_tree.dir/tree/dynamic_tree.cpp.o" "gcc" "src/CMakeFiles/dyncon_tree.dir/tree/dynamic_tree.cpp.o.d"
+  "/root/repo/src/tree/ports.cpp" "src/CMakeFiles/dyncon_tree.dir/tree/ports.cpp.o" "gcc" "src/CMakeFiles/dyncon_tree.dir/tree/ports.cpp.o.d"
+  "/root/repo/src/tree/snapshot.cpp" "src/CMakeFiles/dyncon_tree.dir/tree/snapshot.cpp.o" "gcc" "src/CMakeFiles/dyncon_tree.dir/tree/snapshot.cpp.o.d"
+  "/root/repo/src/tree/validate.cpp" "src/CMakeFiles/dyncon_tree.dir/tree/validate.cpp.o" "gcc" "src/CMakeFiles/dyncon_tree.dir/tree/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

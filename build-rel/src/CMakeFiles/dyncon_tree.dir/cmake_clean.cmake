@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_tree.dir/tree/dynamic_tree.cpp.o"
+  "CMakeFiles/dyncon_tree.dir/tree/dynamic_tree.cpp.o.d"
+  "CMakeFiles/dyncon_tree.dir/tree/ports.cpp.o"
+  "CMakeFiles/dyncon_tree.dir/tree/ports.cpp.o.d"
+  "CMakeFiles/dyncon_tree.dir/tree/snapshot.cpp.o"
+  "CMakeFiles/dyncon_tree.dir/tree/snapshot.cpp.o.d"
+  "CMakeFiles/dyncon_tree.dir/tree/validate.cpp.o"
+  "CMakeFiles/dyncon_tree.dir/tree/validate.cpp.o.d"
+  "libdyncon_tree.a"
+  "libdyncon_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_util.dir/util/rng.cpp.o"
+  "CMakeFiles/dyncon_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/dyncon_util.dir/util/stats.cpp.o"
+  "CMakeFiles/dyncon_util.dir/util/stats.cpp.o.d"
+  "libdyncon_util.a"
+  "libdyncon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cpp" "src/CMakeFiles/dyncon_workload.dir/workload/arrival.cpp.o" "gcc" "src/CMakeFiles/dyncon_workload.dir/workload/arrival.cpp.o.d"
+  "/root/repo/src/workload/churn.cpp" "src/CMakeFiles/dyncon_workload.dir/workload/churn.cpp.o" "gcc" "src/CMakeFiles/dyncon_workload.dir/workload/churn.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/CMakeFiles/dyncon_workload.dir/workload/scenario.cpp.o" "gcc" "src/CMakeFiles/dyncon_workload.dir/workload/scenario.cpp.o.d"
+  "/root/repo/src/workload/script.cpp" "src/CMakeFiles/dyncon_workload.dir/workload/script.cpp.o" "gcc" "src/CMakeFiles/dyncon_workload.dir/workload/script.cpp.o.d"
+  "/root/repo/src/workload/shapes.cpp" "src/CMakeFiles/dyncon_workload.dir/workload/shapes.cpp.o" "gcc" "src/CMakeFiles/dyncon_workload.dir/workload/shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_agent.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_tree.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

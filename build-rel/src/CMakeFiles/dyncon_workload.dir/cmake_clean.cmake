@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncon_workload.dir/workload/arrival.cpp.o"
+  "CMakeFiles/dyncon_workload.dir/workload/arrival.cpp.o.d"
+  "CMakeFiles/dyncon_workload.dir/workload/churn.cpp.o"
+  "CMakeFiles/dyncon_workload.dir/workload/churn.cpp.o.d"
+  "CMakeFiles/dyncon_workload.dir/workload/scenario.cpp.o"
+  "CMakeFiles/dyncon_workload.dir/workload/scenario.cpp.o.d"
+  "CMakeFiles/dyncon_workload.dir/workload/script.cpp.o"
+  "CMakeFiles/dyncon_workload.dir/workload/script.cpp.o.d"
+  "CMakeFiles/dyncon_workload.dir/workload/shapes.cpp.o"
+  "CMakeFiles/dyncon_workload.dir/workload/shapes.cpp.o.d"
+  "libdyncon_workload.a"
+  "libdyncon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

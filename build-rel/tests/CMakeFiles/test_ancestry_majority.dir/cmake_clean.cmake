@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ancestry_majority.dir/test_ancestry_majority.cpp.o"
+  "CMakeFiles/test_ancestry_majority.dir/test_ancestry_majority.cpp.o.d"
+  "test_ancestry_majority"
+  "test_ancestry_majority.pdb"
+  "test_ancestry_majority[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ancestry_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrivals.dir/test_arrivals.cpp.o"
+  "CMakeFiles/test_arrivals.dir/test_arrivals.cpp.o.d"
+  "test_arrivals"
+  "test_arrivals.pdb"
+  "test_arrivals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

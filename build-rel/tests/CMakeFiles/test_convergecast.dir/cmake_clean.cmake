@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convergecast.dir/test_convergecast.cpp.o"
+  "CMakeFiles/test_convergecast.dir/test_convergecast.cpp.o.d"
+  "test_convergecast"
+  "test_convergecast.pdb"
+  "test_convergecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convergecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

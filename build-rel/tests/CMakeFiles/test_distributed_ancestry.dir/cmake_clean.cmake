@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_ancestry.dir/test_distributed_ancestry.cpp.o"
+  "CMakeFiles/test_distributed_ancestry.dir/test_distributed_ancestry.cpp.o.d"
+  "test_distributed_ancestry"
+  "test_distributed_ancestry.pdb"
+  "test_distributed_ancestry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_ancestry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_apps.dir/test_distributed_apps.cpp.o"
+  "CMakeFiles/test_distributed_apps.dir/test_distributed_apps.cpp.o.d"
+  "test_distributed_apps"
+  "test_distributed_apps.pdb"
+  "test_distributed_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_nca.dir/test_distributed_nca.cpp.o"
+  "CMakeFiles/test_distributed_nca.dir/test_distributed_nca.cpp.o.d"
+  "test_distributed_nca"
+  "test_distributed_nca.pdb"
+  "test_distributed_nca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_nca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_races.dir/test_distributed_races.cpp.o"
+  "CMakeFiles/test_distributed_races.dir/test_distributed_races.cpp.o.d"
+  "test_distributed_races"
+  "test_distributed_races.pdb"
+  "test_distributed_races[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

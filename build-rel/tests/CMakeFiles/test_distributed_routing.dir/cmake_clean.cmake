@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_routing.dir/test_distributed_routing.cpp.o"
+  "CMakeFiles/test_distributed_routing.dir/test_distributed_routing.cpp.o.d"
+  "test_distributed_routing"
+  "test_distributed_routing.pdb"
+  "test_distributed_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_wrappers.dir/test_distributed_wrappers.cpp.o"
+  "CMakeFiles/test_distributed_wrappers.dir/test_distributed_wrappers.cpp.o.d"
+  "test_distributed_wrappers"
+  "test_distributed_wrappers.pdb"
+  "test_distributed_wrappers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

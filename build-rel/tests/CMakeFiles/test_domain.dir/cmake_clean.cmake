@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domain.dir/test_domain.cpp.o"
+  "CMakeFiles/test_domain.dir/test_domain.cpp.o.d"
+  "test_domain"
+  "test_domain.pdb"
+  "test_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixtures.dir/test_fixtures.cpp.o"
+  "CMakeFiles/test_fixtures.dir/test_fixtures.cpp.o.d"
+  "test_fixtures"
+  "test_fixtures.pdb"
+  "test_fixtures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

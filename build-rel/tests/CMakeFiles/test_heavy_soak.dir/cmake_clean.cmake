@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heavy_soak.dir/test_heavy_soak.cpp.o"
+  "CMakeFiles/test_heavy_soak.dir/test_heavy_soak.cpp.o.d"
+  "test_heavy_soak"
+  "test_heavy_soak.pdb"
+  "test_heavy_soak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heavy_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterated.dir/test_iterated.cpp.o"
+  "CMakeFiles/test_iterated.dir/test_iterated.cpp.o.d"
+  "test_iterated"
+  "test_iterated.pdb"
+  "test_iterated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_meter.dir/test_message_meter.cpp.o"
+  "CMakeFiles/test_message_meter.dir/test_message_meter.cpp.o.d"
+  "test_message_meter"
+  "test_message_meter.pdb"
+  "test_message_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

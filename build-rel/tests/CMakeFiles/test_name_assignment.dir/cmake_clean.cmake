@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_assignment.dir/test_name_assignment.cpp.o"
+  "CMakeFiles/test_name_assignment.dir/test_name_assignment.cpp.o.d"
+  "test_name_assignment"
+  "test_name_assignment.pdb"
+  "test_name_assignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

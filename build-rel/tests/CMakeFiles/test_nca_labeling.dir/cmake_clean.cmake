@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nca_labeling.dir/test_nca_labeling.cpp.o"
+  "CMakeFiles/test_nca_labeling.dir/test_nca_labeling.cpp.o.d"
+  "test_nca_labeling"
+  "test_nca_labeling.pdb"
+  "test_nca_labeling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nca_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_package.dir/test_package.cpp.o"
+  "CMakeFiles/test_package.dir/test_package.cpp.o.d"
+  "test_package"
+  "test_package.pdb"
+  "test_package[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_adaptive.dir/test_property_adaptive.cpp.o"
+  "CMakeFiles/test_property_adaptive.dir/test_property_adaptive.cpp.o.d"
+  "test_property_adaptive"
+  "test_property_adaptive.pdb"
+  "test_property_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

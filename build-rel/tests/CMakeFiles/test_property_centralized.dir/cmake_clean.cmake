@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_centralized.dir/test_property_centralized.cpp.o"
+  "CMakeFiles/test_property_centralized.dir/test_property_centralized.cpp.o.d"
+  "test_property_centralized"
+  "test_property_centralized.pdb"
+  "test_property_centralized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

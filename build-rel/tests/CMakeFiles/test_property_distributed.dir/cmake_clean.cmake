@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_distributed.dir/test_property_distributed.cpp.o"
+  "CMakeFiles/test_property_distributed.dir/test_property_distributed.cpp.o.d"
+  "test_property_distributed"
+  "test_property_distributed.pdb"
+  "test_property_distributed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_schedule_independence.cpp" "tests/CMakeFiles/test_schedule_independence.dir/test_schedule_independence.cpp.o" "gcc" "tests/CMakeFiles/test_schedule_independence.dir/test_schedule_independence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_apps.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_workload.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_agent.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_tree.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/dyncon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_independence.dir/test_schedule_independence.cpp.o"
+  "CMakeFiles/test_schedule_independence.dir/test_schedule_independence.cpp.o.d"
+  "test_schedule_independence"
+  "test_schedule_independence.pdb"
+  "test_schedule_independence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

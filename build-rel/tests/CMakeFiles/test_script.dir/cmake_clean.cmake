@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_script.dir/test_script.cpp.o"
+  "CMakeFiles/test_script.dir/test_script.cpp.o.d"
+  "test_script"
+  "test_script.pdb"
+  "test_script[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

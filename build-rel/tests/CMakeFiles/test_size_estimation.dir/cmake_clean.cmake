@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_size_estimation.dir/test_size_estimation.cpp.o"
+  "CMakeFiles/test_size_estimation.dir/test_size_estimation.cpp.o.d"
+  "test_size_estimation"
+  "test_size_estimation.pdb"
+  "test_size_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_size_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtree_heavy.dir/test_subtree_heavy.cpp.o"
+  "CMakeFiles/test_subtree_heavy.dir/test_subtree_heavy.cpp.o.d"
+  "test_subtree_heavy"
+  "test_subtree_heavy.pdb"
+  "test_subtree_heavy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtree_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

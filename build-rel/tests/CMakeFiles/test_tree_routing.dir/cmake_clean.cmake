@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_routing.dir/test_tree_routing.cpp.o"
+  "CMakeFiles/test_tree_routing.dir/test_tree_routing.cpp.o.d"
+  "test_tree_routing"
+  "test_tree_routing.pdb"
+  "test_tree_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_protocols.dir/test_wire_protocols.cpp.o"
+  "CMakeFiles/test_wire_protocols.dir/test_wire_protocols.cpp.o.d"
+  "test_wire_protocols"
+  "test_wire_protocols.pdb"
+  "test_wire_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

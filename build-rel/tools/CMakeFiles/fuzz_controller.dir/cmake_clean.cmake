@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_controller.dir/fuzz_controller.cpp.o"
+  "CMakeFiles/fuzz_controller.dir/fuzz_controller.cpp.o.d"
+  "fuzz_controller"
+  "fuzz_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
