@@ -7,11 +7,18 @@
 // (a) the measured series and (b) the paper's claimed shape next to it, so
 // EXPERIMENTS.md rows can be checked by eye from the bench output alone.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/net_adapter.hpp"
+#include "obs/report.hpp"
+#include "sim/network.hpp"
 
 namespace dyncon::bench {
 
@@ -95,5 +102,92 @@ inline std::string fp(double v, int prec = 2) {
   std::snprintf(buf, sizeof buf, "%.*f", prec, v);
   return buf;
 }
+
+/// Per-binary run-report plumbing.  Construct one at the top of main():
+///
+///   int main(int argc, char** argv) {
+///     bench::Run run("exp1", argc, argv);
+///     ...
+///     run.net(net.stats());   // fold in each simulated network's totals
+///   }
+///
+/// The constructor installs a fresh metrics registry (so every obs::count in
+/// the library lands here) and parses `--metrics-out=<path>` (also the
+/// two-token `--metrics-out <path>` spelling).  The destructor writes the
+/// run-report JSON — params, counters/gauges, histograms, accumulated
+/// NetStats, wall time — to that path; with no flag it only prints tables,
+/// exactly as before.
+class Run {
+ public:
+  Run(std::string name, int argc, char** argv)
+      : report_(std::move(name)),
+        scoped_(registry_),
+        start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      constexpr std::string_view kFlag = "--metrics-out";
+      if (arg.rfind(kFlag, 0) != 0) continue;
+      if (arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
+        out_path_ = std::string(arg.substr(kFlag.size() + 1));
+      } else if (arg == kFlag && i + 1 < argc) {
+        out_path_ = argv[++i];
+      }
+    }
+    current_ = this;
+  }
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  ~Run() {
+    if (current_ == this) current_ = nullptr;
+    if (out_path_.empty()) return;
+    obs::publish_net_stats(registry_, net_);
+    obs::add_net_stats(report_, net_);
+    report_.set_wall_time(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+    std::string err;
+    if (!report_.write_file(out_path_, &registry_, &err)) {
+      std::fprintf(stderr, "metrics-out: %s\n", err.c_str());
+    } else {
+      std::printf("\n[run report written to %s]\n", out_path_.c_str());
+    }
+  }
+
+  void param(const std::string& key, std::uint64_t v) {
+    report_.set_param(key, obs::json::Value(v));
+  }
+  void param(const std::string& key, double v) {
+    report_.set_param(key, obs::json::Value(v));
+  }
+  void param(const std::string& key, const std::string& v) {
+    report_.set_param(key, obs::json::Value(v));
+  }
+
+  /// Fold one simulated network's cumulative totals into the report.  Call
+  /// once per Network, after its workload ran (NetStats is cumulative).
+  void net(const sim::NetStats& st) { net_.merge(st); }
+
+  /// Static spelling of net() for helpers that construct networks far from
+  /// main(); a no-op when no Run is alive (plain table-only invocation).
+  static void note_net(const sim::NetStats& st) {
+    if (current_ != nullptr) current_->net_.merge(st);
+  }
+
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] bool writes_report() const { return !out_path_.empty(); }
+
+ private:
+  obs::RunReport report_;
+  obs::Registry registry_;
+  obs::ScopedMetrics scoped_;  // installs registry_; order matters
+  sim::NetStats net_;
+  std::string out_path_;
+  std::chrono::steady_clock::time_point start_;
+
+  inline static Run* current_ = nullptr;  // one Run per bench binary
+};
 
 }  // namespace dyncon::bench

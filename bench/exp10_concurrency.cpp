@@ -48,12 +48,14 @@ RunStats run(sim::DelayKind kind, std::uint64_t burst) {
     }
     queue.run();
   }
+  bench::Run::note_net(net.stats());
   return {ctrl.messages_used(), granted, queue.now()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run report_run("exp10", argc, argv);
   banner("EXP10: concurrency, locks and schedule independence");
 
   for (sim::DelayKind kind :

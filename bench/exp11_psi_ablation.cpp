@@ -17,7 +17,8 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp11", argc, argv);
   banner("EXP11: ablation of the distance scale psi");
   const std::uint64_t n = 2048;
   const std::uint64_t M = n, W = n / 2;

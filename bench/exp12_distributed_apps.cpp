@@ -26,11 +26,13 @@ struct Sim {
   sim::Network net;
   tree::DynamicTree tree;
   Sim() : net(queue, sim::make_delay(sim::DelayKind::kUniform, 3)) {}
+  ~Sim() { bench::Run::note_net(net.stats()); }
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp12", argc, argv);
   banner("EXP12: distributed applications, end to end");
 
   subhead("distributed size estimation (beta = 2)");

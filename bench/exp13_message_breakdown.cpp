@@ -19,7 +19,8 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp13", argc, argv);
   banner("EXP13: message-kind breakdown of the distributed controller");
 
   const std::uint64_t U = 4096;
@@ -58,6 +59,7 @@ int main() {
              num(st.kind_max_bits(sim::MsgKind::kControl)),
              num(st.kind_max_bits(sim::MsgKind::kDataMove)),
              num(sim::size_envelope_bits(U))});
+    bench::Run::note_net(st);
   }
   tab.print();
   std::printf("\nshape check: agent hops dominate; the reject flood is a "

@@ -24,7 +24,8 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp14", argc, argv);
   banner("EXP14: demand-density crossover vs per-request round trips");
   const std::uint64_t n = 1024;
   std::printf("path of %llu nodes; R uniform random requests; trivial = "
@@ -59,6 +60,7 @@ int main() {
       tab.row({num(R), fp(static_cast<double>(R) / static_cast<double>(n)),
                num(trivial), num(ctrl.messages_used()), fp(ratio),
                ratio > 1.0 ? "controller" : "trivial"});
+      bench::Run::note_net(net.stats());
     }
     tab.print();
   }

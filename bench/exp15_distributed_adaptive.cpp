@@ -43,12 +43,14 @@ Row run(DistributedAdaptive::Policy policy, workload::ChurnModel model,
     if (i % 6 == 5) queue.run();
   }
   queue.run();
+  bench::Run::note_net(net.stats());
   return {ctrl.messages_used(), granted, ctrl.iterations(), t.size()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run report_run("exp15", argc, argv);
   banner("EXP15: distributed unknown-U controller (Thm 4.9 / App. A)");
 
   for (auto policy : {DistributedAdaptive::Policy::kChangeCount,

@@ -22,11 +22,13 @@ struct Sim {
   sim::Network net;
   tree::DynamicTree tree;
   Sim() : net(queue, sim::make_delay(sim::DelayKind::kUniform, 101)) {}
+  ~Sim() { bench::Run::note_net(net.stats()); }
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp16", argc, argv);
   banner("EXP16: the dynamic labeling suite (§5.4) over the controller");
 
   Table tab({"scheme", "n0", "changes", "n_final", "relabels",

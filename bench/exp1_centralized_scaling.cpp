@@ -35,7 +35,10 @@ std::uint64_t flood(workload::Shape shape, std::uint64_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp1", argc, argv);
+  run.param("seed", std::uint64_t{7});
+  run.param("n_max", std::uint64_t{8192});
   banner("EXP1: centralized (M,W)-controller move complexity scaling");
   std::printf("claim: O(U log^2 U log(M/(W+1))); here W = M/2 so the log "
               "factor is 1\n");

@@ -17,7 +17,8 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp2", argc, argv);
   banner("EXP2: distributed message complexity vs centralized moves");
   std::printf("claim (Lemma 4.5): messages <= ~4x centralized moves + O(U), "
               "independent of the delay schedule\n");
@@ -60,6 +61,7 @@ int main() {
       tab.row({num(n), num(cent.cost()), num(dist.messages_used()),
                fp(ratio), num(net.stats().max_message_bits),
                num(4 * ceil_log2(td.size()))});
+      bench::Run::note_net(net.stats());
     }
     tab.print();
   }

@@ -35,7 +35,8 @@ std::uint64_t grow_to(Ctrl& ctrl, tree::DynamicTree& t, std::uint64_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp3", argc, argv);
   banner("EXP3: ours vs AAPS [4] vs trivial controller (grow-only)");
 
   Table tab({"N", "trivial", "AAPS", "ours", "trivial/ours", "ours/AAPS"});

@@ -52,7 +52,8 @@ std::uint64_t run_single_shot(std::uint64_t W) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp4", argc, argv);
   banner("EXP4: the log(M/(W+1)) waste factor (Obs. 3.4)");
   std::printf("n = M = %llu on a path; 3M requests\n",
               static_cast<unsigned long long>(kN));

@@ -45,7 +45,8 @@ RunOutcome run(workload::ChurnModel model, AdaptiveController::Policy policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run report_run("exp5", argc, argv);
   banner("EXP5: adaptive (unknown-U) controller under churn (Thm 3.5/4.9)");
 
   for (auto policy : {AdaptiveController::Policy::kChangeCount,

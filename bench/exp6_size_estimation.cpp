@@ -17,7 +17,8 @@
 using namespace dyncon;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp6", argc, argv);
   banner("EXP6: size estimation (Thm 5.1)");
 
   for (double beta : {1.5, 2.0, 3.0}) {

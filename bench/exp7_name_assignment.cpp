@@ -16,7 +16,8 @@
 using namespace dyncon;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp7", argc, argv);
   banner("EXP7: name assignment (Thm 5.2)");
 
   Table tab({"churn", "n0", "changes", "n_final", "iters",

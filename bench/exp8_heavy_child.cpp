@@ -15,7 +15,8 @@
 using namespace dyncon;
 using namespace dyncon::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp8", argc, argv);
   banner("EXP8: heavy-child decomposition (Thm 5.4)");
 
   Table tab({"churn", "n0", "n_final", "max light anc", "log2(n)",

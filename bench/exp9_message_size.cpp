@@ -55,7 +55,10 @@ void emit_json(std::uint64_t n, std::uint64_t u, const sim::NetStats& st) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Run run("exp9", argc, argv);
+  run.param("seed", std::uint64_t{47});
+  run.param("sizes", std::string("64,256,1024,4096"));
   banner("EXP9: measured O(log N)-bit messages and Claim 4.8 memory");
 
   Table tab({"N", "max msg bits", "agent max", "control max", "envelope",
@@ -97,6 +100,7 @@ int main() {
              fp(static_cast<double>(st.max_message_bits) / lg),
              num(worst_mem), num(worst_bound)});
     emit_json(n, u, st);
+    bench::Run::note_net(st);
   }
   tab.print();
   std::printf("\nshape check: measured bits/log2(N) is a flat small "

@@ -8,6 +8,8 @@
 #include "core/centralized_controller.hpp"
 #include "core/distributed_controller.hpp"
 #include "core/package.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "tree/validate.hpp"
@@ -154,6 +156,54 @@ void BM_TreeValidate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeValidate)->Arg(256)->Arg(2048);
+
+// Instrumentation overhead: the acceptance bar is that the uninstalled
+// (no-sink) path costs one predictable branch -- these four pin it down
+// against the installed path and the raw ring-buffer event write.
+void BM_ObsCountNoSink(benchmark::State& state) {
+  obs::install_metrics(nullptr);
+  for (auto _ : state) {
+    obs::count("permits.granted");
+  }
+}
+BENCHMARK(BM_ObsCountNoSink);
+
+void BM_ObsCountInstalled(benchmark::State& state) {
+  obs::Registry reg;
+  obs::ScopedMetrics scope(reg);
+  for (auto _ : state) {
+    obs::count("permits.granted");
+  }
+}
+BENCHMARK(BM_ObsCountInstalled);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Registry reg;
+  obs::ScopedMetrics scope(reg);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    obs::observe("net.message_bits", v++ & 0xffff);
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsEmitNoSink(benchmark::State& state) {
+  obs::install_trace(nullptr);
+  for (auto _ : state) {
+    obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, 0, 1, 2, 3});
+  }
+}
+BENCHMARK(BM_ObsEmitNoSink);
+
+void BM_ObsEmitInstalled(benchmark::State& state) {
+  obs::EventTrace trace(1024);
+  trace.enable(true);
+  obs::ScopedTrace scope(trace);
+  for (auto _ : state) {
+    obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, 0, 1, 2, 3});
+  }
+}
+BENCHMARK(BM_ObsEmitInstalled);
 
 }  // namespace
 

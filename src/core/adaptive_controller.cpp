@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -16,6 +18,7 @@ AdaptiveController::AdaptiveController(tree::DynamicTree& tree,
 
 void AdaptiveController::start_iteration() {
   ++iterations_;
+  obs::count("controller.iterations");
   const std::uint64_t n = tree_.size();
   max_n_ = std::max(max_n_, n);
   ui_ = options_.policy == Policy::kChangeCount ? 2 * n : 2 * max_n_;
@@ -37,6 +40,9 @@ bool AdaptiveController::should_rotate() const {
 }
 
 void AdaptiveController::rotate() {
+  obs::count("controller.rotations");
+  obs::emit(obs::TraceEvent{obs::EventKind::kIterationRotate, 0, tree_.root(),
+                            iterations_, zi_});
   // End-of-iteration bookkeeping: terminate the inner controller (its
   // broadcast/upcast verifies granted events), then one more broadcast and
   // upcast counts N_{i+1} and Y_i and resets the data structure.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -76,9 +78,12 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
   // Step 1: a reject package at u rejects immediately.
   if (packages_.has_reject(u)) {
     ++rejects_;
+    obs::count("permits.rejected");
+    obs::emit(obs::TraceEvent{obs::EventKind::kRequestRejected, 0, u, 0, 0});
     return Result{Outcome::kRejected};
   }
   if (exhausted_ && options_.mode == Mode::kExhaustSignal) {
+    obs::count("requests.exhausted");
     return Result{Outcome::kExhausted};
   }
 
@@ -99,6 +104,7 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
                      "window/creation level mismatch");
     if (PackageId p = packages_.find_mobile_of_level(w, lvl);
         p != kNoPackage) {
+      obs::count("filler_search.steps", d);
       return distribute_and_grant(p, lvl, path, d, u, ev);
     }
     if (w == tree_.root()) break;
@@ -106,6 +112,7 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
     path.push_back(w);
     ++d;
   }
+  obs::count("filler_search.steps", d);
 
   // Step 3b: no filler; create a package at the root (or give up).
   const std::uint32_t j = params_.creation_level(d);
@@ -113,10 +120,14 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
   if (storage_ < need) {
     if (options_.mode == Mode::kExhaustSignal) {
       exhausted_ = true;
+      obs::count("requests.exhausted");
+      obs::emit(obs::TraceEvent{obs::EventKind::kRequestExhausted, 0, u, 0, 0});
       return Result{Outcome::kExhausted};
     }
     start_reject_wave();
     ++rejects_;
+    obs::count("permits.rejected");
+    obs::emit(obs::TraceEvent{obs::EventKind::kRequestRejected, 0, u, 0, 0});
     return Result{Outcome::kRejected};
   }
   Interval serials;
@@ -131,6 +142,9 @@ Result CentralizedController::grant_from_static(PackageId st, NodeId u,
   Result res{Outcome::kGranted};
   res.serial = packages_.consume_one(st);
   ++granted_;
+  obs::count("permits.granted");
+  obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted, 0, u,
+                            res.serial.value_or(~0ULL), storage_});
   apply_event(u, ev, res);
   return res;
 }
@@ -142,15 +156,21 @@ void CentralizedController::apply_event(NodeId u, const EventSpec& ev,
       return;
     case EventSpec::Type::kAddLeaf:
       res.new_node = tree_.add_leaf(ev.subject);
+      obs::emit(obs::TraceEvent{obs::EventKind::kLinkAdded, 0, res.new_node,
+                                ev.subject, 0});
       return;
     case EventSpec::Type::kAddInternal:
       res.new_node = tree_.add_internal_above(ev.subject);
+      obs::emit(obs::TraceEvent{obs::EventKind::kLinkAdded, 0, res.new_node,
+                                tree_.parent(res.new_node), 0});
       return;
     case EventSpec::Type::kRemove: {
       DYNCON_INVARIANT(ev.subject == u, "remove request arrives at subject");
       // Graceful deletion: all packages of u move to its parent in one
       // message before u disappears (paper item 2, first bullet).
       packages_.move_all(u, tree_.parent(u));
+      obs::emit(obs::TraceEvent{obs::EventKind::kLinkRemoved, 0, u,
+                                tree_.parent(u), 0});
       tree_.remove_node(u);
       return;
     }
@@ -166,6 +186,9 @@ void CentralizedController::start_reject_wave() {
   const auto nodes = tree_.alive_nodes();
   for (NodeId v : nodes) packages_.create_reject(v);
   packages_.charge_moves(nodes.size());
+  obs::count("wave.count");
+  obs::emit(obs::TraceEvent{obs::EventKind::kWaveStart, 0, tree_.root(),
+                            nodes.size(), 0});
 }
 
 Result CentralizedController::distribute_and_grant(

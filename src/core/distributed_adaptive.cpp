@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -18,6 +20,10 @@ DistributedAdaptive::DistributedAdaptive(sim::Network& net,
 
 void DistributedAdaptive::start_iteration() {
   ++iterations_;
+  obs::count("controller.iterations");
+  obs::emit(obs::TraceEvent{obs::EventKind::kIterationStart,
+                            net_.queue().now(), tree_.root(), iterations_,
+                            mi_});
   const std::uint64_t n = std::max<std::uint64_t>(tree_.size(), 1);
   max_n_ = std::max(max_n_, n);
   ui_ = options_.policy == Policy::kChangeCount ? 2 * n : 2 * max_n_;
@@ -57,6 +63,10 @@ void DistributedAdaptive::begin_rotation(bool main_exhausted) {
 
 void DistributedAdaptive::finish_rotation(bool main_exhausted) {
   {
+    obs::count("controller.rotations");
+    obs::emit(obs::TraceEvent{obs::EventKind::kIterationRotate,
+                              net_.queue().now(), tree_.root(), iterations_,
+                              main_->permits_granted()});
     // Both controllers are quiescent: broadcast/upcast counts N_{i+1} and
     // Y_i and resets the data structures.
     const std::uint64_t yi = main_->permits_granted();

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -73,6 +75,7 @@ void DistributedController::submit(const RequestSpec& spec, Callback done) {
   // with everything else in simulated time.
   net_.queue().schedule_after(0, [this, spec, done = std::move(done)] {
     if (moot(spec)) {
+      obs::count("requests.moot");
       done(Result{Outcome::kMoot});
       return;
     }
@@ -109,6 +112,10 @@ sim::Message DistributedController::hop_message(const Agent& a) const {
 
 void DistributedController::hop_up(Agent& a) {
   ++messages_;
+  obs::count("agent.hops");
+  if (a.phase == Phase::kClimb) obs::count("filler_search.steps");
+  obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, net_.queue().now(),
+                            a.at, a.id, 0});
   if (options_.debug_trace) a.history += " up" + std::to_string(a.at);
   a.distance += 1;
   taxi_.hop_up(a.id, a.at, hop_message(a));
@@ -116,6 +123,11 @@ void DistributedController::hop_up(Agent& a) {
 
 void DistributedController::hop_down(Agent& a, NodeId to) {
   ++messages_;
+  obs::count("agent.hops");
+  // A hop with a package in the Bag is a package move (Lemma 3.3's unit).
+  if (a.carrying != kNoPackage) obs::count("moves.total");
+  obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, net_.queue().now(),
+                            a.at, a.id, 1});
   if (options_.debug_trace) a.history += " dn" + std::to_string(a.at) + ">" + std::to_string(to);
   DYNCON_INVARIANT(a.distance >= 1, "hop_down below the origin");
   a.distance -= 1;
@@ -172,6 +184,9 @@ void DistributedController::on_arrival(AgentId id, NodeId node,
 void DistributedController::on_enter(Agent& a, NodeId node,
                                      NodeId came_from) {
   if (boards_.locked(node)) {
+    obs::count("agent.lock_waits");
+    obs::emit(obs::TraceEvent{obs::EventKind::kLockWait, net_.queue().now(),
+                              node, a.id, 0});
     if (options_.debug_trace) a.history += " W" + std::to_string(node);
     boards_.enqueue(node, a.id, came_from);
     return;
@@ -194,6 +209,9 @@ void DistributedController::evaluate(Agent& a) {
     if (options_.debug_trace) a.history += " UO" + std::to_string(node);
     auto waiter = boards_.unlock(node, a.id);
     a.result = Result{Outcome::kMoot};
+    obs::count("requests.moot");
+    obs::emit(obs::TraceEvent{obs::EventKind::kRequestMoot,
+                              net_.queue().now(), node, a.id, 0});
     if (waiter) resume_waiter(*waiter, node);
     finish(a);
     return;
@@ -212,6 +230,10 @@ void DistributedController::evaluate(Agent& a) {
       a.result.outcome = Outcome::kGranted;
       a.result.serial = packages_.consume_one(st);
       ++granted_;
+      obs::count("permits.granted");
+      obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted,
+                                net_.queue().now(), node,
+                                a.result.serial.value_or(~0ULL), storage_});
       apply_event_at_grant(a);
       terminate_at_origin(a);
       return;
@@ -246,6 +268,9 @@ void DistributedController::root_logic(Agent& a) {
     if (options_.mode == Mode::kExhaustSignal) {
       exhausted_ = true;
       a.result.outcome = Outcome::kExhausted;
+      obs::count("requests.exhausted");
+      obs::emit(obs::TraceEvent{obs::EventKind::kRequestExhausted,
+                                net_.queue().now(), a.origin, a.id, 0});
       a.phase = Phase::kAbortDown;
       abort_step(a, a.at);
       return;
@@ -338,6 +363,10 @@ void DistributedController::deliver_grant(Agent& a) {
   a.result.serial = packages_.consume_one(a.carrying);
   a.carrying = kNoPackage;
   ++granted_;
+  obs::count("permits.granted");
+  obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted,
+                            net_.queue().now(), a.origin,
+                            a.result.serial.value_or(~0ULL), storage_});
   // "The requested event takes place when the request is granted" (item
   // 2): applying it here, while every lock from the origin to the topmost
   // node is still held, is what makes the serialization of Lemmas 4.3-4.5
@@ -362,6 +391,9 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       return;
     case RequestSpec::Type::kAddLeaf:
       a.result.new_node = tree_.add_leaf(a.request.subject);
+      obs::emit(obs::TraceEvent{obs::EventKind::kLinkAdded,
+                                net_.queue().now(), a.result.new_node,
+                                a.request.subject, 0});
       return;
     case RequestSpec::Type::kAddInternal: {
       // The insertion always splits the edge between the origin (which we
@@ -379,6 +411,8 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       while (tree_.parent(child) != origin) child = tree_.parent(child);
       const NodeId m = tree_.add_internal_above(child);
       a.result.new_node = m;
+      obs::emit(obs::TraceEvent{obs::EventKind::kLinkAdded,
+                                net_.queue().now(), m, origin, 0});
       // Graceful insertion handshake: at most one agent holds `child`'s
       // lock and has already counted the child->origin hop (it is waiting
       // in the origin's queue).  The new node m is spliced into that
@@ -403,6 +437,8 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       --a.locks_held;
       if (options_.debug_trace) a.history += " RL" + std::to_string(origin);
       const NodeId parent = tree_.parent(origin);
+      obs::emit(obs::TraceEvent{obs::EventKind::kLinkRemoved,
+                                net_.queue().now(), origin, parent, 0});
 
       // Requests waiting at the dying node: requests about the node itself
       // lose their meaning; everything else moves to the parent with its
@@ -491,6 +527,9 @@ void DistributedController::reject_step(Agent& a, NodeId node) {
   if (node == a.origin) {
     a.result.outcome = Outcome::kRejected;
     ++rejects_;
+    obs::count("permits.rejected");
+    obs::emit(obs::TraceEvent{obs::EventKind::kRequestRejected,
+                              net_.queue().now(), node, a.id, 0});
     terminate_at_origin(a);
     return;
   }
@@ -520,6 +559,9 @@ void DistributedController::abort_step(Agent& a, NodeId node) {
 void DistributedController::start_reject_flood() {
   wave_ = true;
   exhausted_ = true;
+  obs::count("wave.count");
+  obs::emit(obs::TraceEvent{obs::EventKind::kWaveStart, net_.queue().now(),
+                            tree_.root(), tree_.size(), 0});
   agent::Whiteboard& wb = boards_.at(tree_.root());
   wb.flooded = true;
   if (!packages_.has_reject(tree_.root())) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -23,6 +25,10 @@ DistributedIterated::DistributedIterated(sim::Network& net,
 
 void DistributedIterated::start_iteration(std::uint64_t Mi) {
   ++iterations_;
+  obs::count("controller.iterations");
+  obs::emit(obs::TraceEvent{obs::EventKind::kIterationStart,
+                            net_.queue().now(), tree_.root(), iterations_,
+                            Mi});
   const bool is_final = (w_ >= 1 && Mi <= 4 * w_) || (w_ == 0 && Mi <= 4);
   std::uint64_t Wi;
   Mode inner_mode;
@@ -165,6 +171,9 @@ void DistributedIterated::rotate() {
   const std::uint64_t L = inner_->unused_permits();
   // Lemma 3.2 liveness via the reduction of Lemma 4.5, checked live.
   DYNCON_INVARIANT(L <= Wi, "iteration leftover exceeds waste bound");
+  obs::count("controller.rotations");
+  obs::emit(obs::TraceEvent{obs::EventKind::kIterationRotate,
+                            net_.queue().now(), tree_.root(), iterations_, L});
   messages_base_ += inner_->messages_used() + 2 * tree_.size();
   net_.charge(sim::Message::control(sim::ControlTopic::kRotate,
                                     std::max(L, tree_.size())),

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -21,6 +23,9 @@ IteratedController::IteratedController(tree::DynamicTree& tree,
 
 void IteratedController::start_iteration(std::uint64_t Mi) {
   ++iterations_;
+  obs::count("controller.iterations");
+  obs::emit(obs::TraceEvent{obs::EventKind::kIterationStart, 0, tree_.root(),
+                            iterations_, Mi});
   const bool is_final = (w_ >= 1 && Mi <= 4 * w_) || (w_ == 0 && Mi <= 4);
   std::uint64_t Wi;
   Mode inner_mode;
@@ -52,6 +57,9 @@ void IteratedController::advance() {
   // Lemma 3.2 liveness, checked in production: at the first would-be
   // reject, unused permits (storage + packages) never exceed the waste.
   DYNCON_INVARIANT(L <= Wi, "iteration leftover exceeds waste bound");
+  obs::count("controller.rotations");
+  obs::emit(obs::TraceEvent{obs::EventKind::kIterationRotate, 0, tree_.root(),
+                            iterations_, L});
   cost_base_ += inner_->cost();
   granted_base_ += inner_->permits_granted();
   rejects_ += inner_->rejects_delivered();

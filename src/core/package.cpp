@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -18,6 +20,7 @@ PackageId PackageTable::create_mobile(NodeId host, std::uint32_t level,
   packages_.push_back(
       Package{id, PackageKind::kMobile, host, size, level, serials, true});
   attach(id, host);
+  obs::count("package.created");
   return id;
 }
 
@@ -47,6 +50,7 @@ void PackageTable::move(PackageId p, NodeId new_host, std::uint64_t hops) {
   pkg.host = new_host;
   attach(p, new_host);
   moves_ += hops;
+  obs::count("moves.total", hops);
 }
 
 void PackageTable::pick_up(PackageId p) {
@@ -74,6 +78,7 @@ std::size_t PackageTable::move_all(NodeId node, NodeId parent) {
     attach(p, parent);
   }
   moves_ += 1;  // one message carries the whole set (paper §2.2)
+  obs::count("moves.total");
   return moving.size();
 }
 
@@ -89,6 +94,9 @@ std::pair<PackageId, PackageId> PackageTable::split_mobile(PackageId p) {
       create_mobile(pkg.host, pkg.level - 1, pkg.size / 2, lo);
   const PackageId b =
       create_mobile(pkg.host, pkg.level - 1, pkg.size / 2, hi);
+  obs::count("package.splits");
+  obs::emit(obs::TraceEvent{obs::EventKind::kPackageSplit, 0, pkg.host,
+                            pkg.level, pkg.size / 2});
   return {a, b};
 }
 

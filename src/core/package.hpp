@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "obs/metrics.hpp"
 #include "util/ids.hpp"
 #include "util/interval.hpp"
 
@@ -119,7 +120,10 @@ class PackageTable {
   // ---- accounting ----------------------------------------------------------------
 
   [[nodiscard]] std::uint64_t move_complexity() const { return moves_; }
-  void charge_moves(std::uint64_t n) { moves_ += n; }
+  void charge_moves(std::uint64_t n) {
+    moves_ += n;
+    obs::count("moves.total", n);
+  }
 
  private:
   Package& mut(PackageId p);

@@ -4,6 +4,12 @@
 // PODC 2007 / Inf. Comput. 2013).  Umbrella header: include this to get
 // the whole public API; fine-grained headers are listed per subsystem.
 
+// Observability (metrics registry, typed events, run reports).
+#include "obs/metrics.hpp"          // counters/gauges/histograms + ScopeTimer
+#include "obs/events.hpp"           // typed trace events + EventTrace ring
+#include "obs/report.hpp"           // RunReport JSON exporter
+#include "obs/net_adapter.hpp"      // NetStats <-> registry/report bridge
+
 // Substrates.
 #include "sim/delay.hpp"            // message-delay adversaries
 #include "sim/event_queue.hpp"      // deterministic discrete-event loop

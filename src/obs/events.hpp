@@ -1,0 +1,131 @@
+#pragma once
+
+// Typed trace events.
+//
+// The string trace (sim::Trace) is great for eyeballs and useless for
+// machines; these events are the machine-readable layer underneath it.
+// Every event is an enum tag plus a POD payload (two generic operand
+// slots whose meaning is fixed per kind — see the table in
+// docs/OBSERVABILITY.md), so recording one is an O(1) copy, and a failing
+// test or fuzz run can dump the tail as JSONL for post-mortem tooling.
+//
+// Emission mirrors the metrics registry: protocol layers call
+// `obs::emit(...)`, which is a single branch unless an EventTrace has been
+// installed (`ScopedTrace`).  Legacy `trace.log(now, "...")` call sites
+// keep working — a string line is recorded as a kText event whose payload
+// lives in the ring entry, and the formatter reproduces the old output.
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace dyncon::obs {
+
+enum class EventKind : std::uint8_t {
+  kText = 0,          ///< legacy free-form line (shim for Trace::log)
+  kPermitGranted,     ///< node=origin, a=serial (or ~0), b=permits left there
+  kRequestRejected,   ///< node=origin
+  kRequestMoot,       ///< node=origin
+  kRequestExhausted,  ///< node=origin
+  kPackageCreated,    ///< node=host, a=level, b=size
+  kPackageSplit,      ///< node=host, a=level before split, b=size of each half
+  kPackageStatic,     ///< node=host, a=size
+  kWaveStart,         ///< node=root, a=alive nodes flooded
+  kWaveEnd,           ///< node=root
+  kLinkAdded,         ///< node=new node, a=parent
+  kLinkRemoved,       ///< node=removed node, a=parent
+  kAgentHop,          ///< node=from, a=agent id, b=0 up / 1 down
+  kLockWait,          ///< node=where, a=agent id
+  kIterationStart,    ///< a=iteration index, b=M_i
+  kIterationRotate,   ///< a=iteration index, b=unused permits carried over
+  kKindCount__
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// POD payload; the ring stores it by value.
+struct TraceEvent {
+  EventKind kind = EventKind::kText;
+  SimTime time = 0;
+  NodeId node = kNoNode;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+/// Ring entry: the typed event plus the kText payload (empty otherwise).
+struct TraceEntry {
+  TraceEvent event;
+  std::string text;
+};
+
+/// "[t=3] PermitGranted node=5 a=7 b=1" — or the legacy "[t=3] line" form
+/// for kText, byte-identical to what the old string trace produced.
+[[nodiscard]] std::string format_entry(const TraceEntry& entry);
+
+/// One compact JSON object (no trailing newline).
+[[nodiscard]] std::string entry_json(const TraceEntry& entry);
+
+/// Bounded in-memory event ring (keeps the most recent `capacity` events).
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Record one event (no-op when disabled).
+  void record(const TraceEvent& event, std::string text = {});
+
+  /// Most recent entries, oldest first.
+  [[nodiscard]] std::vector<TraceEntry> tail_entries(std::size_t n) const;
+  /// Most recent entries, formatted for humans, oldest first.
+  [[nodiscard]] std::vector<std::string> tail(std::size_t n = 64) const;
+  /// JSONL dump of the most recent `n` entries (one object per line).
+  void dump_jsonl(std::ostream& os, std::size_t n = 64) const;
+
+  /// Events offered while enabled (monotone; unaffected by ring eviction).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::deque<TraceEntry> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+namespace detail {
+inline EventTrace* g_trace = nullptr;
+}  // namespace detail
+
+[[nodiscard]] inline EventTrace* trace() { return detail::g_trace; }
+inline void install_trace(EventTrace* t) { detail::g_trace = t; }
+
+/// Emit a typed event to the installed trace; one branch when none is.
+inline void emit(const TraceEvent& event) {
+  if (EventTrace* t = detail::g_trace) t->record(event);
+}
+
+/// RAII install; restores the previous trace on scope exit.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(EventTrace& t) : prev_(detail::g_trace) {
+    detail::g_trace = &t;
+  }
+  ~ScopedTrace() { detail::g_trace = prev_; }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  EventTrace* prev_;
+};
+
+}  // namespace dyncon::obs

@@ -1,0 +1,368 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dyncon::obs::json {
+
+// ---- access -----------------------------------------------------------------
+
+Value& Value::operator[](std::string_view key) {
+  if (!is_object()) v_ = Object{};
+  Object& o = as_object();
+  auto it = o.find(key);
+  if (it == o.end()) it = o.emplace(std::string(key), Value{}).first;
+  return it->second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+// ---- writing ----------------------------------------------------------------
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void write_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent < 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no inf/nan; reports never produce them
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    if (std::strtod(probe, nullptr) == d) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+      break;
+    }
+  }
+  os << buf;
+}
+
+}  // namespace
+
+void Value::dump_impl(std::ostream& os, int indent, int depth) const {
+  if (is_null()) {
+    os << "null";
+  } else if (is_bool()) {
+    os << (as_bool() ? "true" : "false");
+  } else if (is_uint()) {
+    os << std::get<std::uint64_t>(v_);
+  } else if (is_double()) {
+    write_double(os, std::get<double>(v_));
+  } else if (is_string()) {
+    write_escaped(os, as_string());
+  } else if (is_array()) {
+    const Array& a = as_array();
+    if (a.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    bool first = true;
+    for (const Value& v : a) {
+      if (!first) os << ',';
+      first = false;
+      write_newline_indent(os, indent, depth + 1);
+      v.dump_impl(os, indent, depth + 1);
+    }
+    write_newline_indent(os, indent, depth);
+    os << ']';
+  } else {
+    const Object& o = as_object();
+    if (o.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    bool first = true;
+    for (const auto& [k, v] : o) {
+      if (!first) os << ',';
+      first = false;
+      write_newline_indent(os, indent, depth + 1);
+      write_escaped(os, k);
+      os << (indent < 0 ? ":" : ": ");
+      v.dump_impl(os, indent, depth + 1);
+    }
+    write_newline_indent(os, indent, depth);
+    os << '}';
+  }
+}
+
+void Value::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Value::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool consume(char c, const char* what) {
+    skip_ws();
+    if (at_end() || peek() != c) return fail(std::string("expected ") + what);
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("bad literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "string")) return false;
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u digit");
+            }
+          }
+          // Reports only ever emit \u00XX control escapes; encode the BMP
+          // code point as UTF-8 so round trips are lossless anyway.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-')) {
+      ++pos;
+    }
+    const std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty()) return fail("expected number");
+    const bool integral =
+        tok.find_first_of(".eE") == std::string_view::npos && tok[0] != '-';
+    if (integral) {
+      std::uint64_t u = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        out = Value(u);
+        return true;
+      }
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) {
+      return fail("malformed number");
+    }
+    out = Value(d);
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == 'n') {
+      out = Value(nullptr);
+      return literal("null");
+    }
+    if (c == 't') {
+      out = Value(true);
+      return literal("true");
+    }
+    if (c == 'f') {
+      out = Value(false);
+      return literal("false");
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Value(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      Array a;
+      skip_ws();
+      if (!at_end() && peek() == ']') {
+        ++pos;
+        out = Value(std::move(a));
+        return true;
+      }
+      while (true) {
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        a.push_back(std::move(v));
+        skip_ws();
+        if (at_end()) return fail("unterminated array");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == ']') {
+          ++pos;
+          out = Value(std::move(a));
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      Object o;
+      skip_ws();
+      if (!at_end() && peek() == '}') {
+        ++pos;
+        out = Value(std::move(o));
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!consume(':', "':'")) return false;
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        o.insert_or_assign(std::move(key), std::move(v));
+        skip_ws();
+        if (at_end()) return fail("unterminated object");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == '}') {
+          ++pos;
+          out = Value(std::move(o));
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    return parse_number(out);
+  }
+};
+
+}  // namespace
+
+bool Value::parse(std::string_view text, Value& out, std::string* err) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out, 0)) {
+    if (err) *err = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (err) *err = "trailing garbage at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dyncon::obs::json

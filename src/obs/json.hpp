@@ -1,0 +1,116 @@
+#pragma once
+
+// Minimal JSON value: enough to write run reports deterministically and to
+// read them back (tools/report_dump, round-trip tests).  Not a general
+// JSON library — no streaming, no comments, objects are kept in key order
+// so two reports produced from the same run compare byte-identical.
+//
+// Numbers: unsigned integers are kept exact in a dedicated arm (counters
+// routinely exceed 2^53, where double would silently round); everything
+// else parses as double.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dyncon::obs::json {
+
+class Value;
+
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(std::uint64_t u) : v_(u) {}
+  Value(int u) : v_(static_cast<std::uint64_t>(u < 0 ? 0 : u)) {
+    if (u < 0) v_ = static_cast<double>(u);
+  }
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  static Value object() { return Value(Object{}); }
+  static Value array() { return Value(Array{}); }
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_uint() const {
+    return std::holds_alternative<std::uint64_t>(v_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_number() const { return is_uint() || is_double(); }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::uint64_t as_uint() const {
+    if (is_double()) return static_cast<std::uint64_t>(std::get<double>(v_));
+    return std::get<std::uint64_t>(v_);
+  }
+  [[nodiscard]] double as_double() const {
+    if (is_uint()) return static_cast<double>(std::get<std::uint64_t>(v_));
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(v_);
+  }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object access; creates the key (inserting null) on the mutable form.
+  Value& operator[](std::string_view key);
+  /// Lookup without insertion; returns nullptr if absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Compact (indent < 0) or pretty (indent >= 0) serialization.
+  void dump(std::ostream& os, int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document.  On failure returns false and, if
+  /// `err` is non-null, a position-tagged message.
+  static bool parse(std::string_view text, Value& out,
+                    std::string* err = nullptr);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
+               Array, Object>
+      v_;
+};
+
+/// Write `s` as a JSON string literal (quotes + escapes) to `os`.
+void write_escaped(std::ostream& os, std::string_view s);
+
+}  // namespace dyncon::obs::json

@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+namespace dyncon::obs {
+
+json::Value Histogram::to_json() const {
+  json::Value v = json::Value::object();
+  v["count"] = count;
+  v["sum"] = sum;
+  v["min"] = min;
+  v["max"] = max;
+  v["mean"] = mean();
+  json::Array b;
+  std::size_t top = buckets.size();
+  while (top > 0 && buckets[top - 1] == 0) --top;  // elide empty tail
+  b.reserve(top);
+  for (std::size_t w = 0; w < top; ++w) b.emplace_back(buckets[w]);
+  v["buckets"] = json::Value(std::move(b));
+  return v;
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  it->second += delta;
+}
+
+void Registry::set(std::string_view name, std::uint64_t value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  it->second = value;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  }
+  it->second = value;
+}
+
+void Registry::add_gauge(std::string_view name, double delta) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  }
+  it->second += delta;
+}
+
+void Registry::observe(std::string_view name, std::uint64_t value,
+                       std::uint64_t weight) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.observe(value, weight);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+json::Value Registry::to_json() const {
+  json::Value v = json::Value::object();
+  json::Value& c = v["counters"] = json::Value::object();
+  for (const auto& [name, value] : counters_) c[name] = value;
+  json::Value& g = v["gauges"] = json::Value::object();
+  for (const auto& [name, value] : gauges_) g[name] = value;
+  json::Value& h = v["histograms"] = json::Value::object();
+  for (const auto& [name, hist] : hists_) h[name] = hist.to_json();
+  return v;
+}
+
+}  // namespace dyncon::obs

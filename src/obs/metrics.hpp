@@ -1,0 +1,154 @@
+#pragma once
+
+// Run-metrics registry: named counters, gauges, and log2-bucket histograms.
+//
+// Protocol layers never hold a registry — they call the free functions
+// `obs::count/gauge/observe`, which forward to the *installed* registry.
+// When none is installed (the default) each call is a single predictable
+// branch, so instrumentation can stay in hot paths permanently; benches and
+// tools install one for the duration of a run (`ScopedMetrics`).
+//
+// Metric names are dotted paths ("permits.granted", "net.messages"); the
+// catalog, with each name's paper lemma, lives in docs/OBSERVABILITY.md.
+// The simulation is single-threaded, so the registry is too.
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace dyncon::obs {
+
+/// Histogram over [0, 2^64) with one bucket per bit-width: bucket w counts
+/// values in [2^(w-1), 2^w), bucket 0 counts zeros — the same bucketing as
+/// sim::NetStats::size_histogram, so the two merge losslessly.
+struct Histogram {
+  std::array<std::uint64_t, 65> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  /// Record `weight` occurrences of value `v` (weight > 1 models batched
+  /// sources like Network::charge, which accounts many identical messages).
+  void observe(std::uint64_t v, std::uint64_t weight = 1) {
+    if (weight == 0) return;
+    buckets[static_cast<std::size_t>(std::bit_width(v))] += weight;
+    if (count == 0 || v < min) min = v;
+    if (v > max) max = v;
+    count += weight;
+    sum += v * weight;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Owns one run's metrics.  Lookups are by name; maps are ordered so JSON
+/// output is deterministic.
+class Registry {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Overwrite a counter (used when re-exporting cumulative sources such as
+  /// an accumulated NetStats, where adding would double-count).
+  void set(std::string_view name, std::uint64_t value);
+  void set_gauge(std::string_view name, double value);
+  void add_gauge(std::string_view name, double delta);
+  void observe(std::string_view name, std::uint64_t value,
+               std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* histogram(std::string_view name) const;
+
+  using CounterMap = std::map<std::string, std::uint64_t, std::less<>>;
+  using GaugeMap = std::map<std::string, double, std::less<>>;
+  using HistogramMap = std::map<std::string, Histogram, std::less<>>;
+
+  [[nodiscard]] const CounterMap& counters() const { return counters_; }
+  [[nodiscard]] const GaugeMap& gauges() const { return gauges_; }
+  [[nodiscard]] const HistogramMap& histograms() const { return hists_; }
+
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap hists_;
+};
+
+namespace detail {
+inline Registry* g_metrics = nullptr;
+}  // namespace detail
+
+/// The installed registry, or nullptr (instrumentation disabled).
+[[nodiscard]] inline Registry* metrics() { return detail::g_metrics; }
+
+/// Install (or, with nullptr, remove) the process-wide registry.
+inline void install_metrics(Registry* r) { detail::g_metrics = r; }
+
+// ---- instrumentation entry points (one branch when not installed) -----------
+
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (Registry* r = detail::g_metrics) r->add(name, delta);
+}
+
+inline void gauge(std::string_view name, double value) {
+  if (Registry* r = detail::g_metrics) r->set_gauge(name, value);
+}
+
+inline void observe(std::string_view name, std::uint64_t value,
+                    std::uint64_t weight = 1) {
+  if (Registry* r = detail::g_metrics) r->observe(name, value, weight);
+}
+
+/// RAII install; restores the previously installed registry on scope exit,
+/// so nested scopes (a test inside a bench) compose.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(Registry& r) : prev_(detail::g_metrics) {
+    detail::g_metrics = &r;
+  }
+  ~ScopedMetrics() { detail::g_metrics = prev_; }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+/// RAII wall-clock phase timer: on destruction adds the elapsed seconds to
+/// gauge "wall.<name>" (accumulating, so repeated phases sum) and counts
+/// "wall.<name>.calls".  No-op when no registry is installed at destruction.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  ~ScopeTimer() {
+    Registry* r = detail::g_metrics;
+    if (r == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    r->add_gauge("wall." + name_,
+                 std::chrono::duration<double>(elapsed).count());
+    r->add("wall." + name_ + ".calls");
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dyncon::obs

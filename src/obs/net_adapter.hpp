@@ -1,0 +1,67 @@
+#pragma once
+
+// Bridges sim::NetStats into the observability layer.  Header-only so the
+// obs library itself stays below sim in the dependency order (sim already
+// links obs for the typed trace).
+//
+// Two directions:
+//   * net_stats_json / add_net_stats — embed the per-kind measured message
+//     stats into a RunReport's "net_stats" section;
+//   * publish_net_stats — re-export the same numbers as registry counters
+//     ("net.kind.<kind>.count" etc.) so report_dump diffs see one flat
+//     namespace.  Uses set() semantics: NetStats is already cumulative, so
+//     publishing twice must not double-count.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "sim/network.hpp"
+
+namespace dyncon::obs {
+
+[[nodiscard]] inline json::Value net_stats_json(const sim::NetStats& st) {
+  json::Value v = json::Value::object();
+  v["messages"] = st.messages;
+  v["total_bits"] = st.total_bits;
+  v["max_message_bits"] = st.max_message_bits;
+  v["roundtrip_checks"] = st.roundtrip_checks;
+  json::Value& per_kind = v["per_kind"] = json::Value::object();
+  for (std::size_t k = 0; k < sim::NetStats::kKinds; ++k) {
+    json::Value& kv =
+        per_kind[sim::msg_kind_name(static_cast<sim::MsgKind>(k))] =
+            json::Value::object();
+    kv["count"] = st.by_kind[k];
+    kv["bits"] = st.bits_by_kind[k];
+    kv["max_bits"] = st.max_bits_by_kind[k];
+  }
+  json::Array hist;
+  std::size_t top = st.size_histogram.size();
+  while (top > 0 && st.size_histogram[top - 1] == 0) --top;
+  hist.reserve(top);
+  for (std::size_t w = 0; w < top; ++w) hist.emplace_back(st.size_histogram[w]);
+  v["size_histogram"] = json::Value(std::move(hist));
+  return v;
+}
+
+/// Fill a report's "net_stats" section from (accumulated) stats.
+inline void add_net_stats(RunReport& report, const sim::NetStats& st) {
+  report.net_stats() = net_stats_json(st);
+}
+
+/// Re-export stats as counters in `reg` under the "net." prefix.
+inline void publish_net_stats(Registry& reg, const sim::NetStats& st) {
+  reg.set("net.messages", st.messages);
+  reg.set("net.total_bits", st.total_bits);
+  reg.set("net.max_message_bits", st.max_message_bits);
+  for (std::size_t k = 0; k < sim::NetStats::kKinds; ++k) {
+    const std::string prefix =
+        std::string("net.kind.") +
+        sim::msg_kind_name(static_cast<sim::MsgKind>(k));
+    reg.set(prefix + ".count", st.by_kind[k]);
+    reg.set(prefix + ".bits", st.bits_by_kind[k]);
+    reg.set(prefix + ".max_bits", st.max_bits_by_kind[k]);
+  }
+}
+
+}  // namespace dyncon::obs

@@ -1,0 +1,47 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+namespace dyncon::obs {
+
+json::Value RunReport::to_json(const Registry* reg) const {
+  json::Value doc = json::Value::object();
+  doc["name"] = name_;
+  doc["params"] = params_;
+  json::Value& metrics = doc["metrics"] = json::Value::object();
+  metrics["counters"] = json::Value::object();
+  metrics["gauges"] = json::Value::object();
+  doc["histograms"] = json::Value::object();
+  if (reg != nullptr) {
+    json::Value all = reg->to_json();
+    metrics["counters"] = *all.find("counters");
+    metrics["gauges"] = *all.find("gauges");
+    doc["histograms"] = *all.find("histograms");
+  }
+  doc["net_stats"] = net_stats_;
+  doc["wall_time_sec"] = wall_time_sec_;
+  return doc;
+}
+
+void RunReport::write_json(std::ostream& os, const Registry* reg) const {
+  to_json(reg).dump(os, 2);
+  os << '\n';
+}
+
+bool RunReport::write_file(const std::string& path, const Registry* reg,
+                           std::string* err) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (err) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_json(out, reg);
+  out.flush();
+  if (!out) {
+    if (err) *err = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dyncon::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+// Run-report exporter: one JSON document per run (bench, test, fuzz) with
+// the shape
+//
+//   {
+//     "name":          "<run name>",
+//     "params":        { ... run parameters ... },
+//     "metrics":       { "counters": {...}, "gauges": {...} },
+//     "histograms":    { "<name>": {count, sum, min, max, mean, buckets} },
+//     "net_stats":     { messages, total_bits, max_message_bits,
+//                        per_kind: {...}, size_histogram: [...] },
+//     "wall_time_sec": 1.23
+//   }
+//
+// Every key is always present (empty objects where a run has nothing to
+// say), so downstream tooling (tools/report_dump, tools/check_report.py)
+// never branches on schema.  The "net_stats" section is filled by the
+// header-only adapter in obs/net_adapter.hpp to keep this layer free of a
+// sim dependency.
+
+#include <ostream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace dyncon::obs {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  void set_param(const std::string& key, json::Value value) {
+    params_[key] = std::move(value);
+  }
+  [[nodiscard]] json::Value& params() { return params_; }
+
+  /// The "net_stats" section (see obs/net_adapter.hpp).
+  [[nodiscard]] json::Value& net_stats() { return net_stats_; }
+
+  void set_wall_time(double seconds) { wall_time_sec_ = seconds; }
+  [[nodiscard]] double wall_time() const { return wall_time_sec_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Assemble the document; `reg` may be null (empty metrics sections).
+  [[nodiscard]] json::Value to_json(const Registry* reg) const;
+
+  void write_json(std::ostream& os, const Registry* reg) const;
+
+  /// Write to `path` (pretty-printed, trailing newline).  Returns false and
+  /// fills `err` on I/O failure.
+  bool write_file(const std::string& path, const Registry* reg,
+                  std::string* err = nullptr) const;
+
+ private:
+  std::string name_;
+  json::Value params_ = json::Value::object();
+  json::Value net_stats_ = json::Value::object();
+  double wall_time_sec_ = 0.0;
+};
+
+}  // namespace dyncon::obs

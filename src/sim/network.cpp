@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::sim {
@@ -19,6 +20,22 @@ std::string NetStats::str() const {
        << "(max " << max_bits_by_kind[k] << "b)";
   }
   return os.str();
+}
+
+void NetStats::merge(const NetStats& other) {
+  messages += other.messages;
+  total_bits += other.total_bits;
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  roundtrip_checks += other.roundtrip_checks;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    by_kind[k] += other.by_kind[k];
+    bits_by_kind[k] += other.bits_by_kind[k];
+    max_bits_by_kind[k] = std::max(max_bits_by_kind[k],
+                                   other.max_bits_by_kind[k]);
+  }
+  for (std::size_t w = 0; w < size_histogram.size(); ++w) {
+    size_histogram[w] += other.size_histogram[w];
+  }
 }
 
 Network::Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay)
@@ -54,6 +71,11 @@ void Network::account(MsgKind kind, std::uint64_t bits, std::uint64_t count) {
   stats_.bits_by_kind[k] += bits * count;
   stats_.max_bits_by_kind[k] = std::max(stats_.max_bits_by_kind[k], bits);
   stats_.size_histogram[std::bit_width(bits)] += count;
+  // Live registry export: cumulative across every Network instance of the
+  // run, unlike the per-instance NetStats (one branch when uninstalled).
+  obs::count("net.messages", count);
+  obs::count("net.total_bits", bits * count);
+  obs::observe("net.message_bits", bits, count);
 }
 
 void Network::send(NodeId from, NodeId to, const Message& msg,

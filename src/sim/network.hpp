@@ -55,6 +55,10 @@ struct NetStats {
     return max_bits_by_kind[static_cast<std::size_t>(k)];
   }
   [[nodiscard]] std::string str() const;
+
+  /// Accumulate another instance's stats (benches sum the networks of a
+  /// sweep into one figure for the run report).
+  void merge(const NetStats& other);
 };
 
 /// Message transport over the event queue.

@@ -2,41 +2,41 @@
 
 // Optional execution trace for debugging distributed runs.
 //
-// Protocol layers emit compact trace lines ("agent 7 locked node 12");
-// recording is off by default so the hot path costs one branch.  Tests that
-// fail can re-run the same seed with tracing on and dump the tail.
+// Protocol layers emit typed events (obs/events.hpp) or compact text lines
+// ("agent 7 locked node 12"); recording is off by default so the hot path
+// costs one branch.  Tests that fail can re-run the same seed with tracing
+// on and dump the tail — as formatted lines for eyeballs (`tail`) or as
+// JSONL for tooling (`dump_jsonl`).
+//
+// `Trace` is the sim-facing name for the typed ring: the historical string
+// API (`log`, `lines_recorded`) is a shim that records kText events, so
+// existing call sites keep working while new code emits typed events.
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <vector>
+#include <utility>
 
+#include "obs/events.hpp"
 #include "util/ids.hpp"
 
 namespace dyncon::sim {
 
-/// Bounded in-memory trace (keeps the most recent `capacity` lines).
-class Trace {
+/// Bounded in-memory trace (keeps the most recent `capacity` entries).
+class Trace : public obs::EventTrace {
  public:
-  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+  using obs::EventTrace::EventTrace;
 
-  void enable(bool on = true) { enabled_ = on; }
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Record a text line (no-op when disabled) — the legacy entry point.
+  void log(SimTime now, std::string line) {
+    record(obs::TraceEvent{obs::EventKind::kText, now, kNoNode, 0, 0},
+           std::move(line));
+  }
 
-  /// Record a line (no-op when disabled).
-  void log(SimTime now, std::string line);
+  /// Record a typed event (no-op when disabled).
+  void event(const obs::TraceEvent& ev) { record(ev); }
 
-  /// Most recent lines, oldest first.
-  [[nodiscard]] std::vector<std::string> tail(std::size_t n = 64) const;
-
-  [[nodiscard]] std::uint64_t lines_recorded() const { return recorded_; }
-  void clear();
-
- private:
-  std::size_t capacity_;
-  bool enabled_ = false;
-  std::deque<std::string> ring_;
-  std::uint64_t recorded_ = 0;
+  /// Events recorded while enabled (the historical counter name).
+  [[nodiscard]] std::uint64_t lines_recorded() const { return recorded(); }
 };
 
 }  // namespace dyncon::sim

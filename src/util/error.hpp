@@ -29,7 +29,7 @@ class ContractError : public std::invalid_argument {
 
 namespace detail {
 [[noreturn]] inline void invariant_failed(
-    const char* expr, const char* msg,
+    const char* expr, const std::string& msg,
     const std::source_location loc = std::source_location::current()) {
   throw InvariantError(std::string("invariant violated: ") + expr + " (" +
                        msg + ") at " + loc.file_name() + ":" +

@@ -35,7 +35,10 @@ class Summary {
 /// Exact percentile over a stored sample (used for tail-latency style rows).
 class Percentiles {
  public:
-  void add(double x) { xs_.push_back(x); }
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;  // an append after at() invalidates the sort
+  }
   [[nodiscard]] double at(double q) const;  ///< q in [0,1]; 0 if empty.
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
 

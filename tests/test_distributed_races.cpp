@@ -13,9 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <vector>
 
 #include "core/distributed_controller.hpp"
+#include "obs/events.hpp"
+#include "sim/trace.hpp"
 #include "tree/validate.hpp"
 #include "workload/shapes.hpp"
 
@@ -28,7 +31,23 @@ struct Sim {
   sim::EventQueue queue;
   sim::Network net;
   DynamicTree tree;
-  Sim() : net(queue, sim::make_delay(sim::DelayKind::kFixed, 1)) {}
+  sim::Trace trace{256};
+  obs::ScopedTrace trace_scope{trace};
+
+  Sim() : net(queue, sim::make_delay(sim::DelayKind::kFixed, 1)) {
+    trace.enable(true);
+  }
+
+  // Race tests are schedule bugs: when one fails, the interleaving that
+  // produced it is the evidence.  Dump the typed event tail (JSONL) so the
+  // failing schedule is in the test log without a re-run.
+  ~Sim() {
+    if (::testing::Test::HasFailure() && trace.size() > 0) {
+      std::cerr << "--- typed trace tail (" << trace.size() << " of "
+                << trace.recorded() << " events) ---\n";
+      trace.dump_jsonl(std::cerr, 64);
+    }
+  }
 };
 
 /// Build the path root -> a -> b -> c and return {a, b, c}.
@@ -217,6 +236,31 @@ TEST(DistributedRaces, FloodRacesInFlightGrants) {
   EXPECT_GE(granted, static_cast<int>(M - 2));
   EXPECT_TRUE(ctrl.reject_wave_started());
   EXPECT_EQ(ctrl.active_agents(), 0u);
+}
+
+TEST(DistributedRaces, TypedTraceRecordsProtocolEvents) {
+  // The Sim fixture installs a typed trace; a run that grants and then
+  // floods rejects must leave the matching events in the ring.
+  Sim s;
+  Rng rng(5);
+  workload::build(s.tree, workload::Shape::kRandomAttach, 16, rng);
+  DistributedController ctrl(s.net, s.tree, Params(4, 1, 64));
+  const auto nodes = s.tree.alive_nodes();
+  for (int i = 0; i < 12; ++i) {
+    ctrl.submit_event(nodes[rng.index(nodes.size())], [](const Result&) {});
+  }
+  s.queue.run();
+
+  std::uint64_t grants = 0, rejects = 0, hops = 0;
+  for (const auto& e : s.trace.tail_entries(256)) {
+    grants += e.event.kind == obs::EventKind::kPermitGranted;
+    rejects += e.event.kind == obs::EventKind::kRequestRejected;
+    hops += e.event.kind == obs::EventKind::kAgentHop;
+  }
+  EXPECT_GE(grants, 3u);  // M=4, W=1: at least M-W grants
+  EXPECT_GE(rejects, 1u);
+  EXPECT_GT(hops, 0u);
+  EXPECT_GT(s.trace.recorded(), 0u);
 }
 
 }  // namespace

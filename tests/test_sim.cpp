@@ -174,5 +174,31 @@ TEST(Trace, RecordsAndBounds) {
   EXPECT_EQ(tr.lines_recorded(), 0u);
 }
 
+TEST(Trace, WraparoundKeepsNewestLines) {
+  Trace tr(3);
+  tr.enable();
+  for (int i = 0; i < 7; ++i) {
+    tr.log(static_cast<SimTime>(i), "line " + std::to_string(i));
+  }
+  const auto lines = tr.tail(10);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "[t=4] line 4");
+  EXPECT_EQ(lines[1], "[t=5] line 5");
+  EXPECT_EQ(lines[2], "[t=6] line 6");
+}
+
+TEST(Trace, MixesTypedEventsWithTextLines) {
+  Trace tr(8);
+  tr.enable();
+  tr.log(1, "text line");
+  tr.event(obs::TraceEvent{obs::EventKind::kPermitGranted, 2, 5, 11, 3});
+  EXPECT_EQ(tr.lines_recorded(), 2u);
+  const auto lines = tr.tail(8);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[t=1] text line");
+  EXPECT_NE(lines[1].find("PermitGranted"), std::string::npos);
+  EXPECT_NE(lines[1].find("node=5"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dyncon::sim

@@ -186,6 +186,19 @@ TEST(Stats, PercentileInterpolation) {
   EXPECT_NEAR(p.at(0.5), 50.5, 1e-9);
 }
 
+TEST(Stats, PercentilesAddAfterQueryResorts) {
+  // Regression: add() after at() used to leave the stale sort flag set, so
+  // later percentiles were computed over a partially sorted sample.
+  Percentiles p;
+  for (double v : {5.0, 1.0, 9.0}) p.add(v);
+  EXPECT_NEAR(p.at(1.0), 9.0, 1e-9);  // sorts and caches
+  p.add(100.0);
+  p.add(0.5);
+  EXPECT_NEAR(p.at(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(p.at(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.at(0.5), 5.0, 1e-9);
+}
+
 TEST(Stats, LogLogSlopeRecoversExponent) {
   std::vector<double> x, y;
   for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {

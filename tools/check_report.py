@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Validate a run-report JSON written via --metrics-out.
+
+usage: check_report.py <report.json> [counter ...]
+
+Checks the fixed schema (every key of obs::RunReport is always present) and,
+for each counter named on the command line, that it exists and is nonzero.
+Exits nonzero with a message on the first violation; prints a one-line
+summary on success.  Used by the CI metrics-smoke job.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "params", "metrics", "histograms", "net_stats",
+                 "wall_time_sec")
+
+
+def fail(msg: str) -> None:
+    print(f"check_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_report.py <report.json> [counter ...]")
+
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            fail(f"{path}: missing required key '{key}'")
+
+    metrics = report["metrics"]
+    for section in ("counters", "gauges"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            fail(f"{path}: metrics.{section} missing or not an object")
+
+    if not isinstance(report["wall_time_sec"], (int, float)):
+        fail(f"{path}: wall_time_sec is not a number")
+
+    counters = metrics["counters"]
+    for name in sys.argv[2:]:
+        if name not in counters:
+            fail(f"{path}: counter '{name}' not in report")
+        if counters[name] == 0:
+            fail(f"{path}: counter '{name}' is zero")
+
+    print(f"check_report: {path} ok "
+          f"({len(counters)} counters, "
+          f"{report['net_stats'].get('messages', 0)} messages, "
+          f"wall {report['wall_time_sec']:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

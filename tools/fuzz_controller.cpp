@@ -15,9 +15,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/distributed_iterated.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
 #include "tree/validate.hpp"
 #include "workload/churn.hpp"
 #include "workload/shapes.hpp"
@@ -69,8 +74,12 @@ Config roll(std::uint64_t seed) {
   return c;
 }
 
-/// Returns an empty string on success, a description on failure.
-std::string run_one(const Config& c) {
+/// Returns an empty string on success, a description on failure.  The
+/// caller's registry and trace are installed for the duration, so a failing
+/// run leaves behind its full metrics snapshot and typed event tail.
+std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
+  obs::ScopedMetrics metrics_scope(reg);
+  obs::ScopedTrace trace_scope(trace);
   Rng rng(c.seed);
   sim::EventQueue queue;
   sim::Network net(queue, sim::make_delay(c.delay, c.seed * 31 + 7));
@@ -142,15 +151,27 @@ int main(int argc, char** argv) {
   std::uint64_t runs = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     const Config c = roll(seed++);
+    obs::Registry reg;
+    sim::Trace trace(512);
+    trace.enable(true);
     std::string failure;
     try {
-      failure = run_one(c);
+      failure = run_one(c, reg, trace);
     } catch (const std::exception& e) {
       failure = std::string("exception: ") + e.what();
     }
     if (!failure.empty()) {
       std::fprintf(stderr, "FAILURE: %s\n", failure.c_str());
       c.print();
+      // The post-mortem: every counter the run touched, then the last
+      // typed events (JSONL, newest last) leading up to the violation.
+      std::ostringstream snapshot;
+      reg.to_json().dump(snapshot, 2);
+      std::fprintf(stderr, "metrics snapshot:\n%s\n", snapshot.str().c_str());
+      std::fprintf(stderr, "trace tail (%zu of %llu events):\n",
+                   trace.size(),
+                   static_cast<unsigned long long>(trace.recorded()));
+      trace.dump_jsonl(std::cerr, 64);
       return 2;
     }
     ++runs;

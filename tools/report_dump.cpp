@@ -1,0 +1,186 @@
+// report_dump — pretty-print one run-report JSON, or diff two.
+//
+//   report_dump <report.json>             summary of one report
+//   report_dump <a.json> <b.json>         counter/gauge diff: a, b, delta,
+//                                         ratio (b/a), sorted by |delta|
+//
+// The diff view is the intended workflow for performance investigations:
+// run a bench with --metrics-out before and after a change and diff the
+// two reports instead of eyeballing table output.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using dyncon::obs::json::Value;
+
+namespace {
+
+bool load(const std::string& path, Value& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report_dump: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  if (!Value::parse(buf.str(), out, &err)) {
+    std::fprintf(stderr, "report_dump: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t as_u64(const Value& v) {
+  if (v.is_uint()) return v.as_uint();
+  if (v.is_double()) return static_cast<std::uint64_t>(v.as_double());
+  return 0;
+}
+
+/// Flatten "metrics.counters" and "metrics.gauges" into name -> value.
+std::map<std::string, double> scalar_metrics(const Value& report) {
+  std::map<std::string, double> out;
+  const Value* metrics = report.find("metrics");
+  if (metrics == nullptr) return out;
+  for (const char* section : {"counters", "gauges"}) {
+    const Value* sec = metrics->find(section);
+    if (sec == nullptr || !sec->is_object()) continue;
+    for (const auto& [k, v] : sec->as_object()) {
+      out[k] = v.is_uint() ? static_cast<double>(v.as_uint())
+                           : (v.is_double() ? v.as_double() : 0.0);
+    }
+  }
+  return out;
+}
+
+void print_one(const std::string& path, const Value& report) {
+  const Value* name = report.find("name");
+  std::printf("report %s (%s)\n", path.c_str(),
+              name != nullptr && name->is_string() ? name->as_string().c_str()
+                                                   : "?");
+  if (const Value* wall = report.find("wall_time_sec")) {
+    std::printf("  wall time: %.3f s\n",
+                wall->is_double() ? wall->as_double()
+                                  : static_cast<double>(as_u64(*wall)));
+  }
+  if (const Value* params = report.find("params");
+      params != nullptr && params->is_object() && !params->as_object().empty()) {
+    std::printf("  params:\n");
+    for (const auto& [k, v] : params->as_object()) {
+      std::ostringstream os;
+      v.dump(os);
+      std::printf("    %-28s %s\n", k.c_str(), os.str().c_str());
+    }
+  }
+  if (const Value* net = report.find("net_stats");
+      net != nullptr && net->find("messages") != nullptr) {
+    std::printf("  net: %llu messages, %llu bits, max %llu bits/message\n",
+                static_cast<unsigned long long>(as_u64(*net->find("messages"))),
+                static_cast<unsigned long long>(
+                    net->find("total_bits") ? as_u64(*net->find("total_bits"))
+                                            : 0),
+                static_cast<unsigned long long>(
+                    net->find("max_message_bits")
+                        ? as_u64(*net->find("max_message_bits"))
+                        : 0));
+  }
+  const auto metrics = scalar_metrics(report);
+  if (!metrics.empty()) {
+    std::printf("  metrics (%zu):\n", metrics.size());
+    for (const auto& [k, v] : metrics) {
+      if (std::floor(v) == v && std::fabs(v) < 1e15) {
+        std::printf("    %-36s %llu\n", k.c_str(),
+                    static_cast<unsigned long long>(v));
+      } else {
+        std::printf("    %-36s %g\n", k.c_str(), v);
+      }
+    }
+  }
+  if (const Value* hists = report.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [k, h] : hists->as_object()) {
+      const Value* count = h.find("count");
+      const Value* mean = h.find("mean");
+      std::printf("  histogram %s: count=%llu mean=%.2f min=%llu max=%llu\n",
+                  k.c_str(),
+                  static_cast<unsigned long long>(
+                      count != nullptr ? as_u64(*count) : 0),
+                  mean != nullptr && mean->is_double() ? mean->as_double()
+                                                       : 0.0,
+                  static_cast<unsigned long long>(
+                      h.find("min") ? as_u64(*h.find("min")) : 0),
+                  static_cast<unsigned long long>(
+                      h.find("max") ? as_u64(*h.find("max")) : 0));
+    }
+  }
+}
+
+int diff(const std::string& pa, const Value& a, const std::string& pb,
+         const Value& b) {
+  std::printf("diff %s -> %s\n", pa.c_str(), pb.c_str());
+  const auto ma = scalar_metrics(a);
+  const auto mb = scalar_metrics(b);
+
+  struct Row {
+    std::string name;
+    double a, b;
+  };
+  std::vector<Row> rows;
+  for (const auto& [k, v] : ma) {
+    auto it = mb.find(k);
+    rows.push_back({k, v, it == mb.end() ? 0.0 : it->second});
+  }
+  for (const auto& [k, v] : mb) {
+    if (ma.find(k) == ma.end()) rows.push_back({k, 0.0, v});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+    return std::fabs(x.b - x.a) > std::fabs(y.b - y.a);
+  });
+
+  std::printf("  %-36s %14s %14s %14s %8s\n", "metric", "a", "b", "delta",
+              "ratio");
+  bool changed = false;
+  for (const auto& r : rows) {
+    const double delta = r.b - r.a;
+    if (delta != 0.0) changed = true;
+    char ratio[32];
+    if (r.a != 0.0) {
+      std::snprintf(ratio, sizeof ratio, "%.3f", r.b / r.a);
+    } else {
+      std::snprintf(ratio, sizeof ratio, "%s", r.b == 0.0 ? "1.000" : "inf");
+    }
+    std::printf("  %-36s %14.0f %14.0f %+14.0f %8s\n", r.name.c_str(), r.a,
+                r.b, delta, ratio);
+  }
+  if (!changed) std::printf("  (no scalar metric differs)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr,
+                 "usage: report_dump <report.json> [other.json]\n"
+                 "  one file: pretty-print; two files: metric diff\n");
+    return 2;
+  }
+  Value a;
+  if (!load(argv[1], a)) return 1;
+  if (argc == 2) {
+    print_one(argv[1], a);
+    return 0;
+  }
+  Value b;
+  if (!load(argv[2], b)) return 1;
+  return diff(argv[1], a, argv[2], b);
+}
