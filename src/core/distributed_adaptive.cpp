@@ -5,6 +5,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "sim/watchdog.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -30,12 +31,15 @@ void DistributedAdaptive::start_iteration() {
 
   DistributedTerminating::Options main_opts;
   main_opts.track_domains = options_.track_domains;
+  main_opts.allow_unreliable_transport = options_.allow_unreliable_transport;
   main_ = std::make_unique<DistributedTerminating>(net_, tree_, mi_, w_, ui_,
                                                    main_opts);
 
   DistributedTerminating::Options counter_opts;
   counter_opts.track_domains = false;   // accounting sidecar only
   counter_opts.apply_events = false;    // counts, never applies changes
+  counter_opts.allow_unreliable_transport =
+      options_.allow_unreliable_transport;
   counter_ = std::make_unique<DistributedTerminating>(
       net_, tree_, std::max<std::uint64_t>(ui_ / 2, 1),
       std::max<std::uint64_t>(ui_ / 4, 1), ui_, counter_opts);
@@ -169,6 +173,16 @@ void DistributedAdaptive::dispatch(const RequestSpec& spec, Callback done) {
 
 void DistributedAdaptive::submit(const RequestSpec& spec, Callback done) {
   DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  if (options_.watchdog != nullptr) {
+    const sim::Watchdog::Token token = options_.watchdog->arm(
+        spec.subject, std::string(request_type_name(spec.type)) + "@" +
+                          std::to_string(spec.subject));
+    done = [wd = options_.watchdog, token,
+            done = std::move(done)](const Result& r) {
+      wd->disarm(token);
+      done(r);
+    };
+  }
   dispatch(spec, std::move(done));
 }
 

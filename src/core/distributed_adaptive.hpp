@@ -40,6 +40,11 @@ class DistributedAdaptive {
     /// part 2 sizes U_i by the maximum simultaneous node count seen so far
     /// (Thm. 3.5's second bound).
     Policy policy = Policy::kChangeCount;
+    /// Armed at *this* wrapper's submit boundary — one token per request
+    /// across rotations; not forwarded to the inner controllers.
+    sim::Watchdog* watchdog = nullptr;
+    /// Forwarded to both inner controllers (main + counting sidecar).
+    bool allow_unreliable_transport = false;
   };
 
   DistributedAdaptive(sim::Network& net, tree::DynamicTree& tree,

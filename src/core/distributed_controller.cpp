@@ -4,6 +4,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "sim/watchdog.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -23,6 +24,11 @@ DistributedController::DistributedController(sim::Network& net,
   DYNCON_REQUIRE(
       storage_serials_.empty() || storage_serials_.size() == params.M(),
       "serial interval must cover exactly M permits");
+  DYNCON_REQUIRE(options_.allow_unreliable_transport || !net_.lossy() ||
+                     net_.reliable(),
+                 "lossy network without a reliable channel: call "
+                 "Network::enable_reliability() or opt in with "
+                 "Options::allow_unreliable_transport");
   if (options_.track_domains) {
     domains_ = std::make_unique<DomainTracker>(tree_, params_, packages_);
     tree_.add_observer(domains_.get());
@@ -71,6 +77,16 @@ void DistributedController::submit_remove(NodeId v, Callback done) {
 void DistributedController::submit(const RequestSpec& spec, Callback done) {
   DYNCON_REQUIRE(tree_.alive(spec.subject), "request subject not alive");
   DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  if (options_.watchdog != nullptr) {
+    const sim::Watchdog::Token token = options_.watchdog->arm(
+        spec.subject, std::string(request_type_name(spec.type)) + "@" +
+                          std::to_string(spec.subject));
+    done = [wd = options_.watchdog, token,
+            done = std::move(done)](const Result& r) {
+      wd->disarm(token);
+      done(r);
+    };
+  }
   // The request enters the system as an event so the creation is ordered
   // with everything else in simulated time.
   net_.queue().schedule_after(0, [this, spec, done = std::move(done)] {

@@ -45,6 +45,10 @@
 #include "sim/network.hpp"
 #include "tree/dynamic_tree.hpp"
 
+namespace dyncon::sim {
+class Watchdog;
+}  // namespace dyncon::sim
+
 namespace dyncon::core {
 
 class DistributedController {
@@ -66,6 +70,17 @@ class DistributedController {
     /// down.  In the distributed protocol this is literally each node
     /// watching its own traffic — zero extra messages.
     std::function<void(NodeId, std::uint64_t)> on_pass_down;
+    /// Liveness monitor (sim/watchdog.hpp): when set, every submission
+    /// arms a token that the completion callback disarms, so a request
+    /// stranded by the network becomes a loud WatchdogError instead of a
+    /// silent missing verdict.  Not owned; must outlive the controller.
+    sim::Watchdog* watchdog = nullptr;
+    /// The paper's lemmas assume reliable links, so constructing a
+    /// controller on a lossy network without the reliable channel is
+    /// almost always a harness bug and the constructor refuses.  Tests
+    /// that *want* to watch the protocol strand agents (the watchdog
+    /// verdict tests) opt in here.
+    bool allow_unreliable_transport = false;
   };
 
   using Callback = std::function<void(const Result&)>;

@@ -5,6 +5,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "sim/watchdog.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -46,6 +47,9 @@ void DistributedIterated::start_iteration(std::uint64_t Mi) {
   opts.track_domains = options_.track_domains;
   opts.apply_events = options_.apply_events;
   opts.on_pass_down = options_.on_pass_down;
+  opts.allow_unreliable_transport = options_.allow_unreliable_transport;
+  // Liveness is enforced at this wrapper's submit boundary, not per
+  // iteration: the watchdog is intentionally not forwarded here.
   if (iterations_ == 1) opts.serials = options_.serials;
   inner_ = std::make_unique<DistributedController>(
       net_, tree_, Params(Mi, Wi, u_), std::move(opts));
@@ -210,6 +214,16 @@ void DistributedIterated::freeze(std::function<void()> on_done) {
 
 void DistributedIterated::submit(const RequestSpec& spec, Callback done) {
   DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
+  if (options_.watchdog != nullptr) {
+    const sim::Watchdog::Token token = options_.watchdog->arm(
+        spec.subject, std::string(request_type_name(spec.type)) + "@" +
+                          std::to_string(spec.subject));
+    done = [wd = options_.watchdog, token,
+            done = std::move(done)](const Result& r) {
+      wd->disarm(token);
+      done(r);
+    };
+  }
   dispatch(spec, std::move(done));
 }
 
@@ -258,7 +272,8 @@ DistributedTerminating::DistributedTerminating(sim::Network& net,
                  DistributedIterated::Mode::kExhaustSignal,
                  options.track_domains, options.apply_events,
                  std::move(options.serials),
-                 std::move(options.on_pass_down)}) {}
+                 std::move(options.on_pass_down), options.watchdog,
+                 options.allow_unreliable_transport}) {}
 
 void DistributedTerminating::mark_terminated() {
   if (terminated_) return;

@@ -36,6 +36,12 @@ class DistributedIterated {
     Interval serials;
     /// Forwarded to every base-controller iteration (§5.3).
     std::function<void(NodeId, std::uint64_t)> on_pass_down;
+    /// Armed/disarmed at *this* wrapper's submit boundary — one token per
+    /// request across every replay the rotation performs.  Deliberately
+    /// not forwarded to the inner iterations (that would double-arm).
+    sim::Watchdog* watchdog = nullptr;
+    /// Forwarded to every iteration (see DistributedController::Options).
+    bool allow_unreliable_transport = false;
   };
 
   DistributedIterated(sim::Network& net, tree::DynamicTree& tree,
@@ -119,6 +125,10 @@ class DistributedTerminating {
     bool apply_events = true;
     Interval serials;
     std::function<void(NodeId, std::uint64_t)> on_pass_down;
+    /// Handed to the inner iterated wrapper, which arms one token per
+    /// request at its own submit boundary.
+    sim::Watchdog* watchdog = nullptr;
+    bool allow_unreliable_transport = false;
   };
 
   DistributedTerminating(sim::Network& net, tree::DynamicTree& tree,

@@ -1,0 +1,224 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dyncon::sim {
+
+namespace {
+
+/// Full murmur3 finalizer: the same stable-coin idiom BiasedDelay uses for
+/// its per-node bias, here keyed by links/nodes plus a policy salt.
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+}
+
+void check_probability(double p) {
+  DYNCON_REQUIRE(p >= 0.0 && p < 1.0, "fault probability must be in [0,1)");
+}
+
+}  // namespace
+
+// ---- DropFault --------------------------------------------------------------
+
+DropFault::DropFault(Rng rng, double p) : rng_(rng), p_(p) {
+  check_probability(p);
+}
+
+FaultDecision DropFault::on_send(NodeId, NodeId, MsgKind, std::uint64_t,
+                                 SimTime) {
+  FaultDecision d;
+  d.drop = rng_.chance(p_);
+  return d;
+}
+
+std::string DropFault::name() const {
+  return "drop(p=" + std::to_string(p_) + ")";
+}
+
+// ---- DuplicateFault ---------------------------------------------------------
+
+DuplicateFault::DuplicateFault(Rng rng, double p) : rng_(rng), p_(p) {
+  check_probability(p);
+}
+
+FaultDecision DuplicateFault::on_send(NodeId, NodeId, MsgKind, std::uint64_t,
+                                      SimTime) {
+  FaultDecision d;
+  if (rng_.chance(p_)) d.duplicates = 1;
+  return d;
+}
+
+std::string DuplicateFault::name() const {
+  return "duplicate(p=" + std::to_string(p_) + ")";
+}
+
+// ---- BurstLossFault ---------------------------------------------------------
+
+BurstLossFault::BurstLossFault(Rng rng, double link_fraction, SimTime period,
+                               SimTime burst_len)
+    : link_fraction_(link_fraction), period_(period), burst_len_(burst_len) {
+  DYNCON_REQUIRE(link_fraction >= 0.0 && link_fraction <= 1.0,
+                 "link_fraction out of range");
+  DYNCON_REQUIRE(period >= 1 && burst_len < period,
+                 "burst must be shorter than its period, or nothing would "
+                 "ever get through");
+  salt_ = rng.next();
+}
+
+bool BurstLossFault::flaky(NodeId from, NodeId to) const {
+  return to_unit(mix((from * 0x9e3779b97f4a7c15ULL) ^ mix(to ^ salt_))) <
+         link_fraction_;
+}
+
+FaultDecision BurstLossFault::on_send(NodeId from, NodeId to, MsgKind,
+                                      std::uint64_t, SimTime now) {
+  FaultDecision d;
+  if (!flaky(from, to)) return d;
+  // Per-link phase so bursts do not synchronize across the whole network.
+  const SimTime phase =
+      mix((from << 1) ^ to ^ salt_ ^ 0xabcdefULL) % period_;
+  d.drop = (now + phase) % period_ < burst_len_;
+  return d;
+}
+
+std::string BurstLossFault::name() const {
+  return "burst(f=" + std::to_string(link_fraction_) +
+         ",len=" + std::to_string(burst_len_) + "/" + std::to_string(period_) +
+         ")";
+}
+
+// ---- StallFault -------------------------------------------------------------
+
+StallFault::StallFault(Rng rng, double node_fraction, SimTime period,
+                       SimTime stall_len)
+    : node_fraction_(node_fraction), period_(period), stall_len_(stall_len) {
+  DYNCON_REQUIRE(node_fraction >= 0.0 && node_fraction <= 1.0,
+                 "node_fraction out of range");
+  DYNCON_REQUIRE(period >= 1 && stall_len < period,
+                 "stall must be shorter than its period, or the node would "
+                 "never resume");
+  salt_ = rng.next();
+}
+
+SimTime StallFault::stalled_for(NodeId node, SimTime now) const {
+  if (to_unit(mix(node ^ salt_)) >= node_fraction_) return 0;
+  const SimTime phase = mix(node ^ salt_ ^ 0x5ca1ab1eULL) % period_;
+  const SimTime pos = (now + phase) % period_;
+  return pos < stall_len_ ? stall_len_ - pos : 0;
+}
+
+FaultDecision StallFault::on_send(NodeId from, NodeId to, MsgKind,
+                                  std::uint64_t, SimTime now) {
+  FaultDecision d;
+  // A stalled sender's message leaves once it resumes; a stalled receiver
+  // processes its queue once it resumes.  Either way: held, not lost.
+  d.stall_ticks = std::max(stalled_for(from, now), stalled_for(to, now));
+  return d;
+}
+
+std::string StallFault::name() const {
+  return "stall(f=" + std::to_string(node_fraction_) +
+         ",len=" + std::to_string(stall_len_) + "/" + std::to_string(period_) +
+         ")";
+}
+
+// ---- ComposedFault ----------------------------------------------------------
+
+ComposedFault::ComposedFault(
+    std::vector<std::unique_ptr<FaultPolicy>> children)
+    : children_(std::move(children)) {
+  for (const auto& c : children_) {
+    DYNCON_REQUIRE(c != nullptr, "null child fault policy");
+  }
+}
+
+FaultDecision ComposedFault::on_send(NodeId from, NodeId to, MsgKind kind,
+                                     std::uint64_t seq, SimTime now) {
+  FaultDecision d;
+  for (auto& c : children_) {
+    const FaultDecision cd = c->on_send(from, to, kind, seq, now);
+    d.drop = d.drop || cd.drop;
+    d.duplicates += cd.duplicates;
+    d.stall_ticks = std::max(d.stall_ticks, cd.stall_ticks);
+  }
+  return d;
+}
+
+bool ComposedFault::fault_free() const {
+  return std::all_of(children_.begin(), children_.end(),
+                     [](const auto& c) { return c->fault_free(); });
+}
+
+std::string ComposedFault::name() const {
+  std::string s = "composed(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) s += ",";
+    s += children_[i]->name();
+  }
+  return s + ")";
+}
+
+// ---- factory ----------------------------------------------------------------
+
+std::unique_ptr<FaultPolicy> make_fault(FaultKind kind, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case FaultKind::kNone:
+      return nullptr;
+    case FaultKind::kDrop:
+      return std::make_unique<DropFault>(rng, 0.1);
+    case FaultKind::kDuplicate:
+      return std::make_unique<DuplicateFault>(rng, 0.1);
+    case FaultKind::kBurst:
+      return std::make_unique<BurstLossFault>(rng, 0.2, 96, 24);
+    case FaultKind::kStall:
+      return std::make_unique<StallFault>(rng, 0.1, 192, 48);
+    case FaultKind::kChaos: {
+      std::vector<std::unique_ptr<FaultPolicy>> parts;
+      parts.push_back(std::make_unique<DropFault>(rng.split(), 0.05));
+      parts.push_back(std::make_unique<DuplicateFault>(rng.split(), 0.05));
+      parts.push_back(std::make_unique<BurstLossFault>(rng.split(), 0.1, 96, 16));
+      parts.push_back(std::make_unique<StallFault>(rng.split(), 0.05, 192, 32));
+      return std::make_unique<ComposedFault>(std::move(parts));
+    }
+  }
+  throw ContractError("unknown FaultKind");
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kBurst:
+      return "burst";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kChaos:
+      return "chaos";
+  }
+  return "?";
+}
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kNone,  FaultKind::kDrop,  FaultKind::kDuplicate,
+      FaultKind::kBurst, FaultKind::kStall, FaultKind::kChaos};
+  return kinds;
+}
+
+}  // namespace dyncon::sim

@@ -1,0 +1,165 @@
+#pragma once
+
+// Transport-fault adversaries.
+//
+// The paper's liveness arguments ("every request is eventually granted or
+// rejected") assume reliable links; a DelayPolicy only decides *when* a
+// message arrives, never *whether*.  A FaultPolicy is the adversary that
+// decides whether: the Network consults it on every physical transmission
+// and may drop the message, deliver extra copies, or hold it while a node
+// is stalled.  Everything is derived from an explicit seed, so a failing
+// chaos run replays exactly from its configuration.
+//
+// Faults compose with — they do not replace — the delay adversary: a
+// surviving copy still gets its delay from the DelayPolicy.  Protocol
+// layers that need the paper's reliable-link assumption back opt into the
+// ReliableChannel sublayer (sim/channel.hpp), which rebuilds it on top of
+// this faulty transport and pays for the rebuild in measured messages.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dyncon::sim {
+
+/// What the fault adversary does to one physical transmission.
+struct FaultDecision {
+  bool drop = false;              ///< lose the message (after charging it)
+  std::uint32_t duplicates = 0;   ///< extra deliveries beyond the first
+  SimTime stall_ticks = 0;        ///< extra hold time (stalled endpoint)
+};
+
+/// Strategy deciding each transmission's fate.  `seq` is the network's
+/// per-instance transmission counter and `now` the simulated time, so
+/// policies can be pure functions (burst/stall windows) or stateful
+/// seeded draws (probabilistic drop/duplication) — deterministic either way.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  [[nodiscard]] virtual FaultDecision on_send(NodeId from, NodeId to,
+                                              MsgKind kind, std::uint64_t seq,
+                                              SimTime now) = 0;
+
+  /// True when the policy can never injure a message (all rates zero).  The
+  /// Network treats such a policy exactly like no policy at all, and the
+  /// ReliableChannel stays in zero-overhead passthrough.
+  [[nodiscard]] virtual bool fault_free() const { return false; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Independent per-transmission loss with probability `p`.
+class DropFault final : public FaultPolicy {
+ public:
+  DropFault(Rng rng, double p);
+  [[nodiscard]] FaultDecision on_send(NodeId, NodeId, MsgKind, std::uint64_t,
+                                      SimTime) override;
+  [[nodiscard]] bool fault_free() const override { return p_ == 0.0; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  double p_;
+};
+
+/// Independent per-transmission duplication with probability `p`; a
+/// duplicated message is delivered twice (each copy with its own delay).
+class DuplicateFault final : public FaultPolicy {
+ public:
+  DuplicateFault(Rng rng, double p);
+  [[nodiscard]] FaultDecision on_send(NodeId, NodeId, MsgKind, std::uint64_t,
+                                      SimTime) override;
+  [[nodiscard]] bool fault_free() const override { return p_ == 0.0; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  double p_;
+};
+
+/// Burst loss on specific links: a salted hash marks `link_fraction` of the
+/// directed links as flaky, and a flaky link loses *everything* sent during
+/// its bursts — windows of `burst_len` ticks recurring every `period` ticks
+/// at a per-link phase.  A pure function of (link, now), so retransmissions
+/// that outlast the burst get through.
+class BurstLossFault final : public FaultPolicy {
+ public:
+  BurstLossFault(Rng rng, double link_fraction, SimTime period,
+                 SimTime burst_len);
+  [[nodiscard]] FaultDecision on_send(NodeId from, NodeId to, MsgKind,
+                                      std::uint64_t, SimTime now) override;
+  [[nodiscard]] bool fault_free() const override {
+    return link_fraction_ == 0.0 || burst_len_ == 0;
+  }
+  [[nodiscard]] std::string name() const override;
+  /// Exposed for tests: is this directed link marked flaky?
+  [[nodiscard]] bool flaky(NodeId from, NodeId to) const;
+
+ private:
+  double link_fraction_;
+  SimTime period_, burst_len_;
+  std::uint64_t salt_;
+};
+
+/// Node stall/resume windows: a salted hash marks `node_fraction` of nodes
+/// stall-prone; a stall-prone node freezes for `stall_len` ticks every
+/// `period` ticks (per-node phase).  Messages touching a stalled endpoint
+/// are not lost — they are held until the window ends (the node "wakes up
+/// and processes its queue"), modeled as extra delivery delay.
+class StallFault final : public FaultPolicy {
+ public:
+  StallFault(Rng rng, double node_fraction, SimTime period, SimTime stall_len);
+  [[nodiscard]] FaultDecision on_send(NodeId from, NodeId to, MsgKind,
+                                      std::uint64_t, SimTime now) override;
+  [[nodiscard]] bool fault_free() const override {
+    return node_fraction_ == 0.0 || stall_len_ == 0;
+  }
+  [[nodiscard]] std::string name() const override;
+  /// Exposed for tests: ticks until `node` resumes, 0 if not stalled at `now`.
+  [[nodiscard]] SimTime stalled_for(NodeId node, SimTime now) const;
+
+ private:
+  double node_fraction_;
+  SimTime period_, stall_len_;
+  std::uint64_t salt_;
+};
+
+/// Runs every child policy and combines the damage: drop if any child
+/// drops, duplicate counts add, stall holds take the max.
+class ComposedFault final : public FaultPolicy {
+ public:
+  explicit ComposedFault(std::vector<std::unique_ptr<FaultPolicy>> children);
+  [[nodiscard]] FaultDecision on_send(NodeId from, NodeId to, MsgKind kind,
+                                      std::uint64_t seq, SimTime now) override;
+  [[nodiscard]] bool fault_free() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<FaultPolicy>> children_;
+};
+
+/// Factory helpers keyed by a small enum, so benches, the fuzzer, and the
+/// chaos soak can sweep fault adversaries the way they sweep DelayKind.
+enum class FaultKind {
+  kNone,       ///< no policy (reliable links, byte-identical to the seed)
+  kDrop,       ///< DropFault(p = 0.1)
+  kDuplicate,  ///< DuplicateFault(p = 0.1)
+  kBurst,      ///< BurstLossFault(20% of links, bursts of 24 every 96 ticks)
+  kStall,      ///< StallFault(10% of nodes, stalls of 48 every 192 ticks)
+  kChaos,      ///< all of the above composed, at reduced rates
+};
+
+/// nullptr for kNone; otherwise a seeded policy with the canonical sweep
+/// parameters above.
+[[nodiscard]] std::unique_ptr<FaultPolicy> make_fault(FaultKind kind,
+                                                      std::uint64_t seed);
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+[[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
+
+}  // namespace dyncon::sim

@@ -10,6 +10,16 @@
 // decoded back and compared against the original, and an optional link
 // check asserts the agent layer's "only send along tree edges" contract
 // instead of assuming it.
+//
+// Links are reliable by default.  Installing a FaultPolicy (sim/fault.hpp)
+// makes them lossy: every physical transmission may be dropped, duplicated,
+// or held, and the charge is for transmissions, not deliveries (a lost
+// message was still sent; a duplicated one cost two sends).  Enabling the
+// reliability sublayer (sim/channel.hpp) then routes every logical send
+// through a per-link ARQ channel that rebuilds the reliable-FIFO
+// abstraction over the faulty links — at a measured cost.  With no policy
+// installed, or a policy whose rates are all zero, both features are exact
+// no-ops and the run is bit-identical to one on a plain network.
 
 #include <array>
 #include <cstdint>
@@ -19,10 +29,14 @@
 
 #include "sim/delay.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/wire.hpp"
 #include "util/ids.hpp"
 
 namespace dyncon::sim {
+
+class ReliableChannel;
+struct ChannelConfig;
 
 /// Per-kind and aggregate message statistics, all derived from measured
 /// (encoded) sizes.
@@ -45,6 +59,8 @@ struct NetStats {
   /// (0 in NDEBUG builds); lets tests assert the verification actually ran.
   std::uint64_t roundtrip_checks = 0;
 
+  bool operator==(const NetStats&) const = default;
+
   [[nodiscard]] std::uint64_t kind(MsgKind k) const {
     return by_kind[static_cast<std::size_t>(k)];
   }
@@ -61,6 +77,18 @@ struct NetStats {
   void merge(const NetStats& other);
 };
 
+/// Damage the installed FaultPolicy actually inflicted (cumulative per
+/// network instance; the live registry counterparts are faults.injected.*).
+struct FaultStats {
+  std::uint64_t drops = 0;        ///< transmissions charged but never delivered
+  std::uint64_t duplicates = 0;   ///< extra deliveries injected
+  std::uint64_t stalls = 0;       ///< transmissions held by a stalled endpoint
+  std::uint64_t stall_ticks = 0;  ///< total hold time across those
+  bool operator==(const FaultStats&) const = default;
+
+  void merge(const FaultStats& other);
+};
+
 /// Message transport over the event queue.
 class Network {
  public:
@@ -70,17 +98,50 @@ class Network {
   using LinkCheck = std::function<bool(NodeId, NodeId, MsgKind)>;
 
   Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay);
+  ~Network();
 
   /// Send one encoded message; `on_deliver` fires when it arrives.  The
   /// payload size charged to the stats is measured from the encoding —
-  /// senders cannot claim a size.
+  /// senders cannot claim a size.  On a lossy network with the reliability
+  /// sublayer enabled the send is routed through the per-link ARQ channel
+  /// (and `on_deliver` still fires exactly once, in FIFO order per link);
+  /// lossy without the sublayer, the message may simply never arrive.
   void send(NodeId from, NodeId to, const Message& msg, Deliver on_deliver);
 
   /// Account for `count` messages shaped like `prototype` that are modeled
   /// but not individually scheduled (e.g., a graceful-deletion data
   /// handoff, which is applied atomically but costs O(deg + log^2 U) real
   /// messages).  The per-message size is measured from the prototype.
+  /// Charged traffic is exempt from fault injection: it models messages
+  /// whose effect has already been applied atomically, so losing one would
+  /// desynchronize the model from the state it describes.
   void charge(const Message& prototype, std::uint64_t count);
+
+  /// Install the fault adversary consulted on every physical transmission
+  /// (nullptr restores reliable links).  Deterministic given the policy's
+  /// seed, so any chaos failure replays from its configuration.
+  void set_fault_policy(std::unique_ptr<FaultPolicy> policy);
+  [[nodiscard]] const FaultPolicy* fault_policy() const {
+    return faults_.get();
+  }
+  /// True when an installed policy can actually injure a message.  All the
+  /// fault/reliability machinery is gated on this, so a zero-rate policy is
+  /// indistinguishable from no policy at all.
+  [[nodiscard]] bool lossy() const {
+    return faults_ != nullptr && !faults_->fault_free();
+  }
+
+  /// Engage the reliable-channel sublayer (sim/channel.hpp).  Idempotent;
+  /// a strict passthrough while the network is not lossy.
+  void enable_reliability();
+  void enable_reliability(const ChannelConfig& cfg);
+  [[nodiscard]] bool reliable() const { return channel_ != nullptr; }
+  /// The engaged channel, or nullptr (for its stats/config).
+  [[nodiscard]] const ReliableChannel* channel() const {
+    return channel_.get();
+  }
+
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
   /// Opt-in strict mode: any message (sent or charged) whose measured size
   /// exceeds `limit` bits aborts the run with an InvariantError.  0
@@ -107,11 +168,23 @@ class Network {
   [[nodiscard]] EventQueue& queue() { return queue_; }
 
  private:
+  friend class ReliableChannel;
+
   void account(MsgKind kind, std::uint64_t bits, std::uint64_t count);
+  /// One physical transmission: measure, charge (under the inner kind for
+  /// channel data frames), consult the fault policy, schedule the surviving
+  /// copies.  `send` routes here directly on a reliable network; the
+  /// channel routes its frames (data, retransmits, acks) here so they are
+  /// subject to the same faults and the same accounting as everything else.
+  void transmit(NodeId from, NodeId to, const Message& msg,
+                const Deliver& on_deliver);
 
   EventQueue& queue_;
   std::unique_ptr<DelayPolicy> delay_;
+  std::unique_ptr<FaultPolicy> faults_;
+  std::unique_ptr<ReliableChannel> channel_;
   NetStats stats_;
+  FaultStats fault_stats_;
   std::uint64_t seq_ = 0;
   std::uint64_t strict_max_bits_ = 0;
   LinkCheck link_check_;

@@ -1,0 +1,72 @@
+#include "sim/watchdog.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace dyncon::sim {
+
+Watchdog::Watchdog(EventQueue& queue, SimTime deadline)
+    : queue_(queue), deadline_(deadline) {}
+
+Watchdog::Token Watchdog::arm(NodeId origin, std::string what) {
+  const Token token = next_++;
+  live_.emplace(token, Entry{origin, std::move(what), queue_.now()});
+  ++armed_;
+  obs::count("watchdog.armed");
+  if (deadline_ > 0) {
+    queue_.schedule_after(deadline_, [this, token] {
+      const auto it = live_.find(token);
+      if (it == live_.end()) return;  // completed in time; stale probe
+      obs::count("watchdog.expired");
+      abort_run("request \"" + it->second.what + "\" (origin " +
+                std::to_string(it->second.origin) + ", armed at t=" +
+                std::to_string(it->second.armed_at) +
+                ") passed its deadline of " + std::to_string(deadline_) +
+                " ticks with no verdict");
+    });
+  }
+  return token;
+}
+
+void Watchdog::disarm(Token token) {
+  DYNCON_REQUIRE(live_.erase(token) == 1, "disarm of an unknown token");
+  ++completed_;
+  obs::count("watchdog.completed");
+}
+
+void Watchdog::verify_idle() const {
+  if (live_.empty()) return;
+  obs::count("watchdog.idle_violations");
+  abort_run("event queue drained with " + std::to_string(live_.size()) +
+            " request(s) still outstanding — they can never complete");
+}
+
+void Watchdog::abort_run(const std::string& why) const {
+  obs::count("watchdog.aborts");
+  std::cerr << "watchdog: liveness violated at t=" << queue_.now() << ": "
+            << why << "\n";
+  std::cerr << "watchdog: " << live_.size() << " outstanding request(s):\n";
+  for (const auto& [token, e] : live_) {
+    std::cerr << "  token=" << token << " origin=" << e.origin
+              << " armed_at=" << e.armed_at << " what=" << e.what << "\n";
+  }
+  // Post-mortem via the obs layer, when installed: every counter the run
+  // touched, then the typed events leading up to the hang (JSONL, newest
+  // last) — the same dump the fuzzer emits on a violation.
+  if (const obs::Registry* reg = obs::metrics()) {
+    std::ostringstream snapshot;
+    reg->to_json().dump(snapshot, 2);
+    std::cerr << "watchdog: metrics snapshot:\n" << snapshot.str() << "\n";
+  }
+  if (const obs::EventTrace* tr = obs::trace()) {
+    std::cerr << "watchdog: trace tail (" << tr->size() << " of "
+              << tr->recorded() << " events):\n";
+    tr->dump_jsonl(std::cerr, 64);
+  }
+  throw WatchdogError("watchdog: " + why);
+}
+
+}  // namespace dyncon::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+// Liveness watchdog: "eventually" as an enforced, testable contract.
+//
+// Lemma 3.2's promise — every request is eventually granted or rejected —
+// is invisible to an ordinary test on a lossy network: a dropped message
+// silently strands an agent, the event queue drains, and the run just
+// *ends* with the request answered by nobody.  The watchdog turns that
+// silence into a loud, replayable failure:
+//
+//   * a protocol arms a token per outstanding request (the distributed
+//     controllers do this for every submission when handed a watchdog) and
+//     disarms it when the completion callback fires;
+//   * arming schedules a deadline probe `deadline` ticks out; if the probe
+//     fires with the token still armed, the run aborts;
+//   * `verify_idle()` is the drain-time check — call it after the event
+//     loop empties to assert nothing is still armed.
+//
+// An abort dumps a post-mortem to stderr — every outstanding request, the
+// metrics snapshot, and the typed trace tail (the PR-2 obs layer) — then
+// throws WatchdogError, which is an InvariantError so existing harnesses
+// already treat it as a protocol-invariant failure.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace dyncon::sim {
+
+/// A liveness violation: a request was neither granted nor rejected by its
+/// deadline (or by the time the event queue drained).
+class WatchdogError : public InvariantError {
+ public:
+  using InvariantError::InvariantError;
+};
+
+class Watchdog {
+ public:
+  using Token = std::uint64_t;
+
+  /// `deadline` is the per-request tick budget; 0 disables the scheduled
+  /// probes (only `verify_idle` then enforces anything).  The watchdog
+  /// must outlive every run of `queue` that can fire one of its probes.
+  Watchdog(EventQueue& queue, SimTime deadline);
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register an outstanding request (`what` is a short human label for the
+  /// post-mortem, e.g. "event@7").  Schedules the deadline probe.
+  [[nodiscard]] Token arm(NodeId origin, std::string what);
+
+  /// The request completed (granted, rejected, moot — any verdict counts;
+  /// what the watchdog enforces is that *some* verdict arrives).
+  void disarm(Token token);
+
+  /// Drain-time check: the event queue has gone quiet, so anything still
+  /// armed can never complete.  Throws WatchdogError if something is.
+  void verify_idle() const;
+
+  [[nodiscard]] std::size_t outstanding() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t armed_total() const { return armed_; }
+  [[nodiscard]] std::uint64_t completed_total() const { return completed_; }
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+ private:
+  struct Entry {
+    NodeId origin;
+    std::string what;
+    SimTime armed_at;
+  };
+
+  [[noreturn]] void abort_run(const std::string& why) const;
+
+  EventQueue& queue_;
+  SimTime deadline_;
+  std::map<Token, Entry> live_;
+  Token next_ = 0;
+  std::uint64_t armed_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dyncon::sim

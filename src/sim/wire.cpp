@@ -20,6 +20,8 @@ const char* msg_kind_name(MsgKind kind) {
       return "datamove";
     case MsgKind::kApp:
       return "app";
+    case MsgKind::kChannel:
+      return "channel";
     case MsgKind::kKindCount__:
       break;
   }
@@ -127,10 +129,34 @@ void BitReader::skip(std::uint64_t n) {
 // ---- Message ----------------------------------------------------------------
 
 namespace {
-constexpr std::uint32_t kTagBits = 3;    // 5 kinds
+constexpr std::uint32_t kTagBits = 3;    // 6 kinds
 constexpr std::uint32_t kTopicBits = 2;  // <= 4 topics per kind
 constexpr std::uint32_t kPhaseBits = 3;  // controller phases fit in 3 bits
+
+/// Append all of `src` to `w`, MSB-first, in 64-bit chunks.
+void copy_bits(BitWriter& w, const Encoded& src) {
+  BitReader r(src);
+  std::uint64_t left = src.bits;
+  while (left >= 64) {
+    w.put_bits(r.get_bits(64), 64);
+    left -= 64;
+  }
+  if (left > 0) {
+    w.put_bits(r.get_bits(static_cast<std::uint32_t>(left)),
+               static_cast<std::uint32_t>(left));
+  }
+}
 }  // namespace
+
+MsgKind ChannelMsg::inner_kind() const {
+  DYNCON_REQUIRE(topic == ChannelTopic::kData && payload.bits >= kTagBits,
+                 "inner_kind needs a data frame with a tagged payload");
+  BitReader r(payload);
+  const std::uint64_t tag = r.get_bits(kTagBits);
+  DYNCON_REQUIRE(tag < static_cast<std::uint64_t>(MsgKind::kKindCount__),
+                 "channel payload carries an unknown kind tag");
+  return static_cast<MsgKind>(tag);
+}
 
 Message Message::agent_hop(std::uint64_t agent, std::uint64_t distance,
                            std::uint64_t top_distance, std::uint32_t bag_level,
@@ -160,6 +186,16 @@ Message Message::app_payload(std::uint64_t opaque_bits) {
   return Message(AppMsg{AppTopic::kMetered, 0, opaque_bits});
 }
 
+Message Message::channel_data(std::uint64_t seq, const Message& inner) {
+  DYNCON_REQUIRE(inner.kind() != MsgKind::kChannel,
+                 "the reliable channel never nests frames");
+  return Message(ChannelMsg{ChannelTopic::kData, seq, inner.encode()});
+}
+
+Message Message::channel_ack(std::uint64_t seq) {
+  return Message(ChannelMsg{ChannelTopic::kAck, seq, Encoded{}});
+}
+
 Encoded Message::encode() const {
   BitWriter w;
   w.put_bits(body_.index(), kTagBits);
@@ -180,12 +216,19 @@ Encoded Message::encode() const {
           w.put_gamma(m.value);
         } else if constexpr (std::is_same_v<T, DataMoveMsg>) {
           w.put_gamma(m.item);
-        } else {
-          static_assert(std::is_same_v<T, AppMsg>);
+        } else if constexpr (std::is_same_v<T, AppMsg>) {
           w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
           w.put_varint(m.value);
           w.put_gamma(m.opaque_bits);
           w.pad_zeros(m.opaque_bits);
+        } else {
+          static_assert(std::is_same_v<T, ChannelMsg>);
+          w.put_bit(m.topic == ChannelTopic::kAck);
+          w.put_gamma(m.seq);
+          if (m.topic == ChannelTopic::kData) {
+            w.put_gamma(m.payload.bits);
+            copy_bits(w, m.payload);
+          }
         }
       },
       body_);
@@ -232,6 +275,26 @@ Message Message::decode(const Encoded& e) {
       body = m;
       break;
     }
+    case MsgKind::kChannel: {
+      ChannelMsg m;
+      m.topic = r.get_bit() ? ChannelTopic::kAck : ChannelTopic::kData;
+      m.seq = r.get_gamma();
+      if (m.topic == ChannelTopic::kData) {
+        const std::uint64_t payload_bits = r.get_gamma();
+        DYNCON_REQUIRE(payload_bits <= r.remaining(),
+                       "malformed channel frame: truncated payload");
+        BitWriter pw;
+        for (std::uint64_t left = payload_bits; left > 0;) {
+          const std::uint32_t chunk =
+              left >= 64 ? 64 : static_cast<std::uint32_t>(left);
+          pw.put_bits(r.get_bits(chunk), chunk);
+          left -= chunk;
+        }
+        m.payload = pw.finish();
+      }
+      body = m;
+      break;
+    }
     case MsgKind::kKindCount__:
       break;  // unreachable: tag < kKindCount__ checked above
   }
@@ -259,6 +322,9 @@ std::string Message::str() const {
         } else if constexpr (std::is_same_v<T, AppMsg>) {
           os << "topic=" << static_cast<unsigned>(m.topic)
              << " value=" << m.value << " opaque_bits=" << m.opaque_bits;
+        } else if constexpr (std::is_same_v<T, ChannelMsg>) {
+          os << (m.topic == ChannelTopic::kAck ? "ack" : "data")
+             << " seq=" << m.seq << " payload_bits=" << m.payload.bits;
         }
       },
       body_);

@@ -53,6 +53,7 @@ enum class MsgKind : std::uint8_t {
   kControl,     ///< broadcast/upcast for iteration management (Obs. 2.1, App. A)
   kDataMove,    ///< graceful-deletion data handoff to parent
   kApp,         ///< application-layer traffic (DFS relabeling, estimates, ...)
+  kChannel,     ///< reliable-channel control traffic (acks; see sim/channel.hpp)
   kKindCount__  ///< sentinel
 };
 
@@ -66,10 +67,13 @@ std::ostream& operator<<(std::ostream& os, MsgKind kind);
 
 // ---- bit stream -------------------------------------------------------------
 
-/// An encoded message: `bits` valid bits, MSB-first, in `bytes`.
+/// An encoded message: `bits` valid bits, MSB-first, in `bytes`.  Unused
+/// trailing bits of the last byte are always zero (BitWriter only ever sets
+/// bits it was given), so byte-wise equality is bit-stream equality.
 struct Encoded {
   std::vector<std::uint8_t> bytes;
   std::uint64_t bits = 0;
+  bool operator==(const Encoded&) const = default;
 };
 
 /// Append-only bit stream writer (MSB-first within each byte).
@@ -167,14 +171,36 @@ struct AppMsg {
   bool operator==(const AppMsg&) const = default;
 };
 
+/// What a kChannel frame is doing (1-bit field on the wire).
+enum class ChannelTopic : std::uint8_t {
+  kData,  ///< a sequenced protocol message riding the reliable channel
+  kAck,   ///< cumulative acknowledgement flowing back to the sender
+};
+
+/// One reliable-channel frame (sim/channel.hpp).  A data frame carries the
+/// *encoded* inner protocol message verbatim plus the channel header
+/// (sequence number); an ack carries only the cumulative sequence number.
+/// The header overhead is therefore measured on the wire, not claimed.
+struct ChannelMsg {
+  ChannelTopic topic = ChannelTopic::kAck;
+  std::uint64_t seq = 0;  ///< data: frame sequence; ack: next expected (gamma)
+  Encoded payload;        ///< data: encoded inner message; ack: empty
+  bool operator==(const ChannelMsg&) const = default;
+
+  /// Accounting kind of the wrapped message (the payload's leading tag), so
+  /// NetStats can keep charging retransmitted agent hops as agent traffic.
+  /// Requires a data frame with a well-formed payload.
+  [[nodiscard]] MsgKind inner_kind() const;
+};
+
 // ---- the tagged message -----------------------------------------------------
 
 /// A tagged wire message.  The variant order matches `MsgKind`, so the
 /// 3-bit wire tag, the variant index, and the accounting kind agree.
 class Message {
  public:
-  using Body =
-      std::variant<AgentHopMsg, RejectWaveMsg, ControlMsg, DataMoveMsg, AppMsg>;
+  using Body = std::variant<AgentHopMsg, RejectWaveMsg, ControlMsg,
+                            DataMoveMsg, AppMsg, ChannelMsg>;
 
   explicit Message(Body body) : body_(std::move(body)) {}
 
@@ -187,6 +213,12 @@ class Message {
   static Message app_value(AppTopic topic, std::uint64_t value);
   /// A metered foreign payload of `opaque_bits` bits (§2.2 message meter).
   static Message app_payload(std::uint64_t opaque_bits);
+  /// A reliable-channel data frame wrapping `inner` (which must not itself
+  /// be a channel frame: the channel never nests).
+  static Message channel_data(std::uint64_t seq, const Message& inner);
+  /// A reliable-channel cumulative ack: every frame with sequence < `seq`
+  /// on this link has been delivered.
+  static Message channel_ack(std::uint64_t seq);
 
   [[nodiscard]] MsgKind kind() const {
     return static_cast<MsgKind>(body_.index());

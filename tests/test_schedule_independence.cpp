@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/distributed_controller.hpp"
+#include "sim/channel.hpp"
+#include "sim/fault.hpp"
+#include "sim/watchdog.hpp"
 #include "util/rng.hpp"
 #include "workload/churn.hpp"
 #include "workload/script.hpp"
@@ -128,6 +132,109 @@ TEST(ScheduleIndependence, ReorderingAdversaryWithConcurrency) {
   EXPECT_EQ(ctrl.permits_granted() + ctrl.unused_permits(), M);
   ASSERT_NE(ctrl.domains(), nullptr);
   EXPECT_EQ(ctrl.domains()->check_invariants(), "");
+}
+
+// ---- watchdog verdicts under faults ------------------------------------------
+//
+// The watchdog's verdict must be a property of the *fault model*, not of
+// the delivery schedule: the same seed convicts (or acquits) under every
+// delay adversary.
+
+struct ChaosVerdict {
+  bool aborted = false;
+  std::uint64_t answered = 0;
+  std::uint64_t granted = 0;
+};
+
+ChaosVerdict run_with_watchdog(sim::DelayKind kind, bool with_channel) {
+  Rng rng(21);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(kind, 99));
+  // Half the transmissions vanish: without the reliable channel some agent
+  // is stranded with near certainty; with it, every request completes.
+  net.set_fault_policy(std::make_unique<sim::DropFault>(Rng(5), 0.5));
+  if (with_channel) net.enable_reliability();
+  sim::Watchdog wd(queue, 500000);
+  DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 16, rng);
+  DistributedController::Options opts;
+  opts.watchdog = &wd;
+  opts.allow_unreliable_transport = !with_channel;
+  DistributedController ctrl(net, t, Params(50, 10, 64), opts);
+  const auto nodes = t.alive_nodes();
+  ChaosVerdict v;
+  for (int i = 0; i < 8; ++i) {
+    ctrl.submit_event(nodes[rng.index(nodes.size())], [&](const Result& r) {
+      ++v.answered;
+      v.granted += r.granted();
+    });
+  }
+  try {
+    queue.run();
+    wd.verify_idle();
+  } catch (const sim::WatchdogError&) {
+    v.aborted = true;
+  }
+  return v;
+}
+
+TEST(ScheduleIndependence, WatchdogConvictsLossyLinksUnderEveryAdversary) {
+  for (sim::DelayKind kind : kAllKinds) {
+    const ChaosVerdict v = run_with_watchdog(kind, /*with_channel=*/false);
+    EXPECT_TRUE(v.aborted) << sim::delay_kind_name(kind);
+    EXPECT_LT(v.answered, 8u) << sim::delay_kind_name(kind);
+  }
+}
+
+TEST(ScheduleIndependence, WatchdogAcquitsReliableChannelUnderEveryAdversary) {
+  for (sim::DelayKind kind : kAllKinds) {
+    const ChaosVerdict v = run_with_watchdog(kind, /*with_channel=*/true);
+    EXPECT_FALSE(v.aborted) << sim::delay_kind_name(kind);
+    EXPECT_EQ(v.answered, 8u) << sim::delay_kind_name(kind);
+    EXPECT_GE(v.granted, 1u) << sim::delay_kind_name(kind);
+  }
+}
+
+TEST(ScheduleIndependence, ChannelRestoresScheduleIndependentDecisions) {
+  // With the reliable channel over a chaos-faulted transport, a serialized
+  // replay makes the same decisions under every delay adversary — the
+  // protocol sees the reliable links the paper assumes.  (The message
+  // count does vary here: retransmissions depend on timing.)
+  Rng r(7);
+  DynamicTree recorder;
+  workload::build(recorder, workload::Shape::kRandomAttach, 24, r);
+  workload::ChurnGenerator churn(workload::ChurnModel::kInternalChurn,
+                                 Rng(11));
+  const workload::Script script =
+      workload::Script::record(recorder, churn, 80);
+
+  auto run_chaos_serialized = [&script](sim::DelayKind kind) {
+    Rng rng(7);
+    sim::EventQueue queue;
+    sim::Network net(queue, sim::make_delay(kind, 99));
+    net.set_fault_policy(sim::make_fault(sim::FaultKind::kChaos, 13));
+    net.enable_reliability();
+    DynamicTree t;
+    workload::build(t, workload::Shape::kRandomAttach, 24, rng);
+    DistributedController::Options opts;
+    opts.track_domains = false;
+    DistributedController ctrl(net, t, Params(1000, 100, 4096), opts);
+    DistributedSyncFacade facade(queue, ctrl);
+    const auto stats = workload::replay(script, facade, t);
+    queue.run();
+    EXPECT_EQ(net.channel()->in_flight(), 0u);
+    return RunResult{ctrl.messages_used(), stats.granted, stats.rejected,
+                     t.size()};
+  };
+
+  const RunResult base = run_chaos_serialized(sim::DelayKind::kFixed);
+  EXPECT_EQ(base.rejected, 0u);
+  for (sim::DelayKind kind : kAllKinds) {
+    const RunResult rr = run_chaos_serialized(kind);
+    EXPECT_EQ(rr.granted, base.granted) << sim::delay_kind_name(kind);
+    EXPECT_EQ(rr.rejected, base.rejected) << sim::delay_kind_name(kind);
+    EXPECT_EQ(rr.final_size, base.final_size) << sim::delay_kind_name(kind);
+  }
 }
 
 TEST(ScheduleIndependence, ReorderDelayActuallyReorders) {

@@ -5,8 +5,13 @@ usage: check_report.py <report.json> [counter ...]
 
 Checks the fixed schema (every key of obs::RunReport is always present) and,
 for each counter named on the command line, that it exists and is nonzero.
-Exits nonzero with a message on the first violation; prints a one-line
-summary on success.  Used by the CI metrics-smoke job.
+Also cross-validates the fault/reliability metric families whenever they
+appear (a report must not claim retransmissions on a loss-free transport,
+nor more watchdog completions than arms), and — when the exp17 per-rate
+gauges are present — that the measured reliability overhead is monotone in
+the drop rate.  Exits nonzero with a message on the first violation; prints
+a one-line summary on success.  Used by the CI metrics-smoke and
+chaos-smoke jobs.
 """
 
 import json
@@ -16,9 +21,71 @@ REQUIRED_KEYS = ("name", "params", "metrics", "histograms", "net_stats",
                  "wall_time_sec")
 
 
+FAULT_FAMILIES = ("faults.", "channel.", "watchdog.")
+
+
 def fail(msg: str) -> None:
     print(f"check_report: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_fault_families(path: str, counters: dict) -> None:
+    """Consistency of the faults.* / channel.* / watchdog.* counters."""
+    for name, value in counters.items():
+        if not name.startswith(FAULT_FAMILIES):
+            continue
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter '{name}' = {value!r} is not a "
+                 f"non-negative integer")
+
+    get = lambda name: counters.get(name, 0)
+    # A retransmission only ever happens because an ack did not come back
+    # in time, which on this simulator requires a lost transmission.
+    if get("channel.retransmits") > 0 and get("faults.injected.drop") == 0:
+        fail(f"{path}: channel.retransmits = "
+             f"{get('channel.retransmits')} but faults.injected.drop = 0 "
+             f"(retransmissions on a loss-free transport)")
+    # Every suppressed duplicate is either a fault-injected copy or a
+    # retransmission of a frame that already arrived.
+    if (get("channel.duplicates_suppressed") >
+            get("faults.injected.duplicate") + get("channel.retransmits")):
+        fail(f"{path}: channel.duplicates_suppressed exceeds injected "
+             f"duplicates + retransmits")
+    if get("watchdog.completed") > get("watchdog.armed"):
+        fail(f"{path}: watchdog.completed > watchdog.armed")
+
+
+def check_exp17_monotone(path: str, gauges: dict) -> None:
+    """exp17 publishes exp17.rate.<k>.{drop_rate,total_bits,...} gauges;
+    the overhead (total bits for the identical workload) must not shrink
+    as the drop rate grows."""
+    rows = []
+    k = 0
+    while f"exp17.rate.{k}.drop_rate" in gauges:
+        rows.append((gauges[f"exp17.rate.{k}.drop_rate"],
+                     gauges.get(f"exp17.rate.{k}.total_bits", 0),
+                     gauges.get(f"exp17.rate.{k}.retransmits", 0)))
+        k += 1
+    if not rows:
+        return
+    if len(rows) < 2:
+        fail(f"{path}: exp17 gauges present but only {len(rows)} rate row")
+    for i in range(1, len(rows)):
+        if rows[i][0] <= rows[i - 1][0]:
+            fail(f"{path}: exp17 drop rates not strictly increasing "
+                 f"at row {i}")
+        if rows[i][1] < rows[i - 1][1]:
+            fail(f"{path}: exp17 overhead not monotone: total_bits fell "
+                 f"from {rows[i - 1][1]:.0f} to {rows[i][1]:.0f} as the "
+                 f"drop rate rose to {rows[i][0]}")
+    if rows[0][0] == 0 and rows[0][2] != 0:
+        fail(f"{path}: exp17 rate-0 row reports "
+             f"{rows[0][2]:.0f} retransmits (passthrough violated)")
+    if rows[-1][1] <= rows[0][1]:
+        fail(f"{path}: exp17 overhead flat: faulted run is not more "
+             f"expensive than the baseline")
+    print(f"check_report: exp17 overhead monotone over {len(rows)} rates "
+          f"({rows[0][1]:.0f} -> {rows[-1][1]:.0f} bits)")
 
 
 def main() -> None:
@@ -45,6 +112,8 @@ def main() -> None:
         fail(f"{path}: wall_time_sec is not a number")
 
     counters = metrics["counters"]
+    check_fault_families(path, counters)
+    check_exp17_monotone(path, metrics["gauges"])
     for name in sys.argv[2:]:
         if name not in counters:
             fail(f"{path}: counter '{name}' not in report")

@@ -1,11 +1,15 @@
 // Continuous randomized stress for the distributed controller stack.
 //
-// Runs random (seed, shape, churn, delay, burst) combinations until the
-// time budget expires, auditing after every burst:
+// Runs random (seed, shape, churn, delay, fault, burst) combinations until
+// the time budget expires, auditing after every burst:
 //   * structural validity of the tree,
 //   * all agents drained,
 //   * Claim 3.1 domain invariants,
 //   * permit conservation, safety, and the liveness band.
+//
+// Every run injects a random transport-fault adversary and rides the
+// reliable channel over it, guarded by a watchdog: a stranded request or a
+// stuck channel frame is a failure like any other.
 //
 // On a violation it prints the failing configuration (which is enough to
 // reproduce deterministically — everything is seeded) and exits nonzero.
@@ -22,7 +26,10 @@
 #include "core/distributed_iterated.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "sim/channel.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
+#include "sim/watchdog.hpp"
 #include "tree/validate.hpp"
 #include "workload/churn.hpp"
 #include "workload/shapes.hpp"
@@ -36,6 +43,8 @@ struct Config {
   sim::DelayKind delay;
   workload::Shape shape;
   workload::ChurnModel churn;
+  sim::FaultKind fault;
+  std::uint64_t fault_seed;
   std::uint64_t n0;
   std::uint64_t m;
   std::uint64_t w;
@@ -44,11 +53,13 @@ struct Config {
 
   void print() const {
     std::fprintf(stderr,
-                 "config: seed=%llu delay=%s shape=%s churn=%s n0=%llu "
-                 "M=%llu W=%llu steps=%llu burst<=%llu\n",
+                 "config: seed=%llu delay=%s shape=%s churn=%s fault=%s "
+                 "fault_seed=%llu n0=%llu M=%llu W=%llu steps=%llu "
+                 "burst<=%llu\n",
                  static_cast<unsigned long long>(seed),
                  sim::delay_kind_name(delay), workload::shape_name(shape),
-                 workload::churn_name(churn),
+                 workload::churn_name(churn), sim::fault_kind_name(fault),
+                 static_cast<unsigned long long>(fault_seed),
                  static_cast<unsigned long long>(n0),
                  static_cast<unsigned long long>(m),
                  static_cast<unsigned long long>(w),
@@ -66,6 +77,9 @@ Config roll(std::uint64_t seed) {
   c.delay = static_cast<sim::DelayKind>(rng.uniform(0, 3));
   c.shape = shapes[rng.index(shapes.size())];
   c.churn = churns[rng.index(churns.size())];
+  const auto& faults = sim::all_fault_kinds();
+  c.fault = faults[rng.index(faults.size())];
+  c.fault_seed = rng.next();
   c.n0 = rng.uniform(2, 96);
   c.m = rng.uniform(1, 400);
   c.w = rng.uniform(0, c.m);
@@ -83,9 +97,14 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
   Rng rng(c.seed);
   sim::EventQueue queue;
   sim::Network net(queue, sim::make_delay(c.delay, c.seed * 31 + 7));
+  net.set_fault_policy(sim::make_fault(c.fault, c.fault_seed));
+  net.enable_reliability();
+  sim::Watchdog wd(queue, 50'000'000);
   tree::DynamicTree t;
   workload::build(t, c.shape, c.n0, rng);
-  core::DistributedIterated ctrl(net, t, c.m, c.w, /*U=*/8192);
+  core::DistributedIterated::Options ctrl_opts;
+  ctrl_opts.watchdog = &wd;
+  core::DistributedIterated ctrl(net, t, c.m, c.w, /*U=*/8192, ctrl_opts);
   workload::ChurnGenerator churn(c.churn, Rng(c.seed * 7 + 3));
 
   std::uint64_t answered = 0, granted = 0, rejected = 0, moot = 0;
@@ -126,6 +145,12 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
   if (ctrl.permits_granted() > c.m) return "safety violated";
   if (rejected > 0 && ctrl.permits_granted() + c.w < c.m) {
     return "liveness violated";
+  }
+  wd.verify_idle();  // throws WatchdogError -> reported via the catch
+  if (net.channel()->in_flight() != 0) return "channel frames stuck";
+  if (c.fault == sim::FaultKind::kNone &&
+      net.channel()->stats().retransmits != 0) {
+    return "retransmissions on a fault-free transport";
   }
   return {};
 }
