@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "agent/convergecast.hpp"
 #include "core/centralized_controller.hpp"
 #include "core/distributed_controller.hpp"
@@ -11,9 +16,44 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/network.hpp"
 #include "util/rng.hpp"
 #include "tree/validate.hpp"
 #include "workload/shapes.hpp"
+
+// Global allocation counter (same technique as bench/perf_suite.cpp): count
+// every operator-new so the zero-allocation claims below are measured, not
+// asserted from reading the code.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -51,6 +91,83 @@ void BM_EventQueueBurst(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EventQueueBurst)->Arg(64)->Arg(1024);
+
+// ---- allocation-count benches ----------------------------------------------
+//
+// The simulator hot path (schedule -> fire, send -> deliver) is designed to
+// be allocation-free in steady state: actions are InlineFn (inline storage),
+// the heap/slab vectors amortize to zero growth, and release builds take the
+// size-only encoding path.  These benches measure allocations per operation
+// with the global counter and report them as a benchmark counter; in release
+// builds a nonzero steady-state count aborts the bench, so a regression
+// (say, a capture that silently outgrows some future fallback) fails CI
+// instead of shifting a number nobody reads.
+
+void check_steady_state_allocs(const char* what, double allocs_per_op) {
+#ifdef NDEBUG
+  if (allocs_per_op > 0.0) {
+    std::fprintf(stderr,
+                 "FATAL: %s allocates in steady state (%f allocs/op); "
+                 "the zero-allocation hot-path contract is broken\n",
+                 what, allocs_per_op);
+    std::abort();
+  }
+#else
+  (void)what;
+  (void)allocs_per_op;
+#endif
+}
+
+void BM_EventQueueScheduleAllocs(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  // Warm up: first schedules grow heap/slab; steady state reuses them.
+  for (int i = 0; i < 64; ++i) {
+    q.schedule_after(1, [&sink] { ++sink; });
+    q.step();
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    q.schedule_after(1, [&sink] { ++sink; });
+    q.step();
+    ++ops;
+  }
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  check_steady_state_allocs("EventQueue::schedule_after/step", per_op);
+}
+BENCHMARK(BM_EventQueueScheduleAllocs);
+
+void BM_NetworkSendAllocs(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Network net(q, sim::make_delay(sim::DelayKind::kFixed, 1));
+  std::uint64_t sink = 0;
+  const sim::Message msg = sim::Message::agent_hop(7, 3, 5, 1, 2, true);
+  for (int i = 0; i < 64; ++i) {  // warm up heap/slab growth
+    net.send(0, 1, msg, [&sink] { ++sink; });
+    q.step();
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    net.send(0, 1, msg, [&sink] { ++sink; });
+    q.step();
+    ++ops;
+  }
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  // Debug builds legitimately allocate here (encode() materializes bytes for
+  // the round-trip check); the release contract is zero.
+  check_steady_state_allocs("Network::send/deliver", per_op);
+}
+BENCHMARK(BM_NetworkSendAllocs);
 
 void BM_TreeAddRemoveLeaf(benchmark::State& state) {
   tree::DynamicTree t;

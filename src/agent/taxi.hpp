@@ -30,6 +30,9 @@ namespace dyncon::agent {
 class Taxi {
  public:
   /// (agent, node it arrived at, child it came from or kNoNode).
+  /// std::function is fine here: installed once at controller construction,
+  /// never stored per hop (each hop's InlineFn continuation captures only
+  /// `this` + ids and calls through this one handler).
   using Arrival = std::function<void(AgentId, NodeId, NodeId)>;
 
   Taxi(sim::Network& net, tree::DynamicTree& tree);

@@ -4,14 +4,13 @@ namespace dyncon::agent {
 
 const Whiteboard& WhiteboardManager::at(NodeId v) const {
   static const Whiteboard kEmpty;
-  auto it = boards_.find(v);
-  return it == boards_.end() ? kEmpty : it->second;
+  return v < boards_.size() ? boards_[v] : kEmpty;
 }
 
 bool WhiteboardManager::locked(NodeId v) const { return at(v).locked; }
 
 void WhiteboardManager::lock(NodeId v, AgentId a, NodeId came_from) {
-  Whiteboard& wb = boards_[v];
+  Whiteboard& wb = at(v);
   DYNCON_INVARIANT(!wb.locked, "lock of a locked node");
   wb.locked = true;
   wb.locked_by = a;
@@ -20,7 +19,7 @@ void WhiteboardManager::lock(NodeId v, AgentId a, NodeId came_from) {
 
 std::optional<Whiteboard::Waiter> WhiteboardManager::unlock(NodeId v,
                                                             AgentId a) {
-  Whiteboard& wb = boards_[v];
+  Whiteboard& wb = at(v);
   DYNCON_INVARIANT(wb.locked && wb.locked_by == a,
                    "unlock by non-holder");
   wb.locked = false;
@@ -33,7 +32,7 @@ std::optional<Whiteboard::Waiter> WhiteboardManager::unlock(NodeId v,
 }
 
 void WhiteboardManager::release_for_removal(NodeId v, AgentId a) {
-  Whiteboard& wb = boards_[v];
+  Whiteboard& wb = at(v);
   DYNCON_INVARIANT(wb.locked && wb.locked_by == a,
                    "release by non-holder");
   wb.locked = false;
@@ -42,7 +41,7 @@ void WhiteboardManager::release_for_removal(NodeId v, AgentId a) {
 }
 
 void WhiteboardManager::enqueue(NodeId v, AgentId a, NodeId came_from) {
-  Whiteboard& wb = boards_[v];
+  Whiteboard& wb = at(v);
   DYNCON_INVARIANT(wb.locked, "enqueue at unlocked node");
   wb.queue.push_back(Whiteboard::Waiter{a, came_from});
 }
@@ -50,17 +49,16 @@ void WhiteboardManager::enqueue(NodeId v, AgentId a, NodeId came_from) {
 WhiteboardManager::EvictResult WhiteboardManager::evict_to_parent(
     NodeId v, NodeId parent) {
   EvictResult out;
-  auto it = boards_.find(v);
-  if (it == boards_.end()) return out;
-  Whiteboard& src = it->second;
+  if (v >= boards_.size()) return out;
+  Whiteboard& src = boards_[v];
+  Whiteboard& dst = at(parent);  // deque growth keeps src valid
   DYNCON_INVARIANT(!src.locked, "evicting a locked node");
-  Whiteboard& dst = boards_[parent];
   out.moved = src.queue.size();
   for (auto& waiter : src.queue) dst.queue.push_back(waiter);
   // Keep the flood marker conservative: if either saw the wave, the
   // survivor did.
   dst.flooded = dst.flooded || src.flooded;
-  boards_.erase(it);
+  src = Whiteboard{};  // the node is gone; drop its coordination state
   if (!dst.locked && !dst.queue.empty()) {
     out.resume = dst.queue.front();
     dst.queue.pop_front();

@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/ids.hpp"
@@ -45,10 +45,22 @@ struct Whiteboard {
 };
 
 /// Whiteboards for all nodes of one controller instance.
+///
+/// NodeIds are dense vector indices (tree::DynamicTree allocates them that
+/// way), so the boards live in an indexed deque grown on demand: the
+/// per-hop locked/lock/unlock operations index directly instead of hashing.
+/// A deque (not a vector) because growth at the end leaves references to
+/// existing boards valid — callers hold a `Whiteboard&` across code that
+/// may create boards for new nodes, a stability guarantee the previous
+/// unordered_map also gave.  An index past the end — or a default-state
+/// entry — both mean "no coordination state", i.e., a fresh whiteboard.
 class WhiteboardManager {
  public:
   /// Whiteboard of `v`, created empty on first access.
-  Whiteboard& at(NodeId v) { return boards_[v]; }
+  Whiteboard& at(NodeId v) {
+    while (v >= boards_.size()) boards_.emplace_back();
+    return boards_[v];
+  }
   [[nodiscard]] const Whiteboard& at(NodeId v) const;
 
   [[nodiscard]] bool locked(NodeId v) const;
@@ -78,7 +90,7 @@ class WhiteboardManager {
   EvictResult evict_to_parent(NodeId v, NodeId parent);
 
  private:
-  std::unordered_map<NodeId, Whiteboard> boards_;
+  std::deque<Whiteboard> boards_;
 };
 
 }  // namespace dyncon::agent

@@ -104,7 +104,8 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
                      "window/creation level mismatch");
     if (PackageId p = packages_.find_mobile_of_level(w, lvl);
         p != kNoPackage) {
-      obs::count("filler_search.steps", d);
+      static obs::CounterHandle steps("filler_search.steps");
+      steps.add(d);
       return distribute_and_grant(p, lvl, path, d, u, ev);
     }
     if (w == tree_.root()) break;
@@ -112,7 +113,8 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
     path.push_back(w);
     ++d;
   }
-  obs::count("filler_search.steps", d);
+  static obs::CounterHandle steps("filler_search.steps");
+  steps.add(d);
 
   // Step 3b: no filler; create a package at the root (or give up).
   const std::uint32_t j = params_.creation_level(d);
@@ -142,7 +144,8 @@ Result CentralizedController::grant_from_static(PackageId st, NodeId u,
   Result res{Outcome::kGranted};
   res.serial = packages_.consume_one(st);
   ++granted_;
-  obs::count("permits.granted");
+  static obs::CounterHandle granted("permits.granted");
+  granted.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted, 0, u,
                             res.serial.value_or(~0ULL), storage_});
   apply_event(u, ev, res);

@@ -128,8 +128,10 @@ sim::Message DistributedController::hop_message(const Agent& a) const {
 
 void DistributedController::hop_up(Agent& a) {
   ++messages_;
-  obs::count("agent.hops");
-  if (a.phase == Phase::kClimb) obs::count("filler_search.steps");
+  static obs::CounterHandle hops("agent.hops");
+  static obs::CounterHandle climb_steps("filler_search.steps");
+  hops.add();
+  if (a.phase == Phase::kClimb) climb_steps.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, net_.queue().now(),
                             a.at, a.id, 0});
   if (options_.debug_trace) a.history += " up" + std::to_string(a.at);
@@ -139,9 +141,11 @@ void DistributedController::hop_up(Agent& a) {
 
 void DistributedController::hop_down(Agent& a, NodeId to) {
   ++messages_;
-  obs::count("agent.hops");
+  static obs::CounterHandle hops("agent.hops");
+  hops.add();
   // A hop with a package in the Bag is a package move (Lemma 3.3's unit).
-  if (a.carrying != kNoPackage) obs::count("moves.total");
+  static obs::CounterHandle moves("moves.total");
+  if (a.carrying != kNoPackage) moves.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, net_.queue().now(),
                             a.at, a.id, 1});
   if (options_.debug_trace) a.history += " dn" + std::to_string(a.at) + ">" + std::to_string(to);
@@ -200,7 +204,8 @@ void DistributedController::on_arrival(AgentId id, NodeId node,
 void DistributedController::on_enter(Agent& a, NodeId node,
                                      NodeId came_from) {
   if (boards_.locked(node)) {
-    obs::count("agent.lock_waits");
+    static obs::CounterHandle lock_waits("agent.lock_waits");
+    lock_waits.add();
     obs::emit(obs::TraceEvent{obs::EventKind::kLockWait, net_.queue().now(),
                               node, a.id, 0});
     if (options_.debug_trace) a.history += " W" + std::to_string(node);

@@ -83,6 +83,10 @@ class DistributedController {
     bool allow_unreliable_transport = false;
   };
 
+  /// Completion callback.  Deliberately std::function, not the hot-path
+  /// InlineFn: it is stored once per *request* (not per event/send), and
+  /// callers legitimately capture big closures (test fixtures, latching
+  /// lambdas) that must not be squeezed into a 64-byte inline budget.
   using Callback = std::function<void(const Result&)>;
 
   DistributedController(sim::Network& net, tree::DynamicTree& tree,

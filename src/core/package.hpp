@@ -122,7 +122,8 @@ class PackageTable {
   [[nodiscard]] std::uint64_t move_complexity() const { return moves_; }
   void charge_moves(std::uint64_t n) {
     moves_ += n;
-    obs::count("moves.total", n);
+    static obs::CounterHandle moves("moves.total");
+    moves.add(n);
   }
 
  private:

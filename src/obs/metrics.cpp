@@ -74,10 +74,27 @@ const Histogram* Registry::histogram(std::string_view name) const {
   return it == hists_.end() ? nullptr : &it->second;
 }
 
+std::uint64_t& Registry::counter_slot(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram_slot(std::string_view name) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   hists_.clear();
+  epoch_ = ++detail::g_registry_epochs;
 }
 
 json::Value Registry::to_json() const {

@@ -52,10 +52,20 @@ struct Histogram {
   [[nodiscard]] json::Value to_json() const;
 };
 
+namespace detail {
+/// Source for Registry epochs: globally monotonic, so no two registry
+/// *incarnations* (a fresh instance, or one generation of an instance
+/// between clear() calls) ever share an epoch — even if a new Registry is
+/// constructed at a freed one's address.  Handles key their caches on it.
+inline std::uint64_t g_registry_epochs = 0;
+}  // namespace detail
+
 /// Owns one run's metrics.  Lookups are by name; maps are ordered so JSON
 /// output is deterministic.
 class Registry {
  public:
+  Registry() : epoch_(++detail::g_registry_epochs) {}
+
   void add(std::string_view name, std::uint64_t delta = 1);
   /// Overwrite a counter (used when re-exporting cumulative sources such as
   /// an accumulated NetStats, where adding would double-count).
@@ -79,6 +89,19 @@ class Registry {
 
   void clear();
 
+  /// Incarnation id of this registry's current contents: unique across all
+  /// Registry instances and bumped by clear(), so a cached slot reference
+  /// is valid iff the (registry pointer, epoch) pair still matches.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Stable reference to a counter's storage (created at 0 if missing).
+  /// std::map node references survive unrelated inserts/erases, so the
+  /// reference stays valid until clear() or registry destruction — which is
+  /// exactly what epoch() lets callers detect.
+  [[nodiscard]] std::uint64_t& counter_slot(std::string_view name);
+  /// Stable reference to a histogram's storage (created empty if missing).
+  [[nodiscard]] Histogram& histogram_slot(std::string_view name);
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   [[nodiscard]] json::Value to_json() const;
 
@@ -86,6 +109,7 @@ class Registry {
   CounterMap counters_;
   GaugeMap gauges_;
   HistogramMap hists_;
+  std::uint64_t epoch_;
 };
 
 namespace detail {
@@ -112,6 +136,65 @@ inline void observe(std::string_view name, std::uint64_t value,
                     std::uint64_t weight = 1) {
   if (Registry* r = detail::g_metrics) r->observe(name, value, weight);
 }
+
+// ---- pre-resolved handles (hot-path instrumentation) ------------------------
+//
+// obs::count("net.messages", n) pays a map lookup — a string hash/compare —
+// on every call.  A handle resolves the name to the counter's storage once
+// per (registry, epoch) incarnation and then increments through the cached
+// reference; steady state is two loads, one compare, one add.  Declare them
+// function-local static at the instrumentation site:
+//
+//   static obs::CounterHandle messages("net.messages");
+//   messages.add(count);
+//
+// Safe against every registry lifecycle: uninstall (null check), reinstall
+// of a different registry (pointer check), clear() or a new registry at a
+// recycled address (epoch check).
+
+class CounterHandle {
+ public:
+  explicit CounterHandle(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t delta = 1) {
+    Registry* r = detail::g_metrics;
+    if (r == nullptr) return;
+    if (r != registry_ || r->epoch() != epoch_) {
+      slot_ = &r->counter_slot(name_);
+      registry_ = r;
+      epoch_ = r->epoch();
+    }
+    *slot_ += delta;
+  }
+
+ private:
+  std::string name_;
+  Registry* registry_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t* slot_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  explicit HistogramHandle(std::string name) : name_(std::move(name)) {}
+
+  void observe(std::uint64_t value, std::uint64_t weight = 1) {
+    Registry* r = detail::g_metrics;
+    if (r == nullptr) return;
+    if (r != registry_ || r->epoch() != epoch_) {
+      slot_ = &r->histogram_slot(name_);
+      registry_ = r;
+      epoch_ = r->epoch();
+    }
+    slot_->observe(value, weight);
+  }
+
+ private:
+  std::string name_;
+  Registry* registry_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  Histogram* slot_ = nullptr;
+};
 
 /// RAII install; restores the previously installed registry on scope exit,
 /// so nested scopes (a test inside a bench) compose.

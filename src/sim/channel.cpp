@@ -43,7 +43,7 @@ void ReliableChannel::send(NodeId from, NodeId to, const Message& msg,
   if (!net_.lossy()) {
     // Zero-overhead passthrough: no header, no seq, no timer — the run is
     // bit-identical to one without the channel.
-    net_.transmit(from, to, msg, on_deliver);
+    net_.transmit(from, to, msg, std::move(on_deliver));
     return;
   }
   Link& link = links_[{from, to}];
@@ -52,8 +52,9 @@ void ReliableChannel::send(NodeId from, NodeId to, const Message& msg,
       seq, Message::channel_data(seq, msg), std::move(on_deliver),
       cfg_.initial_rto);
   DYNCON_INVARIANT(inserted, "sequence number reused on a link");
+  static obs::CounterHandle data_frames("channel.data_frames");
   ++stats_.data_frames;
-  obs::count("channel.data_frames");
+  data_frames.add();
   transmit(from, to, seq);
   arm_timer(from, to, seq);
 }
@@ -81,8 +82,9 @@ void ReliableChannel::arm_timer(NodeId from, NodeId to, std::uint64_t seq) {
     }
     ++p.retries;
     p.rto = std::min(p.rto * 2, cfg_.max_rto);
+    static obs::CounterHandle retransmits("channel.retransmits");
     ++stats_.retransmits;
-    obs::count("channel.retransmits");
+    retransmits.add();
     transmit(from, to, seq);
     arm_timer(from, to, seq);
   });
@@ -95,8 +97,9 @@ void ReliableChannel::on_frame(NodeId from, NodeId to, std::uint64_t seq) {
     // A fault-injected copy, or a retransmission of something already
     // received (its ack was lost or is still in flight).  Suppress, and
     // re-ack so the sender can stop retransmitting.
+    static obs::CounterHandle suppressed("channel.duplicates_suppressed");
     ++stats_.duplicates_suppressed;
-    obs::count("channel.duplicates_suppressed");
+    suppressed.add();
     send_ack(from, to, link);
     return;
   }
@@ -104,8 +107,9 @@ void ReliableChannel::on_frame(NodeId from, NodeId to, std::uint64_t seq) {
   if (seq != link.recv_next) {
     // Arrived ahead of a gap (the underlying links are not FIFO and may
     // have dropped the earlier frame); hold until the gap fills.
+    static obs::CounterHandle held("channel.held_for_order");
     ++stats_.held_for_order;
-    obs::count("channel.held_for_order");
+    held.add();
   }
   release_in_order(link);
   send_ack(from, to, link);
@@ -128,8 +132,9 @@ void ReliableChannel::release_in_order(Link& link) {
 
 void ReliableChannel::send_ack(NodeId from, NodeId to, Link& link) {
   const std::uint64_t upto = link.recv_next;
+  static obs::CounterHandle acks("channel.acks");
   ++stats_.acks;
-  obs::count("channel.acks");
+  acks.add();
   // Acks ride the faulty transport unprotected (no ack-of-ack): a lost ack
   // is repaired by the retransmission it provokes.
   net_.transmit(to, from, Message::channel_ack(upto),

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace dyncon::sim {
@@ -11,17 +12,32 @@ void EventQueue::schedule_after(SimTime delay, Action action) {
 void EventQueue::schedule_at(SimTime when, Action action) {
   DYNCON_REQUIRE(when >= now_, "cannot schedule in the past");
   DYNCON_REQUIRE(static_cast<bool>(action), "null action");
-  heap_.push(Entry{when, seq_++, std::move(action)});
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(action));
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+    slab_[slot] = std::move(action);
+  }
+  heap_.push_back(Entry{when, seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::step() {
   DYNCON_REQUIRE(!heap_.empty(), "step on empty queue");
-  // Move the action out before popping so it may schedule new events.
-  Entry top = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  // pop_heap moves the earliest entry to back(); move the action out of its
+  // slab slot (and recycle the slot) before invoking, because the action may
+  // schedule new events and reallocate both heap_ and slab_.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  Action action = std::move(slab_[top.slot]);
+  free_.push_back(top.slot);
   now_ = top.when;
   ++fired_;
-  top.action();
+  action();
 }
 
 std::uint64_t EventQueue::run(std::uint64_t max_events) {

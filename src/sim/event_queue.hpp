@@ -8,21 +8,32 @@
 // every environment action, such as a request arrival) is an event with a
 // firing time; ties are broken by insertion sequence so a run is a pure
 // function of (scenario, seed).
+//
+// Hot-path notes: actions are InlineFn (inline storage, no heap), and the
+// heap is an explicit std::vector driven by std::push_heap/pop_heap — the
+// comparator is a total strict order over (when, seq), so FIFO tie-breaking
+// survives the heap's internal reshuffling, and pop_heap lets us move the
+// fired entry out of a mutable back() instead of const_casting top().
+// Actions live out-of-line in a slot slab (recycled through a free list):
+// the heap entries the sift operations shuffle are trivially copyable
+// 24-byte records, so a sift level is a memcpy instead of a destroy +
+// relocate through InlineFn's ops table; each action is moved exactly
+// twice (into its slab slot, out again when it fires).
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.hpp"
 #include "util/ids.hpp"
+#include "util/inline_fn.hpp"
 
 namespace dyncon::sim {
 
 /// Deterministic discrete-event queue.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFn<void()>;
 
   /// Schedule `action` to fire `delay` ticks after the current time.
   void schedule_after(SimTime delay, Action action);
@@ -37,6 +48,13 @@ class EventQueue {
   /// Returns the number of events fired.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
+  /// Pre-size the event heap (events the caller is about to schedule).
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slab_.reserve(events);
+    free_.reserve(events);
+  }
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] SimTime now() const { return now_; }
@@ -46,8 +64,10 @@ class EventQueue {
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;  ///< index of the action in slab_
   };
+  static_assert(std::is_trivially_copyable_v<Entry>,
+                "heap sifts must reduce to memcpy");
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -55,7 +75,9 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;  // max-heap under Later == min-(when, seq) first
+  std::vector<Action> slab_;          // pending actions, addressed by slot
+  std::vector<std::uint32_t> free_;   // recycled slab slots
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t fired_ = 0;

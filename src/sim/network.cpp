@@ -94,10 +94,14 @@ void Network::account(MsgKind kind, std::uint64_t bits, std::uint64_t count) {
   stats_.max_bits_by_kind[k] = std::max(stats_.max_bits_by_kind[k], bits);
   stats_.size_histogram[std::bit_width(bits)] += count;
   // Live registry export: cumulative across every Network instance of the
-  // run, unlike the per-instance NetStats (one branch when uninstalled).
-  obs::count("net.messages", count);
-  obs::count("net.total_bits", bits * count);
-  obs::observe("net.message_bits", bits, count);
+  // run, unlike the per-instance NetStats.  Interned handles: this runs per
+  // transmission, and the name->slot map lookup was measurable there.
+  static obs::CounterHandle messages("net.messages");
+  static obs::CounterHandle total_bits("net.total_bits");
+  static obs::HistogramHandle message_bits("net.message_bits");
+  messages.add(count);
+  total_bits.add(bits * count);
+  message_bits.observe(bits, count);
 }
 
 void Network::send(NodeId from, NodeId to, const Message& msg,
@@ -120,18 +124,27 @@ void Network::send(NodeId from, NodeId to, const Message& msg,
     channel_->send(from, to, msg, std::move(on_deliver));
     return;
   }
-  transmit(from, to, msg, on_deliver);
+  transmit(from, to, msg, std::move(on_deliver));
 }
 
 void Network::transmit(NodeId from, NodeId to, const Message& msg,
-                       const Deliver& on_deliver) {
-  const Encoded enc = msg.encode();
+                       Deliver on_deliver) {
 #ifndef NDEBUG
-  // Round-trip verification: any field the encoder drops or mangles fails
-  // at the send site, with the offending message in the error text.
+  // Debug builds do the full byte-level encode and round-trip verification:
+  // any field the encoder drops or mangles fails at the send site, with the
+  // offending message in the error text.
+  const Encoded enc = msg.encode();
   DYNCON_INVARIANT(Message::decode(enc) == msg,
                    "wire round-trip mismatch for " + msg.str());
   ++stats_.roundtrip_checks;
+  const std::uint64_t bits = enc.bits;
+#else
+  // Release builds take the size-only path: encoded_bits() runs the same
+  // body-writer as encode() against a BitCounter, so the charged size is
+  // still *measured* — just without materializing the byte buffer nobody
+  // reads.  (The ARQ channel still builds real frames: channel_data()
+  // encodes its inner message to embed it.)
+  const std::uint64_t bits = msg.encoded_bits();
 #endif
   // A channel data frame is charged under the kind of the message it wraps
   // (at the full wrapped size), so the per-kind decomposition exp9/exp13
@@ -148,37 +161,60 @@ void Network::transmit(NodeId from, NodeId to, const Message& msg,
   // Transmissions are charged whether or not they arrive: a dropped
   // message was sent (and a duplicated one delivered twice), which is
   // exactly the accounting the reliability layer's overhead is measured in.
-  account(kind, enc.bits, 1 + fault.duplicates);
+  account(kind, bits, 1 + fault.duplicates);
   if (fault.duplicates > 0) {
+    static obs::CounterHandle duplicates("faults.injected.duplicate");
     fault_stats_.duplicates += fault.duplicates;
-    obs::count("faults.injected.duplicate", fault.duplicates);
+    duplicates.add(fault.duplicates);
   }
   if (fault.stall_ticks > 0) {
+    static obs::CounterHandle stalls("faults.injected.stall");
+    static obs::CounterHandle stall_ticks("faults.injected.stall_ticks");
     ++fault_stats_.stalls;
     fault_stats_.stall_ticks += fault.stall_ticks;
-    obs::count("faults.injected.stall");
-    obs::count("faults.injected.stall_ticks", fault.stall_ticks);
+    stalls.add();
+    stall_ticks.add(fault.stall_ticks);
   }
   if (fault.drop) {
+    static obs::CounterHandle drops("faults.injected.drop");
     ++fault_stats_.drops;
-    obs::count("faults.injected.drop");
+    drops.add();
     return;
   }
+  if (fault.duplicates == 0) {
+    // Hot path: exactly one delivery; the continuation moves through
+    // untouched — no copy, no allocation.
+    const SimTime d = delay_->delay(from, to, seq_++) + fault.stall_ticks;
+    queue_.schedule_after(d, std::move(on_deliver));
+    return;
+  }
+  // Cold path (fault-injected copies): several events must share one
+  // move-only continuation, so box it once and invoke through the box.
+  const auto shared = std::make_shared<Deliver>(std::move(on_deliver));
   for (std::uint32_t copy = 0; copy <= fault.duplicates; ++copy) {
     const SimTime d = delay_->delay(from, to, seq_++) + fault.stall_ticks;
-    queue_.schedule_after(d, on_deliver);
+    queue_.schedule_after(d, [shared] { (*shared)(); });
   }
 }
 
 void Network::charge(const Message& prototype, std::uint64_t count) {
   if (count == 0) return;
-  const Encoded enc = prototype.encode();
 #ifndef NDEBUG
+  const Encoded enc = prototype.encode();
   DYNCON_INVARIANT(Message::decode(enc) == prototype,
                    "wire round-trip mismatch for " + prototype.str());
   ++stats_.roundtrip_checks;
-#endif
   account(prototype.kind(), enc.bits, count);
+#else
+  // Bursts of charges repeat a handful of prototype shapes (a graceful
+  // deletion emits one per handoff record); memoize the last measured size
+  // per kind so repeats don't even pay the counting pass.
+  auto& memo = charge_memo_[static_cast<std::size_t>(prototype.kind())];
+  if (!memo.has_value() || !(memo->first == prototype)) {
+    memo.emplace(prototype, prototype.encoded_bits());
+  }
+  account(prototype.kind(), memo->second, count);
+#endif
 }
 
 }  // namespace dyncon::sim

@@ -25,7 +25,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "sim/delay.hpp"
 #include "sim/event_queue.hpp"
@@ -92,9 +94,14 @@ struct FaultStats {
 /// Message transport over the event queue.
 class Network {
  public:
-  using Deliver = std::function<void()>;
+  /// Delivery continuation: an InlineFn, same as EventQueue::Action (the
+  /// network moves it straight into the scheduled event).  Captures must
+  /// fit InlineFn's 64-byte inline budget — oversized captures fail to
+  /// compile rather than silently heap-allocate.
+  using Deliver = EventQueue::Action;
   /// Debug contract hook: returns whether a (from, to, kind) send is legal
-  /// under the installing protocol's topology contract.
+  /// under the installing protocol's topology contract.  Cold (debug-only,
+  /// install-time), so std::function's flexibility is fine here.
   using LinkCheck = std::function<bool(NodeId, NodeId, MsgKind)>;
 
   Network(EventQueue& queue, std::unique_ptr<DelayPolicy> delay);
@@ -177,7 +184,7 @@ class Network {
   /// channel routes its frames (data, retransmits, acks) here so they are
   /// subject to the same faults and the same accounting as everything else.
   void transmit(NodeId from, NodeId to, const Message& msg,
-                const Deliver& on_deliver);
+                Deliver on_deliver);
 
   EventQueue& queue_;
   std::unique_ptr<DelayPolicy> delay_;
@@ -185,6 +192,12 @@ class Network {
   std::unique_ptr<ReliableChannel> channel_;
   NetStats stats_;
   FaultStats fault_stats_;
+  /// Release-build charge() memo, one per kind: the last prototype charged
+  /// and its measured bits, so a burst of identical charges (a graceful
+  /// deletion's O(deg + log^2 U) handoff records) sizes the shape once.
+  std::array<std::optional<std::pair<Message, std::uint64_t>>,
+             NetStats::kKinds>
+      charge_memo_;
   std::uint64_t seq_ = 0;
   std::uint64_t strict_max_bits_ = 0;
   LinkCheck link_check_;

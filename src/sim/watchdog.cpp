@@ -15,7 +15,9 @@ Watchdog::Token Watchdog::arm(NodeId origin, std::string what) {
   const Token token = next_++;
   live_.emplace(token, Entry{origin, std::move(what), queue_.now()});
   ++armed_;
-  obs::count("watchdog.armed");
+  // Interned: arm/disarm run once per request in every watched workload.
+  static obs::CounterHandle armed("watchdog.armed");
+  armed.add();
   if (deadline_ > 0) {
     queue_.schedule_after(deadline_, [this, token] {
       const auto it = live_.find(token);
@@ -34,7 +36,8 @@ Watchdog::Token Watchdog::arm(NodeId origin, std::string what) {
 void Watchdog::disarm(Token token) {
   DYNCON_REQUIRE(live_.erase(token) == 1, "disarm of an unknown token");
   ++completed_;
-  obs::count("watchdog.completed");
+  static obs::CounterHandle completed("watchdog.completed");
+  completed.add();
 }
 
 void Watchdog::verify_idle() const {

@@ -79,6 +79,19 @@ void BitWriter::pad_zeros(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) put_bit(false);
 }
 
+void BitWriter::put_encoded(const Encoded& src) {
+  BitReader r(src);
+  std::uint64_t left = src.bits;
+  while (left >= 64) {
+    put_bits(r.get_bits(64), 64);
+    left -= 64;
+  }
+  if (left > 0) {
+    put_bits(r.get_bits(static_cast<std::uint32_t>(left)),
+             static_cast<std::uint32_t>(left));
+  }
+}
+
 // ---- BitReader --------------------------------------------------------------
 
 bool BitReader::get_bit() {
@@ -133,18 +146,46 @@ constexpr std::uint32_t kTagBits = 3;    // 6 kinds
 constexpr std::uint32_t kTopicBits = 2;  // <= 4 topics per kind
 constexpr std::uint32_t kPhaseBits = 3;  // controller phases fit in 3 bits
 
-/// Append all of `src` to `w`, MSB-first, in 64-bit chunks.
-void copy_bits(BitWriter& w, const Encoded& src) {
-  BitReader r(src);
-  std::uint64_t left = src.bits;
-  while (left >= 64) {
-    w.put_bits(r.get_bits(64), 64);
-    left -= 64;
-  }
-  if (left > 0) {
-    w.put_bits(r.get_bits(static_cast<std::uint32_t>(left)),
-               static_cast<std::uint32_t>(left));
-  }
+/// The one and only description of each message body's wire layout, written
+/// against the shared writer interface.  Instantiated for BitWriter (the
+/// real encoding) and BitCounter (the size-only release path), so the two
+/// cannot drift: any new field is either paid for in both or in neither.
+template <class Writer>
+void write_message(Writer& w, const Message::Body& body) {
+  w.put_bits(body.index(), kTagBits);
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AgentHopMsg>) {
+          w.put_varint(m.agent);
+          w.put_gamma(m.distance);
+          w.put_gamma(m.top_distance);
+          w.put_gamma(m.bag_level);
+          w.put_bits(m.phase, kPhaseBits);
+          w.put_bit(m.carrying);
+        } else if constexpr (std::is_same_v<T, RejectWaveMsg>) {
+          // Pure signal: the tag is the message.
+        } else if constexpr (std::is_same_v<T, ControlMsg>) {
+          w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
+          w.put_gamma(m.value);
+        } else if constexpr (std::is_same_v<T, DataMoveMsg>) {
+          w.put_gamma(m.item);
+        } else if constexpr (std::is_same_v<T, AppMsg>) {
+          w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
+          w.put_varint(m.value);
+          w.put_gamma(m.opaque_bits);
+          w.pad_zeros(m.opaque_bits);
+        } else {
+          static_assert(std::is_same_v<T, ChannelMsg>);
+          w.put_bit(m.topic == ChannelTopic::kAck);
+          w.put_gamma(m.seq);
+          if (m.topic == ChannelTopic::kData) {
+            w.put_gamma(m.payload.bits);
+            w.put_encoded(m.payload);
+          }
+        }
+      },
+      body);
 }
 }  // namespace
 
@@ -197,42 +238,17 @@ Message Message::channel_ack(std::uint64_t seq) {
 }
 
 Encoded Message::encode() const {
-  BitWriter w;
-  w.put_bits(body_.index(), kTagBits);
-  std::visit(
-      [&w](const auto& m) {
-        using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, AgentHopMsg>) {
-          w.put_varint(m.agent);
-          w.put_gamma(m.distance);
-          w.put_gamma(m.top_distance);
-          w.put_gamma(m.bag_level);
-          w.put_bits(m.phase, kPhaseBits);
-          w.put_bit(m.carrying);
-        } else if constexpr (std::is_same_v<T, RejectWaveMsg>) {
-          // Pure signal: the tag is the message.
-        } else if constexpr (std::is_same_v<T, ControlMsg>) {
-          w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
-          w.put_gamma(m.value);
-        } else if constexpr (std::is_same_v<T, DataMoveMsg>) {
-          w.put_gamma(m.item);
-        } else if constexpr (std::is_same_v<T, AppMsg>) {
-          w.put_bits(static_cast<std::uint64_t>(m.topic), kTopicBits);
-          w.put_varint(m.value);
-          w.put_gamma(m.opaque_bits);
-          w.pad_zeros(m.opaque_bits);
-        } else {
-          static_assert(std::is_same_v<T, ChannelMsg>);
-          w.put_bit(m.topic == ChannelTopic::kAck);
-          w.put_gamma(m.seq);
-          if (m.topic == ChannelTopic::kData) {
-            w.put_gamma(m.payload.bits);
-            copy_bits(w, m.payload);
-          }
-        }
-      },
-      body_);
+  // The counting pass is cheap (no buffer work), so spend it to size the
+  // output exactly — the byte vector is allocated once, never regrown.
+  BitWriter w(encoded_bits());
+  write_message(w, body_);
   return w.finish();
+}
+
+std::uint64_t Message::encoded_bits() const {
+  BitCounter c;
+  write_message(c, body_);
+  return c.bit_count();
 }
 
 Message Message::decode(const Encoded& e) {

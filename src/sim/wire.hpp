@@ -76,9 +76,29 @@ struct Encoded {
   bool operator==(const Encoded&) const = default;
 };
 
+/// Exact bit cost of the Elias-gamma code for `v` (see BitWriter::put_gamma).
+[[nodiscard]] constexpr std::uint64_t gamma_bits(std::uint64_t v) {
+  return 2 * static_cast<std::uint64_t>(std::bit_width(v + 1) - 1) + 1;
+}
+
+/// Exact bit cost of the varint code for `v` (see BitWriter::put_varint).
+[[nodiscard]] constexpr std::uint64_t varint_bits(std::uint64_t v) {
+  std::uint64_t groups = 1;
+  for (std::uint64_t rest = v >> 7; rest != 0; rest >>= 7) ++groups;
+  return 8 * groups;
+}
+
 /// Append-only bit stream writer (MSB-first within each byte).
 class BitWriter {
  public:
+  BitWriter() = default;
+  /// Pre-sizes the output buffer for an expected encoding of `expected_bits`
+  /// bits (e.g., the size_envelope_bits(u) hint, or an exact BitCounter
+  /// pass), so the buffer never regrows mid-encode.
+  explicit BitWriter(std::uint64_t expected_bits) {
+    out_.bytes.reserve((expected_bits + 7) / 8);
+  }
+
   void put_bit(bool bit);
   /// Appends the low `width` bits of `value`, most significant first.
   void put_bits(std::uint64_t value, std::uint32_t width);
@@ -88,12 +108,43 @@ class BitWriter {
   void put_varint(std::uint64_t v);
   /// Appends `n` zero bits (opaque payload whose size must be paid for).
   void pad_zeros(std::uint64_t n);
+  /// Appends all of `src`, MSB-first (channel frames embed inner messages).
+  void put_encoded(const Encoded& src);
 
   [[nodiscard]] std::uint64_t bit_count() const { return out_.bits; }
   [[nodiscard]] Encoded finish() { return std::move(out_); }
 
  private:
   Encoded out_;
+};
+
+/// Size-only writer: same interface as BitWriter, but it never touches a
+/// byte buffer — it just adds up the exact cost of each field.  Encoding a
+/// message through both writers yields bit_count() == Encoded::bits by
+/// construction (one shared body-writer template, asserted exhaustively in
+/// test_wire.cpp), which is what lets release builds charge measured sizes
+/// without materializing a single byte.
+class BitCounter {
+ public:
+  void put_bit(bool) { ++bits_; }
+  void put_bits(std::uint64_t value, std::uint32_t width) {
+    DYNCON_REQUIRE(width <= 64, "bit-field width exceeds 64");
+    DYNCON_REQUIRE(width == 64 || value < (std::uint64_t{1} << width),
+                   "value does not fit the declared bit-field width");
+    bits_ += width;
+  }
+  void put_gamma(std::uint64_t v) {
+    DYNCON_REQUIRE(v < (std::uint64_t{1} << 62), "gamma field overflow");
+    bits_ += gamma_bits(v);
+  }
+  void put_varint(std::uint64_t v) { bits_ += varint_bits(v); }
+  void pad_zeros(std::uint64_t n) { bits_ += n; }
+  void put_encoded(const Encoded& src) { bits_ += src.bits; }
+
+  [[nodiscard]] std::uint64_t bit_count() const { return bits_; }
+
+ private:
+  std::uint64_t bits_ = 0;
 };
 
 /// Bounds-checked reader over an `Encoded` buffer.
@@ -234,8 +285,12 @@ class Message {
   /// Inverse of encode(); throws ContractError on malformed input
   /// (bad tag, truncated fields, trailing bits).
   [[nodiscard]] static Message decode(const Encoded& e);
-  /// Measured encoded size in bits (encodes internally).
-  [[nodiscard]] std::uint64_t measured_bits() const { return encode().bits; }
+  /// Measured encoded size in bits, computed by the size-only BitCounter
+  /// pass — no byte buffer, no allocation.  Exactly encode().bits (the two
+  /// share one body-writer; asserted per kind in test_wire.cpp).
+  [[nodiscard]] std::uint64_t encoded_bits() const;
+  /// Measured encoded size in bits (alias of encoded_bits()).
+  [[nodiscard]] std::uint64_t measured_bits() const { return encoded_bits(); }
 
   bool operator==(const Message&) const = default;
   [[nodiscard]] std::string str() const;

@@ -1,0 +1,125 @@
+#pragma once
+
+// Small-buffer-only callable: the simulation hot path's replacement for
+// std::function.
+//
+// Every scheduled event and every network delivery used to carry a
+// std::function<void()>, and libstdc++ heap-allocates any capture larger
+// than two pointers — one operator-new per message on the path every
+// experiment times.  InlineFn stores the callable inline (kCapacity bytes),
+// never touches the heap, and refuses at compile time anything that would
+// not fit, so a capture that silently fit yesterday cannot silently start
+// allocating tomorrow.
+//
+// Contract (see docs/PERFORMANCE.md):
+//   - captures must fit kCapacity bytes and kAlign alignment;
+//   - captures must be nothrow-move-constructible (relocation happens
+//     inside the event heap's push/pop, which must not throw);
+//   - InlineFn itself is move-only; the wrapped callable may be copyable
+//     (lvalues are copied in, rvalues moved in);
+//   - moved-from InlineFns are empty; invoking one is a contract violation.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dyncon {
+
+template <class Signature>
+class InlineFn;  // primary template intentionally undefined
+
+template <class R, class... Args>
+class InlineFn<R(Args...)> {
+ public:
+  /// Inline capture budget.  64 bytes = one cache line; the largest capture
+  /// in the tree (distributed_controller's [this, spec, done]) is 56 bytes.
+  static constexpr std::size_t kCapacity = 64;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors
+                     // std::function's converting constructor
+    static_assert(sizeof(D) <= kCapacity,
+                  "InlineFn capture too large: trim the capture list or box "
+                  "cold state behind a pointer (no heap fallback by design)");
+    static_assert(alignof(D) <= kAlign,
+                  "InlineFn capture over-aligned for inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "InlineFn captures must be nothrow-move-constructible "
+                  "(relocation happens inside noexcept heap maintenance)");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    ops_ = &ops_for<D>;
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  R operator()(Args... args) {
+    DYNCON_REQUIRE(ops_ != nullptr, "invoking an empty InlineFn");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  static constexpr Ops ops_for{
+      [](void* p, Args&&... args) -> R {
+        return static_cast<R>(
+            (*static_cast<D*>(p))(std::forward<Args>(args)...));
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(kAlign) std::byte storage_[kCapacity];
+};
+
+}  // namespace dyncon

@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/delay.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace dyncon::sim {
 namespace {
@@ -70,6 +73,87 @@ TEST(EventQueue, ZeroDelayFiresBeforeUnitDelay) {
   });
   q.run();
   EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+// Property: among events scheduled for the same SimTime, firing order is
+// strict insertion (seq) order — regardless of how many other times are
+// interleaved and in what order everything was scheduled.  This pins the
+// heap comparator's tie-break: a heap reshuffle must never reorder ties.
+TEST(EventQueue, PropertySameTimeEventsFireInFifoOrder) {
+  Rng rng(0xf1f0);
+  for (int round = 0; round < 50; ++round) {
+    EventQueue q;
+    // (time, insertion index) in fired order.
+    std::vector<std::pair<SimTime, int>> fired;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      // Few distinct times => many ties; schedule order is random.
+      const SimTime when = rng.uniform(0, 7);
+      q.schedule_at(when, [&fired, when, i] { fired.emplace_back(when, i); });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+    for (std::size_t k = 1; k < fired.size(); ++k) {
+      ASSERT_LE(fired[k - 1].first, fired[k].first) << "time order violated";
+      if (fired[k - 1].first == fired[k].first) {
+        ASSERT_LT(fired[k - 1].second, fired[k].second)
+            << "FIFO tie-break violated at time " << fired[k].first;
+      }
+    }
+  }
+}
+
+// Same property under churn: events firing at time T schedule more events
+// at the same time T (zero delay), which must run after every already-queued
+// time-T event, still in insertion order.
+TEST(EventQueue, PropertyZeroDelayChainsKeepFifoOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  int next_id = 100;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1, [&q, &fired, &next_id, i] {
+      fired.push_back(i);
+      const int child = next_id++;
+      q.schedule_after(0, [&fired, child] { fired.push_back(child); });
+    });
+  }
+  q.run();
+  ASSERT_EQ(fired.size(), 20u);
+  // First the ten originals in order, then the ten children in spawn order.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(10 + i)], 100 + i);
+  }
+}
+
+TEST(InlineFn, InvokesAndMoves) {
+  int hits = 0;
+  InlineFn<void()> f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+  InlineFn<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  g();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = token;
+  {
+    InlineFn<int()> f = [token] { return *token; };
+    token.reset();
+    EXPECT_FALSE(alive.expired());  // the capture keeps it alive
+    InlineFn<int()> g = std::move(f);
+    EXPECT_EQ(g(), 7);
+  }
+  EXPECT_TRUE(alive.expired());  // destroyed with the wrapper, no leak
+}
+
+TEST(InlineFn, ReturnsValuesAndTakesArguments) {
+  InlineFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
 }
 
 TEST(Delay, FixedIsConstant) {

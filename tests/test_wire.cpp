@@ -307,6 +307,68 @@ TEST(Network, StrictModeAbortsOnOversize) {
   f.net.send(0, 1, Message::app_payload(64), [] {});
 }
 
+// ---- size-only encoding path ------------------------------------------------
+//
+// encoded_bits() (the BitCounter pass used by release-build accounting) must
+// agree with encode().bits (the byte-materializing pass) EXACTLY, for every
+// message kind, across the full field ranges — one bit of drift and the
+// release build charges different sizes than the debug build measures.
+
+// Mixed-magnitude draws: small values and full-width values both matter for
+// gamma/varint length boundaries.  Gamma-encoded fields cap at 2^62 - 1.
+std::uint64_t fuzz_value(Rng& rng) {
+  return rng.next() >> rng.uniform(0, 63);
+}
+std::uint64_t fuzz_gamma(Rng& rng) {
+  return rng.next() >> rng.uniform(2, 63);
+}
+
+void expect_size_only_path_matches(const Message& m) {
+  const Encoded enc = m.encode();
+  EXPECT_EQ(m.encoded_bits(), enc.bits) << m.str();
+  // And the round trip still holds, so both passes describe a real message.
+  EXPECT_EQ(Message::decode(enc), m) << m.str();
+}
+
+TEST(Wire, EncodedBitsMatchesEncodeForEveryKindFuzzed) {
+  Rng rng(0xC0DE);
+  bool saw_kind[static_cast<std::size_t>(MsgKind::kKindCount__)] = {};
+  auto cover = [&saw_kind](const Message& m) {
+    saw_kind[static_cast<std::size_t>(m.kind())] = true;
+    expect_size_only_path_matches(m);
+    return m;
+  };
+  for (int i = 0; i < 500; ++i) {
+    cover(Message::agent_hop(fuzz_value(rng), fuzz_gamma(rng),
+                             fuzz_gamma(rng),
+                             static_cast<std::uint32_t>(rng.uniform(0, 1u << 20)),
+                             static_cast<std::uint8_t>(rng.uniform(0, 7)),
+                             rng.chance(0.5)));
+    cover(Message::reject_wave());
+    cover(Message::control(static_cast<ControlTopic>(rng.uniform(0, 3)),
+                           fuzz_gamma(rng)));
+    cover(Message::data_move(fuzz_gamma(rng)));
+    cover(Message::app_value(static_cast<AppTopic>(rng.uniform(0, 1)),
+                             fuzz_value(rng)));
+    cover(Message::app_payload(rng.uniform(0, 300)));  // covers kMetered
+    // Channel frames: a data frame wrapping a random inner message (the
+    // payload is an embedded Encoded, the case put_encoded must count
+    // bit-exactly), and a bare cumulative ack.
+    const Message inner =
+        rng.chance(0.5)
+            ? Message::agent_hop(fuzz_value(rng), fuzz_gamma(rng),
+                                 fuzz_gamma(rng), 3, 2, true)
+            : Message::app_value(AppTopic::kReport, fuzz_value(rng));
+    cover(Message::channel_data(fuzz_gamma(rng), inner));
+    cover(Message::channel_ack(fuzz_gamma(rng)));
+  }
+  for (std::size_t k = 0; k < static_cast<std::size_t>(MsgKind::kKindCount__);
+       ++k) {
+    EXPECT_TRUE(saw_kind[k]) << "kind not fuzzed: "
+                             << msg_kind_name(static_cast<MsgKind>(k));
+  }
+}
+
 #ifndef NDEBUG
 TEST(Network, LinkCheckRejectsOffTreeSends) {
   NetFixture f;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare a perf_suite run report against a committed baseline.
+
+usage: check_bench.py --baseline BENCH_perf.json --current report.json
+                      [--tolerance 0.25]
+
+Directional comparison of the perf.* metric family:
+
+  * throughput gauges (``*_per_sec``) must not fall below
+    baseline * (1 - tolerance);
+  * cost gauges (``*allocs_per_event``, ``*ns_per_event*``) must not rise
+    above baseline * (1 + tolerance), with a small absolute floor so a
+    zero-allocation baseline does not make any nonzero value an infinite
+    regression;
+  * the workload-shape counters (``perf.events``, ``perf.sends``, and the
+    per-phase variants) must match the baseline EXACTLY — the suite's
+    workloads are deterministic, so a drifted count means the comparison is
+    between different workloads and the rate columns are meaningless.
+
+Improvements (faster, fewer allocations) always pass; the expectation is
+that a genuine speedup is followed by re-committing the baseline.  Exits
+nonzero listing every violation.  Used by the CI perf-smoke job.
+"""
+
+import argparse
+import json
+import sys
+
+# Absolute slack added to cost comparisons: allows a baseline of exactly 0
+# allocs/event to tolerate measurement jitter (e.g. a one-off lazy init
+# landing inside the timed region) without passing real per-event leaks.
+ABS_COST_FLOOR = {
+    "allocs_per_event": 0.01,   # allocations per event
+    "ns_per_event": 150.0,      # nanoseconds; scheduler noise moves p99 by
+                                # O(100ns) between runs on a busy host
+}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = report.get("metrics", {})
+    return {
+        "counters": {k: v for k, v in metrics.get("counters", {}).items()
+                     if k.startswith("perf.")},
+        "gauges": {k: v for k, v in metrics.get("gauges", {}).items()
+                   if k.startswith("perf.")},
+    }
+
+
+def cost_floor(name: str) -> float:
+    for key, slack in ABS_COST_FLOOR.items():
+        if key in name:
+            return slack
+    return 0.0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if not base["gauges"]:
+        print(f"check_bench: {args.baseline} has no perf.* gauges",
+              file=sys.stderr)
+        sys.exit(2)
+
+    errors = []
+    checked = 0
+
+    # Workload shape: exact match (deterministic suite).
+    for name, expected in sorted(base["counters"].items()):
+        actual = cur["counters"].get(name)
+        if actual is None:
+            errors.append(f"counter {name} missing from current report")
+        elif actual != expected:
+            errors.append(f"counter {name}: {actual} != baseline {expected} "
+                          f"(workload drifted; rates are not comparable)")
+        else:
+            checked += 1
+
+    tol = args.tolerance
+    for name, expected in sorted(base["gauges"].items()):
+        actual = cur["gauges"].get(name)
+        if actual is None:
+            errors.append(f"gauge {name} missing from current report")
+            continue
+        if name.endswith("_per_sec"):
+            limit = expected * (1.0 - tol)
+            if actual < limit:
+                errors.append(
+                    f"{name}: {actual:.0f} < {limit:.0f} "
+                    f"(baseline {expected:.0f} - {tol:.0%}): regression")
+            else:
+                checked += 1
+        else:  # cost metric: lower is better
+            limit = expected * (1.0 + tol) + cost_floor(name)
+            if actual > limit:
+                errors.append(
+                    f"{name}: {actual:.3f} > {limit:.3f} "
+                    f"(baseline {expected:.3f} + {tol:.0%}): regression")
+            else:
+                checked += 1
+
+    if errors:
+        for e in errors:
+            print(f"check_bench: {e}", file=sys.stderr)
+        print(f"check_bench: {len(errors)} regression(s) vs {args.baseline} "
+              f"(tolerance {tol:.0%})", file=sys.stderr)
+        sys.exit(1)
+
+    ev = cur["gauges"].get("perf.events_per_sec", 0.0)
+    base_ev = base["gauges"].get("perf.events_per_sec", 0.0)
+    ratio = ev / base_ev if base_ev else float("nan")
+    print(f"check_bench: {checked} metrics within {tol:.0%} of "
+          f"{args.baseline} (headline {ev:.0f} events/sec, "
+          f"{ratio:.2f}x baseline)")
+
+
+if __name__ == "__main__":
+    main()

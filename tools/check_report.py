@@ -7,9 +7,11 @@ Checks the fixed schema (every key of obs::RunReport is always present) and,
 for each counter named on the command line, that it exists and is nonzero.
 Also cross-validates the fault/reliability metric families whenever they
 appear (a report must not claim retransmissions on a loss-free transport,
-nor more watchdog completions than arms), and — when the exp17 per-rate
-gauges are present — that the measured reliability overhead is monotone in
-the drop rate.  Exits nonzero with a message on the first violation; prints
+nor more watchdog completions than arms), the perf.* family written by
+bench/perf_suite (rates positive, percentiles ordered, per-phase event
+counts summing to the total), and — when the exp17 per-rate gauges are
+present — that the measured reliability overhead is monotone in the drop
+rate.  Exits nonzero with a message on the first violation; prints
 a one-line summary on success.  Used by the CI metrics-smoke and
 chaos-smoke jobs.
 """
@@ -53,6 +55,43 @@ def check_fault_families(path: str, counters: dict) -> None:
              f"duplicates + retransmits")
     if get("watchdog.completed") > get("watchdog.armed"):
         fail(f"{path}: watchdog.completed > watchdog.armed")
+
+
+def check_perf_family(path: str, counters: dict, gauges: dict) -> None:
+    """Consistency of the perf.* family written by bench/perf_suite: rates
+    and percentiles must be positive finite numbers, per-phase event counts
+    must sum to the total, and the headline gauges must agree in sign with
+    the phase gauges they are derived from."""
+    perf_counters = {k: v for k, v in counters.items() if k.startswith("perf.")}
+    perf_gauges = {k: v for k, v in gauges.items() if k.startswith("perf.")}
+    if not perf_counters and not perf_gauges:
+        return  # not a perf report
+    for name, value in perf_counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter '{name}' = {value!r} is not a "
+                 f"non-negative integer")
+    for name, value in perf_gauges.items():
+        if not isinstance(value, (int, float)) or value != value or value < 0:
+            fail(f"{path}: gauge '{name}' = {value!r} is not a "
+                 f"non-negative number")
+    for required in ("perf.events_per_sec", "perf.allocs_per_event",
+                     "perf.ns_per_event_p50", "perf.ns_per_event_p99"):
+        if required not in perf_gauges:
+            fail(f"{path}: perf report lacks gauge '{required}'")
+    if perf_gauges["perf.events_per_sec"] <= 0:
+        fail(f"{path}: perf.events_per_sec is not positive")
+    if (perf_gauges["perf.ns_per_event_p99"] <
+            perf_gauges["perf.ns_per_event_p50"]):
+        fail(f"{path}: perf percentiles inverted (p99 < p50)")
+    phase_events = sum(v for k, v in perf_counters.items()
+                       if k.endswith(".events") and k != "perf.events")
+    total = perf_counters.get("perf.events", 0)
+    if phase_events and total and phase_events != total:
+        fail(f"{path}: per-phase perf.<phase>.events sum to {phase_events} "
+             f"but perf.events = {total}")
+    print(f"check_report: perf family ok "
+          f"({perf_gauges['perf.events_per_sec']:.0f} events/sec, "
+          f"{perf_gauges['perf.allocs_per_event']:.3f} allocs/event)")
 
 
 def check_exp17_monotone(path: str, gauges: dict) -> None:
@@ -113,6 +152,7 @@ def main() -> None:
 
     counters = metrics["counters"]
     check_fault_families(path, counters)
+    check_perf_family(path, counters, metrics["gauges"])
     check_exp17_monotone(path, metrics["gauges"])
     for name in sys.argv[2:]:
         if name not in counters:
