@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +21,8 @@
 #include "obs/net_adapter.hpp"
 #include "obs/report.hpp"
 #include "sim/network.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dyncon::bench {
 
@@ -112,26 +116,34 @@ inline std::string fp(double v, int prec = 2) {
 ///   }
 ///
 /// The constructor installs a fresh metrics registry (so every obs::count in
-/// the library lands here) and parses `--metrics-out=<path>` (also the
-/// two-token `--metrics-out <path>` spelling).  The destructor writes the
-/// run-report JSON — params, counters/gauges, histograms, accumulated
-/// NetStats, wall time — to that path; with no flag it only prints tables,
-/// exactly as before.
+/// the library lands here) and parses the standard bench flags:
+///
+///   --metrics-out=<path>   write the run-report JSON on exit
+///   --jobs=<N>             worker threads for parallel sweeps
+///                          (default: hardware concurrency; 1 = serial)
+///   --base-seed=<S>        override every sweep's built-in base seed
+///
+/// (each also accepts the two-token `--flag value` spelling).  The
+/// destructor writes the run-report JSON — params, counters/gauges,
+/// histograms, accumulated NetStats, wall time — to that path; with no
+/// flag it only prints tables, exactly as before.  Sweeps executed through
+/// `parallel_sweep` produce byte-identical tables and reports at any
+/// --jobs value: parallelism changes wall-clock time only.
 class Run {
  public:
   Run(std::string name, int argc, char** argv)
       : report_(std::move(name)),
         scoped_(registry_),
         start_(std::chrono::steady_clock::now()) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      constexpr std::string_view kFlag = "--metrics-out";
-      if (arg.rfind(kFlag, 0) != 0) continue;
-      if (arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
-        out_path_ = std::string(arg.substr(kFlag.size() + 1));
-      } else if (arg == kFlag && i + 1 < argc) {
-        out_path_ = argv[++i];
-      }
+    if (const auto p = util::flag_value(argc, argv, "--metrics-out")) {
+      out_path_ = *p;
+    }
+    jobs_ = static_cast<unsigned>(util::flag_u64(
+        argc, argv, "--jobs", util::ThreadPool::hardware_jobs()));
+    if (jobs_ == 0) jobs_ = 1;
+    if (util::flag_present(argc, argv, "--base-seed")) {
+      base_seed_override_ = util::flag_u64(argc, argv, "--base-seed", 0);
+      report_.set_param("base_seed", obs::json::Value(*base_seed_override_));
     }
     current_ = this;
   }
@@ -168,12 +180,27 @@ class Run {
 
   /// Fold one simulated network's cumulative totals into the report.  Call
   /// once per Network, after its workload ran (NetStats is cumulative).
-  void net(const sim::NetStats& st) { net_.merge(st); }
+  /// Thread-safe: sweep points running on pool workers call this through
+  /// note_net; NetStats::merge is sums and maxes, so the result is
+  /// independent of arrival order.
+  void net(const sim::NetStats& st) {
+    std::scoped_lock lock(net_mu_);
+    net_.merge(st);
+  }
 
   /// Static spelling of net() for helpers that construct networks far from
   /// main(); a no-op when no Run is alive (plain table-only invocation).
   static void note_net(const sim::NetStats& st) {
-    if (current_ != nullptr) current_->net_.merge(st);
+    if (current_ != nullptr) current_->net(st);
+  }
+
+  /// Worker threads for parallel sweeps (--jobs; >= 1).
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// The sweep's base seed: the --base-seed override when given, else the
+  /// bench's built-in default (so default output is unchanged).
+  [[nodiscard]] std::uint64_t base_seed(std::uint64_t fallback) const {
+    return base_seed_override_.value_or(fallback);
   }
 
   [[nodiscard]] obs::Registry& registry() { return registry_; }
@@ -184,10 +211,48 @@ class Run {
   obs::Registry registry_;
   obs::ScopedMetrics scoped_;  // installs registry_; order matters
   sim::NetStats net_;
+  std::mutex net_mu_;
   std::string out_path_;
+  unsigned jobs_ = 1;
+  std::optional<std::uint64_t> base_seed_override_;
   std::chrono::steady_clock::time_point start_;
 
   inline static Run* current_ = nullptr;  // one Run per bench binary
 };
+
+/// Deterministic parallel sweep: run fn(i) for every point i in [0, points)
+/// across up to `jobs` pool workers.  Each point executes with its OWN
+/// freshly-constructed obs::Registry installed on its worker thread
+/// (shared-nothing — library instrumentation lands in the point's registry,
+/// not the Run's), and after all points finish the per-point registries are
+/// merged into the calling thread's installed registry in point order.
+///
+/// Contract for fn: write results only into pre-sized, per-index slots (no
+/// printing, no shared mutable state except Run::note_net, which is
+/// thread-safe); print the collected rows afterwards, in point order.
+/// Under that contract stdout and the metrics report are byte-identical
+/// for every jobs value, including jobs=1 — which runs inline with no
+/// threads but through this same registry plumbing.
+///
+/// Counter/histogram merging is commutative; gauge merging is additive and
+/// reduced in point order, so even floating-point sums are deterministic.
+template <typename Fn>
+inline void parallel_sweep(std::size_t points, unsigned jobs, Fn&& fn) {
+  std::vector<obs::Registry> point_regs(points);
+  util::for_each_index(
+      points, jobs, [&](std::uint64_t i) {
+        obs::ScopedMetrics scope(point_regs[static_cast<std::size_t>(i)]);
+        fn(static_cast<std::size_t>(i));
+      });
+  if (obs::Registry* main = obs::metrics()) {
+    for (const obs::Registry& r : point_regs) main->merge(r);
+  }
+}
+
+/// parallel_sweep with the Run's --jobs value.
+template <typename Fn>
+inline void parallel_sweep(Run& run, std::size_t points, Fn&& fn) {
+  parallel_sweep(points, run.jobs(), std::forward<Fn>(fn));
+}
 
 }  // namespace dyncon::bench

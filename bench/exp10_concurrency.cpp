@@ -6,6 +6,10 @@
 // mix fully serialized vs in bursts of growing width, across delay
 // adversaries, and report messages per request plus the end-to-end
 // simulated-time speedup concurrency buys.
+//
+// The (delay, burst) grid runs as a parallel sweep; each point is an
+// independent seeded simulation, and the burst=1 point doubles as the
+// serial baseline for its delay adversary.
 
 #include "bench_util.hpp"
 #include "core/distributed_controller.hpp"
@@ -18,16 +22,16 @@ using namespace dyncon::bench;
 namespace {
 
 struct RunStats {
-  std::uint64_t messages;
-  std::uint64_t granted;
-  SimTime makespan;
+  std::uint64_t messages = 0;
+  std::uint64_t granted = 0;
+  SimTime makespan = 0;
 };
 
-RunStats run(sim::DelayKind kind, std::uint64_t burst) {
+RunStats run(sim::DelayKind kind, std::uint64_t burst, std::uint64_t seed) {
   const std::uint64_t n = 512, reqs = 256;
-  Rng rng(53);
+  Rng rng(seed);
   sim::EventQueue queue;
-  sim::Network net(queue, sim::make_delay(kind, 59));
+  sim::Network net(queue, sim::make_delay(kind, seed + 6));
   tree::DynamicTree t;
   workload::build(t, workload::Shape::kCaterpillar, n, rng);
   DistributedController::Options opts;
@@ -35,7 +39,7 @@ RunStats run(sim::DelayKind kind, std::uint64_t burst) {
   DistributedController ctrl(net, t, Params(reqs, reqs / 2, 2 * n), opts);
   const auto nodes = t.alive_nodes();
   std::uint64_t granted = 0;
-  Rng pick(61);
+  Rng pick(seed + 8);
   std::uint64_t remaining = reqs;
   while (remaining > 0) {
     const std::uint64_t k = std::min(burst, remaining);
@@ -56,18 +60,30 @@ RunStats run(sim::DelayKind kind, std::uint64_t burst) {
 
 int main(int argc, char** argv) {
   bench::Run report_run("exp10", argc, argv);
+  const std::uint64_t seed = report_run.base_seed(53);
   banner("EXP10: concurrency, locks and schedule independence");
 
-  for (sim::DelayKind kind :
-       {sim::DelayKind::kFixed, sim::DelayKind::kUniform,
-        sim::DelayKind::kBiased}) {
-    subhead(std::string("delay adversary = ") + sim::delay_kind_name(kind));
+  const std::vector<sim::DelayKind> kinds = {
+      sim::DelayKind::kFixed, sim::DelayKind::kUniform,
+      sim::DelayKind::kBiased};
+  const std::vector<std::uint64_t> bursts = {1, 4, 16, 64, 256};
+
+  std::vector<RunStats> points(kinds.size() * bursts.size());
+  parallel_sweep(report_run, points.size(), [&](std::size_t i) {
+    points[i] = run(kinds[i / bursts.size()], bursts[i % bursts.size()],
+                    seed);
+  });
+
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    subhead(std::string("delay adversary = ") +
+            sim::delay_kind_name(kinds[k]));
     Table tab({"burst width", "granted", "messages", "msgs/request",
                "makespan (ticks)", "speedup vs serial"});
-    const RunStats serial = run(kind, 1);
-    for (std::uint64_t burst : {1u, 4u, 16u, 64u, 256u}) {
-      const RunStats s = run(kind, burst);
-      tab.row({num(burst), num(s.granted), num(s.messages),
+    // burst=1 is the first point of this adversary's row block.
+    const RunStats& serial = points[k * bursts.size()];
+    for (std::size_t j = 0; j < bursts.size(); ++j) {
+      const RunStats& s = points[k * bursts.size() + j];
+      tab.row({num(bursts[j]), num(s.granted), num(s.messages),
                fp(static_cast<double>(s.messages) / 256.0, 1),
                num(s.makespan),
                fp(static_cast<double>(serial.makespan) /

@@ -8,6 +8,9 @@
 // scales psi and measures both sides of the trade: total move complexity
 // and the leftover (stranded) permits at exhaustion, against the waste
 // budget the analysis promises.
+//
+// The psi points are independent seeded runs executed as a parallel
+// sweep; the table prints afterwards in point order.
 
 #include "bench_util.hpp"
 #include "core/centralized_controller.hpp"
@@ -17,8 +20,38 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
+namespace {
+
+struct Point {
+  std::uint64_t psi = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t stranded = 0;
+};
+
+Point measure(std::uint64_t sn, std::uint64_t sd, std::uint64_t n,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kPath, n, rng);
+  const Params params = Params(n, n / 2, 2 * n).with_psi_scale(sn, sd);
+  CentralizedController::Options opts;
+  opts.mode = CentralizedController::Mode::kExhaustSignal;
+  opts.track_domains = false;
+  CentralizedController ctrl(t, params, opts);
+  const auto nodes = t.alive_nodes();
+  while (!ctrl.exhausted()) {
+    ctrl.request_event(nodes[rng.index(nodes.size())]);
+  }
+  return {params.psi(), ctrl.cost(), ctrl.permits_granted(),
+          ctrl.unused_permits()};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Run run("exp11", argc, argv);
+  const std::uint64_t seed = run.base_seed(67);
   banner("EXP11: ablation of the distance scale psi");
   const std::uint64_t n = 2048;
   const std::uint64_t M = n, W = n / 2;
@@ -28,32 +61,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(M),
               static_cast<unsigned long long>(W));
 
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> scales = {
+      {1, 8}, {1, 4}, {1, 2}, {1, 1}, {2, 1}, {4, 1}};
+  std::vector<Point> points(scales.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] = measure(scales[i].first, scales[i].second, n, seed);
+  });
+
   Table tab({"psi scale", "psi", "moves at exhaust", "granted",
              "stranded permits", "W budget", "within W?"});
-  for (auto [sn, sd] : {std::pair<std::uint64_t, std::uint64_t>{1, 8},
-                          {1, 4},
-                          {1, 2},
-                          {1, 1},
-                          {2, 1},
-                          {4, 1}}) {
-    Rng rng(67);
-    tree::DynamicTree t;
-    workload::build(t, workload::Shape::kPath, n, rng);
-    const Params params =
-        Params(M, W, 2 * n).with_psi_scale(sn, sd);
-    CentralizedController::Options opts;
-    opts.mode = CentralizedController::Mode::kExhaustSignal;
-    opts.track_domains = false;
-    CentralizedController ctrl(t, params, opts);
-    const auto nodes = t.alive_nodes();
-    while (!ctrl.exhausted()) {
-      ctrl.request_event(nodes[rng.index(nodes.size())]);
-    }
-    const std::uint64_t stranded = ctrl.unused_permits();
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const auto [sn, sd] = scales[i];
+    const Point& p = points[i];
     tab.row({fp(static_cast<double>(sn) / static_cast<double>(sd), 3),
-             num(params.psi()), num(ctrl.cost()),
-             num(ctrl.permits_granted()), num(stranded), num(W),
-             stranded <= W ? "yes" : "NO (analysis voided)"});
+             num(p.psi), num(p.moves), num(p.granted), num(p.stranded),
+             num(W), p.stranded <= W ? "yes" : "NO (analysis voided)"});
   }
   tab.print();
   std::printf("\nreading: the paper's psi (scale 1) keeps stranded permits "

@@ -9,6 +9,8 @@
 // that no kind's messages outgrow the Lemma 4.5 budget.  Strict mode is
 // armed, so an oversized message aborts the bench instead of skewing a
 // column.
+//
+// Churn models are independent seeded runs executed as a parallel sweep.
 
 #include "bench_util.hpp"
 #include "core/distributed_iterated.hpp"
@@ -19,47 +21,71 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
+namespace {
+
+struct Point {
+  std::uint64_t requests = 0;
+  sim::NetStats st;
+};
+
+Point measure(workload::ChurnModel model, std::uint64_t U,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kUniform,
+                                          seed + 2));
+  net.set_strict_max_bits(sim::size_envelope_bits(U));
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, 128, rng);
+  const std::uint64_t M = 600;
+  DistributedIterated::Options opts;
+  opts.track_domains = false;
+  DistributedIterated ctrl(net, t, M, /*W=*/1, U, opts);
+  workload::ChurnGenerator churn(model, Rng(seed + 8));
+  Point out;
+  for (int i = 0; i < 900; ++i) {
+    if (t.size() < 4) break;
+    ++out.requests;
+    ctrl.submit(churn.next(t), [](const Result&) {});
+    if (i % 8 == 7) queue.run();
+  }
+  queue.run();
+  out.st = net.stats();
+  bench::Run::note_net(out.st);
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Run run("exp13", argc, argv);
+  const std::uint64_t seed = run.base_seed(71);
   banner("EXP13: message-kind breakdown of the distributed controller");
 
   const std::uint64_t U = 4096;
+  const auto models = workload::all_churn_models();
+  std::vector<Point> points(models.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] = measure(models[i], U, seed);
+  });
+
   Table tab({"churn", "requests", "total msgs", "agent%", "reject%",
              "control%", "datamove%", "agent max", "control max",
              "datamove max", "envelope"});
-  for (auto model : workload::all_churn_models()) {
-    Rng rng(71);
-    sim::EventQueue queue;
-    sim::Network net(queue, sim::make_delay(sim::DelayKind::kUniform, 73));
-    net.set_strict_max_bits(sim::size_envelope_bits(U));
-    tree::DynamicTree t;
-    workload::build(t, workload::Shape::kRandomAttach, 128, rng);
-    const std::uint64_t M = 600;
-    DistributedIterated::Options opts;
-    opts.track_domains = false;
-    DistributedIterated ctrl(net, t, M, /*W=*/1, U, opts);
-    workload::ChurnGenerator churn(model, Rng(79));
-    std::uint64_t requests = 0;
-    for (int i = 0; i < 900; ++i) {
-      if (t.size() < 4) break;
-      ++requests;
-      ctrl.submit(churn.next(t), [](const Result&) {});
-      if (i % 8 == 7) queue.run();
-    }
-    queue.run();
-    const auto& st = net.stats();
-    const double total = static_cast<double>(st.messages);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const Point& p = points[i];
+    const double total = static_cast<double>(p.st.messages);
     auto pct = [&](sim::MsgKind k) {
-      return fp(100.0 * static_cast<double>(st.kind(k)) / total, 1);
+      return fp(100.0 * static_cast<double>(p.st.kind(k)) / total, 1);
     };
-    tab.row({workload::churn_name(model), num(requests), num(st.messages),
-             pct(sim::MsgKind::kAgent), pct(sim::MsgKind::kReject),
-             pct(sim::MsgKind::kControl), pct(sim::MsgKind::kDataMove),
-             num(st.kind_max_bits(sim::MsgKind::kAgent)),
-             num(st.kind_max_bits(sim::MsgKind::kControl)),
-             num(st.kind_max_bits(sim::MsgKind::kDataMove)),
+    tab.row({workload::churn_name(models[i]), num(p.requests),
+             num(p.st.messages), pct(sim::MsgKind::kAgent),
+             pct(sim::MsgKind::kReject), pct(sim::MsgKind::kControl),
+             pct(sim::MsgKind::kDataMove),
+             num(p.st.kind_max_bits(sim::MsgKind::kAgent)),
+             num(p.st.kind_max_bits(sim::MsgKind::kControl)),
+             num(p.st.kind_max_bits(sim::MsgKind::kDataMove)),
              num(sim::size_envelope_bits(U))});
-    bench::Run::note_net(st);
   }
   tab.print();
   std::printf("\nshape check: agent hops dominate; the reject flood is a "

@@ -15,6 +15,9 @@
 //
 // That is exactly the paper's log(M/(W+1)) message-complexity factor,
 // read as a head-to-head.
+//
+// The (budget, R) grid runs as a parallel sweep of independent seeded
+// simulations; tables print afterwards in point order.
 
 #include "bench_util.hpp"
 #include "core/distributed_controller.hpp"
@@ -24,43 +27,70 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
+namespace {
+
+struct Point {
+  std::uint64_t trivial = 0;
+  std::uint64_t controller = 0;
+};
+
+Point measure(bool generous, std::uint64_t R, std::uint64_t n,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kFixed, 1));
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kPath, n, rng);
+  DistributedController::Options opts;
+  opts.track_domains = false;
+  const std::uint64_t W = generous ? 4 * n : 1;
+  DistributedController ctrl(net, t, Params(2 * R + 4, W, 2 * n), opts);
+  DistributedSyncFacade facade(queue, ctrl);
+  const auto nodes = t.alive_nodes();
+  Point out;
+  for (std::uint64_t i = 0; i < R; ++i) {
+    const NodeId u = nodes[rng.index(nodes.size())];
+    out.trivial += 2 * t.depth(u);
+    facade.request_event(u);
+  }
+  out.controller = ctrl.messages_used();
+  bench::Run::note_net(net.stats());
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Run run("exp14", argc, argv);
+  const std::uint64_t seed = run.base_seed(83);
   banner("EXP14: demand-density crossover vs per-request round trips");
   const std::uint64_t n = 1024;
   std::printf("path of %llu nodes; R uniform random requests; trivial = "
               "2 * depth(u) messages per request\n",
               static_cast<unsigned long long>(n));
 
-  for (const bool generous : {true, false}) {
-    subhead(generous ? "generous waste budget (W = 4n: phi = 2, small psi)"
-                     : "tight waste budget (W = 1: phi = 1, huge psi)");
+  const std::vector<bool> budgets = {true, false};
+  const std::vector<std::uint64_t> demands = {n / 16, n / 4, n, 4 * n};
+  std::vector<Point> points(budgets.size() * demands.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] = measure(budgets[i / demands.size()],
+                        demands[i % demands.size()], n, seed);
+  });
+
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    subhead(budgets[b]
+                ? "generous waste budget (W = 4n: phi = 2, small psi)"
+                : "tight waste budget (W = 1: phi = 1, huge psi)");
     Table tab({"R", "R/n", "trivial msgs", "controller msgs", "ratio",
                "winner"});
-    for (std::uint64_t R : {n / 16, n / 4, n, 4 * n}) {
-      Rng rng(83);
-      sim::EventQueue queue;
-      sim::Network net(queue, sim::make_delay(sim::DelayKind::kFixed, 1));
-      tree::DynamicTree t;
-      workload::build(t, workload::Shape::kPath, n, rng);
-      DistributedController::Options opts;
-      opts.track_domains = false;
-      const std::uint64_t W = generous ? 4 * n : 1;
-      DistributedController ctrl(net, t, Params(2 * R + 4, W, 2 * n), opts);
-      DistributedSyncFacade facade(queue, ctrl);
-      const auto nodes = t.alive_nodes();
-      std::uint64_t trivial = 0;
-      for (std::uint64_t i = 0; i < R; ++i) {
-        const NodeId u = nodes[rng.index(nodes.size())];
-        trivial += 2 * t.depth(u);
-        facade.request_event(u);
-      }
-      const double ratio = static_cast<double>(trivial) /
-                           static_cast<double>(ctrl.messages_used());
+    for (std::size_t j = 0; j < demands.size(); ++j) {
+      const std::uint64_t R = demands[j];
+      const Point& p = points[b * demands.size() + j];
+      const double ratio = static_cast<double>(p.trivial) /
+                           static_cast<double>(p.controller);
       tab.row({num(R), fp(static_cast<double>(R) / static_cast<double>(n)),
-               num(trivial), num(ctrl.messages_used()), fp(ratio),
+               num(p.trivial), num(p.controller), fp(ratio),
                ratio > 1.0 ? "controller" : "trivial"});
-      bench::Run::note_net(net.stats());
     }
     tab.print();
   }

@@ -2,6 +2,9 @@
 // Appendix A): message complexity per change under growth, for both
 // rotation policies, with the parallel counting controller's overhead
 // broken out against the main controller's traffic.
+//
+// The (policy, churn) grid runs as a parallel sweep of independent seeded
+// simulations; tables print afterwards in point order.
 
 #include <cmath>
 
@@ -17,24 +20,25 @@ using namespace dyncon::bench;
 namespace {
 
 struct Row {
-  std::uint64_t msgs;
-  std::uint64_t granted;
-  std::uint64_t iters;
-  std::uint64_t n_final;
+  std::uint64_t msgs = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t iters = 0;
+  std::uint64_t n_final = 0;
 };
 
 Row run(DistributedAdaptive::Policy policy, workload::ChurnModel model,
-        std::uint64_t n0, std::uint64_t steps) {
-  Rng rng(89);
+        std::uint64_t n0, std::uint64_t steps, std::uint64_t seed) {
+  Rng rng(seed);
   sim::EventQueue queue;
-  sim::Network net(queue, sim::make_delay(sim::DelayKind::kUniform, 91));
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kUniform,
+                                          seed + 2));
   tree::DynamicTree t;
   workload::build(t, workload::Shape::kRandomAttach, n0, rng);
   DistributedAdaptive::Options opts;
   opts.policy = policy;
   opts.track_domains = false;
   DistributedAdaptive ctrl(net, t, /*M=*/4 * steps, /*W=*/8, opts);
-  workload::ChurnGenerator churn(model, Rng(97));
+  workload::ChurnGenerator churn(model, Rng(seed + 8));
   std::uint64_t granted = 0;
   for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
     ctrl.submit(churn.next(t), [&](const Result& r) {
@@ -51,27 +55,38 @@ Row run(DistributedAdaptive::Policy policy, workload::ChurnModel model,
 
 int main(int argc, char** argv) {
   bench::Run report_run("exp15", argc, argv);
+  const std::uint64_t seed = report_run.base_seed(89);
   banner("EXP15: distributed unknown-U controller (Thm 4.9 / App. A)");
 
-  for (auto policy : {DistributedAdaptive::Policy::kChangeCount,
-                      DistributedAdaptive::Policy::kSizeDoubling}) {
-    subhead(policy == DistributedAdaptive::Policy::kChangeCount
+  const std::vector<DistributedAdaptive::Policy> policies = {
+      DistributedAdaptive::Policy::kChangeCount,
+      DistributedAdaptive::Policy::kSizeDoubling};
+  const std::vector<workload::ChurnModel> models = {
+      workload::ChurnModel::kGrowOnly, workload::ChurnModel::kBirthDeath,
+      workload::ChurnModel::kInternalChurn,
+      workload::ChurnModel::kFlashCrowd};
+  const std::uint64_t n0 = 128, steps = 1024;
+
+  std::vector<Row> points(policies.size() * models.size());
+  parallel_sweep(report_run, points.size(), [&](std::size_t i) {
+    points[i] = run(policies[i / models.size()], models[i % models.size()],
+                    n0, steps, seed);
+  });
+
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    subhead(policies[p] == DistributedAdaptive::Policy::kChangeCount
                 ? "policy: part 1 (U_i = 2 N_i, counter-triggered rotation)"
                 : "policy: part 2 (U_i = 2 max N)");
     Table tab({"churn", "n0", "steps", "n_final", "iters", "messages",
                "msgs/change", "/log^2 n"});
-    for (auto model :
-         {workload::ChurnModel::kGrowOnly, workload::ChurnModel::kBirthDeath,
-          workload::ChurnModel::kInternalChurn,
-          workload::ChurnModel::kFlashCrowd}) {
-      const std::uint64_t n0 = 128, steps = 1024;
-      const Row r = run(policy, model, n0, steps);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const Row& r = points[p * models.size() + m];
       const double per = static_cast<double>(r.msgs) /
                          static_cast<double>(std::max<std::uint64_t>(
                              r.granted, 1));
       const double lg = std::log2(static_cast<double>(
           std::max<std::uint64_t>(r.n_final, 4)));
-      tab.row({workload::churn_name(model), num(n0), num(steps),
+      tab.row({workload::churn_name(models[m]), num(n0), num(steps),
                num(r.n_final), num(r.iters), num(r.msgs), fp(per, 1),
                fp(per / (lg * lg), 3)});
     }

@@ -6,6 +6,9 @@
 // complexity, the normalized constant cost / (U log^2 U), and the empirical
 // log-log slope.  The shape to observe: the normalized constant stays flat
 // (or falls) while the trivial-controller yardstick in EXP3 grows linearly.
+//
+// The (shape, n) grid is a parallel sweep: every point is an independent
+// seeded run, so the table is byte-identical at any --jobs value.
 
 #include <cmath>
 
@@ -37,27 +40,40 @@ std::uint64_t flood(workload::Shape shape, std::uint64_t n,
 
 int main(int argc, char** argv) {
   bench::Run run("exp1", argc, argv);
-  run.param("seed", std::uint64_t{7});
+  const std::uint64_t seed = run.base_seed(7);
+  run.param("seed", seed);
   run.param("n_max", std::uint64_t{8192});
   banner("EXP1: centralized (M,W)-controller move complexity scaling");
   std::printf("claim: O(U log^2 U log(M/(W+1))); here W = M/2 so the log "
               "factor is 1\n");
 
-  for (workload::Shape shape :
-       {workload::Shape::kPath, workload::Shape::kRandomAttach,
-        workload::Shape::kCaterpillar}) {
-    subhead(std::string("shape = ") + workload::shape_name(shape));
+  const std::vector<workload::Shape> shapes = {
+      workload::Shape::kPath, workload::Shape::kRandomAttach,
+      workload::Shape::kCaterpillar};
+  const std::vector<std::uint64_t> sizes = {256, 512, 1024, 2048, 4096,
+                                            8192};
+
+  // One flattened (shape, n) grid; results land in per-point slots and the
+  // tables print after the sweep, in point order.
+  std::vector<std::uint64_t> cost(shapes.size() * sizes.size());
+  parallel_sweep(run, cost.size(), [&](std::size_t i) {
+    cost[i] = flood(shapes[i / sizes.size()], sizes[i % sizes.size()], seed);
+  });
+
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    subhead(std::string("shape = ") + workload::shape_name(shapes[s]));
     Table tab({"n", "moves", "moves/(U log^2 U)", "moves/n"});
     std::vector<double> xs, ys;
-    for (std::uint64_t n : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
-      const std::uint64_t cost = flood(shape, n, 7);
+    for (std::size_t j = 0; j < sizes.size(); ++j) {
+      const std::uint64_t n = sizes[j];
+      const std::uint64_t c = cost[s * sizes.size() + j];
       const double U = 2.0 * static_cast<double>(n);
       const double norm =
-          static_cast<double>(cost) / (U * std::log2(U) * std::log2(U));
-      tab.row({num(n), num(cost), fp(norm, 4),
-               fp(static_cast<double>(cost) / static_cast<double>(n), 1)});
+          static_cast<double>(c) / (U * std::log2(U) * std::log2(U));
+      tab.row({num(n), num(c), fp(norm, 4),
+               fp(static_cast<double>(c) / static_cast<double>(n), 1)});
       xs.push_back(static_cast<double>(n));
-      ys.push_back(static_cast<double>(cost));
+      ys.push_back(static_cast<double>(c));
     }
     tab.print();
     std::printf("empirical log-log slope: %.3f (1.0 = linear, 2.0 = "

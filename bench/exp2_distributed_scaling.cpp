@@ -6,6 +6,9 @@
 // walks at most ~4x each package-move distance, plus O(U) side terms), and
 // this holds for every message-delay schedule.  We run the same flood
 // through both and report the ratio per delay adversary.
+//
+// The (delay, n) grid is a parallel sweep of independent seeded runs;
+// tables and the metrics report are byte-identical at any --jobs value.
 
 #include "bench_util.hpp"
 #include "core/centralized_controller.hpp"
@@ -17,51 +20,79 @@ using namespace dyncon;
 using namespace dyncon::core;
 using namespace dyncon::bench;
 
+namespace {
+
+struct Point {
+  std::uint64_t cent_cost = 0;
+  std::uint64_t dist_messages = 0;
+  std::uint64_t max_message_bits = 0;
+  std::uint64_t tree_size = 0;
+};
+
+Point measure(sim::DelayKind kind, std::uint64_t n, std::uint64_t seed) {
+  const Params params(n, n / 2, 2 * n);
+
+  Rng rng_c(seed);
+  tree::DynamicTree tc;
+  workload::build(tc, workload::Shape::kPath, n, rng_c);
+  CentralizedController::Options copts;
+  copts.track_domains = false;
+  CentralizedController cent(tc, params, copts);
+
+  Rng rng_d(seed);
+  tree::DynamicTree td;
+  workload::build(td, workload::Shape::kPath, n, rng_d);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(kind, seed + 4));
+  DistributedController::Options dopts;
+  dopts.track_domains = false;
+  DistributedController dist(net, td, params, dopts);
+  DistributedSyncFacade facade(queue, dist);
+
+  Rng pick(seed + 4);
+  const auto nodes = td.alive_nodes();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const NodeId u = nodes[pick.index(nodes.size())];
+    cent.request_event(u);
+    facade.request_event(u);
+  }
+  bench::Run::note_net(net.stats());
+  return {cent.cost(), dist.messages_used(), net.stats().max_message_bits,
+          td.size()};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Run run("exp2", argc, argv);
+  const std::uint64_t seed = run.base_seed(13);
   banner("EXP2: distributed message complexity vs centralized moves");
   std::printf("claim (Lemma 4.5): messages <= ~4x centralized moves + O(U), "
               "independent of the delay schedule\n");
 
-  for (sim::DelayKind kind :
-       {sim::DelayKind::kFixed, sim::DelayKind::kUniform,
-        sim::DelayKind::kHeavyTail, sim::DelayKind::kBiased}) {
-    subhead(std::string("delay adversary = ") + sim::delay_kind_name(kind));
+  const std::vector<sim::DelayKind> kinds = {
+      sim::DelayKind::kFixed, sim::DelayKind::kUniform,
+      sim::DelayKind::kHeavyTail, sim::DelayKind::kBiased};
+  const std::vector<std::uint64_t> sizes = {128, 256, 512, 1024, 2048};
+
+  std::vector<Point> points(kinds.size() * sizes.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] =
+        measure(kinds[i / sizes.size()], sizes[i % sizes.size()], seed);
+  });
+
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    subhead(std::string("delay adversary = ") +
+            sim::delay_kind_name(kinds[k]));
     Table tab({"n", "central moves", "dist messages", "ratio",
                "max msg bits", "c*log2(N)"});
-    for (std::uint64_t n : {128u, 256u, 512u, 1024u, 2048u}) {
-      const Params params(n, n / 2, 2 * n);
-
-      Rng rng_c(13);
-      tree::DynamicTree tc;
-      workload::build(tc, workload::Shape::kPath, n, rng_c);
-      CentralizedController::Options copts;
-      copts.track_domains = false;
-      CentralizedController cent(tc, params, copts);
-
-      Rng rng_d(13);
-      tree::DynamicTree td;
-      workload::build(td, workload::Shape::kPath, n, rng_d);
-      sim::EventQueue queue;
-      sim::Network net(queue, sim::make_delay(kind, 17));
-      DistributedController::Options dopts;
-      dopts.track_domains = false;
-      DistributedController dist(net, td, params, dopts);
-      DistributedSyncFacade facade(queue, dist);
-
-      Rng pick(17);
-      const auto nodes = td.alive_nodes();
-      for (std::uint64_t i = 0; i < n; ++i) {
-        const NodeId u = nodes[pick.index(nodes.size())];
-        cent.request_event(u);
-        facade.request_event(u);
-      }
-      const double ratio = static_cast<double>(dist.messages_used()) /
-                           static_cast<double>(cent.cost());
-      tab.row({num(n), num(cent.cost()), num(dist.messages_used()),
-               fp(ratio), num(net.stats().max_message_bits),
-               num(4 * ceil_log2(td.size()))});
-      bench::Run::note_net(net.stats());
+    for (std::size_t j = 0; j < sizes.size(); ++j) {
+      const Point& p = points[k * sizes.size() + j];
+      const double ratio = static_cast<double>(p.dist_messages) /
+                           static_cast<double>(p.cent_cost);
+      tab.row({num(sizes[j]), num(p.cent_cost), num(p.dist_messages),
+               fp(ratio), num(p.max_message_bits),
+               num(4 * ceil_log2(p.tree_size))});
     }
     tab.print();
   }

@@ -37,37 +37,51 @@ std::uint64_t grow_to(Ctrl& ctrl, tree::DynamicTree& t, std::uint64_t n,
 
 int main(int argc, char** argv) {
   bench::Run run("exp3", argc, argv);
+  const std::uint64_t seed = run.base_seed(5);
   banner("EXP3: ours vs AAPS [4] vs trivial controller (grow-only)");
 
-  Table tab({"N", "trivial", "AAPS", "ours", "trivial/ours", "ours/AAPS"});
-  std::vector<double> ns, ct, ca, co;
-  for (std::uint64_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+  // Parallel sweep over N: each point grows the three controllers from the
+  // same seed; rows print after, in point order (--jobs invariant).
+  const std::vector<std::uint64_t> sizes = {256, 512, 1024, 2048, 4096};
+  struct Point {
+    std::uint64_t trivial = 0, aaps = 0, ours = 0;
+  };
+  std::vector<Point> points(sizes.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    const std::uint64_t n = sizes[i];
     const std::uint64_t budget = 16 * n;  // headroom over bin stranding
 
-    Rng r1(5);
+    Rng r1(seed);
     tree::DynamicTree t1;
     TrivialController trivial(t1, budget);
-    const std::uint64_t cost_t = grow_to(trivial, t1, n, r1);
+    points[i].trivial = grow_to(trivial, t1, n, r1);
 
-    Rng r2(5);
+    Rng r2(seed);
     tree::DynamicTree t2;
     AAPSController aaps(t2, budget, budget / 2, 2 * n);
-    const std::uint64_t cost_a = grow_to(aaps, t2, n, r2);
+    points[i].aaps = grow_to(aaps, t2, n, r2);
 
-    Rng r3(5);
+    Rng r3(seed);
     tree::DynamicTree t3;
     IteratedController::Options opts;
     opts.track_domains = false;
     IteratedController ours(t3, budget, budget / 2, 2 * n, opts);
-    const std::uint64_t cost_o = grow_to(ours, t3, n, r3);
+    points[i].ours = grow_to(ours, t3, n, r3);
+  });
 
-    tab.row({num(n), num(cost_t), num(cost_a), num(cost_o),
-             fp(static_cast<double>(cost_t) / static_cast<double>(cost_o)),
-             fp(static_cast<double>(cost_o) / static_cast<double>(cost_a))});
-    ns.push_back(static_cast<double>(n));
-    ct.push_back(static_cast<double>(cost_t));
-    ca.push_back(static_cast<double>(cost_a));
-    co.push_back(static_cast<double>(cost_o));
+  Table tab({"N", "trivial", "AAPS", "ours", "trivial/ours", "ours/AAPS"});
+  std::vector<double> ns, ct, ca, co;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Point& p = points[i];
+    tab.row({num(sizes[i]), num(p.trivial), num(p.aaps), num(p.ours),
+             fp(static_cast<double>(p.trivial) /
+                static_cast<double>(p.ours)),
+             fp(static_cast<double>(p.ours) /
+                static_cast<double>(p.aaps))});
+    ns.push_back(static_cast<double>(sizes[i]));
+    ct.push_back(static_cast<double>(p.trivial));
+    ca.push_back(static_cast<double>(p.aaps));
+    co.push_back(static_cast<double>(p.ours));
   }
   tab.print();
   std::printf("\nlog-log slopes:  trivial=%.2f  AAPS=%.2f  ours=%.2f\n",

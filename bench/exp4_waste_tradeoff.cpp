@@ -22,8 +22,9 @@ namespace {
 
 constexpr std::uint64_t kN = 2048;
 
-std::pair<std::uint64_t, std::uint64_t> run_iterated(std::uint64_t W) {
-  Rng rng(29);
+std::pair<std::uint64_t, std::uint64_t> run_iterated(std::uint64_t W,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
   tree::DynamicTree t;
   workload::build(t, workload::Shape::kPath, kN, rng);
   IteratedController::Options opts;
@@ -36,8 +37,8 @@ std::pair<std::uint64_t, std::uint64_t> run_iterated(std::uint64_t W) {
   return {ctrl.cost(), ctrl.iterations()};
 }
 
-std::uint64_t run_single_shot(std::uint64_t W) {
-  Rng rng(29);
+std::uint64_t run_single_shot(std::uint64_t W, std::uint64_t seed) {
+  Rng rng(seed);
   tree::DynamicTree t;
   workload::build(t, workload::Shape::kPath, kN, rng);
   CentralizedController::Options opts;
@@ -54,24 +55,39 @@ std::uint64_t run_single_shot(std::uint64_t W) {
 
 int main(int argc, char** argv) {
   bench::Run run("exp4", argc, argv);
+  const std::uint64_t seed = run.base_seed(29);
   banner("EXP4: the log(M/(W+1)) waste factor (Obs. 3.4)");
   std::printf("n = M = %llu on a path; 3M requests\n",
               static_cast<unsigned long long>(kN));
 
+  // Each W point runs the iterated and (when defined) single-shot
+  // controllers independently — a parallel sweep with deferred printing.
+  const std::vector<std::uint64_t> waste = {
+      kN / 2, kN / 8, kN / 32, kN / 128, 4, 1, 0};
+  struct Point {
+    std::uint64_t cost = 0, iters = 0;
+    std::string single;
+  };
+  std::vector<Point> points(waste.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    const std::uint64_t W = waste[i];
+    const auto [cost, iters] = run_iterated(W, seed);
+    // Single-shot base controller requires W >= 1 and pays U*M/W directly.
+    points[i] = {cost, iters,
+                 W >= 1 ? num(run_single_shot(W, seed))
+                        : std::string("(n/a)")};
+  });
+
   Table tab({"W", "iterations", "cost (iterated)", "cost/log2(M/(W+1))",
              "cost (single-shot)"});
-  for (std::uint64_t W :
-       {kN / 2, kN / 8, kN / 32, kN / 128, std::uint64_t{4},
-        std::uint64_t{1}, std::uint64_t{0}}) {
-    const auto [cost, iters] = run_iterated(W);
+  for (std::size_t i = 0; i < waste.size(); ++i) {
+    const std::uint64_t W = waste[i];
     const double logf =
         std::max(1.0, std::log2(static_cast<double>(kN) /
                                 static_cast<double>(W + 1)));
-    // Single-shot base controller requires W >= 1 and pays U*M/W directly.
-    const std::string single =
-        W >= 1 ? num(run_single_shot(W)) : std::string("(n/a)");
-    tab.row({num(W), num(iters), num(cost),
-             fp(static_cast<double>(cost) / logf, 0), single});
+    tab.row({num(W), num(points[i].iters), num(points[i].cost),
+             fp(static_cast<double>(points[i].cost) / logf, 0),
+             points[i].single});
   }
   tab.print();
   std::printf("\nshape check: iterations grow ~log(M/(W+1)); iterated cost "

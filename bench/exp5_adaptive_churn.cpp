@@ -30,15 +30,15 @@ struct RunOutcome {
 };
 
 RunOutcome run(workload::ChurnModel model, AdaptiveController::Policy policy,
-            std::uint64_t n0, std::uint64_t steps) {
-  Rng rng(11);
+            std::uint64_t n0, std::uint64_t steps, std::uint64_t seed) {
+  Rng rng(seed);
   tree::DynamicTree t;
   workload::build(t, workload::Shape::kRandomAttach, n0, rng);
   AdaptiveController::Options opts;
   opts.policy = policy;
   opts.track_domains = false;
   AdaptiveController ctrl(t, /*M=*/4 * steps, /*W=*/8, opts);
-  workload::ChurnGenerator churn(model, Rng(13));
+  workload::ChurnGenerator churn(model, Rng(seed + 2));
   workload::run_churn(ctrl, t, churn, steps, /*event_fraction=*/0.0, rng);
   return {ctrl.cost(), ctrl.permits_granted(), ctrl.iterations(), t.size()};
 }
@@ -47,23 +47,35 @@ RunOutcome run(workload::ChurnModel model, AdaptiveController::Policy policy,
 
 int main(int argc, char** argv) {
   bench::Run report_run("exp5", argc, argv);
+  const std::uint64_t seed = report_run.base_seed(11);
   banner("EXP5: adaptive (unknown-U) controller under churn (Thm 3.5/4.9)");
 
-  for (auto policy : {AdaptiveController::Policy::kChangeCount,
-                      AdaptiveController::Policy::kSizeDoubling}) {
-    subhead(policy == AdaptiveController::Policy::kChangeCount
+  // Flattened (policy, churn) grid as a parallel sweep; per-policy tables
+  // print after all points land.
+  const std::vector<AdaptiveController::Policy> policies = {
+      AdaptiveController::Policy::kChangeCount,
+      AdaptiveController::Policy::kSizeDoubling};
+  const auto models = workload::all_churn_models();
+  const std::uint64_t n0 = 256, steps = 2048;
+  std::vector<RunOutcome> points(policies.size() * models.size());
+  parallel_sweep(report_run, points.size(), [&](std::size_t i) {
+    points[i] = run(models[i % models.size()], policies[i / models.size()],
+                    n0, steps, seed);
+  });
+
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    subhead(policies[p] == AdaptiveController::Policy::kChangeCount
                 ? "policy: part 1 (rotate after U_i/4 changes)"
                 : "policy: part 2 (rotate on size doubling)");
     Table tab({"churn", "n0", "steps", "n_final", "iters", "moves",
                "moves/change", "norm /log^2(n)"});
-    for (auto model : workload::all_churn_models()) {
-      const std::uint64_t n0 = 256, steps = 2048;
-      const RunOutcome o = run(model, policy, n0, steps);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const RunOutcome& o = points[p * models.size() + m];
       const double per =
           static_cast<double>(o.cost) / std::max<std::uint64_t>(o.granted, 1);
       const double lg = std::log2(std::max<double>(
           static_cast<double>(o.n_final), 4.0));
-      tab.row({workload::churn_name(model), num(n0), num(steps),
+      tab.row({workload::churn_name(models[m]), num(n0), num(steps),
                num(o.n_final), num(o.iterations), num(o.cost), fp(per, 1),
                fp(per / (lg * lg), 3)});
     }

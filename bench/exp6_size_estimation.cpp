@@ -4,7 +4,8 @@
 //
 // Sweep: churn models x beta; report the worst observed estimate/true
 // ratio (must stay within [1/beta, beta]), amortized messages per change,
-// and the polylog normalization.
+// and the polylog normalization.  The grid runs as a parallel sweep of
+// independent seeded runs; output is --jobs invariant.
 
 #include <algorithm>
 #include <cmath>
@@ -17,52 +18,83 @@
 using namespace dyncon;
 using namespace dyncon::bench;
 
+namespace {
+
+struct Point {
+  std::uint64_t changes = 0;
+  std::uint64_t n_final = 0;
+  std::uint64_t iterations = 0;
+  double worst_over = 1.0;
+  double worst_under = 1.0;
+  double per = 0.0;
+};
+
+Point measure(double beta, workload::ChurnModel model, std::uint64_t n0,
+              std::uint64_t steps, std::uint64_t seed) {
+  Rng rng(seed);
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, n0, rng);
+  apps::SizeEstimation est(t, beta);
+  workload::ChurnGenerator churn(model, Rng(seed + 4));
+  Point out;
+  for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
+    const auto spec = churn.next(t);
+    core::Result r;
+    switch (spec.type) {
+      case core::RequestSpec::Type::kAddLeaf:
+        r = est.request_add_leaf(spec.subject);
+        break;
+      case core::RequestSpec::Type::kAddInternal:
+        r = est.request_add_internal_above(spec.subject);
+        break;
+      case core::RequestSpec::Type::kRemove:
+        r = est.request_remove(spec.subject);
+        break;
+      default:
+        continue;
+    }
+    out.changes += r.granted();
+    const double ratio = static_cast<double>(est.estimate()) /
+                         static_cast<double>(t.size());
+    out.worst_over = std::max(out.worst_over, ratio);
+    out.worst_under = std::max(out.worst_under, 1.0 / ratio);
+  }
+  out.n_final = t.size();
+  out.iterations = est.iterations();
+  out.per = static_cast<double>(est.messages()) /
+            std::max<std::uint64_t>(out.changes, 1);
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Run run("exp6", argc, argv);
+  const std::uint64_t seed = run.base_seed(19);
   banner("EXP6: size estimation (Thm 5.1)");
 
-  for (double beta : {1.5, 2.0, 3.0}) {
+  const std::vector<double> betas = {1.5, 2.0, 3.0};
+  const auto models = workload::all_churn_models();
+  const std::uint64_t n0 = 256, steps = 2000;
+
+  std::vector<Point> points(betas.size() * models.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] = measure(betas[i / models.size()],
+                        models[i % models.size()], n0, steps, seed);
+  });
+
+  for (std::size_t b = 0; b < betas.size(); ++b) {
+    const double beta = betas[b];
     subhead("beta = " + fp(beta, 1));
     Table tab({"churn", "n0", "changes", "n_final", "iters",
                "worst over", "worst under", "msgs/change", "/log^2 n"});
-    for (auto model : workload::all_churn_models()) {
-      const std::uint64_t n0 = 256, steps = 2000;
-      Rng rng(19);
-      tree::DynamicTree t;
-      workload::build(t, workload::Shape::kRandomAttach, n0, rng);
-      apps::SizeEstimation est(t, beta);
-      workload::ChurnGenerator churn(model, Rng(23));
-      double worst_over = 1.0, worst_under = 1.0;
-      std::uint64_t changes = 0;
-      for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
-        const auto spec = churn.next(t);
-        core::Result r;
-        switch (spec.type) {
-          case core::RequestSpec::Type::kAddLeaf:
-            r = est.request_add_leaf(spec.subject);
-            break;
-          case core::RequestSpec::Type::kAddInternal:
-            r = est.request_add_internal_above(spec.subject);
-            break;
-          case core::RequestSpec::Type::kRemove:
-            r = est.request_remove(spec.subject);
-            break;
-          default:
-            continue;
-        }
-        changes += r.granted();
-        const double ratio = static_cast<double>(est.estimate()) /
-                             static_cast<double>(t.size());
-        worst_over = std::max(worst_over, ratio);
-        worst_under = std::max(worst_under, 1.0 / ratio);
-      }
-      const double per = static_cast<double>(est.messages()) /
-                         std::max<std::uint64_t>(changes, 1);
-      const double lg = std::log2(static_cast<double>(std::max<std::uint64_t>(
-          t.size(), 4)));
-      tab.row({workload::churn_name(model), num(n0), num(changes),
-               num(t.size()), num(est.iterations()), fp(worst_over),
-               fp(worst_under), fp(per, 1), fp(per / (lg * lg), 3)});
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const Point& p = points[b * models.size() + m];
+      const double lg = std::log2(static_cast<double>(
+          std::max<std::uint64_t>(p.n_final, 4)));
+      tab.row({workload::churn_name(models[m]), num(n0), num(p.changes),
+               num(p.n_final), num(p.iterations), fp(p.worst_over),
+               fp(p.worst_under), fp(p.per, 1), fp(p.per / (lg * lg), 3)});
     }
     tab.print();
     std::printf("invariant: worst over/under must both stay <= beta = %s\n",

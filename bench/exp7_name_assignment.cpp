@@ -3,7 +3,8 @@
 // messages.
 //
 // Report the worst max_id/n ratio observed (claim: <= 4), uniqueness
-// audits, and amortized messages per change across churn models.
+// audits, and amortized messages per change across churn models — one
+// independent seeded run per model, executed as a parallel sweep.
 
 #include <algorithm>
 #include <cmath>
@@ -16,53 +17,80 @@
 using namespace dyncon;
 using namespace dyncon::bench;
 
+namespace {
+
+struct Point {
+  std::uint64_t changes = 0;
+  std::uint64_t n_final = 0;
+  std::uint64_t iterations = 0;
+  double worst_ratio = 0.0;
+  bool unique = true;
+  double per = 0.0;
+};
+
+Point measure(workload::ChurnModel model, std::uint64_t n0,
+              std::uint64_t steps, std::uint64_t seed) {
+  Rng rng(seed);
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, n0, rng);
+  apps::NameAssignment names(t);
+  workload::ChurnGenerator churn(model, Rng(seed + 6));
+  Point out;
+  for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
+    const auto spec = churn.next(t);
+    core::Result r;
+    switch (spec.type) {
+      case core::RequestSpec::Type::kAddLeaf:
+        r = names.request_add_leaf(spec.subject);
+        break;
+      case core::RequestSpec::Type::kAddInternal:
+        r = names.request_add_internal_above(spec.subject);
+        break;
+      case core::RequestSpec::Type::kRemove:
+        r = names.request_remove(spec.subject);
+        break;
+      default:
+        continue;
+    }
+    out.changes += r.granted();
+    if (i % 16 == 0) {  // audits are O(n); sample them
+      out.worst_ratio = std::max(
+          out.worst_ratio, static_cast<double>(names.max_id()) /
+                               static_cast<double>(t.size()));
+      out.unique = out.unique && names.ids_unique();
+    }
+  }
+  out.n_final = t.size();
+  out.iterations = names.iterations();
+  out.per = static_cast<double>(names.messages()) /
+            std::max<std::uint64_t>(out.changes, 1);
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Run run("exp7", argc, argv);
+  const std::uint64_t seed = run.base_seed(31);
   banner("EXP7: name assignment (Thm 5.2)");
+
+  const auto models = workload::all_churn_models();
+  const std::uint64_t n0 = 256, steps = 1500;
+  std::vector<Point> points(models.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] = measure(models[i], n0, steps, seed);
+  });
 
   Table tab({"churn", "n0", "changes", "n_final", "iters",
              "worst max_id/n", "unique?", "msgs/change", "/log^2 n"});
-  for (auto model : workload::all_churn_models()) {
-    const std::uint64_t n0 = 256, steps = 1500;
-    Rng rng(31);
-    tree::DynamicTree t;
-    workload::build(t, workload::Shape::kRandomAttach, n0, rng);
-    apps::NameAssignment names(t);
-    workload::ChurnGenerator churn(model, Rng(37));
-    double worst_ratio = 0.0;
-    bool unique = true;
-    std::uint64_t changes = 0;
-    for (std::uint64_t i = 0; i < steps && t.size() >= 4; ++i) {
-      const auto spec = churn.next(t);
-      core::Result r;
-      switch (spec.type) {
-        case core::RequestSpec::Type::kAddLeaf:
-          r = names.request_add_leaf(spec.subject);
-          break;
-        case core::RequestSpec::Type::kAddInternal:
-          r = names.request_add_internal_above(spec.subject);
-          break;
-        case core::RequestSpec::Type::kRemove:
-          r = names.request_remove(spec.subject);
-          break;
-        default:
-          continue;
-      }
-      changes += r.granted();
-      if (i % 16 == 0) {  // audits are O(n); sample them
-        worst_ratio = std::max(
-            worst_ratio, static_cast<double>(names.max_id()) /
-                             static_cast<double>(t.size()));
-        unique = unique && names.ids_unique();
-      }
-    }
-    const double per = static_cast<double>(names.messages()) /
-                       std::max<std::uint64_t>(changes, 1);
-    const double lg = std::log2(static_cast<double>(std::max<std::uint64_t>(
-        t.size(), 4)));
-    tab.row({workload::churn_name(model), num(n0), num(changes),
-             num(t.size()), num(names.iterations()), fp(worst_ratio),
-             unique ? "yes" : "NO", fp(per, 1), fp(per / (lg * lg), 3)});
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const Point& p = points[m];
+    const double lg = std::log2(static_cast<double>(
+        std::max<std::uint64_t>(p.n_final, 4)));
+    tab.row({workload::churn_name(models[m]), num(n0), num(p.changes),
+             num(p.n_final), num(p.iterations), fp(p.worst_ratio),
+             p.unique ? "yes" : "NO", fp(p.per, 1),
+             fp(p.per / (lg * lg), 3)});
   }
   tab.print();
   std::printf("\ninvariants: ids unique at every audit; max_id/n <= 4 "

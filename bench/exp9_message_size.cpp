@@ -10,6 +10,8 @@
 // Besides the table, the bench emits one machine-readable JSON line per
 // sweep point (per-kind counts and max bits, the envelope, the size
 // histogram), so plots of the measured shape need no table scraping.
+// Sweep points run in parallel; all printing happens afterwards in point
+// order, so stdout is byte-identical at any --jobs value.
 
 #include <algorithm>
 #include <bit>
@@ -53,54 +55,75 @@ void emit_json(std::uint64_t n, std::uint64_t u, const sim::NetStats& st) {
   std::printf("]}\n");
 }
 
+struct Point {
+  sim::NetStats st;
+  std::uint64_t worst_mem = 0;
+  std::uint64_t worst_bound = 0;
+};
+
+Point measure(std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  tree::DynamicTree t;
+  workload::build(t, workload::Shape::kRandomAttach, n, rng);
+  sim::EventQueue queue;
+  sim::Network net(queue, sim::make_delay(sim::DelayKind::kFixed, 1));
+  const std::uint64_t u = 2 * n;
+  // Strict mode: any message measuring above the envelope aborts EXP9.
+  net.set_strict_max_bits(sim::size_envelope_bits(u));
+  DistributedController::Options opts;
+  opts.track_domains = false;
+  DistributedController ctrl(net, t, Params(n, n / 2, u), opts);
+  DistributedSyncFacade facade(queue, ctrl);
+  const auto nodes = t.alive_nodes();
+  for (std::uint64_t i = 0; i < n / 2; ++i) {
+    facade.request_event(nodes[rng.index(nodes.size())]);
+  }
+  const double lg = std::log2(static_cast<double>(n));
+  const double lU = std::log2(static_cast<double>(u));
+  Point out;
+  for (NodeId v : t.alive_nodes()) {
+    const std::uint64_t mem = ctrl.memory_bits(v);
+    if (mem > out.worst_mem) {
+      out.worst_mem = mem;
+      const double deg = static_cast<double>(t.children(v).size());
+      out.worst_bound = static_cast<std::uint64_t>(
+          deg * lg + lg * lg * lg + lU * lU + 64);
+    }
+  }
+  out.st = net.stats();
+  bench::Run::note_net(out.st);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Run run("exp9", argc, argv);
-  run.param("seed", std::uint64_t{47});
+  const std::uint64_t seed = run.base_seed(47);
+  run.param("seed", seed);
   run.param("sizes", std::string("64,256,1024,4096"));
   banner("EXP9: measured O(log N)-bit messages and Claim 4.8 memory");
 
+  const std::vector<std::uint64_t> sizes = {64, 256, 1024, 4096};
+  std::vector<Point> points(sizes.size());
+  parallel_sweep(run, points.size(), [&](std::size_t i) {
+    points[i] = measure(sizes[i], seed);
+  });
+
   Table tab({"N", "max msg bits", "agent max", "control max", "envelope",
              "bits/log2(N)", "worst node mem (bits)", "claim bound (bits)"});
-  for (std::uint64_t n : {64u, 256u, 1024u, 4096u}) {
-    Rng rng(47);
-    tree::DynamicTree t;
-    workload::build(t, workload::Shape::kRandomAttach, n, rng);
-    sim::EventQueue queue;
-    sim::Network net(queue, sim::make_delay(sim::DelayKind::kFixed, 1));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::uint64_t n = sizes[i];
     const std::uint64_t u = 2 * n;
-    // Strict mode: any message measuring above the envelope aborts EXP9.
-    net.set_strict_max_bits(sim::size_envelope_bits(u));
-    DistributedController::Options opts;
-    opts.track_domains = false;
-    DistributedController ctrl(net, t, Params(n, n / 2, u), opts);
-    DistributedSyncFacade facade(queue, ctrl);
-    const auto nodes = t.alive_nodes();
-    for (std::uint64_t i = 0; i < n / 2; ++i) {
-      facade.request_event(nodes[rng.index(nodes.size())]);
-    }
+    const Point& p = points[i];
     const double lg = std::log2(static_cast<double>(n));
-    const double lU = std::log2(static_cast<double>(u));
-    std::uint64_t worst_mem = 0, worst_bound = 0;
-    for (NodeId v : t.alive_nodes()) {
-      const std::uint64_t mem = ctrl.memory_bits(v);
-      if (mem > worst_mem) {
-        worst_mem = mem;
-        const double deg = static_cast<double>(t.children(v).size());
-        worst_bound = static_cast<std::uint64_t>(
-            deg * lg + lg * lg * lg + lU * lU + 64);
-      }
-    }
-    const auto& st = net.stats();
-    tab.row({num(n), num(st.max_message_bits),
-             num(st.kind_max_bits(sim::MsgKind::kAgent)),
-             num(st.kind_max_bits(sim::MsgKind::kControl)),
+    tab.row({num(n), num(p.st.max_message_bits),
+             num(p.st.kind_max_bits(sim::MsgKind::kAgent)),
+             num(p.st.kind_max_bits(sim::MsgKind::kControl)),
              num(sim::size_envelope_bits(u)),
-             fp(static_cast<double>(st.max_message_bits) / lg),
-             num(worst_mem), num(worst_bound)});
-    emit_json(n, u, st);
-    bench::Run::note_net(st);
+             fp(static_cast<double>(p.st.max_message_bits) / lg),
+             num(p.worst_mem), num(p.worst_bound)});
+    emit_json(n, u, p.st);
   }
   tab.print();
   std::printf("\nshape check: measured bits/log2(N) is a flat small "

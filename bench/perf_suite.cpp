@@ -305,17 +305,75 @@ PhaseResult phase_sendloop(std::uint64_t sends) {
   return r;
 }
 
+// ---- phase E: parallel run-engine scaling -----------------------------------
+//
+// The same batch of independent seeded mini-runs (distributed controller,
+// open-loop arrivals) executed through util::parallel_for_runs at growing
+// worker counts.  Each run owns its queue/network/tree — shared-nothing —
+// so events/sec should scale with workers up to the core count.  The
+// per-run event totals are summed and compared across batches: a mismatch
+// means scheduling leaked into the simulation and the binary aborts.
+
+PhaseResult phase_parallel(unsigned jobs, std::uint64_t runs,
+                           std::uint64_t n, std::uint64_t steps) {
+  std::vector<std::uint64_t> events(runs, 0);
+  std::vector<std::uint64_t> sends(runs, 0);
+  const auto t0 = Clock::now();
+  util::parallel_for_runs(
+      runs, jobs, /*base_seed=*/97,
+      [&](std::uint64_t idx, Rng rng) {
+        sim::EventQueue queue;
+        sim::Network net(queue,
+                         sim::make_delay(sim::DelayKind::kFixed, 1));
+        tree::DynamicTree t;
+        workload::build(t, workload::Shape::kRandomAttach, n, rng);
+        core::DistributedController::Options opts;
+        opts.track_domains = false;
+        core::DistributedController ctrl(
+            net, t, core::Params(steps, steps / 5, 4 * n + 4 * steps),
+            opts);
+        const std::vector<NodeId> subjects = t.alive_nodes();
+        std::uint64_t answered = 0;
+        SimTime when = 0;
+        struct Ctx {
+          core::DistributedController& ctrl;
+          const std::vector<NodeId>& subjects;
+          Rng& mix;
+          std::uint64_t& answered;
+        } ctx{ctrl, subjects, rng, answered};
+        for (std::uint64_t i = 0; i < steps; ++i) {
+          when += 1 + rng.uniform(0, 2);
+          queue.schedule_at(when, [&ctx] {
+            ctx.ctrl.submit(propose(ctx.subjects, ctx.mix),
+                            [&ctx](const core::Result&) {
+                              ++ctx.answered;
+                            });
+          });
+        }
+        queue.run();
+        if (answered != steps) std::abort();
+        events[idx] = queue.events_fired();
+        sends[idx] = net.stats().messages;
+        bench::Run::note_net(net.stats());
+      });
+  PhaseResult r;
+  r.secs = seconds_since(t0);
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    r.events += events[i];
+    r.sends += sends[i];
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Run run("perf_suite", argc, argv);
   bench::banner("perf_suite — simulator throughput + allocation trajectory");
 
-  std::uint64_t scale = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--quick") scale = 8;  // CI smoke: ~8x shorter
-  }
+  // CI smoke: ~8x shorter.
+  const std::uint64_t scale =
+      util::flag_present(argc, argv, "--quick") ? 8 : 1;
   run.param("scale_divisor", scale);
 
   const PhaseResult cen = phase_centralized(4096, 2'000'000 / scale);
@@ -336,6 +394,43 @@ int main(int argc, char** argv) {
   row("faulty+channel", faulty);
   row("sendloop", loop);
   table.print();
+
+  // Phase E: the same 8-run batch through the pool at growing worker
+  // counts.  Totals must match across batches (determinism check); on a
+  // single hardware thread the speedup column simply reads ~1.0.
+  const std::uint64_t pruns = 8;
+  const unsigned hw = dyncon::util::ThreadPool::hardware_jobs();
+  std::vector<PhaseResult> batches;
+  bench::Table ptable({"jobs", "events", "events/s", "speedup vs j1",
+                       "secs"});
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    const PhaseResult pr =
+        phase_parallel(jobs, pruns, 256, 12'500 / scale);
+    if (!batches.empty() &&
+        (pr.events != batches.front().events ||
+         pr.sends != batches.front().sends)) {
+      std::fprintf(stderr,
+                   "parallel batch at jobs=%u diverged from jobs=1 "
+                   "(events %llu vs %llu)\n",
+                   jobs, static_cast<unsigned long long>(pr.events),
+                   static_cast<unsigned long long>(
+                       batches.front().events));
+      std::abort();
+    }
+    ptable.row({bench::num(jobs), bench::num(pr.events),
+                bench::fp(pr.events_per_sec(), 0),
+                bench::fp(batches.empty()
+                              ? 1.0
+                              : pr.events_per_sec() /
+                                    batches.front().events_per_sec(),
+                          2),
+                bench::fp(pr.secs, 3)});
+    batches.push_back(pr);
+  }
+  std::printf("\n  parallel run-engine scaling (%llu runs/batch, %u "
+              "hardware threads):\n",
+              static_cast<unsigned long long>(pruns), hw);
+  ptable.print();
 
   const double p50 = slice_ns.at(0.50);
   const double p99 = slice_ns.at(0.99);
@@ -363,5 +458,22 @@ int main(int argc, char** argv) {
   run.registry().set("perf.events",
                      cen.events + dist.events + faulty.events + loop.events);
   run.registry().set("perf.sends", dist.sends + faulty.sends + loop.sends);
+  // Parallel-scaling family (perf.parallel.*): throughput gauges are
+  // machine-dependent and excluded from the cross-machine baseline diff;
+  // check_bench.py instead gates on the within-report speedups, and the
+  // event counters stay exact-match because batches are deterministic.
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    run.registry().set_gauge(
+        "perf.parallel.events_per_sec_j" + std::to_string(1u << b),
+        batches[b].events_per_sec());
+  }
+  run.registry().set_gauge("perf.parallel.speedup_j4",
+                           batches[2].events_per_sec() /
+                               batches[0].events_per_sec());
+  run.registry().set_gauge("perf.parallel.hw_threads",
+                           static_cast<double>(hw));
+  run.registry().set("perf.parallel.events", batches.front().events);
+  run.registry().set("perf.parallel.runs",
+                     pruns * static_cast<std::uint64_t>(batches.size()));
   return 0;
 }

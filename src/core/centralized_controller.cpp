@@ -104,7 +104,7 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
                      "window/creation level mismatch");
     if (PackageId p = packages_.find_mobile_of_level(w, lvl);
         p != kNoPackage) {
-      static obs::CounterHandle steps("filler_search.steps");
+      static thread_local obs::CounterHandle steps("filler_search.steps");
       steps.add(d);
       return distribute_and_grant(p, lvl, path, d, u, ev);
     }
@@ -113,7 +113,7 @@ Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
     path.push_back(w);
     ++d;
   }
-  static obs::CounterHandle steps("filler_search.steps");
+  static thread_local obs::CounterHandle steps("filler_search.steps");
   steps.add(d);
 
   // Step 3b: no filler; create a package at the root (or give up).
@@ -144,7 +144,7 @@ Result CentralizedController::grant_from_static(PackageId st, NodeId u,
   Result res{Outcome::kGranted};
   res.serial = packages_.consume_one(st);
   ++granted_;
-  static obs::CounterHandle granted("permits.granted");
+  static thread_local obs::CounterHandle granted("permits.granted");
   granted.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted, 0, u,
                             res.serial.value_or(~0ULL), storage_});

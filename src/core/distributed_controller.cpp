@@ -128,8 +128,8 @@ sim::Message DistributedController::hop_message(const Agent& a) const {
 
 void DistributedController::hop_up(Agent& a) {
   ++messages_;
-  static obs::CounterHandle hops("agent.hops");
-  static obs::CounterHandle climb_steps("filler_search.steps");
+  static thread_local obs::CounterHandle hops("agent.hops");
+  static thread_local obs::CounterHandle climb_steps("filler_search.steps");
   hops.add();
   if (a.phase == Phase::kClimb) climb_steps.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, net_.queue().now(),
@@ -141,10 +141,10 @@ void DistributedController::hop_up(Agent& a) {
 
 void DistributedController::hop_down(Agent& a, NodeId to) {
   ++messages_;
-  static obs::CounterHandle hops("agent.hops");
+  static thread_local obs::CounterHandle hops("agent.hops");
   hops.add();
   // A hop with a package in the Bag is a package move (Lemma 3.3's unit).
-  static obs::CounterHandle moves("moves.total");
+  static thread_local obs::CounterHandle moves("moves.total");
   if (a.carrying != kNoPackage) moves.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kAgentHop, net_.queue().now(),
                             a.at, a.id, 1});
@@ -204,7 +204,7 @@ void DistributedController::on_arrival(AgentId id, NodeId node,
 void DistributedController::on_enter(Agent& a, NodeId node,
                                      NodeId came_from) {
   if (boards_.locked(node)) {
-    static obs::CounterHandle lock_waits("agent.lock_waits");
+    static thread_local obs::CounterHandle lock_waits("agent.lock_waits");
     lock_waits.add();
     obs::emit(obs::TraceEvent{obs::EventKind::kLockWait, net_.queue().now(),
                               node, a.id, 0});

@@ -50,7 +50,7 @@ void PackageTable::move(PackageId p, NodeId new_host, std::uint64_t hops) {
   pkg.host = new_host;
   attach(p, new_host);
   moves_ += hops;
-  static obs::CounterHandle moves_batch("moves.total");
+  static thread_local obs::CounterHandle moves_batch("moves.total");
   moves_batch.add(hops);
 }
 
@@ -79,7 +79,7 @@ std::size_t PackageTable::move_all(NodeId node, NodeId parent) {
     attach(p, parent);
   }
   moves_ += 1;  // one message carries the whole set (paper §2.2)
-  static obs::CounterHandle moves("moves.total");
+  static thread_local obs::CounterHandle moves("moves.total");
   moves.add();
   return moving.size();
 }

@@ -122,7 +122,7 @@ class PackageTable {
   [[nodiscard]] std::uint64_t move_complexity() const { return moves_; }
   void charge_moves(std::uint64_t n) {
     moves_ += n;
-    static obs::CounterHandle moves("moves.total");
+    static thread_local obs::CounterHandle moves("moves.total");
     moves.add(n);
   }
 

@@ -103,7 +103,10 @@ class EventTrace {
 };
 
 namespace detail {
-inline EventTrace* g_trace = nullptr;
+// thread_local for the same reason as the metrics registry: parallel-sweep
+// workers each install their own trace (or none); traces are never shared
+// across threads.
+inline thread_local EventTrace* g_trace = nullptr;
 }  // namespace detail
 
 [[nodiscard]] inline EventTrace* trace() { return detail::g_trace; }

@@ -94,7 +94,20 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   hists_.clear();
-  epoch_ = ++detail::g_registry_epochs;
+  epoch_ =
+      detail::g_registry_epochs.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] += value;
+  }
+  for (const auto& [name, hist] : other.hists_) {
+    hists_[name].merge(hist);
+  }
 }
 
 json::Value Registry::to_json() const {

@@ -10,9 +10,17 @@
 //
 // Metric names are dotted paths ("permits.granted", "net.messages"); the
 // catalog, with each name's paper lemma, lives in docs/OBSERVABILITY.md.
-// The simulation is single-threaded, so the registry is too.
+//
+// Threading model: a Registry is NOT internally synchronized — each
+// simulation run stays single-threaded and owns its registry.  What IS
+// safe is *independent* registries on concurrent threads (the parallel
+// sweep shape, util/thread_pool.hpp): the installed-registry pointer is
+// thread_local, the epoch source is atomic, and handle caches are declared
+// `static thread_local` at their instrumentation sites, so runs on
+// different workers never share mutable metric state.
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -49,6 +57,20 @@ struct Histogram {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
   }
 
+  /// Fold another histogram in (bucketwise; min/max widened).  Merging is
+  /// commutative over the integer fields, so a parallel sweep's per-worker
+  /// histograms reduce to exactly the serial run's.
+  void merge(const Histogram& other) {
+    if (other.count == 0) return;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+    if (count == 0 || other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    count += other.count;
+    sum += other.sum;
+  }
+
   [[nodiscard]] json::Value to_json() const;
 };
 
@@ -57,14 +79,21 @@ namespace detail {
 /// *incarnations* (a fresh instance, or one generation of an instance
 /// between clear() calls) ever share an epoch — even if a new Registry is
 /// constructed at a freed one's address.  Handles key their caches on it.
-inline std::uint64_t g_registry_epochs = 0;
+/// Atomic because independent registries are constructed concurrently by
+/// parallel sweeps; a plain increment was a data race (two workers could
+/// mint the same epoch and a stale handle cache would silently pass the
+/// epoch check — see docs/OBSERVABILITY.md "Concurrency").
+inline std::atomic<std::uint64_t> g_registry_epochs{0};
 }  // namespace detail
 
 /// Owns one run's metrics.  Lookups are by name; maps are ordered so JSON
 /// output is deterministic.
 class Registry {
  public:
-  Registry() : epoch_(++detail::g_registry_epochs) {}
+  Registry()
+      : epoch_(detail::g_registry_epochs.fetch_add(
+                   1, std::memory_order_relaxed) +
+               1) {}
 
   void add(std::string_view name, std::uint64_t delta = 1);
   /// Overwrite a counter (used when re-exporting cumulative sources such as
@@ -88,6 +117,14 @@ class Registry {
   [[nodiscard]] const HistogramMap& histograms() const { return hists_; }
 
   void clear();
+
+  /// Fold another registry's contents in: counters and gauges add,
+  /// histograms merge bucketwise.  Gauges add (not overwrite) so the
+  /// accumulating families (wall.* timers) reduce correctly; set-style
+  /// gauges from sweep points use distinct names per point.  Used by
+  /// bench::parallel_sweep to reduce per-worker registries into the run's
+  /// registry in deterministic point order.
+  void merge(const Registry& other);
 
   /// Incarnation id of this registry's current contents: unique across all
   /// Registry instances and bumped by clear(), so a cached slot reference
@@ -113,13 +150,17 @@ class Registry {
 };
 
 namespace detail {
-inline Registry* g_metrics = nullptr;
+// thread_local: each parallel-sweep worker installs its own registry for
+// the duration of its run; threads that install nothing keep the one-branch
+// disabled path.  On the main thread this behaves exactly as the old
+// process-wide pointer did.
+inline thread_local Registry* g_metrics = nullptr;
 }  // namespace detail
 
-/// The installed registry, or nullptr (instrumentation disabled).
+/// The registry installed on THIS thread, or nullptr (disabled).
 [[nodiscard]] inline Registry* metrics() { return detail::g_metrics; }
 
-/// Install (or, with nullptr, remove) the process-wide registry.
+/// Install (or, with nullptr, remove) this thread's registry.
 inline void install_metrics(Registry* r) { detail::g_metrics = r; }
 
 // ---- instrumentation entry points (one branch when not installed) -----------
@@ -143,14 +184,20 @@ inline void observe(std::string_view name, std::uint64_t value,
 // on every call.  A handle resolves the name to the counter's storage once
 // per (registry, epoch) incarnation and then increments through the cached
 // reference; steady state is two loads, one compare, one add.  Declare them
-// function-local static at the instrumentation site:
+// function-local `static thread_local` at the instrumentation site:
 //
-//   static obs::CounterHandle messages("net.messages");
+//   static thread_local obs::CounterHandle messages("net.messages");
 //   messages.add(count);
+//
+// thread_local, not plain static: the cache holds a raw slot pointer into
+// whichever registry this thread has installed.  A shared static would be
+// thrashed (and raced on) by workers running different registries; per
+// thread it keeps PR 4's one-branch steady-state cost with zero sharing.
 //
 // Safe against every registry lifecycle: uninstall (null check), reinstall
 // of a different registry (pointer check), clear() or a new registry at a
-// recycled address (epoch check).
+// recycled address (epoch check — epochs are minted atomically, so no two
+// incarnations ever alias).
 
 class CounterHandle {
  public:

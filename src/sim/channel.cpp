@@ -52,7 +52,7 @@ void ReliableChannel::send(NodeId from, NodeId to, const Message& msg,
       seq, Message::channel_data(seq, msg), std::move(on_deliver),
       cfg_.initial_rto);
   DYNCON_INVARIANT(inserted, "sequence number reused on a link");
-  static obs::CounterHandle data_frames("channel.data_frames");
+  static thread_local obs::CounterHandle data_frames("channel.data_frames");
   ++stats_.data_frames;
   data_frames.add();
   transmit(from, to, seq);
@@ -82,7 +82,7 @@ void ReliableChannel::arm_timer(NodeId from, NodeId to, std::uint64_t seq) {
     }
     ++p.retries;
     p.rto = std::min(p.rto * 2, cfg_.max_rto);
-    static obs::CounterHandle retransmits("channel.retransmits");
+    static thread_local obs::CounterHandle retransmits("channel.retransmits");
     ++stats_.retransmits;
     retransmits.add();
     transmit(from, to, seq);
@@ -97,7 +97,8 @@ void ReliableChannel::on_frame(NodeId from, NodeId to, std::uint64_t seq) {
     // A fault-injected copy, or a retransmission of something already
     // received (its ack was lost or is still in flight).  Suppress, and
     // re-ack so the sender can stop retransmitting.
-    static obs::CounterHandle suppressed("channel.duplicates_suppressed");
+    static thread_local obs::CounterHandle suppressed(
+        "channel.duplicates_suppressed");
     ++stats_.duplicates_suppressed;
     suppressed.add();
     send_ack(from, to, link);
@@ -107,7 +108,7 @@ void ReliableChannel::on_frame(NodeId from, NodeId to, std::uint64_t seq) {
   if (seq != link.recv_next) {
     // Arrived ahead of a gap (the underlying links are not FIFO and may
     // have dropped the earlier frame); hold until the gap fills.
-    static obs::CounterHandle held("channel.held_for_order");
+    static thread_local obs::CounterHandle held("channel.held_for_order");
     ++stats_.held_for_order;
     held.add();
   }
@@ -132,7 +133,7 @@ void ReliableChannel::release_in_order(Link& link) {
 
 void ReliableChannel::send_ack(NodeId from, NodeId to, Link& link) {
   const std::uint64_t upto = link.recv_next;
-  static obs::CounterHandle acks("channel.acks");
+  static thread_local obs::CounterHandle acks("channel.acks");
   ++stats_.acks;
   acks.add();
   // Acks ride the faulty transport unprotected (no ack-of-ack): a lost ack

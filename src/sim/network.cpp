@@ -96,9 +96,9 @@ void Network::account(MsgKind kind, std::uint64_t bits, std::uint64_t count) {
   // Live registry export: cumulative across every Network instance of the
   // run, unlike the per-instance NetStats.  Interned handles: this runs per
   // transmission, and the name->slot map lookup was measurable there.
-  static obs::CounterHandle messages("net.messages");
-  static obs::CounterHandle total_bits("net.total_bits");
-  static obs::HistogramHandle message_bits("net.message_bits");
+  static thread_local obs::CounterHandle messages("net.messages");
+  static thread_local obs::CounterHandle total_bits("net.total_bits");
+  static thread_local obs::HistogramHandle message_bits("net.message_bits");
   messages.add(count);
   total_bits.add(bits * count);
   message_bits.observe(bits, count);
@@ -163,20 +163,22 @@ void Network::transmit(NodeId from, NodeId to, const Message& msg,
   // exactly the accounting the reliability layer's overhead is measured in.
   account(kind, bits, 1 + fault.duplicates);
   if (fault.duplicates > 0) {
-    static obs::CounterHandle duplicates("faults.injected.duplicate");
+    static thread_local obs::CounterHandle duplicates(
+        "faults.injected.duplicate");
     fault_stats_.duplicates += fault.duplicates;
     duplicates.add(fault.duplicates);
   }
   if (fault.stall_ticks > 0) {
-    static obs::CounterHandle stalls("faults.injected.stall");
-    static obs::CounterHandle stall_ticks("faults.injected.stall_ticks");
+    static thread_local obs::CounterHandle stalls("faults.injected.stall");
+    static thread_local obs::CounterHandle stall_ticks(
+        "faults.injected.stall_ticks");
     ++fault_stats_.stalls;
     fault_stats_.stall_ticks += fault.stall_ticks;
     stalls.add();
     stall_ticks.add(fault.stall_ticks);
   }
   if (fault.drop) {
-    static obs::CounterHandle drops("faults.injected.drop");
+    static thread_local obs::CounterHandle drops("faults.injected.drop");
     ++fault_stats_.drops;
     drops.add();
     return;

@@ -16,7 +16,7 @@ Watchdog::Token Watchdog::arm(NodeId origin, std::string what) {
   live_.emplace(token, Entry{origin, std::move(what), queue_.now()});
   ++armed_;
   // Interned: arm/disarm run once per request in every watched workload.
-  static obs::CounterHandle armed("watchdog.armed");
+  static thread_local obs::CounterHandle armed("watchdog.armed");
   armed.add();
   if (deadline_ > 0) {
     queue_.schedule_after(deadline_, [this, token] {
@@ -36,7 +36,7 @@ Watchdog::Token Watchdog::arm(NodeId origin, std::string what) {
 void Watchdog::disarm(Token token) {
   DYNCON_REQUIRE(live_.erase(token) == 1, "disarm of an unknown token");
   ++completed_;
-  static obs::CounterHandle completed("watchdog.completed");
+  static thread_local obs::CounterHandle completed("watchdog.completed");
   completed.add();
 }
 

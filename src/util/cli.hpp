@@ -1,0 +1,60 @@
+#pragma once
+
+// Tiny shared CLI-flag parsing for bench/tool binaries.
+//
+// Every evaluation binary speaks the same dialect — `--flag=value` and the
+// two-token `--flag value` — so sweep flags like `--jobs` and `--base-seed`
+// behave identically across all of them (bench::Run wires the standard
+// set; tools that do not use bench::Run call these directly).  Unknown
+// flags are each binary's business: these helpers only *find* a flag, they
+// never reject the rest of argv.
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dyncon::util {
+
+/// The value of `--name=<v>` or `--name <v>` in argv, if present (last
+/// occurrence wins, like most CLIs).
+inline std::optional<std::string> flag_value(int argc, char** argv,
+                                             std::string_view name) {
+  std::optional<std::string> found;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(name, 0) != 0) continue;
+    if (arg.size() > name.size() && arg[name.size()] == '=') {
+      found = std::string(arg.substr(name.size() + 1));
+    } else if (arg == name && i + 1 < argc) {
+      found = argv[i + 1];
+    }
+  }
+  return found;
+}
+
+/// Integer flag with a default; malformed values fall back to the default.
+inline std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
+                              std::uint64_t fallback) {
+  const auto v = flag_value(argc, argv, name);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// True when `--name` appears at all (bare or with a value).
+inline bool flag_present(int argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == name) return true;
+    if (arg.rfind(name, 0) == 0 && arg.size() > name.size() &&
+        arg[name.size()] == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dyncon::util

@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dyncon::util {
+
+ThreadPool::ThreadPool(unsigned workers, std::size_t queue_capacity)
+    : capacity_(std::max<std::size_t>(queue_capacity, 1)) {
+  const unsigned count = std::max(1u, workers);
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+unsigned ThreadPool::hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void for_each_index(std::uint64_t n, unsigned jobs,
+                    const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  // Exceptions are recorded per index and the lowest-index one rethrown, so
+  // the reported failure is the same whatever the worker count.
+  std::mutex err_mu;
+  std::map<std::uint64_t, std::exception_ptr> errors;
+  auto guarded = [&](std::uint64_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::scoped_lock lock(err_mu);
+      errors.emplace(i, std::current_exception());
+    }
+  };
+  if (jobs <= 1 || n == 1) {
+    for (std::uint64_t i = 0; i < n; ++i) guarded(i);
+  } else {
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::uint64_t>(jobs, n));
+    ThreadPool pool(workers);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      pool.submit([&guarded, i] { guarded(i); });
+    }
+    pool.wait_idle();
+  }
+  if (!errors.empty()) std::rethrow_exception(errors.begin()->second);
+}
+
+std::vector<Rng> derive_run_rngs(std::uint64_t base_seed, std::uint64_t n) {
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(n));
+  Rng parent(base_seed);
+  for (std::uint64_t i = 0; i < n; ++i) rngs.push_back(parent.split());
+  return rngs;
+}
+
+void parallel_for_runs(std::uint64_t n, unsigned jobs,
+                       std::uint64_t base_seed,
+                       const std::function<void(std::uint64_t, Rng)>& fn) {
+  const std::vector<Rng> rngs = derive_run_rngs(base_seed, n);
+  for_each_index(n, jobs, [&](std::uint64_t i) {
+    fn(i, rngs[static_cast<std::size_t>(i)]);
+  });
+}
+
+}  // namespace dyncon::util

@@ -1,0 +1,104 @@
+#pragma once
+
+// Deterministic parallel execution of independent simulation runs.
+//
+// Every randomized component of the repo draws from an explicitly seeded
+// `Rng`, so a run is a pure function of its seed — which makes replicated
+// sweeps (benches, fuzzing, soaks) embarrassingly parallel.  The pieces:
+//
+//   * `ThreadPool`: a fixed-size worker pool over a bounded task queue.
+//     Tasks are opaque `void()` callables; the first exception a task
+//     throws is captured and rethrown from `wait_idle()`.
+//
+//   * `for_each_index(n, jobs, fn)`: run fn(0..n-1) across `jobs` workers.
+//     With jobs <= 1 (or n <= 1) it runs inline, in index order, with no
+//     threads — the serial path IS the parallel path's specification.
+//     Exceptions are collected per index and the *lowest-index* one is
+//     rethrown after all tasks finish, so failure reporting does not
+//     depend on scheduling.
+//
+//   * `parallel_for_runs(n, jobs, base_seed, fn)`: `for_each_index` plus
+//     deterministic seed derivation — run i receives the i-th generator of
+//     an `Rng(base_seed).split()` chain, so its random stream depends only
+//     on (base_seed, i), never on `jobs` or on which worker picked it up.
+//     Results are bit-identical to serial execution by construction.
+//
+// The event loop inside each run stays single-threaded; parallelism exists
+// only *between* runs (shared-nothing replication, docs/PERFORMANCE.md
+// "Threading model").
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dyncon::util {
+
+/// Fixed-size worker pool with a bounded task queue.  `submit` blocks when
+/// the queue is full (backpressure instead of unbounded memory); the
+/// destructor drains the queue and joins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned workers, std::size_t queue_capacity = 256);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; blocks while the queue holds `queue_capacity` tasks.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished, then rethrow the first
+  /// exception any task threw (submission order is not defined here — use
+  /// for_each_index for deterministic exception selection).
+  void wait_idle();
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Usable parallelism on this machine (>= 1 even when the runtime cannot
+  /// tell): the default for every --jobs flag.
+  static unsigned hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t capacity_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for every i in [0, n) across up to `jobs` workers.  Inline and
+/// in index order when jobs <= 1 or n <= 1.  If any invocations throw, the
+/// one with the lowest index is rethrown after all n finish — identical to
+/// what a serial sweep that ran everything would report.
+void for_each_index(std::uint64_t n, unsigned jobs,
+                    const std::function<void(std::uint64_t)>& fn);
+
+/// Derive the n per-run generators of the `Rng(base_seed).split()` chain.
+/// Run i's generator depends only on (base_seed, i): the chain is what a
+/// serial loop splitting one parent would have produced.
+std::vector<Rng> derive_run_rngs(std::uint64_t base_seed, std::uint64_t n);
+
+/// Replicated-run helper: fn(i, rng_i) with rng_i from derive_run_rngs.
+/// Scheduling-independent by construction — results depend only on
+/// (base_seed, i), never on `jobs`.
+void parallel_for_runs(std::uint64_t n, unsigned jobs,
+                       std::uint64_t base_seed,
+                       const std::function<void(std::uint64_t, Rng)>& fn);
+
+}  // namespace dyncon::util

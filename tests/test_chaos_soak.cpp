@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/distributed_controller.hpp"
 #include "core/distributed_iterated.hpp"
@@ -17,6 +19,7 @@
 #include "sim/fault.hpp"
 #include "sim/watchdog.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/shapes.hpp"
 
 namespace dyncon::core {
@@ -90,18 +93,32 @@ void soak_one(sim::FaultKind fault, sim::DelayKind delay,
 }
 
 TEST(ChaosSoak, EveryFaultTimesEveryDelay) {
+  // Every grid point is an independent seeded simulation, so the soak
+  // fans out across the pool; googletest's EXPECT_* machinery is
+  // thread-safe on pthreads platforms.
+  std::vector<std::pair<sim::FaultKind, sim::DelayKind>> grid;
   for (const sim::FaultKind fault : sim::all_fault_kinds()) {
     for (const sim::DelayKind delay : kAllDelays) {
-      soak_one(fault, delay, 7);
+      grid.emplace_back(fault, delay);
     }
   }
+  util::for_each_index(grid.size(), util::ThreadPool::hardware_jobs(),
+                       [&](std::uint64_t i) {
+                         soak_one(grid[i].first, grid[i].second, 7);
+                       });
 }
 
 TEST(ChaosSoak, SeedSweepUnderFullChaos) {
+  std::vector<std::pair<sim::DelayKind, std::uint64_t>> grid;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    soak_one(sim::FaultKind::kChaos, sim::DelayKind::kReorder, seed);
-    soak_one(sim::FaultKind::kChaos, sim::DelayKind::kHeavyTail, 100 + seed);
+    grid.emplace_back(sim::DelayKind::kReorder, seed);
+    grid.emplace_back(sim::DelayKind::kHeavyTail, 100 + seed);
   }
+  util::for_each_index(grid.size(), util::ThreadPool::hardware_jobs(),
+                       [&](std::uint64_t i) {
+                         soak_one(sim::FaultKind::kChaos, grid[i].first,
+                                  grid[i].second);
+                       });
 }
 
 TEST(ChaosSoak, IteratedPipelineSurvivesChaos) {

@@ -17,6 +17,22 @@ Directional comparison of the perf.* metric family:
     workloads are deterministic, so a drifted count means the comparison is
     between different workloads and the rate columns are meaningless.
 
+The ``perf.parallel.*`` gauges are machine-dependent (they measure how the
+run engine scales across *this host's* cores), so they are excluded from
+the cross-machine baseline diff.  Instead they are checked within the
+current report alone:
+
+  * ``events_per_sec_jN`` for 1 < N <= ``hw_threads`` must not fall below
+    the jobs=1 figure by more than the tolerance (parallelism must never
+    cost throughput where the cores exist to back it; oversubscribed
+    batches on smaller hosts are informational only);
+  * with ``--parallel-speedup-min X``, ``perf.parallel.speedup_j4`` must
+    reach X — enforced only when ``perf.parallel.hw_threads`` >= 4, since
+    a speedup target is meaningless on fewer cores than workers.
+
+The ``perf.parallel.events``/``.runs`` counters stay in the exact-match
+set: batches are deterministic, so those never drift.
+
 Improvements (faster, fewer allocations) always pass; the expectation is
 that a genuine speedup is followed by re-committing the baseline.  Exits
 nonzero listing every violation.  Used by the CI perf-smoke job.
@@ -64,6 +80,9 @@ def main() -> None:
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
     ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--parallel-speedup-min", type=float, default=None,
+                    help="require perf.parallel.speedup_j4 >= this value "
+                         "when the current host has >= 4 hardware threads")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -89,6 +108,8 @@ def main() -> None:
 
     tol = args.tolerance
     for name, expected in sorted(base["gauges"].items()):
+        if name.startswith("perf.parallel."):
+            continue  # machine-dependent; checked within the current report
         actual = cur["gauges"].get(name)
         if actual is None:
             errors.append(f"gauge {name} missing from current report")
@@ -109,6 +130,44 @@ def main() -> None:
                     f"(baseline {expected:.3f} + {tol:.0%}): regression")
             else:
                 checked += 1
+
+    # Parallel-scaling family: within-report checks only (see module doc).
+    j1 = cur["gauges"].get("perf.parallel.events_per_sec_j1")
+    if j1 is not None and j1 > 0:
+        hw = cur["gauges"].get("perf.parallel.hw_threads", 1.0)
+        for name, actual in sorted(cur["gauges"].items()):
+            if (name.startswith("perf.parallel.events_per_sec_j")
+                    and not name.endswith("_j1")):
+                n_jobs = float(name.rsplit("_j", 1)[1])
+                if n_jobs > hw:
+                    continue  # oversubscribed batch: informational only
+                limit = j1 * (1.0 - tol)
+                if actual < limit:
+                    errors.append(
+                        f"{name}: {actual:.0f} < {limit:.0f} "
+                        f"(jobs=1 {j1:.0f} - {tol:.0%}): parallel execution "
+                        f"costs throughput")
+                else:
+                    checked += 1
+        if args.parallel_speedup_min is not None:
+            hw = cur["gauges"].get("perf.parallel.hw_threads", 0.0)
+            speedup = cur["gauges"].get("perf.parallel.speedup_j4")
+            if hw >= 4.0:
+                if speedup is None:
+                    errors.append("perf.parallel.speedup_j4 missing")
+                elif speedup < args.parallel_speedup_min:
+                    errors.append(
+                        f"perf.parallel.speedup_j4: {speedup:.2f} < "
+                        f"{args.parallel_speedup_min:.2f} on a "
+                        f"{hw:.0f}-thread host: parallel scaling regression")
+                else:
+                    checked += 1
+            else:
+                print(f"check_bench: skipping --parallel-speedup-min "
+                      f"({hw:.0f} hardware threads < 4)")
+    elif args.parallel_speedup_min is not None:
+        errors.append("perf.parallel.events_per_sec_j1 missing but "
+                      "--parallel-speedup-min was requested")
 
     if errors:
         for e in errors:

@@ -9,9 +9,10 @@ Also cross-validates the fault/reliability metric families whenever they
 appear (a report must not claim retransmissions on a loss-free transport,
 nor more watchdog completions than arms), the perf.* family written by
 bench/perf_suite (rates positive, percentiles ordered, per-phase event
-counts summing to the total), and — when the exp17 per-rate gauges are
-present — that the measured reliability overhead is monotone in the drop
-rate.  Exits nonzero with a message on the first violation; prints
+counts summing to the total), the perf.parallel.* scaling family (speedup
+gauge consistent with the per-jobs throughputs), and — when the exp17
+per-rate gauges are present — that the measured reliability overhead is
+monotone in the drop rate.  Exits nonzero with a message on the first violation; prints
 a one-line summary on success.  Used by the CI metrics-smoke and
 chaos-smoke jobs.
 """
@@ -84,14 +85,46 @@ def check_perf_family(path: str, counters: dict, gauges: dict) -> None:
             perf_gauges["perf.ns_per_event_p50"]):
         fail(f"{path}: perf percentiles inverted (p99 < p50)")
     phase_events = sum(v for k, v in perf_counters.items()
-                       if k.endswith(".events") and k != "perf.events")
+                       if k.endswith(".events") and k != "perf.events"
+                       and not k.startswith("perf.parallel."))
     total = perf_counters.get("perf.events", 0)
     if phase_events and total and phase_events != total:
         fail(f"{path}: per-phase perf.<phase>.events sum to {phase_events} "
              f"but perf.events = {total}")
+    check_parallel_family(path, perf_counters, perf_gauges)
     print(f"check_report: perf family ok "
           f"({perf_gauges['perf.events_per_sec']:.0f} events/sec, "
           f"{perf_gauges['perf.allocs_per_event']:.3f} allocs/event)")
+
+
+def check_parallel_family(path: str, counters: dict, gauges: dict) -> None:
+    """Consistency of the perf.parallel.* family (parallel run-engine
+    scaling phase): the jobs=1 throughput must be positive, the published
+    speedup must equal the j4/j1 gauge ratio, and the batch counters must
+    be positive integers.  (The parallel phase's events/sec gauges are
+    intentionally absent from the cross-machine baseline comparison —
+    check_bench.py gates them within a single report.)"""
+    par_gauges = {k: v for k, v in gauges.items()
+                  if k.startswith("perf.parallel.")}
+    if not par_gauges:
+        return  # older report without the parallel phase
+    j1 = par_gauges.get("perf.parallel.events_per_sec_j1", 0.0)
+    if j1 <= 0:
+        fail(f"{path}: perf.parallel.events_per_sec_j1 is not positive")
+    j4 = par_gauges.get("perf.parallel.events_per_sec_j4")
+    speedup = par_gauges.get("perf.parallel.speedup_j4")
+    if j4 is not None and speedup is not None:
+        derived = j4 / j1
+        if abs(speedup - derived) > 1e-6 * max(1.0, derived):
+            fail(f"{path}: perf.parallel.speedup_j4 = {speedup:.6f} but "
+                 f"j4/j1 = {derived:.6f}")
+    if par_gauges.get("perf.parallel.hw_threads", 0.0) < 1.0:
+        fail(f"{path}: perf.parallel.hw_threads below 1")
+    for name in ("perf.parallel.events", "perf.parallel.runs"):
+        value = counters.get(name)
+        if not isinstance(value, int) or value <= 0:
+            fail(f"{path}: counter '{name}' = {value!r} is not a "
+                 f"positive integer")
 
 
 def check_exp17_monotone(path: str, gauges: dict) -> None:

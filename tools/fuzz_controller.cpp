@@ -14,14 +14,27 @@
 // On a violation it prints the failing configuration (which is enough to
 // reproduce deterministically — everything is seeded) and exits nonzero.
 //
-//   usage: fuzz_controller [--seconds N] [--start-seed S]
+//   usage: fuzz_controller [--seconds N | --runs N] [--base-seed S]
+//                          [--jobs J]
+//
+// --runs N explores exactly N consecutive seeds (base-seed + i), split
+// across J pool workers; every worker audits independent configurations,
+// and a failure is reported for the LOWEST failing seed regardless of
+// scheduling, so the fixed-count mode's output is byte-identical at any
+// --jobs value.  --seconds keeps the classic wall-clock budget (workers
+// pull seeds from a shared counter; throughput scales, output order does
+// not matter since success prints only a total).  --start-seed is kept as
+// an alias for --base-seed.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/distributed_iterated.hpp"
 #include "obs/events.hpp"
@@ -31,6 +44,8 @@
 #include "sim/trace.hpp"
 #include "sim/watchdog.hpp"
 #include "tree/validate.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/churn.hpp"
 #include "workload/shapes.hpp"
 
@@ -51,20 +66,22 @@ struct Config {
   std::uint64_t steps;
   std::uint64_t max_burst;
 
-  void print() const {
-    std::fprintf(stderr,
-                 "config: seed=%llu delay=%s shape=%s churn=%s fault=%s "
-                 "fault_seed=%llu n0=%llu M=%llu W=%llu steps=%llu "
-                 "burst<=%llu\n",
-                 static_cast<unsigned long long>(seed),
-                 sim::delay_kind_name(delay), workload::shape_name(shape),
-                 workload::churn_name(churn), sim::fault_kind_name(fault),
-                 static_cast<unsigned long long>(fault_seed),
-                 static_cast<unsigned long long>(n0),
-                 static_cast<unsigned long long>(m),
-                 static_cast<unsigned long long>(w),
-                 static_cast<unsigned long long>(steps),
-                 static_cast<unsigned long long>(max_burst));
+  [[nodiscard]] std::string describe() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "config: seed=%llu delay=%s shape=%s churn=%s fault=%s "
+                  "fault_seed=%llu n0=%llu M=%llu W=%llu steps=%llu "
+                  "burst<=%llu",
+                  static_cast<unsigned long long>(seed),
+                  sim::delay_kind_name(delay), workload::shape_name(shape),
+                  workload::churn_name(churn), sim::fault_kind_name(fault),
+                  static_cast<unsigned long long>(fault_seed),
+                  static_cast<unsigned long long>(n0),
+                  static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(w),
+                  static_cast<unsigned long long>(steps),
+                  static_cast<unsigned long long>(max_burst));
+    return buf;
   }
 };
 
@@ -155,54 +172,125 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
   return {};
 }
 
+/// One audited configuration, post-mortem captured as a string so workers
+/// can report without interleaving on stderr.  Returns the full failure
+/// report, or nullopt on a clean run.
+std::optional<std::string> audit_seed(std::uint64_t seed) {
+  const Config c = roll(seed);
+  obs::Registry reg;
+  sim::Trace trace(512);
+  trace.enable(true);
+  std::string failure;
+  try {
+    failure = run_one(c, reg, trace);
+  } catch (const std::exception& e) {
+    failure = std::string("exception: ") + e.what();
+  }
+  if (failure.empty()) return std::nullopt;
+  // The post-mortem: every counter the run touched, then the last typed
+  // events (JSONL, newest last) leading up to the violation.
+  std::ostringstream out;
+  out << "FAILURE: " << failure << "\n" << c.describe() << "\n";
+  std::ostringstream snapshot;
+  reg.to_json().dump(snapshot, 2);
+  out << "metrics snapshot:\n" << snapshot.str() << "\n";
+  out << "trace tail (" << trace.size() << " of " << trace.recorded()
+      << " events):\n";
+  trace.dump_jsonl(out, 64);
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seconds = 10, seed = 1;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--seconds") && i + 1 < argc) {
-      seconds = std::stoull(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--start-seed") && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [--seconds N] [--start-seed S]\n",
+    const std::string_view a = argv[i];
+    const bool known = a.rfind("--seconds", 0) == 0 ||
+                       a.rfind("--runs", 0) == 0 ||
+                       a.rfind("--base-seed", 0) == 0 ||
+                       a.rfind("--start-seed", 0) == 0 ||
+                       a.rfind("--jobs", 0) == 0;
+    if (!known) {
+      std::fprintf(stderr,
+                   "usage: %s [--seconds N | --runs N] [--base-seed S] "
+                   "[--jobs J]\n",
                    argv[0]);
       return 1;
     }
+    // Two-token spellings consume the next argv slot.
+    if ((a == "--seconds" || a == "--runs" || a == "--base-seed" ||
+         a == "--start-seed" || a == "--jobs") &&
+        i + 1 < argc) {
+      ++i;
+    }
+  }
+  const std::uint64_t seconds = util::flag_u64(argc, argv, "--seconds", 10);
+  std::uint64_t base_seed = util::flag_u64(argc, argv, "--start-seed", 1);
+  base_seed = util::flag_u64(argc, argv, "--base-seed", base_seed);
+  unsigned jobs = static_cast<unsigned>(util::flag_u64(
+      argc, argv, "--jobs", util::ThreadPool::hardware_jobs()));
+  if (jobs == 0) jobs = 1;
+
+  if (util::flag_present(argc, argv, "--runs")) {
+    // Fixed-count mode: exactly N consecutive seeds, lowest failure wins.
+    const std::uint64_t n = util::flag_u64(argc, argv, "--runs", 0);
+    std::vector<std::optional<std::string>> failures(n);
+    util::for_each_index(n, jobs, [&](std::uint64_t i) {
+      failures[i] = audit_seed(base_seed + i);
+    });
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (failures[i]) {
+        std::fputs(failures[i]->c_str(), stderr);
+        return 2;
+      }
+    }
+    std::printf("fuzz_controller: %llu configurations clean "
+                "(seeds %llu..%llu)\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(base_seed),
+                static_cast<unsigned long long>(base_seed + n - 1));
+    return 0;
   }
 
+  // Wall-clock mode: workers pull seeds from a shared counter until the
+  // deadline; the seed set explored depends on timing, the verdict on any
+  // explored seed does not.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::seconds(seconds);
-  std::uint64_t runs = 0;
-  while (std::chrono::steady_clock::now() < deadline) {
-    const Config c = roll(seed++);
-    obs::Registry reg;
-    sim::Trace trace(512);
-    trace.enable(true);
-    std::string failure;
-    try {
-      failure = run_one(c, reg, trace);
-    } catch (const std::exception& e) {
-      failure = std::string("exception: ") + e.what();
+  std::atomic<std::uint64_t> next_seed{base_seed};
+  std::atomic<std::uint64_t> clean_runs{0};
+  std::mutex fail_mu;
+  std::optional<std::string> first_failure;
+  const unsigned workers = jobs;
+  {
+    util::ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.submit([&] {
+        while (std::chrono::steady_clock::now() < deadline) {
+          {
+            std::scoped_lock lock(fail_mu);
+            if (first_failure) return;
+          }
+          const std::uint64_t seed =
+              next_seed.fetch_add(1, std::memory_order_relaxed);
+          if (auto f = audit_seed(seed)) {
+            std::scoped_lock lock(fail_mu);
+            if (!first_failure) first_failure = std::move(f);
+            return;
+          }
+          clean_runs.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
     }
-    if (!failure.empty()) {
-      std::fprintf(stderr, "FAILURE: %s\n", failure.c_str());
-      c.print();
-      // The post-mortem: every counter the run touched, then the last
-      // typed events (JSONL, newest last) leading up to the violation.
-      std::ostringstream snapshot;
-      reg.to_json().dump(snapshot, 2);
-      std::fprintf(stderr, "metrics snapshot:\n%s\n", snapshot.str().c_str());
-      std::fprintf(stderr, "trace tail (%zu of %llu events):\n",
-                   trace.size(),
-                   static_cast<unsigned long long>(trace.recorded()));
-      trace.dump_jsonl(std::cerr, 64);
-      return 2;
-    }
-    ++runs;
+    pool.wait_idle();
   }
-  std::printf("fuzz_controller: %llu configurations clean (%llus)\n",
-              static_cast<unsigned long long>(runs),
-              static_cast<unsigned long long>(seconds));
+  if (first_failure) {
+    std::fputs(first_failure->c_str(), stderr);
+    return 2;
+  }
+  std::printf("fuzz_controller: %llu configurations clean (%llus, %u jobs)\n",
+              static_cast<unsigned long long>(
+                  clean_runs.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(seconds), workers);
   return 0;
 }
