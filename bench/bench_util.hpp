@@ -138,9 +138,10 @@ class Run {
     if (const auto p = util::flag_value(argc, argv, "--metrics-out")) {
       out_path_ = *p;
     }
-    jobs_ = static_cast<unsigned>(util::flag_u64(
-        argc, argv, "--jobs", util::ThreadPool::hardware_jobs()));
-    if (jobs_ == 0) jobs_ = 1;
+    // Validated: --jobs=0 or garbage is a hard error, huge values clamp
+    // (util::flag_count prints the diagnostics).
+    jobs_ = util::flag_count(argc, argv, "--jobs",
+                             util::ThreadPool::hardware_jobs());
     if (util::flag_present(argc, argv, "--base-seed")) {
       base_seed_override_ = util::flag_u64(argc, argv, "--base-seed", 0);
       report_.set_param("base_seed", obs::json::Value(*base_seed_override_));

@@ -1,0 +1,233 @@
+// EXP19 — forest runtime scaling: aggregate requests/sec vs shard count.
+//
+// One ForestEngine run serves a fixed closed-loop workload (a large Zipf-
+// skewed user population multiplexed over many controller-managed trees);
+// the sweep re-runs it at increasing --shards and reports aggregate
+// throughput.  Three claims are checked:
+//
+//   determinism   the registry JSON (every counter + histogram) and the
+//                 engine's shard-invariant stats are byte-identical at
+//                 shards=1 and shards=N — sharding may only change
+//                 wall-clock time.  Mismatch aborts the binary.
+//   scaling       requests/sec grows with shards; on a machine with >= 4
+//                 hardware threads the 4-shard run must clear 2x the
+//                 1-shard run (ISSUE 6 acceptance bar; reported either way
+//                 as perf.forest.speedup.s4).
+//   allocation    the steady-state shard loop allocates ~0 per event: the
+//                 echo-service phase (engine machinery only, shards=1 so
+//                 the loop runs inline with no pool) re-measures PR 4's
+//                 zero-allocation property through the forest path.
+//
+// perf.forest.* gauges are machine-local (wall-clock derived), like
+// perf.parallel.*: tools/check_bench.py skips them in cross-machine diffs
+// and gates the speedup separately (--forest-speedup-min).
+//
+//   --shards=N   cap the sweep's largest shard count (default 8)
+//   --jobs       accepted for uniformity; the forest pins workers = shards
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "forest/forest.hpp"
+#include "util/cli.hpp"
+
+// ---- operator-new counter (same instrument as perf_suite) -------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+std::uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dyncon;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 0x19f07e57ULL;  // exp19 forest
+
+forest::ForestConfig scaling_config(unsigned shards) {
+  forest::ForestConfig cfg;
+  cfg.shards = shards;
+  cfg.mux.users = 8192;
+  cfg.mux.trees = 64;
+  cfg.mux.requests_per_user = 16;
+  // Moderate skew: hot tenants exist, but the modulo placement still
+  // spreads the top trees across shards (tree t lives on shard t % K).
+  cfg.mux.zipf_s = 0.9;
+  cfg.tree_size = 48;
+  cfg.window = 256;
+  cfg.service = forest::Service::kController;
+  return cfg;
+}
+
+struct SweepPoint {
+  unsigned shards = 1;
+  double secs = 0;
+  forest::ForestStats stats;
+  std::string registry_json;  // full counter/histogram dump for the diff
+};
+
+SweepPoint run_forest(const forest::ForestConfig& cfg) {
+  SweepPoint pt;
+  pt.shards = cfg.shards;
+  // Shard registries merge into THIS registry; it is compared, then merged
+  // into the bench Run's registry so the report carries the counters.
+  obs::Registry reg;
+  forest::ForestEngine engine(cfg, kSeed);
+  const auto t0 = Clock::now();
+  {
+    obs::ScopedMetrics scope(reg);
+    pt.stats = engine.run();
+  }
+  pt.secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  pt.registry_json = reg.to_json().dump();
+  if (obs::Registry* main = obs::metrics()) main->merge(reg);
+  return pt;
+}
+
+bool stats_match(const forest::ForestStats& a, const forest::ForestStats& b) {
+  // Only the shard-count-invariant fields; cross_shard/barriers legitimately
+  // differ with K.
+  return a.requests == b.requests && a.granted == b.granted &&
+         a.rejected == b.rejected && a.other == b.other &&
+         a.events == b.events && a.windows == b.windows &&
+         a.handoffs == b.handoffs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Run run("exp19_forest_scaling", argc, argv);
+  bench::banner(
+      "EXP19 — sharded forest runtime: requests/sec vs shard count");
+
+  const unsigned hw = util::ThreadPool::hardware_jobs();
+  const unsigned max_shards =
+      util::flag_count(argc, argv, "--shards", 8, /*max_value=*/64);
+  run.param("hw_threads", static_cast<std::uint64_t>(hw));
+  run.param("max_shards", static_cast<std::uint64_t>(max_shards));
+  run.registry().set_gauge("perf.forest.hw_threads",
+                           static_cast<double>(hw));
+
+  const forest::ForestConfig base = scaling_config(1);
+  run.param("users", base.mux.users);
+  run.param("trees", base.mux.trees);
+  run.param("requests_per_user", base.mux.requests_per_user);
+  run.param("tree_size", base.tree_size);
+  run.param("window", base.window);
+  run.param("zipf_s", base.mux.zipf_s);
+
+  std::vector<unsigned> shard_counts;
+  for (unsigned k = 1; k <= max_shards; k *= 2) shard_counts.push_back(k);
+
+  bench::subhead("scaling sweep (identical workload, shards doubled)");
+  std::vector<SweepPoint> points;
+  points.reserve(shard_counts.size());
+  for (unsigned k : shard_counts) {
+    forest::ForestConfig cfg = scaling_config(k);
+    points.push_back(run_forest(cfg));
+  }
+
+  // Determinism gate: every point must agree with the 1-shard run on the
+  // merged registry (all counters + histograms) and the invariant stats.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].registry_json != points[0].registry_json ||
+        !stats_match(points[i].stats, points[0].stats)) {
+      std::fprintf(stderr,
+                   "FATAL: shards=%u diverged from shards=1 — the forest "
+                   "runtime must be byte-identical at any shard count\n",
+                   points[i].shards);
+      return 1;
+    }
+  }
+
+  bench::Table table({"shards", "requests", "granted", "windows", "events",
+                      "cross_shard", "reqs/sec", "speedup"});
+  const double base_rate =
+      static_cast<double>(points[0].stats.requests) / points[0].secs;
+  double speedup4 = 0.0;
+  for (const SweepPoint& pt : points) {
+    const double rate = static_cast<double>(pt.stats.requests) / pt.secs;
+    const double speedup = rate / base_rate;
+    if (pt.shards == 4) speedup4 = speedup;
+    table.row({bench::num(pt.shards), bench::num(pt.stats.requests),
+               bench::num(pt.stats.granted), bench::num(pt.stats.windows),
+               bench::num(pt.stats.events), bench::num(pt.stats.cross_shard),
+               bench::fp(rate / 1e3, 1) + "k", bench::fp(speedup) + "x"});
+    const std::string suffix = ".s" + std::to_string(pt.shards);
+    run.registry().set_gauge("perf.forest.requests_per_sec" + suffix, rate);
+    run.registry().set_gauge(
+        "perf.forest.events_per_sec" + suffix,
+        static_cast<double>(pt.stats.events) / pt.secs);
+    run.registry().set_gauge("perf.forest.speedup" + suffix, speedup);
+  }
+  table.print();
+  std::printf("\n  determinism: all %zu shard counts byte-identical  [ok]\n",
+              points.size());
+
+  // The 2x-at-4-shards acceptance bar only binds with real parallelism
+  // underneath; on smaller machines the sweep still validates determinism.
+  if (hw >= 4 && speedup4 > 0.0 && speedup4 < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: 4-shard speedup %.2fx < 2x on %u hardware threads\n",
+                 speedup4, hw);
+    return 1;
+  }
+
+  bench::subhead("steady-state allocation (echo service, shards=1, inline)");
+  {
+    forest::ForestConfig cfg = scaling_config(1);
+    cfg.service = forest::Service::kEcho;
+    obs::Registry reg;
+    forest::ForestEngine engine(cfg, kSeed);  // setup allocs excluded
+    const std::uint64_t a0 = allocs_now();
+    const auto t0 = Clock::now();
+    forest::ForestStats st;
+    {
+      obs::ScopedMetrics scope(reg);
+      st = engine.run();
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    const std::uint64_t allocs = allocs_now() - a0;
+    const double per_event =
+        static_cast<double>(allocs) / static_cast<double>(st.events);
+    if (obs::Registry* main = obs::metrics()) main->merge(reg);
+    run.registry().set_gauge("perf.forest.allocs_per_event", per_event);
+    run.registry().set_gauge("perf.forest.echo_events_per_sec",
+                             static_cast<double>(st.events) / secs);
+    std::printf(
+        "  events=%llu  allocs=%llu  allocs/event=%.4f  (events/sec=%.0fk)\n",
+        static_cast<unsigned long long>(st.events),
+        static_cast<unsigned long long>(allocs), per_event,
+        static_cast<double>(st.events) / secs / 1e3);
+  }
+
+  std::puts("");
+  return 0;
+}

@@ -58,6 +58,10 @@
 // Workloads for experiments and tests.
 #include "workload/arrival.hpp"
 #include "workload/churn.hpp"
+#include "workload/request_mux.hpp"
 #include "workload/scenario.hpp"
 #include "workload/script.hpp"
 #include "workload/shapes.hpp"
+
+// Forest runtime: sharded many-tree engine on one deterministic clock.
+#include "forest/forest.hpp"

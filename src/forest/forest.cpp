@@ -1,0 +1,303 @@
+#include "forest/forest.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/params.hpp"
+#include "util/error.hpp"
+
+namespace dyncon::forest {
+
+namespace {
+
+// Seed salts: the mux consumes Rng(seed) itself, so the tree and shard
+// split chains hang off distinct splitmix-scrambled parents.  Both chains
+// are pure functions of (seed, index) — never of the shard count.
+constexpr std::uint64_t kTreeSalt = 0x7472656573616c74ULL;   // "treesalt"
+constexpr std::uint64_t kShardSalt = 0x73686472646e6773ULL;  // "shdrdngs"
+
+bool ready_order(const workload::MuxRequest& a,
+                 const workload::MuxRequest& b) {
+  return a.ready != b.ready ? a.ready < b.ready : a.user < b.user;
+}
+
+}  // namespace
+
+ForestEngine::ForestEngine(const ForestConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), mux_(cfg.mux, seed) {
+  DYNCON_REQUIRE(cfg_.shards >= 1, "forest needs at least one shard");
+  DYNCON_REQUIRE(cfg_.window >= 1, "window width must be >= 1 tick");
+  DYNCON_REQUIRE(cfg_.tree_size >= 1, "trees need at least the root");
+
+  shards_.reserve(cfg_.shards);
+  Rng shard_parent(seed ^ kShardSalt);
+  for (unsigned s = 0; s < cfg_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->rng = shard_parent.split();
+    sh->queue.reserve(64);
+    sh->outbox.reserve(256);
+    sh->inbox.reserve(256);
+    shards_.push_back(std::move(sh));
+  }
+  if (cfg_.shards > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(cfg_.shards);
+  }
+
+  // Every tree draws from its own split-chain generator keyed by tree id,
+  // and its permit budget / U bound are per-tree constants — nothing about
+  // a tree depends on which shard hosts it.
+  const std::uint64_t budget =
+      cfg_.permits_per_tree != 0 ? cfg_.permits_per_tree
+                                 : std::uint64_t{1} << 30;
+  // U must upper-bound nodes-ever per tree: the initial build plus at most
+  // one add-leaf per request in the whole workload (all grows could hit
+  // one hot tree under heavy Zipf skew).
+  const std::uint64_t u_bound =
+      cfg_.tree_size + mux_.total_requests() + 2;
+  const std::uint64_t w_bound = std::max<std::uint64_t>(u_bound, 1);
+  Rng tree_parent(seed ^ kTreeSalt);
+  trees_.resize(static_cast<std::size_t>(cfg_.mux.trees));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    TreeState& ts = trees_[t];
+    ts.rng = tree_parent.split();
+    ts.shard = shard_of(static_cast<std::uint32_t>(t));
+    ts.tree = std::make_unique<tree::DynamicTree>();
+    ts.sites.reserve(static_cast<std::size_t>(cfg_.tree_size));
+    ts.sites.push_back(ts.tree->root());
+    for (std::uint64_t i = 1; i < cfg_.tree_size; ++i) {
+      const NodeId parent = ts.sites[ts.rng.index(ts.sites.size())];
+      ts.sites.push_back(ts.tree->add_leaf(parent));
+    }
+    ts.grown.reserve(64);
+    if (cfg_.service == Service::kController) {
+      core::CentralizedController::Options opts;
+      opts.track_domains = false;
+      ts.ctrl = std::make_unique<core::CentralizedController>(
+          *ts.tree, core::Params(budget, w_bound, u_bound), opts);
+    }
+  }
+
+  // Seed the first window: every user's opening request goes straight to
+  // its target shard's inbox; stage_inboxes schedules them.
+  for (const workload::MuxRequest& req : mux_.initial_requests()) {
+    shards_[trees_[req.tree].shard]->inbox.push_back(req);
+  }
+}
+
+ForestEngine::~ForestEngine() = default;
+
+void ForestEngine::stage_inbox(Shard& sh) {
+  if (sh.inbox.empty()) return;
+  // (ready, user) staging order makes each event's queue seq — and hence
+  // the FIFO tie-break — a pure function of the request set, not of the
+  // order completions drained from sibling shards.
+  std::sort(sh.inbox.begin(), sh.inbox.end(), ready_order);
+  for (const workload::MuxRequest& req : sh.inbox) {
+    const std::uint64_t user = req.user;
+    const std::uint32_t tree = req.tree;
+    const workload::ForestOp op = req.op;
+    sh.queue.schedule_at(req.ready, [this, user, tree, op] {
+      serve(user, tree, op);
+    });
+  }
+  sh.inbox.clear();  // capacity retained: no steady-state allocation
+}
+
+bool ForestEngine::step_window() {
+  // Earliest pending work across the forest decides the next window.  The
+  // minimum is over the union of all shard queues AND their unstaged
+  // inboxes, so the window sequence is identical at any shard count
+  // (skipping idle windows entirely).  Inboxes are merely scanned here;
+  // the sort + per-event scheduling runs inside each shard's own window,
+  // off the serial path.
+  bool any = false;
+  SimTime t_min = 0;
+  auto consider = [&](SimTime t) {
+    if (!any || t < t_min) t_min = t;
+    any = true;
+  };
+  for (const auto& shp : shards_) {
+    if (!shp->queue.empty()) consider(shp->queue.next_time());
+    for (const workload::MuxRequest& req : shp->inbox) consider(req.ready);
+  }
+  if (!any) return false;  // drained
+
+  const SimTime w = cfg_.window;
+  const SimTime w_start = std::max(clock_, (t_min / w) * w);
+  window_end_ = w_start + w;
+  clock_ = window_end_;
+  ++stats_.windows;
+
+  if (pool_ != nullptr) {
+    ++stats_.barriers;
+    pool_->for_each(shards_.size(),
+                    [this](std::uint64_t s) { run_window_on_shard(s); });
+  } else {
+    run_window_on_shard(0);
+  }
+  exchange();
+  return true;
+}
+
+void ForestEngine::run_window_on_shard(std::uint64_t s) {
+  Shard& sh = *shards_[s];
+  // Thread-confined metrics: whatever worker runs this window writes into
+  // THIS shard's registry; handles re-resolve on the registry switch.
+  obs::ScopedMetrics scope(sh.registry);
+  // The inbox was filled by the main thread before the dispatch barrier
+  // and is owned by this worker until the next one — no synchronization
+  // beyond the barriers themselves.
+  stage_inbox(sh);
+  sh.queue.run_until(window_end_);
+}
+
+void ForestEngine::exchange() {
+  exchange_scratch_.clear();
+  for (auto& shp : shards_) {
+    exchange_scratch_.insert(exchange_scratch_.end(), shp->outbox.begin(),
+                             shp->outbox.end());
+    shp->outbox.clear();
+  }
+  if (exchange_scratch_.empty()) return;
+  // Global (done, user) order: the one sequence every shard count agrees
+  // on.  Each user has one outstanding request, so the key is unique.
+  std::sort(exchange_scratch_.begin(), exchange_scratch_.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.done != b.done ? a.done < b.done : a.user < b.user;
+            });
+  stats_.requests += exchange_scratch_.size();
+  for (const Completion& c : exchange_scratch_) {
+    workload::MuxRequest req;
+    if (!mux_.next_request(c.user, c.done, window_end_, req)) continue;
+    const std::uint32_t target = trees_[req.tree].shard;
+    shards_[target]->inbox.push_back(req);
+    ++stats_.handoffs;
+    if (target != trees_[c.tree].shard) ++stats_.cross_shard;
+  }
+}
+
+void ForestEngine::serve(std::uint64_t user, std::uint32_t tree,
+                         workload::ForestOp op) {
+  TreeState& ts = trees_[static_cast<std::size_t>(tree)];
+  Shard& sh = *shards_[ts.shard];
+
+  static thread_local obs::CounterHandle c_total("forest.requests.total");
+  static thread_local obs::CounterHandle c_granted("forest.requests.granted");
+  static thread_local obs::CounterHandle c_rejected(
+      "forest.requests.rejected");
+  static thread_local obs::CounterHandle c_other("forest.requests.other");
+  static thread_local obs::CounterHandle c_permit("forest.ops.permit");
+  static thread_local obs::CounterHandle c_grow("forest.ops.grow");
+  static thread_local obs::CounterHandle c_shrink("forest.ops.shrink");
+  static thread_local obs::CounterHandle c_noop("forest.ops.shrink_noop");
+  static thread_local obs::HistogramHandle h_cost("forest.serve.cost");
+  c_total.add();
+
+  core::Outcome outcome = core::Outcome::kGranted;
+  if (cfg_.service == Service::kEcho) {
+    // Engine-only mode: grant unconditionally, touch no controller.  What
+    // remains is exactly the sharded runtime's own per-event work.
+    c_permit.add();
+  } else {
+    const std::uint64_t cost_before = ts.ctrl->cost();
+    switch (op) {
+      case workload::ForestOp::kPermit: {
+        c_permit.add();
+        const NodeId site = ts.sites[ts.rng.index(ts.sites.size())];
+        outcome = ts.ctrl->request_event(site).outcome;
+        break;
+      }
+      case workload::ForestOp::kGrow: {
+        c_grow.add();
+        const NodeId parent = ts.sites[ts.rng.index(ts.sites.size())];
+        const core::Result res = ts.ctrl->request_add_leaf(parent);
+        outcome = res.outcome;
+        if (res.granted()) ts.grown.push_back(res.new_node);
+        break;
+      }
+      case workload::ForestOp::kShrink: {
+        c_shrink.add();
+        if (ts.grown.empty()) {
+          // Nothing this user's tree can give back; a no-op completion.
+          c_noop.add();
+          outcome = core::Outcome::kMoot;
+          break;
+        }
+        const core::Result res = ts.ctrl->request_remove(ts.grown.back());
+        outcome = res.outcome;
+        if (res.granted()) ts.grown.pop_back();
+        break;
+      }
+    }
+    h_cost.observe(ts.ctrl->cost() - cost_before);
+  }
+
+  switch (outcome) {
+    case core::Outcome::kGranted:
+      c_granted.add();
+      break;
+    case core::Outcome::kRejected:
+      c_rejected.add();
+      break;
+    default:
+      c_other.add();
+      break;
+  }
+
+  // Service latency: base + per-tree jitter (same stream as the site
+  // draws, so it too is shard-count invariant), then a completion event
+  // that hands the response back at the next barrier.
+  const SimTime delay = cfg_.service_delay + (ts.rng.next() & 3);
+  sh.queue.schedule_after(delay, [this, user, tree] {
+    complete(user, tree);
+  });
+}
+
+void ForestEngine::complete(std::uint64_t user, std::uint32_t tree) {
+  Shard& sh = *shards_[trees_[tree].shard];
+  sh.outbox.push_back(Completion{sh.queue.now(), user, tree});
+}
+
+bool ForestEngine::drained() const {
+  for (const auto& shp : shards_) {
+    if (!shp->queue.empty() || !shp->inbox.empty()) return false;
+  }
+  return true;
+}
+
+ForestStats ForestEngine::run() {
+  DYNCON_REQUIRE(!ran_, "ForestEngine::run is one-shot");
+  ran_ = true;
+  while (step_window()) {
+  }
+  DYNCON_INVARIANT(drained(), "run ended with pending work");
+  DYNCON_INVARIANT(stats_.requests == mux_.total_requests(),
+                   "every issued request must complete exactly once");
+
+  for (const auto& shp : shards_) {
+    stats_.events += shp->queue.events_fired();
+    stats_.granted += shp->registry.counter("forest.requests.granted");
+    stats_.rejected += shp->registry.counter("forest.requests.rejected");
+    stats_.other += shp->registry.counter("forest.requests.other");
+  }
+
+  // Deterministic reduction: shard registries fold into the caller's
+  // registry in shard order.  Counter/histogram totals are shard-count
+  // invariant (per-tree streams; merge is commutative over integers).
+  if (obs::Registry* r = obs::metrics()) {
+    for (const auto& shp : shards_) r->merge(shp->registry);
+  }
+  return stats_;
+}
+
+std::vector<std::uint64_t> ForestEngine::shard_rng_fingerprints() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shp : shards_) {
+    Rng copy = shp->rng;
+    out.push_back(copy.next());
+  }
+  return out;
+}
+
+}  // namespace dyncon::forest

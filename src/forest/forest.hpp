@@ -1,0 +1,170 @@
+#pragma once
+
+// Sharded in-process forest runtime: one engine, many trees, one
+// deterministic clock.
+//
+// The paper's controller manages a single tree; a production service faces
+// a *forest* — many independent controller instances behind one front end
+// (the "Maintaining a Distributed Spanning Forest" setting at service
+// scale).  This engine hosts that forest:
+//
+//   * K shards, each owning a disjoint set of trees, its OWN
+//     sim::EventQueue (with PR 4's recycled slot-slab arena), its own
+//     obs::Registry (thread-confined; merged deterministically at the end),
+//     and a per-shard Rng split from the run seed for shard-local
+//     auxiliary draws.  All semantic randomness is per-TREE or per-USER
+//     split chains, which is what makes results shard-count invariant.
+//
+//   * A virtual-time barrier scheduler: shards advance concurrently
+//     (util::ThreadPool::for_each, one reusable pool) but only in bounded
+//     windows [t, t + window).  At each window edge the engine barriers,
+//     collects every shard's completions, sorts them by the shard-invariant
+//     key (completion time, user), asks the workload::RequestMux for each
+//     user's next request, and stages the resulting arrivals into the
+//     target shards' inboxes — batched, seq-ordered cross-shard delivery.
+//     A follow-up arrival is clamped to the next window edge whether or
+//     not it crosses shards, so the virtual timeline is byte-identical at
+//     any --shards=N; sharding changes wall-clock time only.
+//
+//   * Tree event timelines are independent: two trees never share state,
+//     each draws from its own split-chain Rng, and a tree's events execute
+//     in the same relative order whatever else its shard interleaves
+//     (per-tree schedule order is a subsequence of the shard queue's
+//     (when, seq) order).  Hence counters, histograms, and the engine's
+//     request totals match exactly across shard counts — tested in
+//     tests/test_forest, benched in bench/exp19_forest_scaling.
+//
+// The steady-state shard loop (event dispatch, serve, completion, batch
+// exchange) allocates nothing per event: queues recycle their slabs, all
+// engine buffers (outboxes, inboxes, sort scratch) retain capacity across
+// windows, and actions fit InlineFn's inline storage.  exp19's echo phase
+// measures this with the operator-new counter.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/centralized_controller.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "tree/dynamic_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/request_mux.hpp"
+
+namespace dyncon::forest {
+
+/// What serves a request once it reaches its tree.
+enum class Service : std::uint8_t {
+  kController,  ///< a real (M,W)-controller per tree (grow/shrink/permit)
+  kEcho,        ///< no controller work: grant after the service delay
+                ///< (isolates the engine's own loop for alloc accounting)
+};
+
+struct ForestConfig {
+  /// Shard count == worker count; 1 runs inline with no pool.
+  unsigned shards = 1;
+  workload::MuxConfig mux;
+  /// Virtual-time window width (ticks) between exchange barriers.
+  SimTime window = 256;
+  Service service = Service::kController;
+  /// Initial nodes per tree (grown workload::Shape::kRandomAttach).
+  std::uint64_t tree_size = 32;
+  /// Permit budget M per tree; 0 = effectively unlimited (requests mostly
+  /// grant, the throughput-bench setting).
+  std::uint64_t permits_per_tree = 0;
+  /// Base service latency added to every request (plus 0..3 per-tree
+  /// jitter ticks).
+  SimTime service_delay = 1;
+};
+
+struct ForestStats {
+  // Shard-count invariant (compared across --shards values).
+  std::uint64_t requests = 0;  ///< completions delivered back to users
+  std::uint64_t granted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t other = 0;     ///< moot / exhausted / shrink-noop outcomes
+  std::uint64_t events = 0;    ///< events fired across all shard queues
+  std::uint64_t windows = 0;   ///< virtual-time windows executed
+  std::uint64_t handoffs = 0;  ///< follow-up requests routed at barriers
+  // Shard-count DEPENDENT diagnostics (never in the metrics registry).
+  std::uint64_t cross_shard = 0;  ///< handoffs whose tree changed shards
+  std::uint64_t barriers = 0;
+};
+
+class ForestEngine {
+ public:
+  ForestEngine(const ForestConfig& cfg, std::uint64_t seed);
+  ~ForestEngine();
+
+  ForestEngine(const ForestEngine&) = delete;
+  ForestEngine& operator=(const ForestEngine&) = delete;
+
+  /// Advance one virtual-time window (parallel across shards) and run the
+  /// barrier exchange.  Returns false once the forest is drained — every
+  /// user served its full request budget.
+  bool step_window();
+
+  /// step_window to completion, then merge the per-shard registries (in
+  /// shard order) into the registry installed on the calling thread.
+  ForestStats run();
+
+  [[nodiscard]] const ForestStats& stats() const { return stats_; }
+  [[nodiscard]] unsigned shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t tree) const {
+    return tree % static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// First draw of a COPY of each shard's Rng (tests: the per-shard
+  /// streams must be pairwise independent and seed-stable).
+  [[nodiscard]] std::vector<std::uint64_t> shard_rng_fingerprints() const;
+
+ private:
+  struct Completion {
+    SimTime done;
+    std::uint64_t user;
+    std::uint32_t tree;
+  };
+
+  struct Shard {
+    sim::EventQueue queue;
+    obs::Registry registry;
+    Rng rng;  ///< shard-local auxiliary stream (diagnostics sampling);
+              ///< semantic draws use per-tree/per-user chains so results
+              ///< stay shard-count invariant
+    std::vector<Completion> outbox;            // filled during a window
+    std::vector<workload::MuxRequest> inbox;   // staged at barriers
+  };
+
+  struct TreeState {
+    std::unique_ptr<tree::DynamicTree> tree;
+    std::unique_ptr<core::CentralizedController> ctrl;
+    Rng rng;
+    std::vector<NodeId> sites;  ///< initial nodes (never removed)
+    std::vector<NodeId> grown;  ///< grow-added leaves (shrink pops back)
+    std::uint32_t shard = 0;
+  };
+
+  void stage_inbox(Shard& sh);
+  void run_window_on_shard(std::uint64_t s);
+  void exchange();
+  void serve(std::uint64_t user, std::uint32_t tree,
+             workload::ForestOp op);
+  void complete(std::uint64_t user, std::uint32_t tree);
+  [[nodiscard]] bool drained() const;
+
+  ForestConfig cfg_;
+  workload::RequestMux mux_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<TreeState> trees_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when shards == 1
+  std::vector<Completion> exchange_scratch_;
+  SimTime clock_ = 0;  ///< current window edge (virtual time)
+  SimTime window_end_ = 0;
+  ForestStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace dyncon::forest

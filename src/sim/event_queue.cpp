@@ -40,6 +40,15 @@ void EventQueue::step() {
   action();
 }
 
+std::uint64_t EventQueue::run_until(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().when < horizon) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
 std::uint64_t EventQueue::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (!heap_.empty() && n < max_events) {

@@ -48,6 +48,19 @@ class EventQueue {
   /// Returns the number of events fired.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
+  /// Fire events in (when, seq) order while the next firing time is strictly
+  /// below `horizon` (events an action schedules inside the horizon fire
+  /// too).  Events at or past the horizon stay pending — this is how the
+  /// forest runtime advances shards in bounded virtual-time windows.
+  /// Returns the number of events fired.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Firing time of the earliest pending event.  Requires !empty().
+  [[nodiscard]] SimTime next_time() const {
+    DYNCON_REQUIRE(!heap_.empty(), "next_time on empty queue");
+    return heap_.front().when;
+  }
+
   /// Pre-size the event heap (events the caller is about to schedule).
   void reserve(std::size_t events) {
     heap_.reserve(events);

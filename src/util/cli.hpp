@@ -10,6 +10,7 @@
 // never reject the rest of argv.
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -42,6 +43,70 @@ inline std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
   return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Validated parse of a worker/shard count: the value must be a plain
+/// decimal integer >= 1.  Values above `max_value` are clamped (a sweep on
+/// a huge host should degrade, not explode); zero and garbage are reported
+/// via `error` so callers can print the flag's name with the message.
+/// Returns nullopt on invalid input.
+inline std::optional<unsigned> parse_count(std::string_view text,
+                                           unsigned max_value,
+                                           std::string* error = nullptr,
+                                           bool* clamped = nullptr) {
+  if (clamped != nullptr) *clamped = false;
+  const std::string value(text);
+  if (value.empty()) {
+    if (error != nullptr) *error = "empty value";
+    return std::nullopt;
+  }
+  // Strictly digits: strtoull alone would quietly accept leading
+  // whitespace and signs, which is exactly the silent misparse this
+  // helper exists to refuse.
+  if (value.find_first_not_of("0123456789") != std::string::npos) {
+    if (error != nullptr) *error = "'" + value + "' is not a whole number";
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    if (error != nullptr) *error = "'" + value + "' is not a whole number";
+    return std::nullopt;
+  }
+  if (parsed == 0) {
+    if (error != nullptr) {
+      *error = "must be >= 1 (0 workers cannot make progress)";
+    }
+    return std::nullopt;
+  }
+  if (parsed > max_value) {
+    if (clamped != nullptr) *clamped = true;
+    return max_value;
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+/// `--jobs`/`--shards`-style count flag: absent -> `fallback`; invalid (0,
+/// negative, garbage) -> clear error on stderr and exit(2); above
+/// `max_value` -> clamped with a warning.  Never silently misbehaves.
+inline unsigned flag_count(int argc, char** argv, std::string_view name,
+                           unsigned fallback, unsigned max_value = 256) {
+  const auto v = flag_value(argc, argv, name);
+  if (!v) return fallback;
+  std::string error;
+  bool clamped = false;
+  const auto parsed = parse_count(*v, max_value, &error, &clamped);
+  if (!parsed) {
+    std::fprintf(stderr, "%.*s=%s: %s\n", static_cast<int>(name.size()),
+                 name.data(), v->c_str(), error.c_str());
+    std::exit(2);
+  }
+  if (clamped) {
+    std::fprintf(stderr, "%.*s=%s: clamped to %u (sane maximum)\n",
+                 static_cast<int>(name.size()), name.data(), v->c_str(),
+                 max_value);
+  }
+  return *parsed;
 }
 
 /// True when `--name` appears at all (bare or with a value).

@@ -73,33 +73,67 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Per-index error collection shared by the inline and pooled paths: run
+/// every index, record failures keyed by index, rethrow the lowest.
+struct IndexErrors {
+  std::mutex mu;
+  std::map<std::uint64_t, std::exception_ptr> errors;
+
+  void record(std::uint64_t i) {
+    std::scoped_lock lock(mu);
+    errors.emplace(i, std::current_exception());
+  }
+  void rethrow_lowest() {
+    if (!errors.empty()) std::rethrow_exception(errors.begin()->second);
+  }
+};
+
+}  // namespace
+
+void ThreadPool::for_each(std::uint64_t n,
+                          const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {  // nothing to fan out; same semantics without a hop
+    fn(0);
+    return;
+  }
+  IndexErrors errs;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    submit([&fn, &errs, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        errs.record(i);
+      }
+    });
+  }
+  wait_idle();  // tasks never leak exceptions, so this only synchronizes
+  errs.rethrow_lowest();
+}
+
 void for_each_index(std::uint64_t n, unsigned jobs,
                     const std::function<void(std::uint64_t)>& fn) {
   if (n == 0) return;
   // Exceptions are recorded per index and the lowest-index one rethrown, so
   // the reported failure is the same whatever the worker count.
-  std::mutex err_mu;
-  std::map<std::uint64_t, std::exception_ptr> errors;
-  auto guarded = [&](std::uint64_t i) {
-    try {
-      fn(i);
-    } catch (...) {
-      std::scoped_lock lock(err_mu);
-      errors.emplace(i, std::current_exception());
-    }
-  };
   if (jobs <= 1 || n == 1) {
-    for (std::uint64_t i = 0; i < n; ++i) guarded(i);
+    IndexErrors errs;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errs.record(i);
+      }
+    }
+    errs.rethrow_lowest();
   } else {
     const unsigned workers =
         static_cast<unsigned>(std::min<std::uint64_t>(jobs, n));
     ThreadPool pool(workers);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      pool.submit([&guarded, i] { guarded(i); });
-    }
-    pool.wait_idle();
+    pool.for_each(n, fn);
   }
-  if (!errors.empty()) std::rethrow_exception(errors.begin()->second);
 }
 
 std::vector<Rng> derive_run_rngs(std::uint64_t base_seed, std::uint64_t n) {

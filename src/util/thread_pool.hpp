@@ -59,6 +59,14 @@ class ThreadPool {
   /// for_each_index for deterministic exception selection).
   void wait_idle();
 
+  /// Run fn(i) for every i in [0, n) across this pool's workers and block
+  /// until all have finished (a barrier).  Exceptions are collected per
+  /// index and the lowest-index one is rethrown, exactly like
+  /// for_each_index — but the pool is REUSED, so a caller that barriers
+  /// many times (the forest runtime's virtual-time windows) pays for
+  /// thread creation once, not once per barrier.
+  void for_each(std::uint64_t n, const std::function<void(std::uint64_t)>& fn);
+
   [[nodiscard]] unsigned workers() const {
     return static_cast<unsigned>(threads_.size());
   }

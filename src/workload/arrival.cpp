@@ -53,6 +53,40 @@ std::string BurstyArrivals::name() const {
          ",pause=" + std::to_string(pause_) + ")";
 }
 
+OnOffArrivals::OnOffArrivals(Rng rng, std::unique_ptr<ArrivalProcess> base,
+                             SimTime on_span, SimTime off_span)
+    : rng_(rng),
+      base_(std::move(base)),
+      on_span_(on_span),
+      off_span_(off_span),
+      left_in_on_(on_span) {
+  DYNCON_REQUIRE(base_ != nullptr, "base arrival process required");
+  DYNCON_REQUIRE(on_span >= 1, "on span must be >= 1");
+  DYNCON_REQUIRE(off_span >= 1, "off span must be >= 1");
+}
+
+SimTime OnOffArrivals::next_gap() {
+  const SimTime gap = base_->next_gap();
+  // Spend the base gap against the ON span; every exhausted span inserts
+  // one OFF pause (jittered up to +50%) before arrivals resume.  Gaps
+  // longer than several spans spend several, exactly as wall time would —
+  // the base gap elapses in full, plus every pause it straddled.
+  SimTime remaining = gap;
+  SimTime pause = 0;
+  while (remaining >= left_in_on_) {
+    remaining -= left_in_on_;
+    left_in_on_ = on_span_;
+    pause += off_span_ + rng_.uniform(0, off_span_ / 2 + 1);
+  }
+  left_in_on_ -= remaining;
+  return gap + pause;
+}
+
+std::string OnOffArrivals::name() const {
+  return "onoff(on=" + std::to_string(on_span_) +
+         ",off=" + std::to_string(off_span_) + "," + base_->name() + ")";
+}
+
 std::unique_ptr<ArrivalProcess> make_arrivals(ArrivalKind kind,
                                               std::uint64_t seed) {
   Rng rng(seed);
@@ -63,6 +97,12 @@ std::unique_ptr<ArrivalProcess> make_arrivals(ArrivalKind kind,
       return std::make_unique<PoissonArrivals>(rng, 4.0);
     case ArrivalKind::kBursty:
       return std::make_unique<BurstyArrivals>(rng, 12, 64);
+    case ArrivalKind::kOnOff: {
+      Rng base_rng = rng.split();
+      return std::make_unique<OnOffArrivals>(
+          rng, std::make_unique<PoissonArrivals>(base_rng, 3.0),
+          /*on_span=*/96, /*off_span=*/192);
+    }
   }
   throw ContractError("unknown ArrivalKind");
 }
@@ -75,8 +115,44 @@ const char* arrival_kind_name(ArrivalKind kind) {
       return "poisson";
     case ArrivalKind::kBursty:
       return "bursty";
+    case ArrivalKind::kOnOff:
+      return "onoff";
   }
   return "?";
+}
+
+ZipfSelector::ZipfSelector(std::size_t n, double s) : s_(s) {
+  DYNCON_REQUIRE(n >= 1, "selector needs at least one index");
+  DYNCON_REQUIRE(s >= 0.0, "zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (std::size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;  // guard against rounding keeping it below u
+}
+
+std::size_t ZipfSelector::pick(Rng& rng) const {
+  const double u = rng.uniform01();
+  // First index with cdf >= u (cdf is strictly increasing).
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSelector::probability(std::size_t i) const {
+  DYNCON_REQUIRE(i < cdf_.size(), "index out of range");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
 }
 
 }  // namespace dyncon::workload

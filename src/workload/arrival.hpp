@@ -8,8 +8,10 @@
 // system.  All processes are seeded and deterministic.
 
 #include <cstdint>
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -63,10 +65,52 @@ class BurstyArrivals final : public ArrivalProcess {
   std::uint64_t left_in_burst_;
 };
 
-enum class ArrivalKind { kUniform, kPoisson, kBursty };
+/// On/off (Markov-modulated style) wrapper: gaps come from `base` while the
+/// process is in an ON span; once a span's virtual time is spent, an OFF
+/// pause of `off_span` (plus seeded jitter) is added to the next gap.  This
+/// is the diurnal / flash-crowd modulation pattern: traffic arrives in
+/// seed-deterministic waves instead of a steady trickle.
+class OnOffArrivals final : public ArrivalProcess {
+ public:
+  OnOffArrivals(Rng rng, std::unique_ptr<ArrivalProcess> base,
+                SimTime on_span, SimTime off_span);
+  [[nodiscard]] SimTime next_gap() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rng rng_;
+  std::unique_ptr<ArrivalProcess> base_;
+  SimTime on_span_;
+  SimTime off_span_;
+  SimTime left_in_on_;  ///< virtual time remaining in the current ON span
+};
+
+enum class ArrivalKind { kUniform, kPoisson, kBursty, kOnOff };
 
 [[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrivals(
     ArrivalKind kind, std::uint64_t seed);
 [[nodiscard]] const char* arrival_kind_name(ArrivalKind kind);
+
+/// Seed-deterministic Zipf(s) selector over indices [0, n): P(i) is
+/// proportional to 1/(i+1)^s, so index 0 is the hottest key.  Draws are a
+/// binary search over a precomputed CDF — no allocation, safe to share
+/// read-only across threads (each caller supplies its own Rng).  This is
+/// the skewed tree/site selector the forest request mux routes with;
+/// uniform selection is the s = 0 special case.
+class ZipfSelector {
+ public:
+  ZipfSelector(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t pick(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double skew() const { return s_; }
+
+  /// P(pick == i) (for tests and reporting).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[i] = P(pick <= i); back() == 1.0
+  double s_;
+};
 
 }  // namespace dyncon::workload

@@ -1,0 +1,93 @@
+#include "workload/request_mux.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dyncon::workload {
+
+RequestMux::RequestMux(MuxConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), zipf_(static_cast<std::size_t>(cfg.trees), cfg.zipf_s) {
+  DYNCON_REQUIRE(cfg_.users >= 1, "at least one user");
+  DYNCON_REQUIRE(cfg_.trees >= 1, "at least one tree");
+  DYNCON_REQUIRE(cfg_.trees <= UINT32_MAX, "tree ids are 32-bit");
+  DYNCON_REQUIRE(cfg_.grow_fraction >= 0.0 && cfg_.shrink_fraction >= 0.0 &&
+                     cfg_.grow_fraction + cfg_.shrink_fraction <= 1.0,
+                 "request mix fractions must form a distribution");
+  DYNCON_REQUIRE(cfg_.mean_think >= 1, "mean think time must be >= 1");
+  // One split chain for the users: user u's stream depends only on
+  // (seed, u), exactly like util::derive_run_rngs.  The pacing seed is
+  // drawn first so the initial-ramp process is independent of every user
+  // stream.
+  Rng parent(seed);
+  pacing_seed_ = parent.next();
+  users_.resize(static_cast<std::size_t>(cfg_.users));
+  for (auto& u : users_) {
+    u.rng = parent.split();
+    u.remaining = cfg_.requests_per_user;
+  }
+}
+
+void RequestMux::draw(UserState& u, MuxRequest& out) {
+  out.tree = static_cast<std::uint32_t>(zipf_.pick(u.rng));
+  const double mix = u.rng.uniform01();
+  if (mix < cfg_.grow_fraction) {
+    out.op = ForestOp::kGrow;
+  } else if (mix < cfg_.grow_fraction + cfg_.shrink_fraction) {
+    out.op = ForestOp::kShrink;
+  } else {
+    out.op = ForestOp::kPermit;
+  }
+}
+
+SimTime RequestMux::think(UserState& u) {
+  // Geometric-ish think time with the configured mean, cheap and seeded.
+  return 1 + u.rng.uniform(0, 2 * cfg_.mean_think);
+}
+
+std::vector<MuxRequest> RequestMux::initial_requests() {
+  DYNCON_REQUIRE(!initial_done_, "initial_requests is one-shot");
+  initial_done_ = true;
+  std::vector<MuxRequest> out;
+  if (cfg_.requests_per_user == 0) return out;
+  out.reserve(users_.size());
+  // Arrival times come from one shared modulated process; the i-th arrival
+  // belongs to user i, so the ramp is a pure function of the seed.
+  const auto arrivals = make_arrivals(cfg_.arrivals, pacing_seed_);
+  SimTime when = 0;
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    when += arrivals->next_gap();
+    MuxRequest req;
+    req.ready = when;
+    req.user = i;
+    draw(users_[i], req);
+    users_[i].remaining -= 1;
+    out.push_back(req);
+  }
+  issued_ += out.size();
+  std::sort(out.begin(), out.end(), [](const MuxRequest& a,
+                                       const MuxRequest& b) {
+    return a.ready != b.ready ? a.ready < b.ready : a.user < b.user;
+  });
+  return out;
+}
+
+bool RequestMux::next_request(std::uint64_t user, SimTime done, SimTime floor,
+                              MuxRequest& out) {
+  UserState& u = users_.at(static_cast<std::size_t>(user));
+  if (u.remaining == 0) return false;
+  u.remaining -= 1;
+  const SimTime earliest = done + think(u);
+  out.ready = std::max(earliest, floor);
+  out.user = user;
+  draw(u, out);
+  // How much the window-edge clamp deferred this arrival beyond its natural
+  // time — the cost of batched cross-shard exchange, in ticks.
+  static thread_local obs::HistogramHandle defer("forest.mux.defer");
+  defer.observe(out.ready - earliest);
+  ++issued_;
+  return true;
+}
+
+}  // namespace dyncon::workload

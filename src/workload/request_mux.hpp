@@ -1,0 +1,112 @@
+#pragma once
+
+// Front-end request multiplexer for the forest runtime.
+//
+// Models a large closed-loop user population driving a *forest* of
+// controller-managed trees: every user repeatedly (1) picks a tree — Zipf
+// skewed, so a few trees are hot the way a few tenants always are —
+// (2) issues one grow / shrink / permit request against it, (3) waits for
+// the completion, thinks, and goes again.  First arrivals are paced by an
+// ArrivalProcess (on/off modulated by default: traffic comes in waves).
+//
+// Determinism is the whole design: every user owns a split-chain Rng, so
+// the request stream of user u is a pure function of (seed, u) and of the
+// completion times the engine feeds back — never of how trees are sharded
+// or which thread served them.  The engine clamps follow-up arrivals to
+// its next virtual-time window edge by passing `floor`; the clamp amount
+// is recorded in the forest.mux.defer histogram.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+
+namespace dyncon::workload {
+
+/// What a forest user asks a tree for.
+enum class ForestOp : std::uint8_t {
+  kPermit,  ///< non-topological event request (a "ticket")
+  kGrow,    ///< add-leaf under a popular site
+  kShrink,  ///< remove a previously grown leaf
+};
+
+[[nodiscard]] constexpr const char* forest_op_name(ForestOp op) {
+  switch (op) {
+    case ForestOp::kPermit:
+      return "permit";
+    case ForestOp::kGrow:
+      return "grow";
+    case ForestOp::kShrink:
+      return "shrink";
+  }
+  return "?";
+}
+
+struct MuxConfig {
+  std::uint64_t users = 1024;
+  std::uint64_t trees = 64;
+  std::uint64_t requests_per_user = 8;
+  /// Tree-popularity skew: 0 = uniform, ~1 = classic Zipf.
+  double zipf_s = 1.1;
+  /// Request mix; the permit fraction is the remainder.
+  double grow_fraction = 0.15;
+  double shrink_fraction = 0.10;
+  /// Mean think time between a completion and the user's next request.
+  SimTime mean_think = 12;
+  /// First arrivals are paced by this process (gap per user).
+  ArrivalKind arrivals = ArrivalKind::kOnOff;
+};
+
+/// One routed request: user `user` wants `op` on tree `tree`, submittable
+/// from simulated time `ready` on.
+struct MuxRequest {
+  SimTime ready = 0;
+  std::uint64_t user = 0;
+  std::uint32_t tree = 0;
+  ForestOp op = ForestOp::kPermit;
+};
+
+class RequestMux {
+ public:
+  RequestMux(MuxConfig cfg, std::uint64_t seed);
+
+  /// Every user's first request, sorted by (ready, user).  Call once.
+  [[nodiscard]] std::vector<MuxRequest> initial_requests();
+
+  /// Compute user `user`'s next request after a completion at time `done`.
+  /// `floor` is the earliest admissible arrival time (the engine's next
+  /// window edge); think time pushes past it, never before.  Returns false
+  /// when the user has exhausted its request budget.
+  bool next_request(std::uint64_t user, SimTime done, SimTime floor,
+                    MuxRequest& out);
+
+  [[nodiscard]] std::uint64_t users() const { return cfg_.users; }
+  [[nodiscard]] std::uint64_t trees() const { return cfg_.trees; }
+  [[nodiscard]] std::uint64_t total_requests() const {
+    return cfg_.users * cfg_.requests_per_user;
+  }
+  /// Requests handed out so far (initial + follow-ups).
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] const ZipfSelector& tree_selector() const { return zipf_; }
+
+ private:
+  struct UserState {
+    Rng rng;
+    std::uint64_t remaining = 0;
+  };
+
+  /// Draw tree + op from the user's own stream (shard-schedule invariant).
+  void draw(UserState& u, MuxRequest& out);
+  [[nodiscard]] SimTime think(UserState& u);
+
+  MuxConfig cfg_;
+  ZipfSelector zipf_;
+  std::uint64_t pacing_seed_;  ///< seeds the initial-ramp ArrivalProcess
+  std::vector<UserState> users_;
+  std::uint64_t issued_ = 0;
+  bool initial_done_ = false;
+};
+
+}  // namespace dyncon::workload

@@ -48,12 +48,96 @@ TEST(Arrivals, BurstyAlternatesZeroAndPause) {
 
 TEST(Arrivals, FactoryCoversKinds) {
   for (auto k : {ArrivalKind::kUniform, ArrivalKind::kPoisson,
-                 ArrivalKind::kBursty}) {
+                 ArrivalKind::kBursty, ArrivalKind::kOnOff}) {
     auto a = make_arrivals(k, 7);
     ASSERT_NE(a, nullptr);
     (void)a->next_gap();
     EXPECT_FALSE(a->name().empty());
   }
+}
+
+TEST(Arrivals, OnOffInsertsPausesBetweenWaves) {
+  // Base process: one arrival per tick.  With on=10/off=100 every 10 ticks
+  // of arrivals must be followed by a pause of >= 100, so long gaps appear
+  // at a predictable rate and cumulative time is dominated by OFF spans.
+  OnOffArrivals a(Rng(5), std::make_unique<UniformArrivals>(1), 10, 100);
+  int longs = 0;
+  SimTime total = 0;
+  const int kN = 1000;
+  for (int i = 0; i < kN; ++i) {
+    const SimTime g = a.next_gap();
+    if (g >= 100) ++longs;
+    total += g;
+  }
+  // ~1 pause per 10 arrivals; jitter cannot merge or drop pauses here.
+  EXPECT_EQ(longs, kN / 10);
+  EXPECT_GE(total, static_cast<SimTime>(longs) * 100);
+}
+
+TEST(Arrivals, OnOffIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    auto a = make_arrivals(ArrivalKind::kOnOff, seed);
+    std::vector<SimTime> gaps;
+    for (int i = 0; i < 200; ++i) gaps.push_back(a->next_gap());
+    return gaps;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Arrivals, OnOffLongBaseGapSpendsMultipleSpans) {
+  // A base gap of 35 spans three full ON windows of 10 — three OFF pauses
+  // (100 each, +jitter) must be inserted into the single returned gap.
+  OnOffArrivals a(Rng(9), std::make_unique<UniformArrivals>(35), 10, 100);
+  const SimTime g = a.next_gap();
+  EXPECT_GE(g, 35u + 3 * 100u);
+}
+
+TEST(Zipf, ProbabilitiesFormDistribution) {
+  ZipfSelector z(100, 1.1);
+  EXPECT_EQ(z.size(), 100u);
+  double sum = 0;
+  double prev = 1.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double p = z.probability(i);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev + 1e-12) << "mass must be non-increasing in rank";
+    prev = p;
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  ZipfSelector z(8, 0.0);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EXPECT_NEAR(z.probability(i), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequencyMatchesHead) {
+  ZipfSelector z(64, 1.0);
+  Rng rng(123);
+  const int kN = 50000;
+  int head = 0;
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t pick = z.pick(rng);
+    ASSERT_LT(pick, z.size());
+    if (pick == 0) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / kN, z.probability(0), 0.01);
+}
+
+TEST(Zipf, PickIsSeedDeterministic) {
+  ZipfSelector z(32, 1.2);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.pick(a), z.pick(b));
+}
+
+TEST(Zipf, SingleIndexAlwaysPicked) {
+  ZipfSelector z(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.pick(rng), 0u);
 }
 
 TEST(TimedDriver, OpenLoopChurnUnderEveryArrivalPattern) {

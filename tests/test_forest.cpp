@@ -1,0 +1,344 @@
+// Forest runtime tests: the sharded engine must be a pure function of
+// (config, seed) — byte-identical metrics at any shard count — while the
+// request mux, cross-shard exchange, per-shard RNG streams, and registry
+// merge each hold their own contracts.  This suite also runs under TSan in
+// CI (the shards>1 cases drive real pool workers through the barriers).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "forest/forest.hpp"
+#include "obs/metrics.hpp"
+#include "workload/request_mux.hpp"
+
+namespace dyncon::forest {
+namespace {
+
+ForestConfig small_config(unsigned shards) {
+  ForestConfig cfg;
+  cfg.shards = shards;
+  cfg.mux.users = 96;
+  cfg.mux.trees = 12;
+  cfg.mux.requests_per_user = 6;
+  cfg.tree_size = 12;
+  cfg.window = 64;
+  return cfg;
+}
+
+/// Run one engine to completion under a fresh registry; returns the
+/// registry JSON (counters + histograms, deterministically ordered) and
+/// the stats.
+struct RunResult {
+  ForestStats stats;
+  std::string registry_json;
+};
+
+RunResult run_forest(const ForestConfig& cfg, std::uint64_t seed) {
+  obs::Registry reg;
+  ForestEngine engine(cfg, seed);
+  RunResult out;
+  {
+    obs::ScopedMetrics scope(reg);
+    out.stats = engine.run();
+  }
+  out.registry_json = reg.to_json().dump();
+  return out;
+}
+
+// ---- shard determinism ------------------------------------------------------
+
+TEST(ForestDeterminism, ByteIdenticalAtOneVsEightShards) {
+  const RunResult serial = run_forest(small_config(1), 77);
+  const RunResult sharded = run_forest(small_config(8), 77);
+  EXPECT_EQ(serial.registry_json, sharded.registry_json);
+  EXPECT_EQ(serial.stats.requests, sharded.stats.requests);
+  EXPECT_EQ(serial.stats.granted, sharded.stats.granted);
+  EXPECT_EQ(serial.stats.rejected, sharded.stats.rejected);
+  EXPECT_EQ(serial.stats.other, sharded.stats.other);
+  EXPECT_EQ(serial.stats.events, sharded.stats.events);
+  EXPECT_EQ(serial.stats.windows, sharded.stats.windows);
+  EXPECT_EQ(serial.stats.handoffs, sharded.stats.handoffs);
+}
+
+TEST(ForestDeterminism, EveryShardCountAgrees) {
+  const RunResult base = run_forest(small_config(1), 5);
+  for (unsigned k : {2u, 3u, 5u, 8u}) {
+    const RunResult r = run_forest(small_config(k), 5);
+    EXPECT_EQ(r.registry_json, base.registry_json) << "shards=" << k;
+    EXPECT_EQ(r.stats.events, base.stats.events) << "shards=" << k;
+  }
+}
+
+TEST(ForestDeterminism, RerunsAreIdenticalAndSeedsDiffer) {
+  const RunResult a = run_forest(small_config(4), 11);
+  const RunResult b = run_forest(small_config(4), 11);
+  const RunResult c = run_forest(small_config(4), 12);
+  EXPECT_EQ(a.registry_json, b.registry_json);
+  EXPECT_NE(a.registry_json, c.registry_json);
+}
+
+TEST(ForestDeterminism, HoldsUnderTightPermitBudget) {
+  // Exhaustion (reject waves) is the controller's nastiest path; shard
+  // counts must still agree byte-for-byte when budgets run dry.
+  ForestConfig cfg = small_config(1);
+  cfg.permits_per_tree = 8;
+  const RunResult serial = run_forest(cfg, 31);
+  cfg.shards = 6;
+  const RunResult sharded = run_forest(cfg, 31);
+  EXPECT_EQ(serial.registry_json, sharded.registry_json);
+  EXPECT_GT(serial.stats.rejected + serial.stats.other, 0u)
+      << "budget of 8 permits for 6 requests/user * 96 users must exhaust";
+}
+
+TEST(ForestDeterminism, EchoModeAgreesAcrossShardCounts) {
+  ForestConfig cfg = small_config(1);
+  cfg.service = Service::kEcho;
+  const RunResult serial = run_forest(cfg, 9);
+  cfg.shards = 8;
+  const RunResult sharded = run_forest(cfg, 9);
+  EXPECT_EQ(serial.registry_json, sharded.registry_json);
+  EXPECT_EQ(serial.stats.granted, serial.stats.requests)
+      << "echo grants everything";
+}
+
+// ---- cross-shard delivery ---------------------------------------------------
+
+TEST(ForestExchange, CrossShardHandoffsHappenAndStayOutOfMetrics) {
+  // With trees striped modulo shards and Zipf-hopping users, follow-up
+  // requests must frequently land on a different shard; the count is real
+  // work but shard-count dependent, so it lives in stats, not the registry.
+  const RunResult serial = run_forest(small_config(1), 3);
+  const RunResult sharded = run_forest(small_config(4), 3);
+  EXPECT_EQ(serial.stats.cross_shard, 0u);
+  EXPECT_GT(sharded.stats.cross_shard, 0u);
+  EXPECT_EQ(serial.registry_json, sharded.registry_json)
+      << "cross-shard routing may not leak into merged metrics";
+  EXPECT_EQ(sharded.registry_json.find("cross_shard"), std::string::npos);
+}
+
+TEST(ForestExchange, EveryRequestCompletesExactlyOnce) {
+  const ForestConfig cfg = small_config(3);
+  const RunResult r = run_forest(cfg, 21);
+  const std::uint64_t expected =
+      cfg.mux.users * cfg.mux.requests_per_user;
+  EXPECT_EQ(r.stats.requests, expected);
+  // Follow-ups = everything after each user's opening request.
+  EXPECT_EQ(r.stats.handoffs, expected - cfg.mux.users);
+  EXPECT_EQ(r.stats.granted + r.stats.rejected + r.stats.other,
+            r.stats.requests);
+}
+
+TEST(ForestExchange, WindowsAdvanceMonotonically) {
+  const RunResult r = run_forest(small_config(2), 13);
+  EXPECT_GT(r.stats.windows, 1u);
+  // Closed loop + window-edge clamp: a user completes at most one request
+  // per window, so the run needs at least requests_per_user windows.
+  EXPECT_GE(r.stats.windows, small_config(2).mux.requests_per_user);
+}
+
+// ---- per-shard RNG ----------------------------------------------------------
+
+TEST(ForestRng, ShardStreamsAreIndependentAndSeedStable) {
+  const ForestConfig cfg = small_config(8);
+  ForestEngine a(cfg, 1234);
+  ForestEngine b(cfg, 1234);
+  ForestEngine c(cfg, 4321);
+  const auto fa = a.shard_rng_fingerprints();
+  const auto fb = b.shard_rng_fingerprints();
+  const auto fc = c.shard_rng_fingerprints();
+  ASSERT_EQ(fa.size(), 8u);
+  EXPECT_EQ(fa, fb) << "same seed, same per-shard streams";
+  EXPECT_NE(fa, fc) << "different seed, different streams";
+  const std::set<std::uint64_t> unique(fa.begin(), fa.end());
+  EXPECT_EQ(unique.size(), fa.size()) << "shard streams must not collide";
+}
+
+// ---- registry merge ---------------------------------------------------------
+
+TEST(ForestRegistry, MergedTotalsMatchTheWorkload) {
+  const ForestConfig cfg = small_config(4);
+  obs::Registry reg;
+  ForestEngine engine(cfg, 55);
+  ForestStats stats;
+  {
+    obs::ScopedMetrics scope(reg);
+    stats = engine.run();
+  }
+  const std::uint64_t expected =
+      cfg.mux.users * cfg.mux.requests_per_user;
+  EXPECT_EQ(reg.counter("forest.requests.total"), expected);
+  EXPECT_EQ(reg.counter("forest.requests.granted"), stats.granted);
+  EXPECT_EQ(reg.counter("forest.requests.rejected"), stats.rejected);
+  EXPECT_EQ(reg.counter("forest.requests.other"), stats.other);
+  EXPECT_EQ(reg.counter("forest.ops.permit") +
+                reg.counter("forest.ops.grow") +
+                reg.counter("forest.ops.shrink"),
+            expected);
+  const obs::Histogram* cost = reg.histogram("forest.serve.cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->count, expected);
+  const obs::Histogram* defer = reg.histogram("forest.mux.defer");
+  ASSERT_NE(defer, nullptr);
+  EXPECT_EQ(defer->count, stats.handoffs);
+}
+
+TEST(ForestRegistry, NoInstalledRegistryIsFine) {
+  // The engine must run (and keep its stats) with metrics disabled.
+  ForestEngine engine(small_config(2), 8);
+  const ForestStats stats = engine.run();
+  EXPECT_EQ(stats.requests,
+            small_config(2).mux.users * small_config(2).mux.requests_per_user);
+}
+
+// ---- engine contracts -------------------------------------------------------
+
+TEST(ForestEngineContracts, RunIsOneShot) {
+  ForestEngine engine(small_config(1), 2);
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), ContractError);
+}
+
+TEST(ForestEngineContracts, RejectsDegenerateConfigs) {
+  ForestConfig cfg = small_config(1);
+  cfg.shards = 0;
+  EXPECT_THROW(ForestEngine(cfg, 1), ContractError);
+  cfg = small_config(1);
+  cfg.window = 0;
+  EXPECT_THROW(ForestEngine(cfg, 1), ContractError);
+  cfg = small_config(1);
+  cfg.tree_size = 0;
+  EXPECT_THROW(ForestEngine(cfg, 1), ContractError);
+}
+
+TEST(ForestEngineContracts, ShardPlacementIsModulo) {
+  ForestEngine engine(small_config(3), 1);
+  EXPECT_EQ(engine.shards(), 3u);
+  EXPECT_EQ(engine.shard_of(0), 0u);
+  EXPECT_EQ(engine.shard_of(4), 1u);
+  EXPECT_EQ(engine.shard_of(11), 2u);
+}
+
+}  // namespace
+}  // namespace dyncon::forest
+
+// ---- request mux ------------------------------------------------------------
+
+namespace dyncon::workload {
+namespace {
+
+MuxConfig mux_config() {
+  MuxConfig cfg;
+  cfg.users = 40;
+  cfg.trees = 10;
+  cfg.requests_per_user = 5;
+  return cfg;
+}
+
+TEST(RequestMux, InitialRequestsOnePerUserSorted) {
+  RequestMux mux(mux_config(), 17);
+  const auto reqs = mux.initial_requests();
+  ASSERT_EQ(reqs.size(), 40u);
+  std::set<std::uint64_t> users;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    users.insert(reqs[i].user);
+    EXPECT_LT(reqs[i].tree, 10u);
+    if (i > 0) {
+      const bool ordered =
+          reqs[i - 1].ready < reqs[i].ready ||
+          (reqs[i - 1].ready == reqs[i].ready &&
+           reqs[i - 1].user < reqs[i].user);
+      EXPECT_TRUE(ordered) << "at " << i;
+    }
+  }
+  EXPECT_EQ(users.size(), 40u);
+  EXPECT_THROW((void)mux.initial_requests(), ContractError);
+}
+
+TEST(RequestMux, NextRequestHonorsFloorAndBudget) {
+  RequestMux mux(mux_config(), 17);
+  (void)mux.initial_requests();
+  MuxRequest req;
+  std::uint64_t served = 1;  // the initial request
+  while (mux.next_request(/*user=*/7, /*done=*/100, /*floor=*/5000, req)) {
+    EXPECT_GE(req.ready, 5000u) << "floor is the earliest admissible time";
+    EXPECT_EQ(req.user, 7u);
+    ++served;
+  }
+  EXPECT_EQ(served, mux_config().requests_per_user);
+  EXPECT_FALSE(mux.next_request(7, 0, 0, req)) << "budget stays exhausted";
+}
+
+TEST(RequestMux, StreamsDependOnlyOnSeedAndUser) {
+  // The same user replayed with the same completion times must draw the
+  // same requests, whatever other users did in between — the property the
+  // forest's shard-count invariance rests on.
+  auto draw_user3 = [](bool interleave_others) {
+    RequestMux mux(mux_config(), 99);
+    (void)mux.initial_requests();
+    std::vector<MuxRequest> got;
+    MuxRequest req;
+    for (int round = 0; round < 4; ++round) {
+      if (interleave_others) {
+        for (std::uint64_t u : {1ull, 5ull, 9ull}) {
+          (void)mux.next_request(u, 10 * (round + 1), 0, req);
+        }
+      }
+      if (mux.next_request(3, 10 * (round + 1), 0, req)) got.push_back(req);
+    }
+    return got;
+  };
+  const auto quiet = draw_user3(false);
+  const auto busy = draw_user3(true);
+  ASSERT_EQ(quiet.size(), busy.size());
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    EXPECT_EQ(quiet[i].ready, busy[i].ready) << i;
+    EXPECT_EQ(quiet[i].tree, busy[i].tree) << i;
+    EXPECT_EQ(quiet[i].op, busy[i].op) << i;
+  }
+}
+
+TEST(RequestMux, OpMixRoughlyMatchesFractions) {
+  MuxConfig cfg = mux_config();
+  cfg.users = 400;
+  cfg.requests_per_user = 10;
+  cfg.grow_fraction = 0.3;
+  cfg.shrink_fraction = 0.2;
+  RequestMux mux(cfg, 7);
+  std::uint64_t grow = 0, shrink = 0, total = 0;
+  for (const auto& r : mux.initial_requests()) {
+    grow += r.op == ForestOp::kGrow;
+    shrink += r.op == ForestOp::kShrink;
+    ++total;
+  }
+  MuxRequest req;
+  for (std::uint64_t u = 0; u < cfg.users; ++u) {
+    while (mux.next_request(u, 1, 0, req)) {
+      grow += req.op == ForestOp::kGrow;
+      shrink += req.op == ForestOp::kShrink;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, mux.total_requests());
+  EXPECT_NEAR(static_cast<double>(grow) / total, 0.3, 0.03);
+  EXPECT_NEAR(static_cast<double>(shrink) / total, 0.2, 0.03);
+}
+
+TEST(RequestMux, RejectsBadConfigs) {
+  MuxConfig cfg = mux_config();
+  cfg.users = 0;
+  EXPECT_THROW(RequestMux(cfg, 1), ContractError);
+  cfg = mux_config();
+  cfg.grow_fraction = 0.8;
+  cfg.shrink_fraction = 0.4;  // sums past 1.0
+  EXPECT_THROW(RequestMux(cfg, 1), ContractError);
+  cfg = mux_config();
+  cfg.mean_think = 0;
+  EXPECT_THROW(RequestMux(cfg, 1), ContractError);
+}
+
+}  // namespace
+}  // namespace dyncon::workload

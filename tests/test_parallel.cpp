@@ -63,6 +63,47 @@ TEST(ThreadPool, WaitIdleRethrowsTaskException) {
   EXPECT_EQ(done.load(), 1);
 }
 
+TEST(ThreadPool, ForEachIsAReusableBarrier) {
+  // The forest runtime barriers once per virtual-time window on the SAME
+  // pool; every call must visit every index exactly once and return only
+  // after all of them finished.
+  ThreadPool pool(4);
+  std::vector<int> hits(64, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.for_each(hits.size(), [&](std::uint64_t i) { hits[i] += 1; });
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 50) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ForEachHandlesDegenerateCounts) {
+  ThreadPool pool(3);
+  pool.for_each(0, [](std::uint64_t) { FAIL() << "n=0 must not call fn"; });
+  int calls = 0;
+  pool.for_each(1, [&](std::uint64_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ForEachRethrowsLowestIndexAndStaysUsable) {
+  ThreadPool pool(4);
+  try {
+    pool.for_each(32, [](std::uint64_t i) {
+      if (i == 3) throw std::runtime_error("index 3");
+      if (i == 20) throw std::runtime_error("index 20");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+  std::atomic<int> done{0};
+  pool.for_each(8, [&](std::uint64_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
 TEST(ForEachIndex, VisitsEveryIndexOnceAtAnyJobCount) {
   for (const unsigned jobs : {1u, 3u, 8u}) {
     std::vector<int> hits(257, 0);

@@ -37,6 +37,40 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
 }
 
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  for (SimTime t : {2u, 5u, 9u, 10u, 14u}) {
+    q.schedule_after(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  // Horizon is exclusive: the event AT 10 stays pending.
+  EXPECT_EQ(q.run_until(10), 3u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{2, 5, 9}));
+  EXPECT_EQ(q.next_time(), 10u);
+  EXPECT_EQ(q.run_until(10), 0u) << "re-running the same window is a no-op";
+  EXPECT_EQ(q.run_until(UINT64_MAX), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilIncludesEventsScheduledInsideTheWindow) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_after(1, [&] {
+    fired.push_back(q.now());
+    q.schedule_after(2, [&] { fired.push_back(q.now()); });   // t=3, inside
+    q.schedule_after(50, [&] { fired.push_back(q.now()); });  // t=51, outside
+  });
+  EXPECT_EQ(q.run_until(10), 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{1, 3}));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.next_time(), 51u);
+}
+
+TEST(EventQueue, NextTimeOnEmptyQueueThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.next_time(), ContractError);
+}
+
 TEST(EventQueue, EventsMayScheduleEvents) {
   EventQueue q;
   int depth = 0;

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/interval.hpp"
 #include "util/log2.hpp"
@@ -211,6 +212,50 @@ TEST(Stats, LogLogSlopeRecoversExponent) {
 TEST(Stats, LogLogSlopeDegenerate) {
   EXPECT_EQ(loglog_slope({}, {}), 0.0);
   EXPECT_EQ(loglog_slope({1.0}, {2.0}), 0.0);
+}
+
+TEST(ParseCount, AcceptsPlainCounts) {
+  EXPECT_EQ(util::parse_count("1", 256), 1u);
+  EXPECT_EQ(util::parse_count("8", 256), 8u);
+  EXPECT_EQ(util::parse_count("256", 256), 256u);
+}
+
+TEST(ParseCount, RejectsZeroWithActionableMessage) {
+  std::string error;
+  EXPECT_EQ(util::parse_count("0", 256, &error), std::nullopt);
+  EXPECT_NE(error.find(">= 1"), std::string::npos) << error;
+}
+
+TEST(ParseCount, RejectsGarbageAndNegatives) {
+  for (const char* bad : {"", "abc", "4x", "-3", "1.5", " 2"}) {
+    std::string error;
+    EXPECT_EQ(util::parse_count(bad, 256, &error), std::nullopt)
+        << "'" << bad << "'";
+    EXPECT_FALSE(error.empty()) << "'" << bad << "'";
+  }
+}
+
+TEST(ParseCount, ClampsAboveMaximumAndSaysSo) {
+  std::string error;
+  bool clamped = false;
+  EXPECT_EQ(util::parse_count("10000", 64, &error, &clamped), 64u);
+  EXPECT_TRUE(clamped);
+  clamped = true;
+  EXPECT_EQ(util::parse_count("64", 64, &error, &clamped), 64u);
+  EXPECT_FALSE(clamped) << "the maximum itself is not a clamp";
+}
+
+TEST(FlagCount, AbsentFlagUsesFallback) {
+  const char* argv[] = {"bin"};
+  EXPECT_EQ(util::flag_count(1, const_cast<char**>(argv), "--jobs", 7), 7u);
+}
+
+TEST(FlagCount, ParsesBothSpellings) {
+  const char* eq[] = {"bin", "--jobs=5"};
+  EXPECT_EQ(util::flag_count(2, const_cast<char**>(eq), "--jobs", 1), 5u);
+  const char* two[] = {"bin", "--shards", "12"};
+  EXPECT_EQ(util::flag_count(3, const_cast<char**>(two), "--shards", 1),
+            12u);
 }
 
 }  // namespace

@@ -17,10 +17,10 @@ Directional comparison of the perf.* metric family:
     workloads are deterministic, so a drifted count means the comparison is
     between different workloads and the rate columns are meaningless.
 
-The ``perf.parallel.*`` gauges are machine-dependent (they measure how the
-run engine scales across *this host's* cores), so they are excluded from
-the cross-machine baseline diff.  Instead they are checked within the
-current report alone:
+The ``perf.parallel.*`` and ``perf.forest.*`` gauges are machine-dependent
+(they measure how the run engine / the sharded forest runtime scale across
+*this host's* cores), so they are excluded from the cross-machine baseline
+diff.  Instead they are checked within the current report alone:
 
   * ``events_per_sec_jN`` for 1 < N <= ``hw_threads`` must not fall below
     the jobs=1 figure by more than the tolerance (parallelism must never
@@ -28,10 +28,26 @@ current report alone:
     batches on smaller hosts are informational only);
   * with ``--parallel-speedup-min X``, ``perf.parallel.speedup_j4`` must
     reach X — enforced only when ``perf.parallel.hw_threads`` >= 4, since
-    a speedup target is meaningless on fewer cores than workers.
+    a speedup target is meaningless on fewer cores than workers;
+  * with ``--forest-speedup-min X``, ``perf.forest.speedup.s4`` must reach
+    X under the same >= 4 hardware-threads condition (EXP19's acceptance
+    bar);
+  * ``perf.forest.allocs_per_event``, when present, must stay at ~0 (the
+    absolute allocs floor): the steady-state shard loop is allocation-free
+    by design on every machine, so this one is NOT tolerance-scaled
+    against a baseline.
 
 The ``perf.parallel.events``/``.runs`` counters stay in the exact-match
-set: batches are deterministic, so those never drift.
+set, and so do the deterministic ``forest.*`` workload counters (request
+totals, op mix, outcome split): batches and forest workloads are
+deterministic, so those never drift.
+
+``--family PREFIX[,PREFIX...]`` restricts the whole comparison to metric
+names under any of the prefixes (e.g. ``--family perf.forest.,forest.``)
+so a report produced by a single bench (exp19) can be diffed against the
+merged full-suite baseline without every other family reporting as
+missing — and, symmetrically, so the suite-only compare can pass
+``--family perf.`` to ignore the baseline's forest counters.
 
 Improvements (faster, fewer allocations) always pass; the expectation is
 that a genuine speedup is followed by re-committing the baseline.  Exits
@@ -52,7 +68,12 @@ ABS_COST_FLOOR = {
 }
 
 
-def load(path: str) -> dict:
+# Counter families in the exact-match set: perf_suite's workload shape and
+# the forest runtime's deterministic request accounting.
+COUNTER_PREFIXES = ("perf.", "forest.")
+
+
+def load(path: str, family=None) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             report = json.load(f)
@@ -60,11 +81,18 @@ def load(path: str) -> dict:
         print(f"check_bench: {path}: {e}", file=sys.stderr)
         sys.exit(2)
     metrics = report.get("metrics", {})
+    family_prefixes = tuple(family.split(",")) if family else None
+
+    def keep(name: str, prefixes) -> bool:
+        if not name.startswith(prefixes):
+            return False
+        return family_prefixes is None or name.startswith(family_prefixes)
+
     return {
         "counters": {k: v for k, v in metrics.get("counters", {}).items()
-                     if k.startswith("perf.")},
+                     if keep(k, COUNTER_PREFIXES)},
         "gauges": {k: v for k, v in metrics.get("gauges", {}).items()
-                   if k.startswith("perf.")},
+                   if keep(k, "perf.")},
     }
 
 
@@ -83,12 +111,20 @@ def main() -> None:
     ap.add_argument("--parallel-speedup-min", type=float, default=None,
                     help="require perf.parallel.speedup_j4 >= this value "
                          "when the current host has >= 4 hardware threads")
+    ap.add_argument("--forest-speedup-min", type=float, default=None,
+                    help="require perf.forest.speedup.s4 >= this value "
+                         "when the current host has >= 4 hardware threads")
+    ap.add_argument("--family", default=None,
+                    help="restrict the comparison to metric names under "
+                         "these comma-separated prefixes "
+                         "(e.g. perf.forest.,forest.)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base = load(args.baseline, args.family)
+    cur = load(args.current, args.family)
     if not base["gauges"]:
-        print(f"check_bench: {args.baseline} has no perf.* gauges",
+        scope = f" under {args.family}" if args.family else ""
+        print(f"check_bench: {args.baseline} has no perf.* gauges{scope}",
               file=sys.stderr)
         sys.exit(2)
 
@@ -108,7 +144,7 @@ def main() -> None:
 
     tol = args.tolerance
     for name, expected in sorted(base["gauges"].items()):
-        if name.startswith("perf.parallel."):
+        if name.startswith(("perf.parallel.", "perf.forest.")):
             continue  # machine-dependent; checked within the current report
         actual = cur["gauges"].get(name)
         if actual is None:
@@ -169,6 +205,35 @@ def main() -> None:
         errors.append("perf.parallel.events_per_sec_j1 missing but "
                       "--parallel-speedup-min was requested")
 
+    # Forest-scaling family: within-report checks (see module doc).
+    forest_allocs = cur["gauges"].get("perf.forest.allocs_per_event")
+    if forest_allocs is not None:
+        limit = ABS_COST_FLOOR["allocs_per_event"]
+        if forest_allocs > limit:
+            errors.append(
+                f"perf.forest.allocs_per_event: {forest_allocs:.4f} > "
+                f"{limit:.2f}: the steady-state shard loop must not "
+                f"allocate per event (on any machine)")
+        else:
+            checked += 1
+    if args.forest_speedup_min is not None:
+        hw = cur["gauges"].get("perf.forest.hw_threads", 0.0)
+        speedup = cur["gauges"].get("perf.forest.speedup.s4")
+        if hw >= 4.0:
+            if speedup is None:
+                errors.append("perf.forest.speedup.s4 missing but "
+                              "--forest-speedup-min was requested")
+            elif speedup < args.forest_speedup_min:
+                errors.append(
+                    f"perf.forest.speedup.s4: {speedup:.2f} < "
+                    f"{args.forest_speedup_min:.2f} on a {hw:.0f}-thread "
+                    f"host: forest scaling regression")
+            else:
+                checked += 1
+        else:
+            print(f"check_bench: skipping --forest-speedup-min "
+                  f"({hw:.0f} hardware threads < 4)")
+
     if errors:
         for e in errors:
             print(f"check_bench: {e}", file=sys.stderr)
@@ -178,10 +243,13 @@ def main() -> None:
 
     ev = cur["gauges"].get("perf.events_per_sec", 0.0)
     base_ev = base["gauges"].get("perf.events_per_sec", 0.0)
-    ratio = ev / base_ev if base_ev else float("nan")
-    print(f"check_bench: {checked} metrics within {tol:.0%} of "
-          f"{args.baseline} (headline {ev:.0f} events/sec, "
-          f"{ratio:.2f}x baseline)")
+    if base_ev:
+        print(f"check_bench: {checked} metrics within {tol:.0%} of "
+              f"{args.baseline} (headline {ev:.0f} events/sec, "
+              f"{ev / base_ev:.2f}x baseline)")
+    else:
+        print(f"check_bench: {checked} metrics within {tol:.0%} of "
+              f"{args.baseline}")
 
 
 if __name__ == "__main__":

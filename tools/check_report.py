@@ -10,7 +10,11 @@ appear (a report must not claim retransmissions on a loss-free transport,
 nor more watchdog completions than arms), the perf.* family written by
 bench/perf_suite (rates positive, percentiles ordered, per-phase event
 counts summing to the total), the perf.parallel.* scaling family (speedup
-gauge consistent with the per-jobs throughputs), and — when the exp17
+gauge consistent with the per-jobs throughputs), the forest.* /
+perf.forest.* family written by the sharded forest runtime and
+bench/exp19_forest_scaling (outcome and op-mix counters partitioning the
+request total, speedups consistent with the per-shard-count rates), and —
+when the exp17
 per-rate gauges are present — that the measured reliability overhead is
 monotone in the drop rate.  Exits nonzero with a message on the first violation; prints
 a one-line summary on success.  Used by the CI metrics-smoke and
@@ -75,26 +79,34 @@ def check_perf_family(path: str, counters: dict, gauges: dict) -> None:
         if not isinstance(value, (int, float)) or value != value or value < 0:
             fail(f"{path}: gauge '{name}' = {value!r} is not a "
                  f"non-negative number")
-    for required in ("perf.events_per_sec", "perf.allocs_per_event",
-                     "perf.ns_per_event_p50", "perf.ns_per_event_p99"):
-        if required not in perf_gauges:
-            fail(f"{path}: perf report lacks gauge '{required}'")
-    if perf_gauges["perf.events_per_sec"] <= 0:
-        fail(f"{path}: perf.events_per_sec is not positive")
-    if (perf_gauges["perf.ns_per_event_p99"] <
-            perf_gauges["perf.ns_per_event_p50"]):
-        fail(f"{path}: perf percentiles inverted (p99 < p50)")
-    phase_events = sum(v for k, v in perf_counters.items()
-                       if k.endswith(".events") and k != "perf.events"
-                       and not k.startswith("perf.parallel."))
-    total = perf_counters.get("perf.events", 0)
-    if phase_events and total and phase_events != total:
-        fail(f"{path}: per-phase perf.<phase>.events sum to {phase_events} "
-             f"but perf.events = {total}")
+    # The perf_suite headline gauges are only required when the report IS a
+    # perf_suite report — one whose perf.* family extends beyond the
+    # self-contained perf.parallel.* / perf.forest.* scaling sub-families
+    # (exp19 writes perf.forest.* alone).
+    suite_gauges = {k for k in perf_gauges
+                    if not k.startswith(("perf.parallel.", "perf.forest."))}
+    if suite_gauges:
+        for required in ("perf.events_per_sec", "perf.allocs_per_event",
+                         "perf.ns_per_event_p50", "perf.ns_per_event_p99"):
+            if required not in perf_gauges:
+                fail(f"{path}: perf report lacks gauge '{required}'")
+        if perf_gauges["perf.events_per_sec"] <= 0:
+            fail(f"{path}: perf.events_per_sec is not positive")
+        if (perf_gauges["perf.ns_per_event_p99"] <
+                perf_gauges["perf.ns_per_event_p50"]):
+            fail(f"{path}: perf percentiles inverted (p99 < p50)")
+        phase_events = sum(v for k, v in perf_counters.items()
+                           if k.endswith(".events") and k != "perf.events"
+                           and not k.startswith("perf.parallel."))
+        total = perf_counters.get("perf.events", 0)
+        if phase_events and total and phase_events != total:
+            fail(f"{path}: per-phase perf.<phase>.events sum to "
+                 f"{phase_events} but perf.events = {total}")
     check_parallel_family(path, perf_counters, perf_gauges)
-    print(f"check_report: perf family ok "
-          f"({perf_gauges['perf.events_per_sec']:.0f} events/sec, "
-          f"{perf_gauges['perf.allocs_per_event']:.3f} allocs/event)")
+    if suite_gauges:
+        print(f"check_report: perf family ok "
+              f"({perf_gauges['perf.events_per_sec']:.0f} events/sec, "
+              f"{perf_gauges['perf.allocs_per_event']:.3f} allocs/event)")
 
 
 def check_parallel_family(path: str, counters: dict, gauges: dict) -> None:
@@ -125,6 +137,59 @@ def check_parallel_family(path: str, counters: dict, gauges: dict) -> None:
         if not isinstance(value, int) or value <= 0:
             fail(f"{path}: counter '{name}' = {value!r} is not a "
                  f"positive integer")
+
+
+def check_forest_family(path: str, counters: dict, gauges: dict) -> None:
+    """Consistency of the forest.* counters and perf.forest.* gauges
+    written by the sharded forest runtime / bench/exp19_forest_scaling:
+    outcome and op-mix counters must partition the request total, the
+    published speedups must equal the per-shard-count throughput ratios,
+    and the per-shard-count request rates must all be positive.  (The
+    perf.forest.* rates are machine-local — check_bench.py excludes them
+    from the cross-machine baseline diff and gates the speedup within a
+    single report.)"""
+    total = counters.get("forest.requests.total")
+    if total is not None:
+        outcomes = (counters.get("forest.requests.granted", 0)
+                    + counters.get("forest.requests.rejected", 0)
+                    + counters.get("forest.requests.other", 0))
+        if outcomes != total:
+            fail(f"{path}: forest outcome counters sum to {outcomes} but "
+                 f"forest.requests.total = {total}")
+        ops = (counters.get("forest.ops.permit", 0)
+               + counters.get("forest.ops.grow", 0)
+               + counters.get("forest.ops.shrink", 0))
+        if ops != total:
+            fail(f"{path}: forest op-mix counters sum to {ops} but "
+                 f"forest.requests.total = {total}")
+        if counters.get("forest.ops.shrink_noop", 0) > counters.get(
+                "forest.ops.shrink", 0):
+            fail(f"{path}: forest.ops.shrink_noop exceeds forest.ops.shrink")
+
+    rates = {k: v for k, v in gauges.items()
+             if k.startswith("perf.forest.requests_per_sec.s")}
+    if not rates:
+        return
+    for name, value in rates.items():
+        if value <= 0:
+            fail(f"{path}: gauge '{name}' is not positive")
+    s1 = rates.get("perf.forest.requests_per_sec.s1")
+    if s1 is None:
+        fail(f"{path}: perf.forest rates present without the s1 reference")
+    for name, rate in rates.items():
+        k = name.rsplit(".s", 1)[1]
+        speedup = gauges.get(f"perf.forest.speedup.s{k}")
+        if speedup is None:
+            fail(f"{path}: perf.forest.speedup.s{k} missing")
+        derived = rate / s1
+        if abs(speedup - derived) > 1e-6 * max(1.0, derived):
+            fail(f"{path}: perf.forest.speedup.s{k} = {speedup:.6f} but "
+                 f"s{k}/s1 = {derived:.6f}")
+    if gauges.get("perf.forest.hw_threads", 0.0) < 1.0:
+        fail(f"{path}: perf.forest.hw_threads below 1")
+    print(f"check_report: forest family ok ({len(rates)} shard counts, "
+          f"{gauges.get('perf.forest.allocs_per_event', 0.0):.4f} "
+          f"allocs/event)")
 
 
 def check_exp17_monotone(path: str, gauges: dict) -> None:
@@ -186,6 +251,7 @@ def main() -> None:
     counters = metrics["counters"]
     check_fault_families(path, counters)
     check_perf_family(path, counters, metrics["gauges"])
+    check_forest_family(path, counters, metrics["gauges"])
     check_exp17_monotone(path, metrics["gauges"])
     for name in sys.argv[2:]:
         if name not in counters:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Merge several run reports into one baseline report.
+
+usage: merge_reports.py [--only PREFIX[,PREFIX...]] first.json second.json
+                        [...] > BENCH_perf.json
+
+The committed ``BENCH_perf.json`` baseline carries more than one bench's
+metric families (perf_suite's ``perf.*`` plus EXP19's ``forest.*`` /
+``perf.forest.*``), but each bench emits its own run report.  This tool
+takes the first report as the skeleton (name, params, wall time) and
+unions every later report's counters, gauges, and histograms into it.
+
+``--only`` restricts what is taken from the *later* reports to names
+under the given prefixes — necessary because a bench's report also
+carries the generic instrumentation of the components it drives (EXP19's
+shards run real controllers, so its report includes ``permits.*``,
+``filler_search.steps``, ...), and those would collide with the suite's
+own numbers for a different workload.  Even under ``--only``, a name
+appearing twice with different values is an error: the baseline would be
+ambiguous.  Later params are merged in under ``<report name>.<param>``
+so the baseline records every workload knob that produced it.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"merge_reports: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main() -> None:
+    argv = sys.argv[1:]
+    only = None
+    if argv and argv[0] == "--only":
+        if len(argv) < 2:
+            fail("--only needs a prefix list")
+        only = tuple(argv[1].split(","))
+        argv = argv[2:]
+    paths = argv
+    if len(paths) < 2:
+        fail("need at least two report paths")
+    reports = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                reports.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}")
+
+    merged = reports[0]
+    metrics = merged.setdefault("metrics", {})
+    for extra, path in zip(reports[1:], paths[1:]):
+        for kind in ("counters", "gauges", "histograms"):
+            dst = metrics.setdefault(kind, {})
+            for name, value in extra.get("metrics", {}).get(kind, {}).items():
+                if only is not None and not name.startswith(only):
+                    continue
+                if name in dst and dst[name] != value:
+                    fail(f"{path}: {kind[:-1]} {name} collides with an "
+                         f"earlier report ({dst[name]!r} vs {value!r})")
+                dst[name] = value
+        prefix = extra.get("name", "extra")
+        for key, value in extra.get("params", {}).items():
+            merged.setdefault("params", {})[f"{prefix}.{key}"] = value
+        merged["wall_time_sec"] = round(
+            merged.get("wall_time_sec", 0.0)
+            + extra.get("wall_time_sec", 0.0), 6)
+
+    json.dump(merged, sys.stdout, indent=1, sort_keys=True)
+    print()
+
+
+if __name__ == "__main__":
+    main()
