@@ -205,6 +205,9 @@ class Run {
   }
 
   [[nodiscard]] obs::Registry& registry() { return registry_; }
+  /// Direct access to the run report (to attach the spans/timeline
+  /// sections a bench produced; params/net_stats keep their own setters).
+  [[nodiscard]] obs::RunReport& report() { return report_; }
   [[nodiscard]] bool writes_report() const { return !out_path_.empty(); }
 
  private:

@@ -1,0 +1,193 @@
+// EXP20 — end-to-end request latency: percentiles per op kind vs shards.
+//
+// The forest runtime serves the same closed-loop workload at increasing
+// shard counts with the FULL observability stack engaged — per-request
+// causal spans (mux root + controller op spans) and the flight recorder
+// sampling shard counters at window edges — and checks two claims:
+//
+//   latency       req.latency.<op> histograms record every request's
+//                 arrival-to-completion time; the table reports p50/p95/p99
+//                 per op kind (log2-bucket resolution) and exports them as
+//                 req.latency.<op>.p50/.p95/.p99 gauges.
+//   determinism   the registry JSON, the span dump, and the flight-recorder
+//                 timeline are byte-identical at every shard count —
+//                 observability rides the deterministic timeline instead of
+//                 perturbing it.  Mismatch aborts the binary.
+//
+// The 1-shard point's spans + timeline land in the run report ("spans" /
+// "timeline" sections), which tools/trace_export converts to Chrome
+// trace-event JSON for Perfetto (docs/OBSERVABILITY.md).
+//
+//   --shards=N   cap the sweep's largest shard count (default 8)
+//   --jobs       accepted for uniformity; the forest pins workers = shards
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "forest/forest.hpp"
+#include "obs/flight.hpp"
+#include "obs/span.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace dyncon;
+
+constexpr std::uint64_t kSeed = 0x20a7e4c7ULL;  // exp20 latency
+
+forest::ForestConfig latency_config(unsigned shards) {
+  forest::ForestConfig cfg;
+  cfg.shards = shards;
+  cfg.mux.users = 2048;
+  cfg.mux.trees = 64;
+  cfg.mux.requests_per_user = 4;
+  cfg.mux.zipf_s = 0.9;
+  cfg.tree_size = 48;
+  cfg.window = 256;
+  cfg.service = forest::Service::kController;
+  // Room for every op span of the hottest shard without ring eviction, so
+  // the byte-identity gate compares complete records.
+  cfg.span_capacity = std::size_t{1} << 16;
+  return cfg;
+}
+
+/// Counter series the flight recorder samples at window edges.
+std::vector<std::string> timeline_counters() {
+  return {"forest.requests.total", "forest.requests.granted",
+          "forest.ops.grow", "forest.ops.shrink"};
+}
+
+struct SweepPoint {
+  unsigned shards = 1;
+  double secs = 0;
+  forest::ForestStats stats;
+  obs::Registry reg;
+  obs::json::Value spans_doc;
+  obs::json::Value timeline_doc;
+  std::string registry_json;
+  std::string spans_json;
+  std::string timeline_json;
+};
+
+SweepPoint run_point(unsigned shards) {
+  SweepPoint pt;
+  pt.shards = shards;
+  const forest::ForestConfig cfg = latency_config(shards);
+  // Caller-side sink: the mux emits root spans here during the exchange,
+  // and the engine merges the per-shard op/hop sinks in at the end.  Sized
+  // for the full workload (2 spans per request) so overwritten stays 0.
+  obs::SpanSink sink(std::size_t{1} << 17);
+  obs::FlightRecorder flight(timeline_counters(), /*period=*/1024);
+  obs::ScopedSpans span_scope(sink);   // enables spans for the engine ctor
+  obs::ScopedMetrics scope(pt.reg);    // req.latency.* + merged shard regs
+  forest::ForestEngine engine(cfg, kSeed);
+  engine.set_flight_recorder(&flight);
+  const auto t0 = std::chrono::steady_clock::now();
+  pt.stats = engine.run();
+  pt.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+  pt.spans_doc = sink.to_json();
+  pt.timeline_doc = flight.to_json();
+  pt.registry_json = pt.reg.to_json().dump();
+  pt.spans_json = pt.spans_doc.dump();
+  pt.timeline_json = pt.timeline_doc.dump();
+  return pt;
+}
+
+void percentile_row(bench::Table& table, obs::Registry& main,
+                    const obs::Registry& reg, const std::string& op) {
+  const std::string name = "req.latency." + op;
+  const obs::Histogram* h = reg.histogram(name);
+  if (h == nullptr) return;
+  const std::uint64_t p50 = h->percentile(0.50);
+  const std::uint64_t p95 = h->percentile(0.95);
+  const std::uint64_t p99 = h->percentile(0.99);
+  table.row({op, bench::num(h->count), bench::fp(h->mean()),
+             bench::num(p50), bench::num(p95), bench::num(p99),
+             bench::num(h->max)});
+  main.set_gauge(name + ".p50", static_cast<double>(p50));
+  main.set_gauge(name + ".p95", static_cast<double>(p95));
+  main.set_gauge(name + ".p99", static_cast<double>(p99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Run run("exp20_request_latency", argc, argv);
+  bench::banner(
+      "EXP20 — request latency percentiles per op kind (spans + timeline "
+      "on)");
+
+  const unsigned max_shards =
+      util::flag_count(argc, argv, "--shards", 8, /*max_value=*/64);
+  const forest::ForestConfig base = latency_config(1);
+  run.param("users", base.mux.users);
+  run.param("trees", base.mux.trees);
+  run.param("requests_per_user", base.mux.requests_per_user);
+  run.param("window", base.window);
+  run.param("max_shards", static_cast<std::uint64_t>(max_shards));
+
+  std::vector<SweepPoint> points;
+  for (unsigned k = 1; k <= max_shards; k *= 2) points.push_back(run_point(k));
+
+  // Determinism gate: registry, span record, and timeline must all be
+  // byte-identical at every shard count — with the full observability
+  // stack enabled, not just with it off.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const char* diverged =
+        points[i].registry_json != points[0].registry_json ? "registry"
+        : points[i].spans_json != points[0].spans_json     ? "span record"
+        : points[i].timeline_json != points[0].timeline_json ? "timeline"
+                                                             : nullptr;
+    if (diverged != nullptr) {
+      std::fprintf(stderr,
+                   "FATAL: shards=%u diverged from shards=1 in the %s — "
+                   "observability must ride the deterministic timeline\n",
+                   points[i].shards, diverged);
+      return 1;
+    }
+  }
+
+  bench::subhead("sweep (identical workload + spans + flight recorder)");
+  bench::Table sweep({"shards", "requests", "spans", "overwritten",
+                      "timeline_rows", "reqs/sec"});
+  for (const SweepPoint& pt : points) {
+    const std::uint64_t spans =
+        pt.spans_doc.find("recorded")->as_uint();
+    const std::uint64_t lost =
+        pt.spans_doc.find("overwritten")->as_uint();
+    const std::uint64_t rows =
+        static_cast<std::uint64_t>(
+            pt.timeline_doc.find("rows")->as_array().size());
+    sweep.row({bench::num(pt.shards), bench::num(pt.stats.requests),
+               bench::num(spans), bench::num(lost), bench::num(rows),
+               bench::fp(static_cast<double>(pt.stats.requests) / pt.secs /
+                             1e3,
+                         1) +
+                   "k"});
+  }
+  sweep.print();
+  std::printf(
+      "\n  determinism: registry+spans+timeline identical at all %zu shard "
+      "counts  [ok]\n",
+      points.size());
+
+  bench::subhead("end-to-end latency per op kind (virtual ticks)");
+  bench::Table lat({"op", "count", "mean", "p50", "p95", "p99", "max"});
+  for (const char* op : {"permit", "grow", "shrink"}) {
+    percentile_row(lat, run.registry(), points[0].reg, op);
+  }
+  lat.print();
+
+  // Fold every point's registry into the run report in point order (the
+  // same shape exp19 uses), and attach the 1-shard point's causal record.
+  for (const SweepPoint& pt : points) run.registry().merge(pt.reg);
+  run.report().set_spans(points[0].spans_doc);
+  run.report().set_timeline(points[0].timeline_doc);
+
+  std::puts("");
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace dyncon::core {
@@ -73,6 +74,27 @@ void CentralizedController::clear_data_structure() {
 }
 
 Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
+  obs::SpanSink* sink = obs::spans();
+  if (sink == nullptr) return handle_impl(u, ev);  // the one-branch path
+  const Result res = handle_impl(u, ev);
+  // The centralized controller is synchronous — the whole operation is one
+  // instant of virtual time, stamped by whoever drives it (obs::span_now).
+  const obs::SpanContext ctx = obs::current_span();
+  obs::Span s;
+  s.trace = ctx.trace != obs::kNoTrace ? ctx.trace : sink->new_trace();
+  s.id = sink->open(s.trace);
+  s.parent = ctx.trace != obs::kNoTrace ? ctx.span : obs::kNoSpan;
+  s.kind = obs::SpanKind::kOp;
+  s.op = static_cast<std::uint8_t>(res.outcome);
+  s.label = outcome_name(res.outcome);
+  s.node = u;
+  s.begin = obs::span_now();
+  s.end = s.begin;
+  sink->emit(s);
+  return res;
+}
+
+Result CentralizedController::handle_impl(NodeId u, const EventSpec& ev) {
   DYNCON_REQUIRE(tree_.alive(u), "request at dead node");
 
   // Step 1: a reject package at u rejects immediately.

@@ -117,7 +117,11 @@ class CentralizedController final : public IController {
     NodeId subject = kNoNode;  ///< parent-to-be / child-above / node-to-go
   };
 
+  /// Span-emitting wrapper around handle_impl: every public request_* call
+  /// funnels here, so one site records the per-operation span (an instant
+  /// at obs::span_now() — the centralized controller is synchronous).
   Result handle(NodeId u, const EventSpec& ev);
+  Result handle_impl(NodeId u, const EventSpec& ev);
   Result grant_from_static(PackageId st, NodeId u, const EventSpec& ev);
   void apply_event(NodeId u, const EventSpec& ev, Result& res);
   void start_reject_wave();

@@ -92,6 +92,9 @@ void DistributedController::submit(const RequestSpec& spec, Callback done) {
   net_.queue().schedule_after(0, [this, spec, done = std::move(done)] {
     if (moot(spec)) {
       obs::count("requests.moot");
+      if (obs::SpanSink* sink = obs::spans()) {
+        obs::emit_span(instant_op_span(*sink, Outcome::kMoot, spec.subject));
+      }
       done(Result{Outcome::kMoot});
       return;
     }
@@ -105,12 +108,42 @@ void DistributedController::submit(const RequestSpec& spec, Callback done) {
     a.at = arrival;
     a.request = spec;
     a.done = std::move(done);
+    // Open the op span at creation time, parented to whatever causal
+    // context is active when this event fires (a traced request driving
+    // the submit, or nothing — then the op roots a fresh trace).
+    if (obs::SpanSink* sink = obs::spans()) {
+      const obs::SpanContext parent = obs::current_span();
+      a.span.trace = parent.trace != obs::kNoTrace ? parent.trace
+                                                   : sink->new_trace();
+      a.span.span = sink->open(a.span.trace);
+      a.span_parent =
+          parent.trace != obs::kNoTrace ? parent.span : obs::kNoSpan;
+      a.span_begin = net_.queue().now();
+    }
+    obs::ScopedSpanContext span_scope(a.span);
     on_enter(a, arrival, kNoNode);
   });
 }
 
 bool DistributedController::moot(const RequestSpec& spec) const {
   return !tree_.alive(spec.subject);
+}
+
+obs::Span DistributedController::instant_op_span(obs::SpanSink& sink,
+                                                 Outcome outcome,
+                                                 NodeId node) {
+  const obs::SpanContext parent = obs::current_span();
+  obs::Span s;
+  s.trace = parent.trace != obs::kNoTrace ? parent.trace : sink.new_trace();
+  s.id = sink.open(s.trace);
+  s.parent = parent.trace != obs::kNoTrace ? parent.span : obs::kNoSpan;
+  s.kind = obs::SpanKind::kOp;
+  s.op = static_cast<std::uint8_t>(outcome);
+  s.label = outcome_name(outcome);
+  s.node = node;
+  s.begin = net_.queue().now();
+  s.end = s.begin;
+  return s;
 }
 
 // ---- movement helpers ----------------------------------------------------------
@@ -170,6 +203,10 @@ void DistributedController::resume_waiter(const agent::Whiteboard::Waiter& w,
 void DistributedController::on_arrival(AgentId id, NodeId node,
                                        NodeId came_from) {
   Agent& a = agent(id);
+  // Re-assert the agent's own causal context: a resumed waiter runs inside
+  // the resuming agent's delivery continuation and would otherwise charge
+  // its sends to the wrong op span.
+  obs::ScopedSpanContext span_scope(a.span);
   a.at = node;
   if (options_.debug_trace) a.history += " @" + std::to_string(node) + "/" + std::to_string(a.distance);
   switch (a.phase) {
@@ -634,6 +671,20 @@ void DistributedController::finish(Agent& a) {
                          " outcome=" +
                          outcome_name(a.result.outcome) + " hist:" +
                          a.history);
+  }
+  if (obs::SpanSink* sink = obs::spans();
+      sink != nullptr && a.span.trace != obs::kNoTrace) {
+    obs::Span s;
+    s.trace = a.span.trace;
+    s.id = a.span.span;
+    s.parent = a.span_parent;
+    s.kind = obs::SpanKind::kOp;
+    s.op = static_cast<std::uint8_t>(a.result.outcome);
+    s.label = outcome_name(a.result.outcome);
+    s.node = a.origin;
+    s.begin = a.span_begin;
+    s.end = net_.queue().now();
+    sink->emit(s);
   }
   const Result res = a.result;
   Callback done = std::move(a.done);

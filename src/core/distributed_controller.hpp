@@ -42,6 +42,7 @@
 #include "core/domain.hpp"
 #include "core/package.hpp"
 #include "core/params.hpp"
+#include "obs/span.hpp"
 #include "sim/network.hpp"
 #include "tree/dynamic_tree.hpp"
 
@@ -161,6 +162,13 @@ class DistributedController {
     Result result;
     std::uint64_t locks_held = 0;  ///< debug accounting; 0 at termination
     std::string history;           ///< debug trail (lock/unlock/hop)
+    // Op-span state (inert — trace stays kNoTrace — unless a SpanSink is
+    // installed when the agent is created): every processing step scopes
+    // `span` as the current context so hop spans parent to this op, and
+    // finish() closes the op span [span_begin, now].
+    obs::SpanContext span;
+    std::uint32_t span_parent = obs::kNoSpan;
+    SimTime span_begin = 0;
   };
 
   void on_arrival(agent::AgentId id, NodeId node, NodeId came_from);
@@ -179,6 +187,9 @@ class DistributedController {
   void terminate_at_origin(Agent& a);
   void apply_event_at_grant(Agent& a);
   void finish(Agent& a);
+  /// Zero-width op span for requests resolved without an agent (moot).
+  [[nodiscard]] obs::Span instant_op_span(obs::SpanSink& sink,
+                                          Outcome outcome, NodeId node);
   void resume_waiter(const agent::Whiteboard::Waiter& w, NodeId at);
   [[nodiscard]] bool moot(const RequestSpec& spec) const;
   [[nodiscard]] sim::Message hop_message(const Agent& a) const;

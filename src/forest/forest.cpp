@@ -29,6 +29,11 @@ ForestEngine::ForestEngine(const ForestConfig& cfg, std::uint64_t seed)
   DYNCON_REQUIRE(cfg_.window >= 1, "window width must be >= 1 tick");
   DYNCON_REQUIRE(cfg_.tree_size >= 1, "trees need at least the root");
 
+  // Spans are opt-in by the same install discipline as metrics: a SpanSink
+  // on the constructing thread enables per-shard recording (and the merge
+  // in run()); none keeps every span site at its single disabled branch.
+  spans_enabled_ = obs::spans() != nullptr;
+
   shards_.reserve(cfg_.shards);
   Rng shard_parent(seed ^ kShardSalt);
   for (unsigned s = 0; s < cfg_.shards; ++s) {
@@ -37,6 +42,9 @@ ForestEngine::ForestEngine(const ForestConfig& cfg, std::uint64_t seed)
     sh->queue.reserve(64);
     sh->outbox.reserve(256);
     sh->inbox.reserve(256);
+    if (spans_enabled_) {
+      sh->spans = std::make_unique<obs::SpanSink>(cfg_.span_capacity);
+    }
     shards_.push_back(std::move(sh));
   }
   if (cfg_.shards > 1) {
@@ -96,8 +104,9 @@ void ForestEngine::stage_inbox(Shard& sh) {
     const std::uint64_t user = req.user;
     const std::uint32_t tree = req.tree;
     const workload::ForestOp op = req.op;
-    sh.queue.schedule_at(req.ready, [this, user, tree, op] {
-      serve(user, tree, op);
+    const obs::TraceId trace = req.trace;
+    sh.queue.schedule_at(req.ready, [this, user, tree, op, trace] {
+      serve(user, tree, op, trace);
     });
   }
   sh.inbox.clear();  // capacity retained: no steady-state allocation
@@ -136,6 +145,14 @@ bool ForestEngine::step_window() {
     run_window_on_shard(0);
   }
   exchange();
+  // Flight-recorder sampling rides the window edge: every event before
+  // window_end_ has fired on every shard regardless of the shard count, so
+  // the accumulated counter totals — and hence the rows — are invariant.
+  if (flight_ != nullptr && flight_->due(clock_)) {
+    flight_->begin_row(clock_);
+    for (const auto& shp : shards_) flight_->accumulate(shp->registry);
+    flight_->commit_row();
+  }
   return true;
 }
 
@@ -147,6 +164,14 @@ void ForestEngine::run_window_on_shard(std::uint64_t s) {
   // The inbox was filled by the main thread before the dispatch barrier
   // and is owned by this worker until the next one — no synchronization
   // beyond the barriers themselves.
+  if (sh.spans != nullptr) {
+    // Spans follow the registry's thread-confinement: this window's worker
+    // emits into THIS shard's sink; run() merges in shard order.
+    obs::ScopedSpans span_scope(*sh.spans);
+    stage_inbox(sh);
+    sh.queue.run_until(window_end_);
+    return;
+  }
   stage_inbox(sh);
   sh.queue.run_until(window_end_);
 }
@@ -177,9 +202,19 @@ void ForestEngine::exchange() {
 }
 
 void ForestEngine::serve(std::uint64_t user, std::uint32_t tree,
-                         workload::ForestOp op) {
+                         workload::ForestOp op, obs::TraceId trace) {
   TreeState& ts = trees_[static_cast<std::size_t>(tree)];
   Shard& sh = *shards_[ts.shard];
+
+  // Causal context for everything this request touches: the controller's
+  // op span (and any hop spans under it) parent to the request's root span.
+  // The save/restore is two thread-local copies; the stores are behind the
+  // spans-enabled check.
+  obs::ScopedSpanContext span_scope;
+  if (sh.spans != nullptr) {
+    span_scope.engage(obs::SpanContext{trace, obs::kRootSpanId});
+    obs::set_span_now(sh.queue.now());
+  }
 
   static thread_local obs::CounterHandle c_total("forest.requests.total");
   static thread_local obs::CounterHandle c_granted("forest.requests.granted");
@@ -287,7 +322,33 @@ ForestStats ForestEngine::run() {
   if (obs::Registry* r = obs::metrics()) {
     for (const auto& shp : shards_) r->merge(shp->registry);
   }
+  merge_shard_spans();
   return stats_;
+}
+
+void ForestEngine::merge_shard_spans() {
+  obs::SpanSink* sink = obs::spans();
+  if (sink == nullptr || !spans_enabled_) return;
+  // Root spans were emitted straight into the caller's sink (the exchange
+  // runs on this thread, in global (done, user) order).  Shard sinks hold
+  // the op and hop spans; (trace, id) is globally unique — a trace's ops
+  // run on exactly one shard, and ids are per-trace — so sorting by it
+  // gives one total order every shard count agrees on.
+  std::vector<obs::Span> all;
+  std::uint64_t lost = 0;
+  for (const auto& shp : shards_) {
+    if (shp->spans == nullptr) continue;
+    all.insert(all.end(), shp->spans->entries().begin(),
+               shp->spans->entries().end());
+    lost += shp->spans->overwritten();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const obs::Span& a, const obs::Span& b) {
+              if (a.trace != b.trace) return a.trace < b.trace;
+              return a.id < b.id;
+            });
+  for (const obs::Span& s : all) sink->emit(s);
+  sink->add_overwritten(lost);
 }
 
 std::vector<std::uint64_t> ForestEngine::shard_rng_fingerprints() const {

@@ -45,7 +45,9 @@
 #include <vector>
 
 #include "core/centralized_controller.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/event_queue.hpp"
 #include "tree/dynamic_tree.hpp"
 #include "util/rng.hpp"
@@ -76,6 +78,9 @@ struct ForestConfig {
   /// Base service latency added to every request (plus 0..3 per-tree
   /// jitter ticks).
   SimTime service_delay = 1;
+  /// Per-shard span-ring capacity (used only when spans are enabled — a
+  /// SpanSink installed on the constructing thread; see the ctor).
+  std::size_t span_capacity = std::size_t{1} << 15;
 };
 
 struct ForestStats {
@@ -109,6 +114,12 @@ class ForestEngine {
   /// shard order) into the registry installed on the calling thread.
   ForestStats run();
 
+  /// Attach a flight recorder sampled at window edges (after each barrier
+  /// exchange): per-shard registries accumulate in shard order, so rows are
+  /// byte-identical at any shard count.  Must outlive run(); nullptr
+  /// detaches.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
   [[nodiscard]] const ForestStats& stats() const { return stats_; }
   [[nodiscard]] unsigned shards() const {
     return static_cast<unsigned>(shards_.size());
@@ -131,6 +142,7 @@ class ForestEngine {
   struct Shard {
     sim::EventQueue queue;
     obs::Registry registry;
+    std::unique_ptr<obs::SpanSink> spans;  ///< null unless spans enabled
     Rng rng;  ///< shard-local auxiliary stream (diagnostics sampling);
               ///< semantic draws use per-tree/per-user chains so results
               ///< stay shard-count invariant
@@ -151,8 +163,9 @@ class ForestEngine {
   void run_window_on_shard(std::uint64_t s);
   void exchange();
   void serve(std::uint64_t user, std::uint32_t tree,
-             workload::ForestOp op);
+             workload::ForestOp op, obs::TraceId trace);
   void complete(std::uint64_t user, std::uint32_t tree);
+  void merge_shard_spans();
   [[nodiscard]] bool drained() const;
 
   ForestConfig cfg_;
@@ -164,6 +177,8 @@ class ForestEngine {
   SimTime clock_ = 0;  ///< current window edge (virtual time)
   SimTime window_end_ = 0;
   ForestStats stats_;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool spans_enabled_ = false;
   bool ran_ = false;
 };
 

@@ -1,0 +1,126 @@
+#include "obs/chrome_trace.hpp"
+
+#include <utility>
+
+namespace dyncon::obs {
+
+namespace {
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+const json::Value* number_field(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v : nullptr;
+}
+
+bool convert_spans(const json::Value& spans, json::Array& events,
+                   std::string* err) {
+  if (!spans.is_object()) return fail(err, "\"spans\" is not an object");
+  const json::Value* list = spans.find("events");
+  if (list == nullptr) return true;  // empty section
+  if (!list->is_array()) return fail(err, "spans.events is not an array");
+  for (std::size_t i = 0; i < list->as_array().size(); ++i) {
+    const json::Value& s = list->as_array()[i];
+    const std::string at = "spans.events[" + std::to_string(i) + "]";
+    if (!s.is_object()) return fail(err, at + " is not an object");
+    const json::Value* trace = number_field(s, "trace");
+    const json::Value* id = number_field(s, "id");
+    const json::Value* begin = number_field(s, "begin");
+    const json::Value* end = number_field(s, "end");
+    const json::Value* kind = s.find("kind");
+    if (trace == nullptr || id == nullptr || begin == nullptr ||
+        end == nullptr || kind == nullptr || !kind->is_string()) {
+      return fail(err, at + " lacks trace/id/kind/begin/end");
+    }
+    if (end->as_uint() < begin->as_uint()) {
+      return fail(err, at + " ends before it begins");
+    }
+    json::Value ev = json::Value::object();
+    ev["ph"] = "X";
+    const json::Value* label = s.find("label");
+    ev["name"] = label != nullptr && label->is_string() ? label->as_string()
+                                                        : kind->as_string();
+    ev["cat"] = kind->as_string();
+    ev["ts"] = begin->as_uint();
+    ev["dur"] = end->as_uint() - begin->as_uint();
+    ev["pid"] = std::uint64_t{0};
+    ev["tid"] = trace->as_uint();
+    json::Value args = json::Value::object();
+    args["span"] = id->as_uint();
+    for (const char* key : {"parent", "node", "peer", "op"}) {
+      if (const json::Value* v = number_field(s, key)) args[key] = *v;
+    }
+    ev["args"] = std::move(args);
+    events.push_back(std::move(ev));
+  }
+  return true;
+}
+
+bool convert_timeline(const json::Value& timeline, json::Array& events,
+                      std::string* err) {
+  if (!timeline.is_object()) return fail(err, "\"timeline\" is not an object");
+  const json::Value* counters = timeline.find("counters");
+  const json::Value* rows = timeline.find("rows");
+  if (counters == nullptr && rows == nullptr) return true;  // empty section
+  if (counters == nullptr || !counters->is_array() || rows == nullptr ||
+      !rows->is_array()) {
+    return fail(err, "timeline lacks counters/rows arrays");
+  }
+  const json::Array& names = counters->as_array();
+  for (std::size_t r = 0; r < rows->as_array().size(); ++r) {
+    const json::Value& row = rows->as_array()[r];
+    const std::string at = "timeline.rows[" + std::to_string(r) + "]";
+    if (!row.is_array() || row.as_array().size() != names.size() + 1) {
+      return fail(err, at + " is not a [t, v...] array matching counters");
+    }
+    const json::Value& t = row.as_array()[0];
+    if (!t.is_number()) return fail(err, at + " has a non-numeric time");
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      if (!names[c].is_string()) {
+        return fail(err, "timeline.counters holds a non-string name");
+      }
+      const json::Value& cell = row.as_array()[c + 1];
+      if (!cell.is_number()) return fail(err, at + " has a non-numeric cell");
+      json::Value ev = json::Value::object();
+      ev["ph"] = "C";
+      ev["name"] = names[c].as_string();
+      ev["ts"] = t.as_uint();
+      ev["pid"] = std::uint64_t{0};
+      json::Value args = json::Value::object();
+      args["value"] = cell;
+      ev["args"] = std::move(args);
+      events.push_back(std::move(ev));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool chrome_trace_from_report(const json::Value& report, json::Value& out,
+                              std::string* err) {
+  if (!report.is_object()) return fail(err, "report is not a JSON object");
+  json::Array events;
+  if (const json::Value* spans = report.find("spans")) {
+    if (!convert_spans(*spans, events, err)) return false;
+  }
+  if (const json::Value* timeline = report.find("timeline")) {
+    if (!convert_timeline(*timeline, events, err)) return false;
+  }
+  out = json::Value::object();
+  out["traceEvents"] = json::Value(std::move(events));
+  out["displayTimeUnit"] = "ms";
+  if (const json::Value* name = report.find("name")) {
+    if (name->is_string()) {
+      json::Value other = json::Value::object();
+      other["report"] = *name;
+      out["otherData"] = std::move(other);
+    }
+  }
+  return true;
+}
+
+}  // namespace dyncon::obs

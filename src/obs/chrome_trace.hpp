@@ -1,0 +1,26 @@
+#pragma once
+
+// Run-report -> Chrome trace-event JSON converter (the format Perfetto and
+// chrome://tracing load).  Spans become complete ("X") duration events —
+// one track per trace id, nesting by begin/end containment — and flight-
+// recorder rows become counter ("C") events, so one file shows the causal
+// view and the timeline view on a shared virtual-time axis.  Virtual ticks
+// are written as microseconds (the trace-event unit); the scale is
+// arbitrary but consistent.
+//
+// Lives in obs (not tools/) so tests can validate conversions in-process;
+// tools/trace_export.cpp is the CLI wrapper.
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace dyncon::obs {
+
+/// Convert a run report's "spans" + "timeline" sections into a Chrome
+/// trace-event document ({"traceEvents": [...], ...}).  Missing sections
+/// contribute no events; malformed sections fail with `err` set.
+bool chrome_trace_from_report(const json::Value& report, json::Value& out,
+                              std::string* err = nullptr);
+
+}  // namespace dyncon::obs

@@ -61,7 +61,10 @@ void EventTrace::record(const TraceEvent& event, std::string text) {
   if (!enabled_) return;
   ++recorded_;
   ring_.push_back(TraceEntry{event, std::move(text)});
-  while (ring_.size() > capacity_) ring_.pop_front();
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++overwritten_;
+  }
 }
 
 std::vector<TraceEntry> EventTrace::tail_entries(std::size_t n) const {
@@ -92,6 +95,7 @@ void EventTrace::dump_jsonl(std::ostream& os, std::size_t n) const {
 void EventTrace::clear() {
   ring_.clear();
   recorded_ = 0;
+  overwritten_ = 0;
 }
 
 }  // namespace dyncon::obs

@@ -91,6 +91,10 @@ class EventTrace {
 
   /// Events offered while enabled (monotone; unaffected by ring eviction).
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events evicted by the capacity bound — nonzero means the tail is
+  /// truncated, and failure dumps should say so instead of presenting the
+  /// ring as the whole story.
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t size() const { return ring_.size(); }
   void clear();
@@ -100,6 +104,7 @@ class EventTrace {
   bool enabled_ = false;
   std::deque<TraceEntry> ring_;
   std::uint64_t recorded_ = 0;
+  std::uint64_t overwritten_ = 0;
 };
 
 namespace detail {

@@ -57,6 +57,29 @@ struct Histogram {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
   }
 
+  /// Upper bound on the q-quantile (q in [0, 1]): the inclusive upper edge
+  /// of the first bucket whose cumulative count reaches q * count, clamped
+  /// to the observed max.  Resolution is the log2 bucketing — a factor-of-2
+  /// envelope, which is what tail-latency claims are quoted against.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t w = 0; w < buckets.size(); ++w) {
+      seen += buckets[w];
+      if (static_cast<double>(seen) >= target && seen > 0) {
+        // Bucket w holds values in [2^(w-1), 2^w); bucket 0 holds zeros.
+        const std::uint64_t edge =
+            w == 0 ? 0
+                   : (w >= 64 ? UINT64_MAX : (std::uint64_t{1} << w) - 1);
+        return edge < max ? edge : max;
+      }
+    }
+    return max;
+  }
+
   /// Fold another histogram in (bucketwise; min/max widened).  Merging is
   /// commutative over the integer fields, so a parallel sweep's per-worker
   /// histograms reduce to exactly the serial run's.

@@ -19,6 +19,8 @@ json::Value RunReport::to_json(const Registry* reg) const {
     doc["histograms"] = *all.find("histograms");
   }
   doc["net_stats"] = net_stats_;
+  doc["spans"] = spans_;
+  doc["timeline"] = timeline_;
   doc["wall_time_sec"] = wall_time_sec_;
   return doc;
 }

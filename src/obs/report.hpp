@@ -10,6 +10,9 @@
 //     "histograms":    { "<name>": {count, sum, min, max, mean, buckets} },
 //     "net_stats":     { messages, total_bits, max_message_bits,
 //                        per_kind: {...}, size_histogram: [...] },
+//     "spans":         { capacity, recorded, overwritten, events: [...] },
+//     "timeline":      { period, capacity, taken, overwritten,
+//                        counters: [...], rows: [[t, v...], ...] },
 //     "wall_time_sec": 1.23
 //   }
 //
@@ -39,6 +42,11 @@ class RunReport {
   /// The "net_stats" section (see obs/net_adapter.hpp).
   [[nodiscard]] json::Value& net_stats() { return net_stats_; }
 
+  /// The "spans" section (SpanSink::to_json); empty object by default.
+  void set_spans(json::Value spans) { spans_ = std::move(spans); }
+  /// The "timeline" section (FlightRecorder::to_json); empty by default.
+  void set_timeline(json::Value timeline) { timeline_ = std::move(timeline); }
+
   void set_wall_time(double seconds) { wall_time_sec_ = seconds; }
   [[nodiscard]] double wall_time() const { return wall_time_sec_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -57,6 +65,8 @@ class RunReport {
   std::string name_;
   json::Value params_ = json::Value::object();
   json::Value net_stats_ = json::Value::object();
+  json::Value spans_ = json::Value::object();
+  json::Value timeline_ = json::Value::object();
   double wall_time_sec_ = 0.0;
 };
 

@@ -66,7 +66,8 @@ void Watchdog::abort_run(const std::string& why) const {
   }
   if (const obs::EventTrace* tr = obs::trace()) {
     std::cerr << "watchdog: trace tail (" << tr->size() << " of "
-              << tr->recorded() << " events):\n";
+              << tr->recorded() << " events, " << tr->overwritten()
+              << " overwritten):\n";
     tr->dump_jsonl(std::cerr, 64);
   }
   throw WatchdogError("watchdog: " + why);

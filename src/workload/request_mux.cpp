@@ -61,8 +61,11 @@ std::vector<MuxRequest> RequestMux::initial_requests() {
     MuxRequest req;
     req.ready = when;
     req.user = i;
+    req.trace = ++next_trace_;
     draw(users_[i], req);
     users_[i].remaining -= 1;
+    users_[i].pending = req;
+    users_[i].in_flight = true;
     out.push_back(req);
   }
   issued_ += out.size();
@@ -73,15 +76,53 @@ std::vector<MuxRequest> RequestMux::initial_requests() {
   return out;
 }
 
+void RequestMux::close_pending(UserState& u, SimTime done) {
+  if (!u.in_flight) return;
+  u.in_flight = false;
+  const MuxRequest& req = u.pending;
+  // End-to-end latency, arrival to completion, per op kind.  Always-on
+  // (shard-count invariant: ready and done both are), unlike the span.
+  static thread_local obs::HistogramHandle lat_permit("req.latency.permit");
+  static thread_local obs::HistogramHandle lat_grow("req.latency.grow");
+  static thread_local obs::HistogramHandle lat_shrink("req.latency.shrink");
+  const SimTime latency = done - req.ready;
+  switch (req.op) {
+    case ForestOp::kPermit:
+      lat_permit.observe(latency);
+      break;
+    case ForestOp::kGrow:
+      lat_grow.observe(latency);
+      break;
+    case ForestOp::kShrink:
+      lat_shrink.observe(latency);
+      break;
+  }
+  if (obs::SpanSink* sink = obs::spans()) {
+    obs::Span s;
+    s.trace = req.trace;
+    s.id = obs::kRootSpanId;
+    s.kind = obs::SpanKind::kRequest;
+    s.op = static_cast<std::uint8_t>(req.op);
+    s.label = forest_op_name(req.op);
+    s.begin = req.ready;
+    s.end = done;
+    sink->emit(s);
+  }
+}
+
 bool RequestMux::next_request(std::uint64_t user, SimTime done, SimTime floor,
                               MuxRequest& out) {
   UserState& u = users_.at(static_cast<std::size_t>(user));
+  close_pending(u, done);
   if (u.remaining == 0) return false;
   u.remaining -= 1;
   const SimTime earliest = done + think(u);
   out.ready = std::max(earliest, floor);
   out.user = user;
+  out.trace = ++next_trace_;
   draw(u, out);
+  u.pending = out;
+  u.in_flight = true;
   // How much the window-edge clamp deferred this arrival beyond its natural
   // time — the cost of batched cross-shard exchange, in ticks.
   static thread_local obs::HistogramHandle defer("forest.mux.defer");

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "workload/arrival.hpp"
@@ -60,10 +61,14 @@ struct MuxConfig {
 };
 
 /// One routed request: user `user` wants `op` on tree `tree`, submittable
-/// from simulated time `ready` on.
+/// from simulated time `ready` on.  `trace` is the request's causal trace
+/// id (dense, 1-based issue order — a pure function of the request stream,
+/// so it is shard-count invariant); it rides in this engine-side struct,
+/// never on the wire.
 struct MuxRequest {
   SimTime ready = 0;
   std::uint64_t user = 0;
+  obs::TraceId trace = obs::kNoTrace;
   std::uint32_t tree = 0;
   ForestOp op = ForestOp::kPermit;
 };
@@ -79,6 +84,12 @@ class RequestMux {
   /// `floor` is the earliest admissible arrival time (the engine's next
   /// window edge); think time pushes past it, never before.  Returns false
   /// when the user has exhausted its request budget.
+  ///
+  /// Also CLOSES the completed request: observes its end-to-end latency
+  /// (done - ready) in the req.latency.<op> histogram and, when a SpanSink
+  /// is installed, emits the trace's root span [ready, done].  Callers
+  /// drive this once per completion, in global (done, user) order, so the
+  /// emission order is shard-count invariant.
   bool next_request(std::uint64_t user, SimTime done, SimTime floor,
                     MuxRequest& out);
 
@@ -95,17 +106,23 @@ class RequestMux {
   struct UserState {
     Rng rng;
     std::uint64_t remaining = 0;
+    MuxRequest pending;  ///< the outstanding request (valid iff in_flight)
+    bool in_flight = false;
   };
 
   /// Draw tree + op from the user's own stream (shard-schedule invariant).
   void draw(UserState& u, MuxRequest& out);
   [[nodiscard]] SimTime think(UserState& u);
+  /// Close `u`'s in-flight request at completion time `done`: latency
+  /// histogram + root span.
+  void close_pending(UserState& u, SimTime done);
 
   MuxConfig cfg_;
   ZipfSelector zipf_;
   std::uint64_t pacing_seed_;  ///< seeds the initial-ramp ArrivalProcess
   std::vector<UserState> users_;
   std::uint64_t issued_ = 0;
+  obs::TraceId next_trace_ = 0;  ///< last issued trace id (1-based)
   bool initial_done_ = false;
 };
 

@@ -44,7 +44,8 @@ struct Sim {
   ~Sim() {
     if (::testing::Test::HasFailure() && trace.size() > 0) {
       std::cerr << "--- typed trace tail (" << trace.size() << " of "
-                << trace.recorded() << " events) ---\n";
+                << trace.recorded() << " events, " << trace.overwritten()
+                << " overwritten) ---\n";
       trace.dump_jsonl(std::cerr, 64);
     }
   }

@@ -6,10 +6,12 @@
 #include <sstream>
 
 #include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/net_adapter.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "sim/network.hpp"
 
 namespace dyncon::obs {
@@ -50,6 +52,59 @@ TEST(Json, ParseRejectsGarbage) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(Json, StringEscapeRoundTrip) {
+  // Control characters dump as \u00XX and parse back to the same bytes.
+  json::Value v = json::Value::object();
+  v["s"] = std::string("tab\t bell\x07 nul-free \x1f end");
+  std::ostringstream os;
+  v.dump(os);
+  EXPECT_NE(os.str().find("\\u0007"), std::string::npos);
+  json::Value back;
+  std::string err;
+  ASSERT_TRUE(json::Value::parse(os.str(), back, &err)) << err;
+  EXPECT_EQ(back.find("s")->as_string(), v.find("s")->as_string());
+
+  // \u escapes outside the control range decode to UTF-8.
+  json::Value uni;
+  ASSERT_TRUE(json::Value::parse("\"\\u0041\\u00e9\\u20ac\"", uni, &err))
+      << err;
+  EXPECT_EQ(uni.as_string(), "A\xc3\xa9\xe2\x82\xac");  // A, é, €
+
+  // Malformed escapes are rejected, not mangled.
+  json::Value bad;
+  EXPECT_FALSE(json::Value::parse("\"\\u12\"", bad, &err));
+  EXPECT_FALSE(json::Value::parse("\"\\u12zz\"", bad, &err));
+  EXPECT_FALSE(json::Value::parse("\"\\q\"", bad, &err));
+  EXPECT_FALSE(json::Value::parse("\"dangling\\", bad, &err));
+}
+
+TEST(Json, DeepNestingLimit) {
+  auto nested = [](int depth) {
+    std::string s(static_cast<std::size_t>(depth), '[');
+    s += "1";
+    s.append(static_cast<std::size_t>(depth), ']');
+    return s;
+  };
+  json::Value out;
+  std::string err;
+  EXPECT_TRUE(json::Value::parse(nested(60), out, &err)) << err;
+  EXPECT_FALSE(json::Value::parse(nested(80), out, &err));
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+}
+
+TEST(Json, TruncatedInputs) {
+  json::Value out;
+  std::string err;
+  // Every prefix of a valid document must fail cleanly, never crash or
+  // accept.  (The empty prefix included.)
+  const std::string doc = R"({"a": [1, 2.5, "x\n"], "b": {"c": true}})";
+  for (std::size_t n = 0; n < doc.size(); ++n) {
+    EXPECT_FALSE(json::Value::parse(doc.substr(0, n), out, &err))
+        << "prefix length " << n << " unexpectedly parsed";
+  }
+  EXPECT_TRUE(json::Value::parse(doc, out, &err)) << err;
+}
+
 // ---- registry ---------------------------------------------------------------
 
 TEST(Registry, CounterGaugeHistogramSemantics) {
@@ -85,6 +140,27 @@ TEST(Registry, CounterGaugeHistogramSemantics) {
   EXPECT_TRUE(reg.counters().empty());
   EXPECT_TRUE(reg.gauges().empty());
   EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST(Registry, HistogramPercentile) {
+  Registry reg;
+  const Histogram* empty = reg.histogram("nope");
+  EXPECT_EQ(empty, nullptr);
+
+  reg.observe("lat", 0);                  // bucket 0
+  reg.observe("lat", 3, /*weight=*/98);   // bucket 2, [2,4)
+  reg.observe("lat", 100);                // bucket 7, [64,128)
+  const Histogram* h = reg.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->count, 100u);
+  EXPECT_EQ(h->percentile(0.0), 0u);    // first value is the zero
+  EXPECT_EQ(h->percentile(0.50), 3u);   // bucket upper edge (1<<2)-1
+  EXPECT_EQ(h->percentile(0.99), 3u);
+  EXPECT_EQ(h->percentile(1.0), 100u);  // clamped to observed max
+  EXPECT_EQ(h->percentile(7.0), 100u);  // q clamps to [0,1]
+
+  Histogram none;
+  EXPECT_EQ(none.percentile(0.5), 0u);  // empty histogram: 0, not UB
 }
 
 TEST(Registry, FreeFunctionsNoOpWhenUninstalled) {
@@ -136,6 +212,23 @@ TEST(EventTrace, RingWrapsKeepingNewest) {
   EXPECT_EQ(entries.back().event.a, 9u);   // newest
 }
 
+TEST(EventTrace, OverwrittenCountsRingEvictions) {
+  EventTrace trace(4);
+  trace.enable(true);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    trace.record(TraceEvent{EventKind::kAgentHop, i, 1, i, 0});
+  }
+  EXPECT_EQ(trace.overwritten(), 0u);  // under capacity: nothing lost
+  for (std::uint64_t i = 3; i < 10; ++i) {
+    trace.record(TraceEvent{EventKind::kAgentHop, i, 1, i, 0});
+  }
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.overwritten(), 6u);  // recorded - size
+  trace.clear();
+  EXPECT_EQ(trace.overwritten(), 0u);
+}
+
 TEST(EventTrace, DisabledRecordsNothing) {
   EventTrace trace(8);
   trace.record(TraceEvent{EventKind::kWaveStart, 0, 0, 0, 0});
@@ -185,6 +278,60 @@ TEST(EventTrace, FormatAndJsonl) {
   EXPECT_EQ(n, 2u);
 }
 
+// ---- flight recorder --------------------------------------------------------
+
+TEST(FlightRecorder, SamplesOnScheduleAndBoundsRing) {
+  Registry a, b;
+  a.add("reqs", 3);
+  a.set_gauge("load", 0.5);
+  b.add("reqs", 4);
+  b.set_gauge("load", 0.25);
+
+  FlightRecorder fr({"reqs", "load", "missing"}, /*period=*/10,
+                    /*capacity=*/2);
+  EXPECT_TRUE(fr.due(0));  // first sample is at t=0
+  fr.begin_row(0);
+  fr.accumulate(a);
+  fr.accumulate(b);
+  fr.commit_row();
+  EXPECT_FALSE(fr.due(9));
+  EXPECT_TRUE(fr.due(10));
+
+  ASSERT_EQ(fr.rows().size(), 1u);
+  const auto& row = fr.rows().front();
+  EXPECT_EQ(row.t, 0u);
+  ASSERT_EQ(row.cells.size(), 3u);
+  EXPECT_DOUBLE_EQ(row.cells[0], 7.0);   // counter, summed across shards
+  EXPECT_DOUBLE_EQ(row.cells[1], 0.75);  // gauge fallback
+  EXPECT_DOUBLE_EQ(row.cells[2], 0.0);   // unknown name reads as zero
+
+  // Idle catch-up: a row at t=35 schedules the next sample at 40, not 20.
+  fr.begin_row(35);
+  fr.accumulate(a);
+  fr.commit_row();
+  EXPECT_FALSE(fr.due(39));
+  EXPECT_TRUE(fr.due(40));
+
+  // Capacity bound evicts oldest rows and counts them.
+  fr.begin_row(40);
+  fr.commit_row();
+  EXPECT_EQ(fr.taken(), 3u);
+  EXPECT_EQ(fr.rows().size(), 2u);
+  EXPECT_EQ(fr.overwritten(), 1u);
+  EXPECT_EQ(fr.rows().front().t, 35u);
+
+  const json::Value doc = fr.to_json();
+  EXPECT_EQ(doc.find("period")->as_uint(), 10u);
+  EXPECT_EQ(doc.find("taken")->as_uint(), 3u);
+  EXPECT_EQ(doc.find("overwritten")->as_uint(), 1u);
+  EXPECT_EQ(doc.find("counters")->as_array().size(), 3u);
+  const auto& rows = doc.find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  // Row layout: [t, v0, v1, ...] — one more cell than counter names.
+  ASSERT_EQ(rows[0].as_array().size(), 4u);
+  EXPECT_EQ(rows[0].as_array()[0].as_uint(), 35u);
+}
+
 // ---- run report -------------------------------------------------------------
 
 TEST(RunReport, JsonShapeAndRoundTrip) {
@@ -224,6 +371,55 @@ TEST(RunReport, JsonShapeAndRoundTrip) {
   json::Value v2;
   ASSERT_TRUE(json::Value::parse(bare.str(), v2, &err)) << err;
   EXPECT_TRUE(v2.find("metrics")->find("counters")->as_object().empty());
+}
+
+TEST(RunReport, SpansAndTimelineSectionsRoundTrip) {
+  RunReport report("unit");
+  std::ostringstream bare;
+  report.write_json(bare, nullptr);
+  json::Value v0;
+  std::string err;
+  ASSERT_TRUE(json::Value::parse(bare.str(), v0, &err)) << err;
+  // Fixed schema: the sections exist (empty objects) even when never set.
+  ASSERT_NE(v0.find("spans"), nullptr);
+  ASSERT_NE(v0.find("timeline"), nullptr);
+  EXPECT_TRUE(v0.find("spans")->as_object().empty());
+  EXPECT_TRUE(v0.find("timeline")->as_object().empty());
+
+  // Populate from the real producers and round-trip through text.
+  SpanSink sink(8);
+  Span s;
+  s.trace = 7;
+  s.id = sink.open(7);
+  s.kind = SpanKind::kRequest;
+  s.begin = 10;
+  s.end = 25;
+  s.label = "permit";
+  sink.emit(s);
+  FlightRecorder fr({"reqs"}, 4);
+  fr.begin_row(0);
+  fr.commit_row();
+  report.set_spans(sink.to_json());
+  report.set_timeline(fr.to_json());
+
+  std::ostringstream os;
+  report.write_json(os, nullptr);
+  json::Value v;
+  ASSERT_TRUE(json::Value::parse(os.str(), v, &err)) << err;
+  const json::Value* spans = v.find("spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_EQ(spans->find("recorded")->as_uint(), 1u);
+  const auto& events = spans->find("events")->as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].find("trace")->as_uint(), 7u);
+  EXPECT_EQ(events[0].find("kind")->as_string(), "request");
+  EXPECT_EQ(events[0].find("label")->as_string(), "permit");
+  EXPECT_EQ(events[0].find("begin")->as_uint(), 10u);
+  EXPECT_EQ(events[0].find("end")->as_uint(), 25u);
+  const json::Value* timeline = v.find("timeline");
+  ASSERT_NE(timeline, nullptr);
+  EXPECT_EQ(timeline->find("period")->as_uint(), 4u);
+  EXPECT_EQ(timeline->find("rows")->as_array().size(), 1u);
 }
 
 // ---- net adapter ------------------------------------------------------------

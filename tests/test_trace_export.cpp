@@ -1,0 +1,185 @@
+// Structural validation of the Chrome trace-event conversion behind
+// tools/trace_export: well-formed reports map to well-formed "X"/"C"
+// events, malformed sections are rejected with a located error, and the
+// real producers (SpanSink / FlightRecorder / RunReport) round-trip through
+// serialization into a loadable trace.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+
+namespace dyncon::obs {
+namespace {
+
+json::Value parse(const std::string& text) {
+  json::Value v;
+  std::string err;
+  EXPECT_TRUE(json::Value::parse(text, v, &err)) << err;
+  return v;
+}
+
+TEST(ChromeTrace, ConvertsSpansAndTimeline) {
+  const json::Value report = parse(R"({
+    "name": "unit",
+    "spans": {"capacity": 8, "recorded": 2, "overwritten": 0, "events": [
+      {"trace": 1, "id": 0, "kind": "request", "op": 0, "label": "permit",
+       "begin": 10, "end": 25},
+      {"trace": 1, "id": 1, "parent": 0, "kind": "hop", "op": 2,
+       "node": 3, "peer": 4, "begin": 12, "end": 14}
+    ]},
+    "timeline": {"period": 16, "capacity": 4, "taken": 2, "overwritten": 0,
+      "counters": ["reqs", "grants"],
+      "rows": [[0, 1.0, 0.0], [16, 5.0, 3.0]]}
+  })");
+
+  json::Value out;
+  std::string err;
+  ASSERT_TRUE(chrome_trace_from_report(report, out, &err)) << err;
+  EXPECT_EQ(out.find("otherData")->find("report")->as_string(), "unit");
+  const json::Array& events = out.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 2u + 2u * 2u);  // 2 spans + 2 rows * 2 counters
+
+  const json::Value& root = events[0];
+  EXPECT_EQ(root.find("ph")->as_string(), "X");
+  EXPECT_EQ(root.find("name")->as_string(), "permit");
+  EXPECT_EQ(root.find("cat")->as_string(), "request");
+  EXPECT_EQ(root.find("ts")->as_uint(), 10u);
+  EXPECT_EQ(root.find("dur")->as_uint(), 15u);
+  EXPECT_EQ(root.find("tid")->as_uint(), 1u);
+  EXPECT_EQ(root.find("args")->find("span")->as_uint(), 0u);
+  EXPECT_EQ(root.find("args")->find("parent"), nullptr);
+
+  const json::Value& hop = events[1];
+  EXPECT_EQ(hop.find("args")->find("parent")->as_uint(), 0u);
+  EXPECT_EQ(hop.find("args")->find("node")->as_uint(), 3u);
+  EXPECT_EQ(hop.find("args")->find("peer")->as_uint(), 4u);
+
+  const json::Value& c0 = events[2];
+  EXPECT_EQ(c0.find("ph")->as_string(), "C");
+  EXPECT_EQ(c0.find("name")->as_string(), "reqs");
+  EXPECT_EQ(c0.find("ts")->as_uint(), 0u);
+  EXPECT_DOUBLE_EQ(c0.find("args")->find("value")->as_double(), 1.0);
+  const json::Value& c3 = events[5];
+  EXPECT_EQ(c3.find("name")->as_string(), "grants");
+  EXPECT_EQ(c3.find("ts")->as_uint(), 16u);
+}
+
+TEST(ChromeTrace, EmptySectionsProduceAnEmptyValidTrace) {
+  const json::Value report = parse(
+      R"({"name": "bare", "spans": {}, "timeline": {}})");
+  json::Value out;
+  std::string err;
+  ASSERT_TRUE(chrome_trace_from_report(report, out, &err)) << err;
+  EXPECT_TRUE(out.find("traceEvents")->as_array().empty());
+  EXPECT_EQ(out.find("displayTimeUnit")->as_string(), "ms");
+
+  // Reports without the sections at all (pre-span schema) still convert.
+  json::Value out2;
+  ASSERT_TRUE(chrome_trace_from_report(parse(R"({"name": "old"})"), out2,
+                                       &err))
+      << err;
+  EXPECT_TRUE(out2.find("traceEvents")->as_array().empty());
+}
+
+TEST(ChromeTrace, RejectsMalformedSpans) {
+  json::Value out;
+  std::string err;
+  EXPECT_FALSE(chrome_trace_from_report(parse("[1, 2]"), out, &err));
+  EXPECT_NE(err.find("not a JSON object"), std::string::npos) << err;
+
+  // Missing required field.
+  EXPECT_FALSE(chrome_trace_from_report(
+      parse(R"({"spans": {"events": [{"trace": 1, "id": 0, "begin": 3,
+                                      "end": 4}]}})"),
+      out, &err));
+  EXPECT_NE(err.find("spans.events[0]"), std::string::npos) << err;
+
+  // Negative-duration span.
+  EXPECT_FALSE(chrome_trace_from_report(
+      parse(R"({"spans": {"events": [{"trace": 1, "id": 0, "kind": "op",
+                                      "begin": 9, "end": 3}]}})"),
+      out, &err));
+  EXPECT_NE(err.find("ends before it begins"), std::string::npos) << err;
+}
+
+TEST(ChromeTrace, RejectsMalformedTimeline) {
+  json::Value out;
+  std::string err;
+  // Row width must be counters + 1.
+  EXPECT_FALSE(chrome_trace_from_report(
+      parse(R"({"timeline": {"counters": ["a", "b"],
+                             "rows": [[0, 1.0]]}})"),
+      out, &err));
+  EXPECT_NE(err.find("timeline.rows[0]"), std::string::npos) << err;
+
+  // Counters without rows (or vice versa) is malformed, not empty.
+  EXPECT_FALSE(chrome_trace_from_report(
+      parse(R"({"timeline": {"counters": ["a"]}})"), out, &err));
+  EXPECT_NE(err.find("counters/rows"), std::string::npos) << err;
+
+  // Non-numeric cell.
+  EXPECT_FALSE(chrome_trace_from_report(
+      parse(R"({"timeline": {"counters": ["a"],
+                             "rows": [[0, "oops"]]}})"),
+      out, &err));
+  EXPECT_NE(err.find("non-numeric cell"), std::string::npos) << err;
+}
+
+TEST(ChromeTrace, RealProducersRoundTripThroughReportText) {
+  // SpanSink + FlightRecorder -> RunReport -> serialized text -> parse ->
+  // convert: the exact pipeline `bench --metrics-out` + trace_export runs.
+  SpanSink sink(8);
+  Span root;
+  root.trace = 3;
+  root.kind = SpanKind::kRequest;
+  root.op = 1;
+  root.label = "grow";
+  root.begin = 2;
+  root.end = 10;
+  sink.emit(root);
+  Span op;
+  op.trace = 3;
+  op.id = sink.open(3);
+  op.parent = kRootSpanId;
+  op.kind = SpanKind::kOp;
+  op.node = 5;
+  op.begin = 4;
+  op.end = 8;
+  sink.emit(op);
+
+  FlightRecorder fr({"reqs"}, /*period=*/4);
+  Registry reg;
+  reg.add("reqs", 2);
+  fr.begin_row(0);
+  fr.accumulate(reg);
+  fr.commit_row();
+
+  RunReport report("pipeline");
+  report.set_spans(sink.to_json());
+  report.set_timeline(fr.to_json());
+  std::ostringstream os;
+  report.write_json(os, nullptr);
+
+  json::Value parsed;
+  std::string err;
+  ASSERT_TRUE(json::Value::parse(os.str(), parsed, &err)) << err;
+  json::Value out;
+  ASSERT_TRUE(chrome_trace_from_report(parsed, out, &err)) << err;
+  const json::Array& events = out.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 3u);  // 2 spans + 1 row * 1 counter
+  EXPECT_EQ(events[0].find("name")->as_string(), "grow");
+  EXPECT_EQ(events[1].find("cat")->as_string(), "op");
+  EXPECT_EQ(events[1].find("args")->find("node")->as_uint(), 5u);
+  EXPECT_EQ(events[2].find("ph")->as_string(), "C");
+  EXPECT_DOUBLE_EQ(events[2].find("args")->find("value")->as_double(), 2.0);
+}
+
+}  // namespace
+}  // namespace dyncon::obs

@@ -16,16 +16,21 @@ bench/exp19_forest_scaling (outcome and op-mix counters partitioning the
 request total, speedups consistent with the per-shard-count rates), and —
 when the exp17
 per-rate gauges are present — that the measured reliability overhead is
-monotone in the drop rate.  Exits nonzero with a message on the first violation; prints
-a one-line summary on success.  Used by the CI metrics-smoke and
-chaos-smoke jobs.
+monotone in the drop rate.  The causal-observability sections added with
+the span subsystem are validated too: req.latency.* histogram counts must
+partition forest.requests.total with ordered percentile gauges, the
+"timeline" flight-recorder section must hold well-formed monotone rows, and
+the "spans" section must be internally consistent (conserved ring counts,
+non-negative durations, resolvable parents).  Exits nonzero with a message
+on the first violation; prints a one-line summary on success.  Used by the
+CI metrics-smoke and chaos-smoke jobs.
 """
 
 import json
 import sys
 
 REQUIRED_KEYS = ("name", "params", "metrics", "histograms", "net_stats",
-                 "wall_time_sec")
+                 "spans", "timeline", "wall_time_sec")
 
 
 FAULT_FAMILIES = ("faults.", "channel.", "watchdog.")
@@ -225,6 +230,130 @@ def check_exp17_monotone(path: str, gauges: dict) -> None:
           f"({rows[0][1]:.0f} -> {rows[-1][1]:.0f} bits)")
 
 
+def check_latency_family(path: str, counters: dict, gauges: dict,
+                         histograms: dict) -> None:
+    """Consistency of the req.latency.* family written by the request mux
+    (always-on histograms) and bench/exp20_request_latency (percentile
+    gauges): the per-op histogram counts must partition the request total,
+    and p50 <= p95 <= p99 <= max for every op kind that publishes gauges."""
+    lat = {k: v for k, v in histograms.items()
+           if k.startswith("req.latency.") and "." not in k[len("req.latency."):]}
+    if not lat:
+        return
+    total = counters.get("forest.requests.total")
+    if total is not None:
+        observed = sum(h.get("count", 0) for h in lat.values())
+        if observed != total:
+            fail(f"{path}: req.latency.* histogram counts sum to "
+                 f"{observed} but forest.requests.total = {total}")
+    for name, hist in lat.items():
+        if hist.get("count", 0) and hist.get("max", 0) < hist.get("min", 0):
+            fail(f"{path}: histogram '{name}' has max < min")
+        p50 = gauges.get(f"{name}.p50")
+        p95 = gauges.get(f"{name}.p95")
+        p99 = gauges.get(f"{name}.p99")
+        if p50 is None and p95 is None and p99 is None:
+            continue  # histograms are always-on; gauges only from exp20
+        if p50 is None or p95 is None or p99 is None:
+            fail(f"{path}: '{name}' percentile gauges incomplete "
+                 f"(p50={p50!r} p95={p95!r} p99={p99!r})")
+        if not p50 <= p95 <= p99:
+            fail(f"{path}: '{name}' percentiles not ordered "
+                 f"(p50={p50} p95={p95} p99={p99})")
+        if p99 > hist.get("max", 0):
+            fail(f"{path}: '{name}' p99 = {p99} exceeds histogram max "
+                 f"{hist.get('max', 0)}")
+    print(f"check_report: req.latency family ok ({len(lat)} op kinds)")
+
+
+def check_timeline(path: str, timeline: dict, counters: dict) -> None:
+    """Structure of the flight-recorder "timeline" section: [t, v...] rows
+    matching the counter-name list, strictly increasing sample times,
+    conserved ring counts, and — for sampled names that are cumulative
+    counters — columns that never decrease over time."""
+    if not timeline:
+        return  # section always present; empty when no recorder was wired
+    for key in ("period", "capacity", "taken", "overwritten", "counters",
+                "rows"):
+        if key not in timeline:
+            fail(f"{path}: timeline lacks '{key}'")
+    names = timeline["counters"]
+    rows = timeline["rows"]
+    if not isinstance(names, list) or not isinstance(rows, list):
+        fail(f"{path}: timeline counters/rows are not arrays")
+    if timeline["overwritten"] + len(rows) != timeline["taken"]:
+        fail(f"{path}: timeline rows not conserved "
+             f"({timeline['overwritten']} overwritten + {len(rows)} kept "
+             f"!= {timeline['taken']} taken)")
+    prev_t = None
+    prev_cells = None
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(names) + 1:
+            fail(f"{path}: timeline row {i} is not [t, v...] over "
+                 f"{len(names)} counters")
+        t, cells = row[0], row[1:]
+        if prev_t is not None and t <= prev_t:
+            fail(f"{path}: timeline times not strictly increasing at row {i}")
+        for c, (name, cell) in enumerate(zip(names, cells)):
+            if not isinstance(cell, (int, float)) or cell < 0:
+                fail(f"{path}: timeline row {i} cell '{name}' = {cell!r}")
+            if (prev_cells is not None and name in counters
+                    and cell < prev_cells[c]):
+                fail(f"{path}: timeline column '{name}' decreases at row {i} "
+                     f"({prev_cells[c]} -> {cell}) despite being a counter")
+        prev_t, prev_cells = t, cells
+    print(f"check_report: timeline ok ({len(rows)} rows x {len(names)} "
+          f"counters, period {timeline['period']})")
+
+
+def check_spans(path: str, spans: dict) -> None:
+    """Internal consistency of the "spans" section: ring counts conserved,
+    non-negative durations, known kinds, and — when nothing was evicted, so
+    the record is complete — unique (trace, id) pairs and parents that
+    resolve within the same trace and start no later than their children
+    ("request" roots must also fully contain them; op parents may end
+    before a flood they started finishes)."""
+    if not spans:
+        return  # section always present; empty when no sink was installed
+    for key in ("capacity", "recorded", "overwritten", "events"):
+        if key not in spans:
+            fail(f"{path}: spans lacks '{key}'")
+    events = spans["events"]
+    if not isinstance(events, list):
+        fail(f"{path}: spans.events is not an array")
+    if spans["overwritten"] + len(events) != spans["recorded"]:
+        fail(f"{path}: spans not conserved ({spans['overwritten']} "
+             f"overwritten + {len(events)} kept != {spans['recorded']} "
+             f"recorded)")
+    by_id = {}
+    for i, s in enumerate(events):
+        for key in ("trace", "id", "kind", "begin", "end"):
+            if key not in s:
+                fail(f"{path}: spans.events[{i}] lacks '{key}'")
+        if s["kind"] not in ("request", "op", "hop"):
+            fail(f"{path}: spans.events[{i}] has unknown kind "
+                 f"'{s['kind']}'")
+        if s["end"] < s["begin"]:
+            fail(f"{path}: spans.events[{i}] ends before it begins")
+        by_id[(s["trace"], s["id"])] = s
+    if spans["overwritten"] == 0:
+        if len(by_id) != len(events):
+            fail(f"{path}: duplicate (trace, id) span pairs")
+        for i, s in enumerate(events):
+            if "parent" not in s:
+                continue
+            parent = by_id.get((s["trace"], s["parent"]))
+            if parent is None:
+                fail(f"{path}: spans.events[{i}] parent {s['parent']} not "
+                     f"recorded in trace {s['trace']}")
+            if parent["begin"] > s["begin"]:
+                fail(f"{path}: spans.events[{i}] begins before its parent")
+            if parent["kind"] == "request" and s["end"] > parent["end"]:
+                fail(f"{path}: spans.events[{i}] outlives its request root")
+    print(f"check_report: spans ok ({spans['recorded']} recorded, "
+          f"{spans['overwritten']} overwritten)")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
         fail("usage: check_report.py <report.json> [counter ...]")
@@ -252,6 +381,10 @@ def main() -> None:
     check_fault_families(path, counters)
     check_perf_family(path, counters, metrics["gauges"])
     check_forest_family(path, counters, metrics["gauges"])
+    check_latency_family(path, counters, metrics["gauges"],
+                         report["histograms"])
+    check_timeline(path, report["timeline"], counters)
+    check_spans(path, report["spans"])
     check_exp17_monotone(path, metrics["gauges"])
     for name in sys.argv[2:]:
         if name not in counters:

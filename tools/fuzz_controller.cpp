@@ -195,7 +195,7 @@ std::optional<std::string> audit_seed(std::uint64_t seed) {
   reg.to_json().dump(snapshot, 2);
   out << "metrics snapshot:\n" << snapshot.str() << "\n";
   out << "trace tail (" << trace.size() << " of " << trace.recorded()
-      << " events):\n";
+      << " events, " << trace.overwritten() << " overwritten):\n";
   trace.dump_jsonl(out, 64);
   return out.str();
 }

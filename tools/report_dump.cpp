@@ -1,8 +1,9 @@
 // report_dump — pretty-print one run-report JSON, or diff two.
 //
 //   report_dump <report.json>             summary of one report
-//   report_dump <a.json> <b.json>         counter/gauge diff: a, b, delta,
-//                                         ratio (b/a), sorted by |delta|
+//   report_dump <a.json> <b.json>         counter/gauge diff (a, b, delta,
+//                                         ratio (b/a), sorted by |delta|)
+//                                         plus histogram count/mean/max deltas
 //
 // The diff view is the intended workflow for performance investigations:
 // run a bench with --metrics-out before and after a change and diff the
@@ -44,6 +45,28 @@ std::uint64_t as_u64(const Value& v) {
   if (v.is_uint()) return v.as_uint();
   if (v.is_double()) return static_cast<std::uint64_t>(v.as_double());
   return 0;
+}
+
+/// count/mean/max triple of one serialized histogram (for the diff view).
+struct HistStat {
+  double count = 0, mean = 0, max = 0;
+};
+
+/// Flatten "histograms" into name -> {count, mean, max}.
+std::map<std::string, HistStat> hist_metrics(const Value& report) {
+  std::map<std::string, HistStat> out;
+  const Value* hists = report.find("histograms");
+  if (hists == nullptr || !hists->is_object()) return out;
+  for (const auto& [k, h] : hists->as_object()) {
+    HistStat st;
+    if (const Value* c = h.find("count")) st.count = static_cast<double>(as_u64(*c));
+    if (const Value* m = h.find("mean")) {
+      st.mean = m->is_double() ? m->as_double() : static_cast<double>(as_u64(*m));
+    }
+    if (const Value* mx = h.find("max")) st.max = static_cast<double>(as_u64(*mx));
+    out[k] = st;
+  }
+  return out;
 }
 
 /// Flatten "metrics.counters" and "metrics.gauges" into name -> value.
@@ -122,6 +145,47 @@ void print_one(const std::string& path, const Value& report) {
                       h.find("max") ? as_u64(*h.find("max")) : 0));
     }
   }
+  if (const Value* spans = report.find("spans");
+      spans != nullptr && spans->find("recorded") != nullptr) {
+    const std::uint64_t recorded = as_u64(*spans->find("recorded"));
+    const std::uint64_t lost =
+        spans->find("overwritten") ? as_u64(*spans->find("overwritten")) : 0;
+    const Value* events = spans->find("events");
+    const std::size_t kept =
+        events != nullptr && events->is_array() ? events->as_array().size() : 0;
+    std::printf("  spans: %llu recorded, %zu kept, %llu overwritten\n",
+                static_cast<unsigned long long>(recorded), kept,
+                static_cast<unsigned long long>(lost));
+    if (lost > 0) {
+      std::printf(
+          "  WARNING: span ring overflowed — the trace tail is truncated "
+          "(%llu oldest spans lost)\n",
+          static_cast<unsigned long long>(lost));
+    }
+  }
+  if (const Value* timeline = report.find("timeline");
+      timeline != nullptr && timeline->find("rows") != nullptr) {
+    const Value* rows = timeline->find("rows");
+    const Value* counters = timeline->find("counters");
+    const std::uint64_t lost = timeline->find("overwritten")
+                                   ? as_u64(*timeline->find("overwritten"))
+                                   : 0;
+    std::printf(
+        "  timeline: %zu rows x %zu counters, period %llu, %llu overwritten\n",
+        rows->is_array() ? rows->as_array().size() : 0,
+        counters != nullptr && counters->is_array()
+            ? counters->as_array().size()
+            : 0,
+        static_cast<unsigned long long>(
+            timeline->find("period") ? as_u64(*timeline->find("period")) : 0),
+        static_cast<unsigned long long>(lost));
+    if (lost > 0) {
+      std::printf(
+          "  WARNING: flight-recorder ring overflowed — the timeline head is "
+          "truncated (%llu oldest rows lost)\n",
+          static_cast<unsigned long long>(lost));
+    }
+  }
 }
 
 int diff(const std::string& pa, const Value& a, const std::string& pb,
@@ -162,6 +226,60 @@ int diff(const std::string& pa, const Value& a, const std::string& pb,
                 r.b, delta, ratio);
   }
   if (!changed) std::printf("  (no scalar metric differs)\n");
+
+  // Histogram deltas: count/mean/max per name, union of both reports,
+  // sorted by |count delta| then name.  Silent when identical.
+  const auto ha = hist_metrics(a);
+  const auto hb = hist_metrics(b);
+  struct HRow {
+    std::string name;
+    HistStat a, b;
+  };
+  std::vector<HRow> hrows;
+  for (const auto& [k, v] : ha) {
+    auto it = hb.find(k);
+    hrows.push_back({k, v, it == hb.end() ? HistStat{} : it->second});
+  }
+  for (const auto& [k, v] : hb) {
+    if (ha.find(k) == ha.end()) hrows.push_back({k, HistStat{}, v});
+  }
+  hrows.erase(std::remove_if(hrows.begin(), hrows.end(),
+                             [](const HRow& r) {
+                               return r.a.count == r.b.count &&
+                                      r.a.mean == r.b.mean &&
+                                      r.a.max == r.b.max;
+                             }),
+              hrows.end());
+  if (!hrows.empty()) {
+    std::sort(hrows.begin(), hrows.end(), [](const HRow& x, const HRow& y) {
+      const double dx = std::fabs(x.b.count - x.a.count);
+      const double dy = std::fabs(y.b.count - y.a.count);
+      return dx != dy ? dx > dy : x.name < y.name;
+    });
+    std::printf("  %-36s %14s %14s %14s\n", "histogram", "d.count", "d.mean",
+                "d.max");
+    for (const auto& r : hrows) {
+      std::printf("  %-36s %+14.0f %+14.3f %+14.0f\n", r.name.c_str(),
+                  r.b.count - r.a.count, r.b.mean - r.a.mean,
+                  r.b.max - r.a.max);
+    }
+  } else if (!ha.empty() || !hb.empty()) {
+    std::printf("  (no histogram differs)\n");
+  }
+
+  // Truncation advisory for either side: a diff over a clipped causal
+  // record compares incomplete tails, flag it.
+  for (const auto* side : {&a, &b}) {
+    const Value* spans = side->find("spans");
+    if (spans == nullptr || spans->find("overwritten") == nullptr) continue;
+    const std::uint64_t lost = as_u64(*spans->find("overwritten"));
+    if (lost > 0) {
+      std::printf(
+          "  WARNING: %s has a truncated span tail (%llu overwritten)\n",
+          side == &a ? pa.c_str() : pb.c_str(),
+          static_cast<unsigned long long>(lost));
+    }
+  }
   return 0;
 }
 

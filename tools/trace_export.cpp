@@ -1,0 +1,77 @@
+// trace_export — convert a run report's spans + timeline into Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+//   trace_export <report.json> [out.json]
+//
+// Default output path is <report.json> with a ".trace.json" suffix.  The
+// conversion itself lives in obs/chrome_trace.{hpp,cpp} so tests validate
+// it in-process; this is only the file plumbing.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+
+using dyncon::obs::json::Value;
+
+namespace {
+
+bool load(const std::string& path, Value& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_export: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  if (!Value::parse(buf.str(), out, &err)) {
+    std::fprintf(stderr, "trace_export: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr,
+                 "usage: trace_export <report.json> [out.json]\n"
+                 "  writes Chrome trace-event JSON (open in Perfetto)\n");
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path =
+      argc == 3 ? argv[2] : in_path + ".trace.json";
+
+  Value report;
+  if (!load(in_path, report)) return 1;
+  Value trace;
+  std::string err;
+  if (!dyncon::obs::chrome_trace_from_report(report, trace, &err)) {
+    std::fprintf(stderr, "trace_export: %s: %s\n", in_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "trace_export: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  trace.dump(out);
+  out << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "trace_export: write to %s failed\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const std::size_t events = trace.find("traceEvents")->as_array().size();
+  std::printf("trace_export: %zu events -> %s\n", events, out_path.c_str());
+  return 0;
+}
