@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/watchdog.hpp"
 #include "util/rng.hpp"
 #include "tree/validate.hpp"
 #include "workload/shapes.hpp"
@@ -168,6 +169,35 @@ void BM_NetworkSendAllocs(benchmark::State& state) {
   check_steady_state_allocs("Network::send/deliver", per_op);
 }
 BENCHMARK(BM_NetworkSendAllocs);
+
+void BM_WatchdogArmDisarmAllocs(benchmark::State& state) {
+  // The PR-4 contract, extended to the watchdog in the crash-fault PR:
+  // arm/disarm run once per request on the hot path, the label is a
+  // `const char*` (interned string literal, never copied), and entries
+  // live in a reused slab — so steady state is allocation-free.  Each
+  // iteration steps the queue once to fire the (stale) deadline event, so
+  // the event heap recycles instead of growing.
+  sim::EventQueue q;
+  sim::Watchdog wd(q, /*deadline=*/1);
+  for (int i = 0; i < 64; ++i) {  // warm up slab + event heap growth
+    wd.disarm(wd.arm(0, "warmup"));
+    q.step();
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    wd.disarm(wd.arm(0, "bench"));
+    q.step();
+    ++ops;
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  check_steady_state_allocs("Watchdog::arm/disarm", per_op);
+  wd.verify_idle();
+}
+BENCHMARK(BM_WatchdogArmDisarmAllocs);
 
 void BM_TreeAddRemoveLeaf(benchmark::State& state) {
   tree::DynamicTree t;

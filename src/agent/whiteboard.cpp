@@ -15,6 +15,7 @@ void WhiteboardManager::lock(NodeId v, AgentId a, NodeId came_from) {
   wb.locked = true;
   wb.locked_by = a;
   wb.down_child = came_from;
+  mark_dirty(v);
 }
 
 std::optional<Whiteboard::Waiter> WhiteboardManager::unlock(NodeId v,
@@ -25,9 +26,13 @@ std::optional<Whiteboard::Waiter> WhiteboardManager::unlock(NodeId v,
   wb.locked = false;
   wb.locked_by = kNoAgent;
   wb.down_child = kNoNode;
-  if (wb.queue.empty()) return std::nullopt;
+  if (wb.queue.empty()) {
+    mark_dirty(v);
+    return std::nullopt;
+  }
   Whiteboard::Waiter next = wb.queue.front();
   wb.queue.pop_front();
+  mark_dirty(v);
   return next;
 }
 
@@ -38,12 +43,14 @@ void WhiteboardManager::release_for_removal(NodeId v, AgentId a) {
   wb.locked = false;
   wb.locked_by = kNoAgent;
   wb.down_child = kNoNode;
+  mark_dirty(v);
 }
 
 void WhiteboardManager::enqueue(NodeId v, AgentId a, NodeId came_from) {
   Whiteboard& wb = at(v);
   DYNCON_INVARIANT(wb.locked, "enqueue at unlocked node");
   wb.queue.push_back(Whiteboard::Waiter{a, came_from});
+  mark_dirty(v);
 }
 
 WhiteboardManager::EvictResult WhiteboardManager::evict_to_parent(
@@ -63,6 +70,8 @@ WhiteboardManager::EvictResult WhiteboardManager::evict_to_parent(
     out.resume = dst.queue.front();
     dst.queue.pop_front();
   }
+  mark_dirty(v);
+  mark_dirty(parent);
   return out;
 }
 

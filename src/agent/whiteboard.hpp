@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -38,10 +39,13 @@ struct Whiteboard {
   struct Waiter {
     AgentId agent;
     NodeId came_from;
+    bool operator==(const Waiter&) const = default;
   };
   std::deque<Waiter> queue;
   /// Reject-wave flood marker (each node is flooded at most once).
   bool flooded = false;
+
+  bool operator==(const Whiteboard&) const = default;
 };
 
 /// Whiteboards for all nodes of one controller instance.
@@ -89,8 +93,21 @@ class WhiteboardManager {
   };
   EvictResult evict_to_parent(NodeId v, NodeId parent);
 
+  /// Dirty-board observer (the durable-whiteboard journal): called with the
+  /// node id after every mutation through this manager.  One branch per
+  /// mutation when unset.  Callers that mutate a board *directly* through
+  /// at() (the reject-flood marker, the add-internal queue splice) must
+  /// call mark_dirty themselves.
+  void set_observer(std::function<void(NodeId)> on_dirty) {
+    on_dirty_ = std::move(on_dirty);
+  }
+  void mark_dirty(NodeId v) {
+    if (on_dirty_) on_dirty_(v);
+  }
+
  private:
   std::deque<Whiteboard> boards_;
+  std::function<void(NodeId)> on_dirty_;
 };
 
 }  // namespace dyncon::agent

@@ -85,6 +85,12 @@ inline std::ostream& operator<<(std::ostream& os, const RequestSpec& spec) {
 /// Result of one request.
 struct Result {
   Outcome outcome = Outcome::kRejected;
+  /// The request's agent was killed by a node crash before any verdict
+  /// (volatile whiteboards only).  Such results arrive as kRejected — the
+  /// protocol made no promise — but wrappers configured with redrives
+  /// resubmit them instead of surfacing the rejection.  (Packed beside the
+  /// outcome so Result keeps fitting hot-path InlineFn captures.)
+  bool crash_failed = false;
   /// For granted add-leaf / add-internal requests: the new node's id.
   NodeId new_node = kNoNode;
   /// Permit serial number, when the controller tracks serials (§5.2).

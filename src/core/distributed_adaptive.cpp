@@ -16,7 +16,22 @@ DistributedAdaptive::DistributedAdaptive(sim::Network& net,
                                          Options options)
     : net_(net), tree_(tree), options_(options), w_(W), mi_(M) {
   DYNCON_REQUIRE(M >= 1, "M must be >= 1");
+  if (options_.watchdog != nullptr && options_.crashes != nullptr) {
+    // One probe over both instances; no short-circuit, so a doomed holder
+    // in the sidecar is collected even when the main instance acted.
+    options_.watchdog->add_death_probe(this, [this] {
+      const bool a = main_ != nullptr && main_->crash_recover();
+      const bool b = counter_ != nullptr && counter_->crash_recover();
+      return a || b;
+    });
+  }
   start_iteration();
+}
+
+DistributedAdaptive::~DistributedAdaptive() {
+  if (options_.watchdog != nullptr && options_.crashes != nullptr) {
+    options_.watchdog->remove_death_probe(this);
+  }
 }
 
 void DistributedAdaptive::start_iteration() {
@@ -32,6 +47,10 @@ void DistributedAdaptive::start_iteration() {
   DistributedTerminating::Options main_opts;
   main_opts.track_domains = options_.track_domains;
   main_opts.allow_unreliable_transport = options_.allow_unreliable_transport;
+  main_opts.crashes = options_.crashes;
+  main_opts.durability = options_.durability;
+  main_opts.meter_persistence = options_.meter_persistence;
+  main_opts.crash_redrives = options_.crash_redrives;
   main_ = std::make_unique<DistributedTerminating>(net_, tree_, mi_, w_, ui_,
                                                    main_opts);
 
@@ -40,6 +59,10 @@ void DistributedAdaptive::start_iteration() {
   counter_opts.apply_events = false;    // counts, never applies changes
   counter_opts.allow_unreliable_transport =
       options_.allow_unreliable_transport;
+  counter_opts.crashes = options_.crashes;
+  counter_opts.durability = options_.durability;
+  counter_opts.meter_persistence = options_.meter_persistence;
+  counter_opts.crash_redrives = options_.crash_redrives;
   counter_ = std::make_unique<DistributedTerminating>(
       net_, tree_, std::max<std::uint64_t>(ui_ / 2, 1),
       std::max<std::uint64_t>(ui_ / 4, 1), ui_, counter_opts);
@@ -174,9 +197,9 @@ void DistributedAdaptive::dispatch(const RequestSpec& spec, Callback done) {
 void DistributedAdaptive::submit(const RequestSpec& spec, Callback done) {
   DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
   if (options_.watchdog != nullptr) {
-    const sim::Watchdog::Token token = options_.watchdog->arm(
-        spec.subject, std::string(request_type_name(spec.type)) + "@" +
-                          std::to_string(spec.subject));
+    // Static label + stored origin keep arming allocation-free (PR 4).
+    const sim::Watchdog::Token token =
+        options_.watchdog->arm(spec.subject, request_type_name(spec.type));
     done = [wd = options_.watchdog, token,
             done = std::move(done)](const Result& r) {
       wd->disarm(token);

@@ -45,6 +45,12 @@ class DistributedAdaptive {
     sim::Watchdog* watchdog = nullptr;
     /// Forwarded to both inner controllers (main + counting sidecar).
     bool allow_unreliable_transport = false;
+    /// Crash stack, forwarded to both inner controllers; the wrapper's
+    /// death probe sweeps both (see DistributedIterated::Options).
+    sim::CrashDriver* crashes = nullptr;
+    agent::Durability durability = agent::Durability::kVolatile;
+    bool meter_persistence = false;
+    std::uint32_t crash_redrives = 2;
   };
 
   DistributedAdaptive(sim::Network& net, tree::DynamicTree& tree,
@@ -52,6 +58,10 @@ class DistributedAdaptive {
   DistributedAdaptive(sim::Network& net, tree::DynamicTree& tree,
                       std::uint64_t M, std::uint64_t W)
       : DistributedAdaptive(net, tree, M, W, Options{}) {}
+  ~DistributedAdaptive();
+
+  DistributedAdaptive(const DistributedAdaptive&) = delete;
+  DistributedAdaptive& operator=(const DistributedAdaptive&) = delete;
 
   void submit(const RequestSpec& spec, Callback done);
   void submit_event(NodeId u, Callback done);

@@ -45,9 +45,32 @@ DistributedController::DistributedController(sim::Network& net,
     if (!tree_.alive(from) || !tree_.alive(to)) return false;
     return tree_.parent(from) == to || tree_.parent(to) == from;
   });
+  if (options_.durability == agent::Durability::kDurable) {
+    durable_ = std::make_unique<agent::DurableStore>(
+        [this](NodeId v) { return snapshot_board(v); });
+    if (options_.meter_persistence) durable_->set_charge_network(&net_);
+    boards_.set_observer([this](NodeId v) { durable_->persist(v); });
+  }
+  if (options_.crashes != nullptr) {
+    options_.crashes->add_listener(this);
+    // Wrapped instances get no watchdog (the wrapper arms/disarms and
+    // installs its own probe over the whole stack); a standalone controller
+    // running with both a watchdog and a crash adversary wires the
+    // orphan-lock release wave here.
+    if (options_.watchdog != nullptr) {
+      options_.watchdog->add_death_probe(this,
+                                         [this] { return crash_recover(); });
+    }
+  }
 }
 
 DistributedController::~DistributedController() {
+  if (options_.crashes != nullptr) {
+    options_.crashes->remove_listener(this);
+    if (options_.watchdog != nullptr) {
+      options_.watchdog->remove_death_probe(this);
+    }
+  }
   net_.clear_link_check(this);
   if (domains_) tree_.remove_observer(domains_.get());
 }
@@ -78,9 +101,9 @@ void DistributedController::submit(const RequestSpec& spec, Callback done) {
   DYNCON_REQUIRE(tree_.alive(spec.subject), "request subject not alive");
   DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
   if (options_.watchdog != nullptr) {
-    const sim::Watchdog::Token token = options_.watchdog->arm(
-        spec.subject, std::string(request_type_name(spec.type)) + "@" +
-                          std::to_string(spec.subject));
+    // Static label + stored origin keep arming allocation-free (PR 4).
+    const sim::Watchdog::Token token =
+        options_.watchdog->arm(spec.subject, request_type_name(spec.type));
     done = [wd = options_.watchdog, token,
             done = std::move(done)](const Result& r) {
       wd->disarm(token);
@@ -202,7 +225,24 @@ void DistributedController::resume_waiter(const agent::Whiteboard::Waiter& w,
 
 void DistributedController::on_arrival(AgentId id, NodeId node,
                                        NodeId came_from) {
-  Agent& a = agent(id);
+  auto it = agents_.find(id);
+  if (it == agents_.end()) {
+    // Only a crash can leave a dangling delivery (an ARQ retransmission
+    // that bridged the outage after its agent was force-finalized); any
+    // other miss is a real bug.
+    DYNCON_INVARIANT(dead_ids_.count(id) != 0, "unknown agent id");
+    static thread_local obs::CounterHandle stale("crash.stale_arrivals");
+    stale.add();
+    return;
+  }
+  Agent& a = it->second;
+  if (doomed_.count(id) != 0) {
+    // The failure detector caught up with a doomed lock holder: its next
+    // arrival is where it dies.
+    a.at = node;
+    kill_agent(id);
+    return;
+  }
   // Re-assert the agent's own causal context: a resumed waiter runs inside
   // the resuming agent's delivery continuation and would otherwise charge
   // its sends to the wrong op span.
@@ -486,6 +526,9 @@ void DistributedController::apply_event_at_grant(Agent& a) {
         if (options_.debug_trace) qa.history += " SPLICE" + std::to_string(m);
         w.came_from = m;
       }
+      // The splice rewrites waiter entries and a parked agent's distance
+      // directly (the set_observer caveat): journal the origin's board.
+      boards_.mark_dirty(origin);
       return;
     }
     case RequestSpec::Type::kRemove: {
@@ -520,6 +563,7 @@ void DistributedController::apply_event_at_grant(Agent& a) {
         kept.push_back(w);
       }
       wb.queue = std::move(kept);
+      boards_.mark_dirty(origin);
 
       const std::size_t npkgs = packages_.move_all(origin, parent);
       const auto evict = boards_.evict_to_parent(origin, parent);
@@ -534,6 +578,9 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       net_.charge(sim::Message::data_move(origin), handoff);
 
       tree_.remove_node(origin);
+      // The evicted queue now lives in the parent's journal entry; drop the
+      // dead node's slot.
+      if (durable_) durable_->erase(origin);
 
       for (AgentId mid : moot_ids) {
         Agent& ma = agent(mid);
@@ -622,6 +669,7 @@ void DistributedController::start_reject_flood() {
                             tree_.root(), tree_.size(), 0});
   agent::Whiteboard& wb = boards_.at(tree_.root());
   wb.flooded = true;
+  boards_.mark_dirty(tree_.root());
   if (!packages_.has_reject(tree_.root())) {
     packages_.create_reject(tree_.root());
   }
@@ -636,6 +684,7 @@ void DistributedController::flood_fanout(NodeId from) {
                 agent::Whiteboard& wb = boards_.at(c);
                 if (wb.flooded) return;
                 wb.flooded = true;
+                boards_.mark_dirty(c);
                 if (!packages_.has_reject(c)) packages_.create_reject(c);
                 flood_fanout(c);
               });
@@ -690,6 +739,184 @@ void DistributedController::finish(Agent& a) {
   Callback done = std::move(a.done);
   agents_.erase(a.id);
   if (done) done(res);
+}
+
+// ---- crash faults and recovery (PROTOCOL.md §9) ----------------------------------
+
+void DistributedController::on_crash(NodeId v) {
+  if (options_.durability == agent::Durability::kDurable) {
+    // Nothing is lost: the journal is the board, and the outage itself is
+    // bridged by the reliable channel's retransmissions.
+    return;
+  }
+  if (!tree_.alive(v)) return;
+  agent::Whiteboard& wb = boards_.at(v);
+  if (!wb.locked && wb.queue.empty() && !wb.flooded) {
+    return;  // blank board: the crash destroys nothing
+  }
+  const AgentId holder = wb.locked ? wb.locked_by : agent::kNoAgent;
+  std::vector<AgentId> parked;
+  parked.reserve(wb.queue.size());
+  for (const auto& w : wb.queue) parked.push_back(w.agent);
+  wb = agent::Whiteboard{};
+
+  if (holder != agent::kNoAgent) {
+    // The holder itself is elsewhere (its locked path runs through v), but
+    // its lock — and the down pointer its return walk depends on —
+    // evaporated with the board.  It is doomed: the failure detector kills
+    // it at its next arrival, or the orphan-lock release wave collects it.
+    Agent& h = agent(holder);
+    DYNCON_INVARIANT(h.locks_held >= 1, "crashed holder held no locks");
+    --h.locks_held;
+    doomed_.insert(holder);
+    static thread_local obs::CounterHandle doomed("crash.holders_doomed");
+    doomed.add();
+  }
+  // Waiters parked at v *are* whiteboard state — they die with it, in
+  // queue order so the kill sequence is deterministic.
+  for (AgentId id : parked) kill_agent(id);
+  // A doomed holder that is itself parked at another node will never
+  // arrive anywhere on its own; collect it now rather than leaving it to
+  // a release wave that may not be wired up.
+  if (holder != agent::kNoAgent && doomed_.count(holder) != 0) {
+    for (NodeId u : tree_.alive_nodes()) {
+      bool found = false;
+      for (const auto& w : boards_.at(u).queue) {
+        found = found || w.agent == holder;
+      }
+      if (found) {
+        kill_agent(holder);
+        break;
+      }
+    }
+  }
+}
+
+void DistributedController::on_restart(NodeId v) {
+  if (options_.durability != agent::Durability::kDurable) return;
+  if (!tree_.alive(v) || durable_ == nullptr || !durable_->has(v)) return;
+  // Replay the journal.  The live board doubles as the model answer: the
+  // decoded snapshot must reproduce it exactly, which proves both codec
+  // fidelity and dirty-tracking completeness — a missed mark_dirty surfaces
+  // here as a loud divergence, not as silent corruption.
+  const agent::BoardSnapshot decoded = durable_->restore(v);
+  DYNCON_INVARIANT(decoded == snapshot_board(v),
+                   "durable journal diverged from the live whiteboard");
+  agent::Whiteboard& wb = boards_.at(v);
+  wb.locked = decoded.locked;
+  wb.locked_by = decoded.locked_by;
+  wb.down_child = decoded.down_child;
+  wb.flooded = decoded.flooded;
+  wb.queue.clear();
+  for (const agent::ParkedAgent& p : decoded.queue) {
+    wb.queue.push_back(agent::Whiteboard::Waiter{p.agent, p.came_from});
+  }
+  static thread_local obs::CounterHandle restored("recovery.boards_restored");
+  restored.add();
+  static thread_local obs::CounterHandle reinc("recovery.agents_reincarnated");
+  reinc.add(decoded.queue.size());
+  if (obs::SpanSink* sink = obs::spans()) {
+    obs::Span s;
+    s.trace = sink->new_trace();
+    s.id = obs::kRootSpanId;
+    s.kind = obs::SpanKind::kRecovery;
+    s.node = v;
+    s.begin = net_.queue().now();
+    s.end = s.begin;
+    s.label = "restore";
+    sink->emit(s);
+  }
+}
+
+bool DistributedController::crash_recover() {
+  bool acted = false;
+  while (!doomed_.empty()) {
+    kill_agent(*doomed_.begin());
+    acted = true;
+  }
+  if (acted) obs::count("recovery.release_waves");
+  return acted ||
+         (options_.crashes != nullptr && options_.crashes->any_down());
+}
+
+void DistributedController::kill_agent(AgentId id) {
+  doomed_.erase(id);
+  auto it = agents_.find(id);
+  DYNCON_INVARIANT(it != agents_.end(), "killing an unknown agent");
+  Agent& a = it->second;
+  obs::ScopedSpanContext span_scope(a.span);
+  // Release every lock it still holds and pull it out of any queue it is
+  // parked in; alive_nodes() fixes a deterministic sweep order.
+  for (NodeId v : tree_.alive_nodes()) {
+    agent::Whiteboard& wb = boards_.at(v);
+    if (wb.locked && wb.locked_by == id) {
+      DYNCON_INVARIANT(a.locks_held >= 1, "orphan lock without accounting");
+      --a.locks_held;
+      static thread_local obs::CounterHandle released(
+          "recovery.orphan_locks_released");
+      released.add();
+      auto waiter = boards_.unlock(v, id);
+      if (waiter) resume_waiter(*waiter, v);
+    }
+    if (!wb.queue.empty()) {
+      const std::size_t before = wb.queue.size();
+      std::deque<agent::Whiteboard::Waiter> kept;
+      for (const auto& w : wb.queue) {
+        if (w.agent != id) kept.push_back(w);
+      }
+      if (kept.size() != before) {
+        wb.queue = std::move(kept);
+        boards_.mark_dirty(v);
+      }
+    }
+  }
+  // A carried package is rescued as a static package where the agent
+  // stood: statics need no domain (Claim 3.1), so the permits stay
+  // grantable instead of leaking from the M budget.
+  if (a.carrying != kNoPackage) {
+    packages_.put_down(a.carrying, a.at);
+    packages_.make_static(a.carrying);
+    a.carrying = kNoPackage;
+    static thread_local obs::CounterHandle rescued(
+        "recovery.packages_rescued");
+    rescued.add();
+  }
+  if (a.result.outcome != Outcome::kGranted) {
+    // The protocol made no promise yet; the verdict is a rejection flagged
+    // for the wrappers' redrive logic.
+    a.result = Result{Outcome::kRejected};
+    a.result.crash_failed = true;
+    obs::count("crash.requests_failed");
+  }
+  static thread_local obs::CounterHandle killed("crash.agents_killed");
+  killed.add();
+  dead_ids_.insert(id);
+  finish(a);
+}
+
+agent::BoardSnapshot DistributedController::snapshot_board(NodeId v) const {
+  const agent::Whiteboard& wb = boards_.at(v);
+  agent::BoardSnapshot b;
+  b.locked = wb.locked;
+  b.locked_by = wb.locked_by;
+  b.down_child = wb.down_child;
+  b.flooded = wb.flooded;
+  b.queue.reserve(wb.queue.size());
+  for (const auto& w : wb.queue) {
+    auto it = agents_.find(w.agent);
+    DYNCON_INVARIANT(it != agents_.end(), "parked agent not in agent table");
+    const Agent& a = it->second;
+    agent::ParkedAgent p;
+    p.agent = w.agent;
+    p.came_from = w.came_from;
+    p.origin = a.origin;
+    p.distance = a.distance;
+    p.phase = static_cast<std::uint8_t>(a.phase);
+    p.req_type = static_cast<std::uint8_t>(a.request.type);
+    p.req_subject = a.request.subject;
+    b.queue.push_back(p);
+  }
+  return b;
 }
 
 // ---- accounting -----------------------------------------------------------------

@@ -35,6 +35,10 @@
 #include <memory>
 #include <unordered_map>
 
+#include <set>
+#include <unordered_set>
+
+#include "agent/durable.hpp"
 #include "agent/runtime.hpp"
 #include "agent/taxi.hpp"
 #include "agent/whiteboard.hpp"
@@ -43,6 +47,7 @@
 #include "core/package.hpp"
 #include "core/params.hpp"
 #include "obs/span.hpp"
+#include "sim/crash.hpp"
 #include "sim/network.hpp"
 #include "tree/dynamic_tree.hpp"
 
@@ -52,7 +57,7 @@ class Watchdog;
 
 namespace dyncon::core {
 
-class DistributedController {
+class DistributedController : public sim::CrashListener {
  public:
   enum class Mode : std::uint8_t { kRejectWave, kExhaustSignal };
 
@@ -82,6 +87,23 @@ class DistributedController {
     /// that *want* to watch the protocol strand agents (the watchdog
     /// verdict tests) opt in here.
     bool allow_unreliable_transport = false;
+    /// Crash adversary (sim/crash.hpp): when set, the controller registers
+    /// as a CrashListener and applies the semantic damage of each node
+    /// transition (PROTOCOL.md §9).  Not owned; must outlive the
+    /// controller.
+    sim::CrashDriver* crashes = nullptr;
+    /// Whether whiteboards survive crashes.  kVolatile: a crash wipes the
+    /// node's board — parked agents die, the lock holder is doomed and its
+    /// locks are reclaimed by the orphan-lock release wave.  kDurable:
+    /// every board mutation is journaled via the wire codec and the board
+    /// is restored on restart; the outage is bridged by the reliable
+    /// channel and no agent dies.
+    agent::Durability durability = agent::Durability::kVolatile;
+    /// kDurable only: charge each journal write's measured bits as metered
+    /// application traffic (the §2.2 accounting), so persistence cost
+    /// shows up in NetStats.  Off by default: charging changes the per-kind
+    /// byte counts of runs that existed before this layer.
+    bool meter_persistence = false;
   };
 
   /// Completion callback.  Deliberately std::function, not the hot-path
@@ -99,6 +121,29 @@ class DistributedController {
 
   DistributedController(const DistributedController&) = delete;
   DistributedController& operator=(const DistributedController&) = delete;
+
+  // ---- crash/recovery (sim::CrashListener) ----------------------------------
+
+  /// A node went down.  Volatile: wipe its whiteboard, kill the agents
+  /// parked there, doom the lock holder.  Durable: nothing is lost — the
+  /// journal is authoritative and the board survives in it.
+  void on_crash(NodeId v) override;
+  /// A node came back.  Durable: decode the journaled snapshot, verify it
+  /// against the live mirror, and reinstall it (reincarnating the parked
+  /// agents and the down pointer).  Volatile: the node restarts blank.
+  void on_restart(NodeId v) override;
+
+  /// The orphan-lock release wave: force-finalize every doomed lock holder
+  /// (releasing all its locks, rescuing any carried package, failing its
+  /// request).  Returns true if it acted or a node outage is still in
+  /// progress — the contract of a watchdog death probe, and the wrappers
+  /// install exactly this as one.
+  bool crash_recover();
+
+  [[nodiscard]] std::size_t doomed_holders() const { return doomed_.size(); }
+  [[nodiscard]] const agent::DurableStore* durable_store() const {
+    return durable_.get();
+  }
 
   // ---- request submission (asynchronous) -----------------------------------
 
@@ -191,6 +236,14 @@ class DistributedController {
   [[nodiscard]] obs::Span instant_op_span(obs::SpanSink& sink,
                                           Outcome outcome, NodeId node);
   void resume_waiter(const agent::Whiteboard::Waiter& w, NodeId at);
+  /// Force-finalize `id` right now: release every lock it holds (resuming
+  /// waiters), remove it from any queue it is parked in, rescue a carried
+  /// package as a static package where the agent stood, and deliver its
+  /// verdict (granted stays granted; anything earlier becomes a
+  /// crash-failed rejection).
+  void kill_agent(agent::AgentId id);
+  /// Assemble the durable snapshot of `v` (board + parked-agent state).
+  [[nodiscard]] agent::BoardSnapshot snapshot_board(NodeId v) const;
   [[nodiscard]] bool moot(const RequestSpec& spec) const;
   [[nodiscard]] sim::Message hop_message(const Agent& a) const;
   void hop_up(Agent& a);
@@ -209,6 +262,16 @@ class DistributedController {
 
   PackageTable packages_;
   std::unique_ptr<DomainTracker> domains_;
+
+  /// Lock holders whose node crashed under them (volatile mode): they are
+  /// killed at their next arrival, or collected by crash_recover().
+  /// Ordered so the release wave is deterministic.
+  std::set<agent::AgentId> doomed_;
+  /// Agents force-finalized by a crash: late deliveries addressed to them
+  /// (ARQ retransmissions that bridged the outage) are dropped as stale
+  /// instead of tripping the unknown-agent invariant.
+  std::unordered_set<agent::AgentId> dead_ids_;
+  std::unique_ptr<agent::DurableStore> durable_;
 
   std::uint64_t storage_;
   Interval storage_serials_;

@@ -21,7 +21,23 @@ DistributedIterated::DistributedIterated(sim::Network& net,
       (w_ >= 1 && m_ <= 4 * w_) || (w_ == 0 && m_ <= 4);
   DYNCON_REQUIRE(options_.serials.empty() || first_is_final,
                  "serial tracking requires a single (final) iteration");
+  if (options_.watchdog != nullptr && options_.crashes != nullptr) {
+    // The probe lives at this wrapper so it follows the current instance
+    // across rotations (the iterations themselves get no watchdog).
+    options_.watchdog->add_death_probe(this,
+                                       [this] { return crash_recover(); });
+  }
   start_iteration(m_);
+}
+
+DistributedIterated::~DistributedIterated() {
+  if (options_.watchdog != nullptr && options_.crashes != nullptr) {
+    options_.watchdog->remove_death_probe(this);
+  }
+}
+
+bool DistributedIterated::crash_recover() {
+  return inner_ != nullptr && inner_->crash_recover();
 }
 
 void DistributedIterated::start_iteration(std::uint64_t Mi) {
@@ -48,6 +64,9 @@ void DistributedIterated::start_iteration(std::uint64_t Mi) {
   opts.apply_events = options_.apply_events;
   opts.on_pass_down = options_.on_pass_down;
   opts.allow_unreliable_transport = options_.allow_unreliable_transport;
+  opts.crashes = options_.crashes;
+  opts.durability = options_.durability;
+  opts.meter_persistence = options_.meter_persistence;
   // Liveness is enforced at this wrapper's submit boundary, not per
   // iteration: the watchdog is intentionally not forwarded here.
   if (iterations_ == 1) opts.serials = options_.serials;
@@ -76,7 +95,8 @@ void DistributedIterated::apply_trivial(const RequestSpec& spec, Result& r) {
   }
 }
 
-void DistributedIterated::dispatch(const RequestSpec& spec, Callback done) {
+void DistributedIterated::dispatch(const RequestSpec& spec, Callback done,
+                                   std::uint32_t redrives_left) {
   if (frozen_) {
     complete_async(std::move(done), Result{Outcome::kExhausted});
     return;
@@ -100,7 +120,7 @@ void DistributedIterated::dispatch(const RequestSpec& spec, Callback done) {
     case Phase::kTrivial: {
       if (trivial_storage_ == 0) {
         phase_ = Phase::kDone;
-        dispatch(spec, std::move(done));
+        dispatch(spec, std::move(done), redrives_left);
         return;
       }
       if (!tree_.alive(spec.subject)) {
@@ -133,12 +153,21 @@ void DistributedIterated::dispatch(const RequestSpec& spec, Callback done) {
         return;
       }
       ++inflight_;
-      inner_->submit(spec, [this, spec, done = std::move(done)](
-                               const Result& r) mutable {
+      inner_->submit(spec, [this, spec, redrives_left,
+                            done = std::move(done)](const Result& r) mutable {
         --inflight_;
         if (r.outcome == Outcome::kExhausted) {
           pending_.emplace_back(spec, std::move(done));
           draining_ = true;
+        } else if (r.crash_failed && redrives_left > 0 && !frozen_) {
+          // A crash killed the agent before any verdict: re-drive the
+          // request instead of surfacing the synthetic rejection.
+          obs::count("recovery.redrives");
+          if (!tree_.alive(spec.subject)) {
+            done(Result{Outcome::kMoot});
+          } else {
+            dispatch(spec, std::move(done), redrives_left - 1);
+          }
         } else {
           if (r.outcome == Outcome::kRejected) ++rejects_;
           done(r);
@@ -173,8 +202,13 @@ void DistributedIterated::rotate() {
   DYNCON_INVARIANT(inner_ != nullptr, "rotate without an active iteration");
   const std::uint64_t Wi = inner_->params().W();
   const std::uint64_t L = inner_->unused_permits();
-  // Lemma 3.2 liveness via the reduction of Lemma 4.5, checked live.
-  DYNCON_INVARIANT(L <= Wi, "iteration leftover exceeds waste bound");
+  // Lemma 3.2 liveness via the reduction of Lemma 4.5, checked live.  A
+  // crash adversary voids the bound: permits rescued from killed agents
+  // sit as static packages nobody may ever claim.
+  const bool crashy = options_.crashes != nullptr &&
+                      !options_.crashes->schedule().crash_free();
+  DYNCON_INVARIANT(crashy || L <= Wi,
+                   "iteration leftover exceeds waste bound");
   obs::count("controller.rotations");
   obs::emit(obs::TraceEvent{obs::EventKind::kIterationRotate,
                             net_.queue().now(), tree_.root(), iterations_, L});
@@ -202,7 +236,9 @@ void DistributedIterated::rotate() {
 
   auto pend = std::move(pending_);
   pending_.clear();
-  for (auto& [spec, cb] : pend) dispatch(spec, std::move(cb));
+  for (auto& [spec, cb] : pend) {
+    dispatch(spec, std::move(cb), options_.crash_redrives);
+  }
 }
 
 void DistributedIterated::freeze(std::function<void()> on_done) {
@@ -215,16 +251,16 @@ void DistributedIterated::freeze(std::function<void()> on_done) {
 void DistributedIterated::submit(const RequestSpec& spec, Callback done) {
   DYNCON_REQUIRE(static_cast<bool>(done), "null completion callback");
   if (options_.watchdog != nullptr) {
-    const sim::Watchdog::Token token = options_.watchdog->arm(
-        spec.subject, std::string(request_type_name(spec.type)) + "@" +
-                          std::to_string(spec.subject));
+    // Static label + stored origin keep arming allocation-free (PR 4).
+    const sim::Watchdog::Token token =
+        options_.watchdog->arm(spec.subject, request_type_name(spec.type));
     done = [wd = options_.watchdog, token,
             done = std::move(done)](const Result& r) {
       wd->disarm(token);
       done(r);
     };
   }
-  dispatch(spec, std::move(done));
+  dispatch(spec, std::move(done), options_.crash_redrives);
 }
 
 void DistributedIterated::submit_event(NodeId u, Callback done) {
@@ -267,13 +303,21 @@ DistributedTerminating::DistributedTerminating(sim::Network& net,
                                                Options options)
     : net_(net),
       tree_(tree),
-      inner_(net, tree, M, W, U,
-             DistributedIterated::Options{
-                 DistributedIterated::Mode::kExhaustSignal,
-                 options.track_domains, options.apply_events,
-                 std::move(options.serials),
-                 std::move(options.on_pass_down), options.watchdog,
-                 options.allow_unreliable_transport}) {}
+      inner_(net, tree, M, W, U, [&options] {
+        DistributedIterated::Options o;
+        o.mode = DistributedIterated::Mode::kExhaustSignal;
+        o.track_domains = options.track_domains;
+        o.apply_events = options.apply_events;
+        o.serials = std::move(options.serials);
+        o.on_pass_down = std::move(options.on_pass_down);
+        o.watchdog = options.watchdog;
+        o.allow_unreliable_transport = options.allow_unreliable_transport;
+        o.crashes = options.crashes;
+        o.durability = options.durability;
+        o.meter_persistence = options.meter_persistence;
+        o.crash_redrives = options.crash_redrives;
+        return o;
+      }()) {}
 
 void DistributedTerminating::mark_terminated() {
   if (terminated_) return;
@@ -298,7 +342,9 @@ void DistributedTerminating::submit(const RequestSpec& spec, Callback done) {
       done(Result{Outcome::kTerminated});
       return;
     }
-    DYNCON_INVARIANT(r.outcome != Outcome::kRejected,
+    // The "never rejects" contract has one carve-out: a crash-failed
+    // request whose redrive budget ran out carries its flag to the caller.
+    DYNCON_INVARIANT(r.outcome != Outcome::kRejected || r.crash_failed,
                      "terminating controller must never reject");
     done(r);
   });

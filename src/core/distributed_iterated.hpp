@@ -42,6 +42,17 @@ class DistributedIterated {
     sim::Watchdog* watchdog = nullptr;
     /// Forwarded to every iteration (see DistributedController::Options).
     bool allow_unreliable_transport = false;
+    /// Crash stack, forwarded to every iteration.  The wrapper also
+    /// installs the watchdog death probe itself, over whichever instance
+    /// is current, so the orphan-lock release wave survives rotation.
+    sim::CrashDriver* crashes = nullptr;
+    agent::Durability durability = agent::Durability::kVolatile;
+    bool meter_persistence = false;
+    /// Volatile whiteboards only: how many times a crash-failed request is
+    /// resubmitted before its rejection is surfaced.  The watchdog token
+    /// armed at this wrapper's boundary stays armed across redrives, so a
+    /// request can never ping-pong forever unnoticed.
+    std::uint32_t crash_redrives = 2;
   };
 
   DistributedIterated(sim::Network& net, tree::DynamicTree& tree,
@@ -50,6 +61,10 @@ class DistributedIterated {
   DistributedIterated(sim::Network& net, tree::DynamicTree& tree,
                       std::uint64_t M, std::uint64_t W, std::uint64_t U)
       : DistributedIterated(net, tree, M, W, U, Options{}) {}
+  ~DistributedIterated();
+
+  DistributedIterated(const DistributedIterated&) = delete;
+  DistributedIterated& operator=(const DistributedIterated&) = delete;
 
   void submit(const RequestSpec& spec, Callback done);
   void submit_event(NodeId u, Callback done);
@@ -74,6 +89,10 @@ class DistributedIterated {
   /// No agents active anywhere in the pipeline.
   [[nodiscard]] bool quiescent() const { return inflight_ == 0; }
 
+  /// Forwarded to the current iteration's controller (see
+  /// DistributedController::crash_recover); false between iterations.
+  bool crash_recover();
+
   /// Stop accepting grants: drain, then call `on_done` (used by the
   /// terminating transform / adaptive rotation).  Subsequent submissions
   /// complete with kExhausted.
@@ -87,7 +106,8 @@ class DistributedIterated {
     kDone,
   };
 
-  void dispatch(const RequestSpec& spec, Callback done);
+  void dispatch(const RequestSpec& spec, Callback done,
+                std::uint32_t redrives_left);
   void start_iteration(std::uint64_t Mi);
   void rotate();
   void maybe_finish_drain();
@@ -129,6 +149,11 @@ class DistributedTerminating {
     /// request at its own submit boundary.
     sim::Watchdog* watchdog = nullptr;
     bool allow_unreliable_transport = false;
+    /// See DistributedIterated::Options.
+    sim::CrashDriver* crashes = nullptr;
+    agent::Durability durability = agent::Durability::kVolatile;
+    bool meter_persistence = false;
+    std::uint32_t crash_redrives = 2;
   };
 
   DistributedTerminating(sim::Network& net, tree::DynamicTree& tree,
@@ -154,6 +179,10 @@ class DistributedTerminating {
   /// Externally terminate (adaptive rotation): drain, broadcast/upcast,
   /// then `on_done` fires.  Idempotent.
   void terminate(std::function<void()> on_done);
+
+  /// Forwarded orphan-lock release wave (the adaptive wrapper probes both
+  /// of its instances through this).
+  bool crash_recover() { return inner_.crash_recover(); }
 
  private:
   void mark_terminated();

@@ -7,6 +7,8 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kRequest: return "request";
     case SpanKind::kOp: return "op";
     case SpanKind::kHop: return "hop";
+    case SpanKind::kCrash: return "crash";
+    case SpanKind::kRecovery: return "recovery";
   }
   return "invalid";
 }

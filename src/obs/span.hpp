@@ -46,6 +46,8 @@ enum class SpanKind : std::uint8_t {
   kRequest = 0,  ///< root: one user request end to end (op = ForestOp)
   kOp,           ///< one controller operation (op = core::Outcome)
   kHop,          ///< one message hop (op = sim::MsgKind)
+  kCrash,        ///< one node down window (node = the crashed node)
+  kRecovery,     ///< one restart's recovery work (node = restarted node)
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind kind);

@@ -8,6 +8,34 @@
 
 namespace dyncon::sim {
 
+namespace {
+
+// The stable-coin idiom (fault.cpp): retransmit jitter is a pure function
+// of (link, seq, attempt), so replays stay byte-identical and no RNG draw
+// order is perturbed — yet no backoff clock can phase-lock onto a periodic
+// adversary.  Without it, a crash window whose period divides the capped
+// RTO eats every retry of an unlucky frame (the retransmits land at the
+// same phase offset forever) and the channel falsely declares the link
+// dead.
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+SimTime retransmit_jitter(NodeId from, NodeId to, std::uint64_t seq,
+                          std::uint64_t attempt, SimTime rto) {
+  const std::uint64_t h =
+      mix(mix(from ^ 0x6a09e667f3bcc909ULL) ^ mix(to ^ 0xbb67ae8584caa73bULL) ^
+          (seq << 17) ^ attempt);
+  return h % (rto / 2 + 1);  // in [0, rto/2]: lengthens, never shortens
+}
+
+}  // namespace
+
 void ChannelStats::merge(const ChannelStats& other) {
   data_frames += other.data_frames;
   retransmits += other.retransmits;
@@ -66,7 +94,9 @@ void ReliableChannel::transmit(NodeId from, NodeId to, std::uint64_t seq) {
 }
 
 void ReliableChannel::arm_timer(NodeId from, NodeId to, std::uint64_t seq) {
-  const SimTime rto = links_.at({from, to}).pending.at(seq).rto;
+  const Pending& pend = links_.at({from, to}).pending.at(seq);
+  const SimTime rto =
+      pend.rto + retransmit_jitter(from, to, seq, pend.retries, pend.rto);
   net_.queue().schedule_after(rto, [this, from, to, seq] {
     Link& link = links_.at({from, to});
     const auto it = link.pending.find(seq);

@@ -15,8 +15,12 @@
 //     FIFO over reordering delay adversaries — and answers every arrival
 //     with a cumulative ack;
 //   * the sender retransmits an unacked frame on a timeout that backs off
-//     exponentially (initial_rto, doubling up to max_rto) and gives up —
-//     loudly, with an InvariantError — after max_retries attempts.
+//     exponentially (initial_rto, doubling up to max_rto) plus a
+//     deterministic per-attempt jitter — a pure hash of (link, seq,
+//     attempt), so replays stay byte-identical but the backoff clock can
+//     never phase-lock onto a periodic adversary (sim/crash.hpp windows)
+//     — and gives up — loudly, with an InvariantError — after max_retries
+//     attempts.
 //
 // Acks themselves ride the same faulty transport unprotected: a lost ack is
 // repaired by the retransmission it provokes (the duplicate is suppressed

@@ -12,22 +12,39 @@
 //     controllers do this for every submission when handed a watchdog) and
 //     disarms it when the completion callback fires;
 //   * arming schedules a deadline probe `deadline` ticks out; if the probe
-//     fires with the token still armed, the run aborts;
+//     fires with the token still armed, the run aborts — unless a death
+//     probe (below) claims recovery is still in progress, in which case
+//     the deadline is extended a bounded number of times;
 //   * `verify_idle()` is the drain-time check — call it after the event
 //     loop empties to assert nothing is still armed.
 //
-// An abort dumps a post-mortem to stderr — every outstanding request, the
-// metrics snapshot, and the typed trace tail (the PR-2 obs layer) — then
-// throws WatchdogError, which is an InvariantError so existing harnesses
-// already treat it as a protocol-invariant failure.
+// Death probes are the crash-recovery hook (ROADMAP item 3): a controller
+// registers a callback that, when a request overstays its deadline, checks
+// for dead lock holders and drives the orphan-lock release wave.  The
+// probe returns true if it acted (or a node outage is still in progress,
+// so the request may yet complete), telling the watchdog to re-arm rather
+// than abort.  Probes are keyed by an owner pointer — the same discipline
+// as Network's link checks — because the iterated wrapper rotates inner
+// controller instances and the adaptive wrapper runs two at once.
+//
+// Hot-path contract (PR 4): arm/disarm are allocation-free.  Entries live
+// in a recycled slot slab; a token packs (serial, slot) so lookups are
+// O(1) with stale-token detection; labels are `const char*` (callers pass
+// static strings such as request_type_name()).  An abort dumps a
+// post-mortem — every outstanding request, the metrics snapshot, and the
+// typed trace tail — to a pluggable sink (default std::cerr; parallel
+// soak harnesses install a private stream so dumps never interleave),
+// then throws WatchdogError.
 
 #include <cstdint>
-#include <map>
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/ids.hpp"
+#include "util/inline_fn.hpp"
 
 namespace dyncon::sim {
 
@@ -41,6 +58,11 @@ class WatchdogError : public InvariantError {
 class Watchdog {
  public:
   using Token = std::uint64_t;
+  /// Invoked when a request overstays its deadline (and by
+  /// run_recovery_sweep).  Returns true if the probe made progress or
+  /// believes completion is still possible (e.g. a node is mid-outage);
+  /// false means "nothing I can do".
+  using DeathProbe = InlineFn<bool()>;
 
   /// `deadline` is the per-request tick budget; 0 disables the scheduled
   /// probes (only `verify_idle` then enforces anything).  The watchdog
@@ -50,9 +72,10 @@ class Watchdog {
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
 
-  /// Register an outstanding request (`what` is a short human label for the
-  /// post-mortem, e.g. "event@7").  Schedules the deadline probe.
-  [[nodiscard]] Token arm(NodeId origin, std::string what);
+  /// Register an outstanding request.  `what` is a short label for the
+  /// post-mortem and MUST outlive the token (pass a static string, e.g.
+  /// core::request_type_name).  Allocation-free in steady state.
+  [[nodiscard]] Token arm(NodeId origin, const char* what);
 
   /// The request completed (granted, rejected, moot — any verdict counts;
   /// what the watchdog enforces is that *some* verdict arrives).
@@ -62,24 +85,58 @@ class Watchdog {
   /// armed can never complete.  Throws WatchdogError if something is.
   void verify_idle() const;
 
-  [[nodiscard]] std::size_t outstanding() const { return live_.size(); }
+  /// Register / remove a recovery probe.  `owner` keys removal (the same
+  /// pattern as Network::set_link_check); probes run in install order.
+  void add_death_probe(const void* owner, DeathProbe probe);
+  void remove_death_probe(const void* owner);
+
+  /// Run every death probe once, outside any deadline (the drain-time
+  /// recovery path: queue.run(); while (run_recovery_sweep()) queue.run();
+  /// verify_idle()).  Returns the number of tokens the probes resolved.
+  std::size_t run_recovery_sweep();
+
+  /// Post-mortem sink.  Default is std::cerr; nullptr silences the dump
+  /// (the WatchdogError still carries the one-line reason).
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  /// How many times one token's deadline may be extended by a hopeful
+  /// death probe before the watchdog aborts anyway.
+  static constexpr std::uint32_t kMaxExtensions = 8;
+
+  [[nodiscard]] std::size_t outstanding() const { return live_count_; }
   [[nodiscard]] std::uint64_t armed_total() const { return armed_; }
   [[nodiscard]] std::uint64_t completed_total() const { return completed_; }
   [[nodiscard]] SimTime deadline() const { return deadline_; }
 
  private:
-  struct Entry {
-    NodeId origin;
-    std::string what;
-    SimTime armed_at;
+  struct Slot {
+    NodeId origin = kNoNode;
+    const char* what = nullptr;
+    SimTime armed_at = 0;
+    std::uint32_t serial = 0;
+    std::uint32_t extensions = 0;
+    bool live = false;
+  };
+  struct Probe {
+    const void* owner;
+    DeathProbe fn;
   };
 
+  [[nodiscard]] Slot* find(Token token);
+  void on_deadline(Token token);
+  /// True if any probe reports progress/hope.
+  bool run_probes();
+  void schedule_deadline(Token token);
   [[noreturn]] void abort_run(const std::string& why) const;
 
   EventQueue& queue_;
   SimTime deadline_;
-  std::map<Token, Entry> live_;
-  Token next_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<Probe> probes_;
+  std::ostream* sink_;
+  std::size_t live_count_ = 0;
+  std::uint32_t next_serial_ = 1;
   std::uint64_t armed_ = 0;
   std::uint64_t completed_ = 0;
 };

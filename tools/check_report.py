@@ -7,7 +7,10 @@ Checks the fixed schema (every key of obs::RunReport is always present) and,
 for each counter named on the command line, that it exists and is nonzero.
 Also cross-validates the fault/reliability metric families whenever they
 appear (a report must not claim retransmissions on a loss-free transport,
-nor more watchdog completions than arms), the perf.* family written by
+nor more watchdog completions than arms), the crash.* / recovery.* families
+written by the crash/restart adversary (restarts bounded by crashes, journal
+replays by restarts, surfaced failures by killed agents — plus exp21's
+per-point permit accounting), the perf.* family written by
 bench/perf_suite (rates positive, percentiles ordered, per-phase event
 counts summing to the total), the perf.parallel.* scaling family (speedup
 gauge consistent with the per-jobs throughputs), the forest.* /
@@ -33,7 +36,7 @@ REQUIRED_KEYS = ("name", "params", "metrics", "histograms", "net_stats",
                  "spans", "timeline", "wall_time_sec")
 
 
-FAULT_FAMILIES = ("faults.", "channel.", "watchdog.")
+FAULT_FAMILIES = ("faults.", "channel.", "watchdog.", "crash.", "recovery.")
 
 
 def fail(msg: str) -> None:
@@ -52,10 +55,13 @@ def check_fault_families(path: str, counters: dict) -> None:
 
     get = lambda name: counters.get(name, 0)
     # A retransmission only ever happens because an ack did not come back
-    # in time, which on this simulator requires a lost transmission.
-    if get("channel.retransmits") > 0 and get("faults.injected.drop") == 0:
+    # in time, which on this simulator requires a lost transmission — either
+    # a fault-injected drop or a frame eaten by a crashed endpoint.
+    if (get("channel.retransmits") > 0 and get("faults.injected.drop") == 0
+            and get("crash.drops") == 0):
         fail(f"{path}: channel.retransmits = "
              f"{get('channel.retransmits')} but faults.injected.drop = 0 "
+             f"and crash.drops = 0 "
              f"(retransmissions on a loss-free transport)")
     # Every suppressed duplicate is either a fault-injected copy or a
     # retransmission of a frame that already arrived.
@@ -65,6 +71,69 @@ def check_fault_families(path: str, counters: dict) -> None:
              f"duplicates + retransmits")
     if get("watchdog.completed") > get("watchdog.armed"):
         fail(f"{path}: watchdog.completed > watchdog.armed")
+
+
+def check_crash_family(path: str, counters: dict, gauges: dict,
+                       params: dict) -> None:
+    """Consistency of the crash.* / recovery.* families written by the
+    crash/restart adversary (sim/crash) and the recovery machinery
+    (PROTOCOL.md §9): every restart follows a crash, every journal replay
+    follows a restart, every surfaced request failure names a killed agent,
+    and — when the exp21.point.* gauges are present — per-point permit
+    accounting (granted + safety_margin == M), crash-free baselines staying
+    crash-free, durable cells staying kill- and redrive-free, and ordered
+    recovery-latency percentiles."""
+    get = lambda name: counters.get(name, 0)
+    if get("crash.node_restarts") > get("crash.node_crashes"):
+        fail(f"{path}: crash.node_restarts = {get('crash.node_restarts')} "
+             f"exceeds crash.node_crashes = {get('crash.node_crashes')} "
+             f"(a restart without a crash)")
+    if get("recovery.boards_restored") > get("crash.node_restarts"):
+        fail(f"{path}: recovery.boards_restored = "
+             f"{get('recovery.boards_restored')} exceeds "
+             f"crash.node_restarts = {get('crash.node_restarts')} "
+             f"(a journal replay without a restart)")
+    if get("crash.requests_failed") > get("crash.agents_killed"):
+        fail(f"{path}: crash.requests_failed = "
+             f"{get('crash.requests_failed')} exceeds crash.agents_killed = "
+             f"{get('crash.agents_killed')} (a surfaced failure without a "
+             f"killed agent)")
+    if get("crash.holders_doomed") > get("crash.agents_killed"):
+        fail(f"{path}: crash.holders_doomed = "
+             f"{get('crash.holders_doomed')} exceeds crash.agents_killed = "
+             f"{get('crash.agents_killed')} (a doomed holder the release "
+             f"wave never collected)")
+
+    # exp21's per-point gauges, when present, pin the permit accounting.
+    m = params.get("M")
+    points = 0
+    while f"exp21.point.{points}.crash_fraction" in gauges:
+        p = lambda field: gauges.get(f"exp21.point.{points}.{field}", 0)
+        if isinstance(m, int) and p("granted") + p("safety_margin") != m:
+            fail(f"{path}: exp21 point {points}: granted "
+                 f"{p('granted'):.0f} + margin {p('safety_margin'):.0f} "
+                 f"!= M = {m}")
+        if p("crash_fraction") == 0 and p("crashes") != 0:
+            fail(f"{path}: exp21 point {points}: crash-free baseline "
+                 f"reports {p('crashes'):.0f} crashes")
+        if p("crashes") == 0 and (p("agents_killed") != 0
+                                  or p("boards_restored") != 0):
+            fail(f"{path}: exp21 point {points}: recovery work without a "
+                 f"single crash")
+        if p("durable") == 1 and (p("agents_killed") != 0
+                                  or p("redrives") != 0):
+            fail(f"{path}: exp21 point {points}: durable boards must not "
+                 f"kill agents or redrive requests")
+        if not (p("latency.p50") <= p("latency.p95") <= p("latency.p99")):
+            fail(f"{path}: exp21 point {points}: recovery-latency "
+                 f"percentiles not ordered")
+        points += 1
+    if get("crash.node_crashes") or points:
+        print(f"check_report: crash/recovery family ok "
+              f"({get('crash.node_crashes')} crashes, "
+              f"{get('crash.node_restarts')} restarts, "
+              f"{get('recovery.boards_restored')} boards restored"
+              + (f", {points} exp21 points" if points else "") + ")")
 
 
 def check_perf_family(path: str, counters: dict, gauges: dict) -> None:
@@ -330,7 +399,7 @@ def check_spans(path: str, spans: dict) -> None:
         for key in ("trace", "id", "kind", "begin", "end"):
             if key not in s:
                 fail(f"{path}: spans.events[{i}] lacks '{key}'")
-        if s["kind"] not in ("request", "op", "hop"):
+        if s["kind"] not in ("request", "op", "hop", "crash", "recovery"):
             fail(f"{path}: spans.events[{i}] has unknown kind "
                  f"'{s['kind']}'")
         if s["end"] < s["begin"]:
@@ -379,6 +448,8 @@ def main() -> None:
 
     counters = metrics["counters"]
     check_fault_families(path, counters)
+    check_crash_family(path, counters, metrics["gauges"],
+                       report.get("params", {}))
     check_perf_family(path, counters, metrics["gauges"])
     check_forest_family(path, counters, metrics["gauges"])
     check_latency_family(path, counters, metrics["gauges"],

@@ -15,7 +15,15 @@
 // reproduce deterministically — everything is seeded) and exits nonzero.
 //
 //   usage: fuzz_controller [--seconds N | --runs N] [--base-seed S]
-//                          [--jobs J]
+//                          [--jobs J] [--crash-rate F]
+//
+// --crash-rate F (in [0, 1]) adds the node crash/restart adversary on top
+// of the rolled transport fault: each seed draws a crash-schedule salt, a
+// durability mode (volatile boards vs journaled), and a redrive budget, and
+// the run audits the recovery machinery — orphan-lock release waves,
+// journal replay, crash-failed verdict accounting — alongside the usual
+// invariants.  The default of 0 leaves every historical seed's verdict
+// untouched.
 //
 // --runs N explores exactly N consecutive seeds (base-seed + i), split
 // across J pool workers; every worker audits independent configurations,
@@ -31,6 +39,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -40,6 +49,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
+#include "sim/crash.hpp"
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "sim/watchdog.hpp"
@@ -65,27 +75,42 @@ struct Config {
   std::uint64_t w;
   std::uint64_t steps;
   std::uint64_t max_burst;
+  // Crash-adversary dimension (--crash-rate > 0 only; zero keeps every
+  // existing seed's configuration — and its verdict — byte-identical).
+  double crash_rate = 0.0;
+  std::uint64_t crash_seed = 0;
+  bool durable = false;
+  std::uint64_t redrives = 0;
 
   [[nodiscard]] std::string describe() const {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "config: seed=%llu delay=%s shape=%s churn=%s fault=%s "
-                  "fault_seed=%llu n0=%llu M=%llu W=%llu steps=%llu "
-                  "burst<=%llu",
-                  static_cast<unsigned long long>(seed),
-                  sim::delay_kind_name(delay), workload::shape_name(shape),
-                  workload::churn_name(churn), sim::fault_kind_name(fault),
-                  static_cast<unsigned long long>(fault_seed),
-                  static_cast<unsigned long long>(n0),
-                  static_cast<unsigned long long>(m),
-                  static_cast<unsigned long long>(w),
-                  static_cast<unsigned long long>(steps),
-                  static_cast<unsigned long long>(max_burst));
+    char buf[384];
+    int len = std::snprintf(
+        buf, sizeof buf,
+        "config: seed=%llu delay=%s shape=%s churn=%s fault=%s "
+        "fault_seed=%llu n0=%llu M=%llu W=%llu steps=%llu "
+        "burst<=%llu",
+        static_cast<unsigned long long>(seed), sim::delay_kind_name(delay),
+        workload::shape_name(shape), workload::churn_name(churn),
+        sim::fault_kind_name(fault),
+        static_cast<unsigned long long>(fault_seed),
+        static_cast<unsigned long long>(n0),
+        static_cast<unsigned long long>(m),
+        static_cast<unsigned long long>(w),
+        static_cast<unsigned long long>(steps),
+        static_cast<unsigned long long>(max_burst));
+    if (crash_rate > 0 && len > 0 &&
+        static_cast<std::size_t>(len) < sizeof buf) {
+      std::snprintf(buf + len, sizeof buf - static_cast<std::size_t>(len),
+                    " crash=%.2f boards=%s redrives=%llu crash_seed=%llu",
+                    crash_rate, durable ? "durable" : "volatile",
+                    static_cast<unsigned long long>(redrives),
+                    static_cast<unsigned long long>(crash_seed));
+    }
     return buf;
   }
 };
 
-Config roll(std::uint64_t seed) {
+Config roll(std::uint64_t seed, double crash_rate) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   const auto shapes = workload::all_shapes();
   const auto churns = workload::all_churn_models();
@@ -102,6 +127,14 @@ Config roll(std::uint64_t seed) {
   c.w = rng.uniform(0, c.m);
   c.steps = rng.uniform(50, 600);
   c.max_burst = rng.uniform(1, 16);
+  // Crash fields draw last, and only when the mode is on, so turning the
+  // flag off reproduces the historical stream for every seed exactly.
+  if (crash_rate > 0) {
+    c.crash_rate = crash_rate;
+    c.crash_seed = rng.next();
+    c.durable = rng.chance(0.5);
+    c.redrives = rng.uniform(0, 3);
+  }
   return c;
 }
 
@@ -114,20 +147,55 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
   Rng rng(c.seed);
   sim::EventQueue queue;
   sim::Network net(queue, sim::make_delay(c.delay, c.seed * 31 + 7));
-  net.set_fault_policy(sim::make_fault(c.fault, c.fault_seed));
-  net.enable_reliability();
   sim::Watchdog wd(queue, 50'000'000);
   tree::DynamicTree t;
   workload::build(t, c.shape, c.n0, rng);
+
+  // The crash adversary rides the same fault stack as every other run: the
+  // rolled transport fault composes under the crash drop filter, so a
+  // crashy seed still sees its reorderings and duplicates.  Nodes born
+  // under churn (ids >= n0) never crash; the root is immune (PROTOCOL.md
+  // §9 modeling boundaries).  Declared before the controller so listener
+  // deregistration in the controller's destructor finds them alive.
+  std::shared_ptr<const sim::CrashSchedule> sched;
+  std::unique_ptr<sim::CrashDriver> crashes;
+  if (c.crash_rate > 0) {
+    sim::CrashSchedule sch(Rng(c.crash_seed), c.crash_rate, /*period=*/512,
+                           /*down_len=*/64);
+    sch.set_limit(c.n0);
+    sch.set_immune(t.root());
+    sched = std::make_shared<const sim::CrashSchedule>(sch);
+    net.set_fault_policy(
+        sim::make_crash_stack(sim::make_fault(c.fault, c.fault_seed), sched));
+    crashes = std::make_unique<sim::CrashDriver>(queue, sched);
+  } else {
+    net.set_fault_policy(sim::make_fault(c.fault, c.fault_seed));
+  }
+  net.enable_reliability();
+
   core::DistributedIterated::Options ctrl_opts;
   ctrl_opts.watchdog = &wd;
+  if (crashes != nullptr) {
+    ctrl_opts.crashes = crashes.get();
+    ctrl_opts.durability = c.durable ? agent::Durability::kDurable
+                                     : agent::Durability::kVolatile;
+    ctrl_opts.crash_redrives = static_cast<std::uint32_t>(c.redrives);
+  }
   core::DistributedIterated ctrl(net, t, c.m, c.w, /*U=*/8192, ctrl_opts);
+  if (crashes != nullptr) crashes->start(c.n0, SimTime{1} << 18);
   workload::ChurnGenerator churn(c.churn, Rng(c.seed * 7 + 3));
 
   std::uint64_t answered = 0, granted = 0, rejected = 0, moot = 0;
+  std::uint64_t surfaced = 0;
   std::uint64_t submitted = 0;
   while (submitted < c.steps) {
-    const std::uint64_t burst = rng.uniform(1, c.max_burst);
+    std::uint64_t burst = rng.uniform(1, c.max_burst);
+    // Crash mode runs the whole workload as one burst: every queue drain
+    // advances virtual time past the stale watchdog deadlines (one per
+    // armed request), so pre-scheduled crash windows can only intersect
+    // request activity if all the activity shares the first drain — the
+    // same single-drain structure the chaos soaks use.
+    if (c.crash_rate > 0) burst = c.steps;
     for (std::uint64_t i = 0; i < burst && submitted < c.steps; ++i) {
       ++submitted;
       const core::RequestSpec spec =
@@ -140,13 +208,16 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
         granted += r.granted();
         rejected += r.outcome == core::Outcome::kRejected;
         moot += r.outcome == core::Outcome::kMoot;
+        surfaced += r.crash_failed && r.outcome == core::Outcome::kRejected;
       });
     }
     queue.run();
+    while (wd.run_recovery_sweep() > 0) queue.run();
     const auto valid = tree::validate(t);
     if (!valid.ok()) return "tree corrupt: " + valid.detail;
     if (const auto* inner = ctrl.inner()) {
       if (inner->active_agents() != 0) return "agents leaked";
+      if (inner->doomed_holders() != 0) return "doomed holders leaked";
       if (const auto* dom = inner->domains()) {
         const std::string err = dom->check_invariants();
         if (!err.empty()) return "domain invariant: " + err;
@@ -160,12 +231,20 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
   if (answered != submitted) return "requests lost";
   if (answered != granted + rejected + moot) return "outcome mismatch";
   if (ctrl.permits_granted() > c.m) return "safety violated";
-  if (rejected > 0 && ctrl.permits_granted() + c.w < c.m) {
+  if (surfaced > 0 && !(c.crash_rate > 0 && !c.durable)) {
+    return "crash-failed verdict outside volatile crash mode";
+  }
+  // Volatile crashes may strand rescued static permits (conservation still
+  // holds — the soak grid asserts the band cell by cell), so the liveness
+  // band binds whenever boards are durable or crash-free, and only honest
+  // rejections (not surfaced crash failures) may trip it.
+  if (!(c.crash_rate > 0 && !c.durable) && rejected > surfaced &&
+      ctrl.permits_granted() + c.w < c.m) {
     return "liveness violated";
   }
   wd.verify_idle();  // throws WatchdogError -> reported via the catch
   if (net.channel()->in_flight() != 0) return "channel frames stuck";
-  if (c.fault == sim::FaultKind::kNone &&
+  if (c.fault == sim::FaultKind::kNone && c.crash_rate == 0 &&
       net.channel()->stats().retransmits != 0) {
     return "retransmissions on a fault-free transport";
   }
@@ -175,8 +254,8 @@ std::string run_one(const Config& c, obs::Registry& reg, sim::Trace& trace) {
 /// One audited configuration, post-mortem captured as a string so workers
 /// can report without interleaving on stderr.  Returns the full failure
 /// report, or nullopt on a clean run.
-std::optional<std::string> audit_seed(std::uint64_t seed) {
-  const Config c = roll(seed);
+std::optional<std::string> audit_seed(std::uint64_t seed, double crash_rate) {
+  const Config c = roll(seed, crash_rate);
   obs::Registry reg;
   sim::Trace trace(512);
   trace.enable(true);
@@ -209,17 +288,18 @@ int main(int argc, char** argv) {
                        a.rfind("--runs", 0) == 0 ||
                        a.rfind("--base-seed", 0) == 0 ||
                        a.rfind("--start-seed", 0) == 0 ||
-                       a.rfind("--jobs", 0) == 0;
+                       a.rfind("--jobs", 0) == 0 ||
+                       a.rfind("--crash-rate", 0) == 0;
     if (!known) {
       std::fprintf(stderr,
                    "usage: %s [--seconds N | --runs N] [--base-seed S] "
-                   "[--jobs J]\n",
+                   "[--jobs J] [--crash-rate F]\n",
                    argv[0]);
       return 1;
     }
     // Two-token spellings consume the next argv slot.
     if ((a == "--seconds" || a == "--runs" || a == "--base-seed" ||
-         a == "--start-seed" || a == "--jobs") &&
+         a == "--start-seed" || a == "--jobs" || a == "--crash-rate") &&
         i + 1 < argc) {
       ++i;
     }
@@ -230,13 +310,27 @@ int main(int argc, char** argv) {
   unsigned jobs = static_cast<unsigned>(util::flag_u64(
       argc, argv, "--jobs", util::ThreadPool::hardware_jobs()));
   if (jobs == 0) jobs = 1;
+  // --crash-rate F turns on the node crash/restart adversary (sim/crash)
+  // at node fraction F; each seed then also rolls a durability mode, a
+  // redrive budget, and a crash-schedule salt.
+  double crash_rate = 0.0;
+  if (const auto v = util::flag_value(argc, argv, "--crash-rate")) {
+    char* end = nullptr;
+    crash_rate = std::strtod(v->c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(crash_rate >= 0.0) ||
+        crash_rate > 1.0) {
+      std::fprintf(stderr, "--crash-rate=%s: expected a fraction in [0, 1]\n",
+                   v->c_str());
+      return 1;
+    }
+  }
 
   if (util::flag_present(argc, argv, "--runs")) {
     // Fixed-count mode: exactly N consecutive seeds, lowest failure wins.
     const std::uint64_t n = util::flag_u64(argc, argv, "--runs", 0);
     std::vector<std::optional<std::string>> failures(n);
     util::for_each_index(n, jobs, [&](std::uint64_t i) {
-      failures[i] = audit_seed(base_seed + i);
+      failures[i] = audit_seed(base_seed + i, crash_rate);
     });
     for (std::uint64_t i = 0; i < n; ++i) {
       if (failures[i]) {
@@ -273,7 +367,7 @@ int main(int argc, char** argv) {
           }
           const std::uint64_t seed =
               next_seed.fetch_add(1, std::memory_order_relaxed);
-          if (auto f = audit_seed(seed)) {
+          if (auto f = audit_seed(seed, crash_rate)) {
             std::scoped_lock lock(fail_mu);
             if (!first_failure) first_failure = std::move(f);
             return;
