@@ -23,6 +23,8 @@
 // and gates the speedup separately (--forest-speedup-min).
 //
 //   --shards=N   cap the sweep's largest shard count (default 8)
+//   --no-batch   disable exchange batching (one BatchFrame per (shard,
+//                window) completion batch); the registry must not care
 //   --jobs       accepted for uniformity; the forest pins workers = shards
 
 #include <atomic>
@@ -130,8 +132,10 @@ int main(int argc, char** argv) {
   const unsigned hw = util::ThreadPool::hardware_jobs();
   const unsigned max_shards =
       util::flag_count(argc, argv, "--shards", 8, /*max_value=*/64);
+  const bool batch_exchange = !util::flag_present(argc, argv, "--no-batch");
   run.param("hw_threads", static_cast<std::uint64_t>(hw));
   run.param("max_shards", static_cast<std::uint64_t>(max_shards));
+  run.param("batch_exchange", std::uint64_t{batch_exchange ? 1u : 0u});
   run.registry().set_gauge("perf.forest.hw_threads",
                            static_cast<double>(hw));
 
@@ -151,6 +155,7 @@ int main(int argc, char** argv) {
   points.reserve(shard_counts.size());
   for (unsigned k : shard_counts) {
     forest::ForestConfig cfg = scaling_config(k);
+    cfg.batch_exchange = batch_exchange;
     points.push_back(run_forest(cfg));
   }
 

@@ -7,9 +7,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <new>
+#include <vector>
 
 #include "agent/convergecast.hpp"
+#include "agent/whiteboard.hpp"
 #include "core/centralized_controller.hpp"
 #include "core/distributed_controller.hpp"
 #include "core/package.hpp"
@@ -119,11 +122,19 @@ void check_steady_state_allocs(const char* what, double allocs_per_op) {
 #endif
 }
 
+// Steady state for the queue-backed benches begins only once every calendar
+// bucket has been touched: with a fixed delay the firing tick cycles through
+// all kWindow residues, and each bucket's vector allocates its capacity on
+// first use (amortized — bounded by kWindow over a whole run, never again
+// after one full cycle).  Warming fewer than kWindow events would count
+// those one-time growths as steady-state allocations and trip the gate.
+constexpr int kQueueWarmup = static_cast<int>(sim::EventQueue::kWindow) + 64;
+
 void BM_EventQueueScheduleAllocs(benchmark::State& state) {
   sim::EventQueue q;
   std::uint64_t sink = 0;
-  // Warm up: first schedules grow heap/slab; steady state reuses them.
-  for (int i = 0; i < 64; ++i) {
+  // Warm up: first schedules grow heap/slab/buckets; steady state reuses.
+  for (int i = 0; i < kQueueWarmup; ++i) {
     q.schedule_after(1, [&sink] { ++sink; });
     q.step();
   }
@@ -148,7 +159,7 @@ void BM_NetworkSendAllocs(benchmark::State& state) {
   sim::Network net(q, sim::make_delay(sim::DelayKind::kFixed, 1));
   std::uint64_t sink = 0;
   const sim::Message msg = sim::Message::agent_hop(7, 3, 5, 1, 2, true);
-  for (int i = 0; i < 64; ++i) {  // warm up heap/slab growth
+  for (int i = 0; i < kQueueWarmup; ++i) {  // warm up heap/slab/buckets
     net.send(0, 1, msg, [&sink] { ++sink; });
     q.step();
   }
@@ -179,7 +190,7 @@ void BM_WatchdogArmDisarmAllocs(benchmark::State& state) {
   // the event heap recycles instead of growing.
   sim::EventQueue q;
   sim::Watchdog wd(q, /*deadline=*/1);
-  for (int i = 0; i < 64; ++i) {  // warm up slab + event heap growth
+  for (int i = 0; i < kQueueWarmup; ++i) {  // warm up slab + calendar growth
     wd.disarm(wd.arm(0, "warmup"));
     q.step();
   }
@@ -351,6 +362,218 @@ void BM_ObsEmitInstalled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsEmitInstalled);
+
+// ---- batch frames (PR 9) ----------------------------------------------------
+
+std::vector<sim::Encoded> make_payload_mix(std::size_t n) {
+  std::vector<sim::Encoded> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0:
+        payloads.push_back(
+            sim::Message::agent_hop(i, i * 3 + 1, i * 5 + 2,
+                                    static_cast<std::uint32_t>(i % 7),
+                                    static_cast<std::uint8_t>(i % 4), i % 2)
+                .encode());
+        break;
+      case 1:
+        payloads.push_back(sim::Message::data_move(i * 11 + 1).encode());
+        break;
+      default:
+        payloads.push_back(sim::Message::reject_wave().encode());
+        break;
+    }
+  }
+  return payloads;
+}
+
+void BM_BatchFrameEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<sim::Encoded> payloads = make_payload_mix(n);
+  const sim::Message frame = sim::Message::batch_frame(payloads);
+  // The release network never assembles frames — it charges them with
+  // batch_frame_bits.  Pin the arithmetic to the real encoder once here.
+  std::vector<std::uint64_t> sizes;
+  for (const sim::Encoded& p : payloads) sizes.push_back(p.bits);
+  if (frame.encode().bits != sim::batch_frame_bits(sizes.data(), n)) {
+    std::fprintf(stderr,
+                 "FATAL: batch_frame_bits disagrees with Message::encode\n");
+    std::abort();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.encode().bits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchFrameEncode)->Arg(4)->Arg(16);
+
+void BM_BatchFrameDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Message frame = sim::Message::batch_frame(make_payload_mix(n));
+  const sim::Encoded enc = frame.encode();
+  if (!(sim::Message::decode(enc) == frame)) {
+    std::fprintf(stderr, "FATAL: batch frame wire round-trip mismatch\n");
+    std::abort();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Message::decode(enc).kind());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchFrameDecode)->Arg(4)->Arg(16);
+
+void BM_NetworkBatchSendAllocs(benchmark::State& state) {
+  // The coalesced path end to end: two same-edge sends per iteration (the
+  // second upgrades the pending plain head into a frame), one step fires
+  // both members out of the frame slot.  Slots, entry vectors, and the
+  // queue slab all recycle, so steady state must stay allocation-free —
+  // the same contract BM_NetworkSendAllocs pins for the unbatched path.
+  sim::EventQueue q;
+  sim::Network net(q, sim::make_delay(sim::DelayKind::kFixed, 1));
+  std::uint64_t sink = 0;
+  const sim::Message msg = sim::Message::agent_hop(7, 3, 5, 1, 2, true);
+  for (int i = 0; i < kQueueWarmup; ++i) {  // warm up slab/buckets/slot pool
+    net.send(0, 1, msg, [&sink] { ++sink; });
+    net.send(0, 1, msg, [&sink] { ++sink; });
+    q.step();
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    net.send(0, 1, msg, [&sink] { ++sink; });
+    net.send(0, 1, msg, [&sink] { ++sink; });
+    q.step();
+    ++ops;
+  }
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  // Debug builds legitimately allocate here (the frame round-trip check
+  // copies payloads); the release contract is zero.
+  check_steady_state_allocs("Network::send coalesced/fire_batch", per_op);
+}
+BENCHMARK(BM_NetworkBatchSendAllocs);
+
+// ---- whiteboard columns (PR 9) ----------------------------------------------
+
+void BM_WhiteboardScanSoA(benchmark::State& state) {
+  // The crash-recovery lock sweep's shape: one pass over the locked_by
+  // column.  The SoA layout reads 8 contiguous bytes per board.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  agent::WhiteboardManager wb;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v % 7 == 0) {
+      wb.lock(static_cast<NodeId>(v), v, kNoNode);
+    } else {
+      wb.set_flooded(static_cast<NodeId>(v), false);  // grow the board only
+    }
+  }
+  for (auto _ : state) {
+    std::uint64_t locked = 0;
+    for (std::size_t v = 0; v < wb.board_count(); ++v) {
+      locked += wb.locked_by(static_cast<NodeId>(v)) != agent::kNoAgent;
+    }
+    benchmark::DoNotOptimize(locked);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WhiteboardScanSoA)->Arg(4096)->Arg(65536);
+
+void BM_WhiteboardScanRecords(benchmark::State& state) {
+  // Baseline: the pre-PR-9 record-per-node layout (deque of structs, wait
+  // queue inline), striding a 100+-byte record to read one 8-byte field.
+  struct Record {
+    agent::AgentId locked_by = agent::kNoAgent;
+    NodeId down_child = kNoNode;
+    std::uint8_t flooded = 0;
+    std::deque<agent::Waiter> queue;
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::deque<Record> boards;
+  for (std::size_t v = 0; v < n; ++v) {
+    boards.emplace_back();
+    if (v % 7 == 0) boards.back().locked_by = v;
+  }
+  for (auto _ : state) {
+    std::uint64_t locked = 0;
+    for (const Record& r : boards) {
+      locked += r.locked_by != agent::kNoAgent;
+    }
+    benchmark::DoNotOptimize(locked);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WhiteboardScanRecords)->Arg(4096)->Arg(65536);
+
+void BM_WhiteboardLockUnlockAllocs(benchmark::State& state) {
+  // The per-hop column writes: lock + unlock touch two 8-byte entries and
+  // (queue empty) never allocate once the columns have grown.
+  agent::WhiteboardManager wb;
+  for (int i = 0; i < 64; ++i) {  // warm up column growth
+    wb.lock(5, 1, kNoNode);
+    benchmark::DoNotOptimize(wb.unlock(5, 1).has_value());
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    wb.lock(5, 1, kNoNode);
+    benchmark::DoNotOptimize(wb.unlock(5, 1).has_value());
+    ++ops;
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  check_steady_state_allocs("WhiteboardManager::lock/unlock", per_op);
+}
+BENCHMARK(BM_WhiteboardLockUnlockAllocs);
+
+// ---- counter-handle epoch cache (PR 9, S1) ----------------------------------
+
+void BM_ObsCounterHandleRebind(benchmark::State& state) {
+  // Regression guard for the thread_local-handle class of bug (the
+  // package.cpp `moves_batch` shadowing): a function-local static
+  // thread_local handle must re-resolve its cached slot on every registry
+  // swap, never bleeding counts into a previously-installed registry.
+  // Verified with real swaps before timing the steady-state add.
+  static thread_local obs::CounterHandle handle("bench.rebind");
+  obs::Registry a;
+  obs::Registry b;
+  {
+    obs::ScopedMetrics scope(a);
+    handle.add(1);
+  }
+  {
+    obs::ScopedMetrics scope(b);
+    handle.add(2);
+  }
+  {
+    obs::ScopedMetrics scope(a);
+    handle.add(4);
+  }
+  const auto count_in = [](const obs::Registry& r) -> std::uint64_t {
+    const auto it = r.counters().find("bench.rebind");
+    return it == r.counters().end() ? 0 : it->second;
+  };
+  if (count_in(a) != 5 || count_in(b) != 2) {
+    std::fprintf(stderr,
+                 "FATAL: CounterHandle epoch cache leaked across a registry "
+                 "swap (a=%llu want 5, b=%llu want 2)\n",
+                 static_cast<unsigned long long>(count_in(a)),
+                 static_cast<unsigned long long>(count_in(b)));
+    std::abort();
+  }
+  obs::ScopedMetrics scope(a);
+  for (auto _ : state) {
+    handle.add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterHandleRebind);
 
 }  // namespace
 

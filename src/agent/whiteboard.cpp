@@ -1,78 +1,97 @@
 #include "agent/whiteboard.hpp"
 
+#include <utility>
+
 namespace dyncon::agent {
 
-const Whiteboard& WhiteboardManager::at(NodeId v) const {
-  static const Whiteboard kEmpty;
-  return v < boards_.size() ? boards_[v] : kEmpty;
+namespace {
+const WhiteboardManager::Queue kEmptyQueue;
 }
 
-bool WhiteboardManager::locked(NodeId v) const { return at(v).locked; }
+const WhiteboardManager::Queue& WhiteboardManager::queue(NodeId v) const {
+  return v < queues_.size() ? queues_[v] : kEmptyQueue;
+}
 
 void WhiteboardManager::lock(NodeId v, AgentId a, NodeId came_from) {
-  Whiteboard& wb = at(v);
-  DYNCON_INVARIANT(!wb.locked, "lock of a locked node");
-  wb.locked = true;
-  wb.locked_by = a;
-  wb.down_child = came_from;
+  grow(v);
+  DYNCON_INVARIANT(locked_by_[v] == kNoAgent, "lock of a locked node");
+  locked_by_[v] = a;
+  down_child_[v] = came_from;
   mark_dirty(v);
 }
 
-std::optional<Whiteboard::Waiter> WhiteboardManager::unlock(NodeId v,
-                                                            AgentId a) {
-  Whiteboard& wb = at(v);
-  DYNCON_INVARIANT(wb.locked && wb.locked_by == a,
+std::optional<Waiter> WhiteboardManager::unlock(NodeId v, AgentId a) {
+  DYNCON_INVARIANT(locked_by(v) == a && a != kNoAgent,
                    "unlock by non-holder");
-  wb.locked = false;
-  wb.locked_by = kNoAgent;
-  wb.down_child = kNoNode;
-  if (wb.queue.empty()) {
+  locked_by_[v] = kNoAgent;
+  down_child_[v] = kNoNode;
+  Queue& q = queues_[v];
+  if (q.empty()) {
     mark_dirty(v);
     return std::nullopt;
   }
-  Whiteboard::Waiter next = wb.queue.front();
-  wb.queue.pop_front();
+  Waiter next = q.front();
+  q.pop_front();
   mark_dirty(v);
   return next;
 }
 
 void WhiteboardManager::release_for_removal(NodeId v, AgentId a) {
-  Whiteboard& wb = at(v);
-  DYNCON_INVARIANT(wb.locked && wb.locked_by == a,
+  DYNCON_INVARIANT(locked_by(v) == a && a != kNoAgent,
                    "release by non-holder");
-  wb.locked = false;
-  wb.locked_by = kNoAgent;
-  wb.down_child = kNoNode;
+  locked_by_[v] = kNoAgent;
+  down_child_[v] = kNoNode;
   mark_dirty(v);
 }
 
 void WhiteboardManager::enqueue(NodeId v, AgentId a, NodeId came_from) {
-  Whiteboard& wb = at(v);
-  DYNCON_INVARIANT(wb.locked, "enqueue at unlocked node");
-  wb.queue.push_back(Whiteboard::Waiter{a, came_from});
+  DYNCON_INVARIANT(locked(v), "enqueue at unlocked node");
+  queues_[v].push_back(Waiter{a, came_from});
   mark_dirty(v);
 }
 
 WhiteboardManager::EvictResult WhiteboardManager::evict_to_parent(
     NodeId v, NodeId parent) {
   EvictResult out;
-  if (v >= boards_.size()) return out;
-  Whiteboard& src = boards_[v];
-  Whiteboard& dst = at(parent);  // deque growth keeps src valid
-  DYNCON_INVARIANT(!src.locked, "evicting a locked node");
-  out.moved = src.queue.size();
-  for (auto& waiter : src.queue) dst.queue.push_back(waiter);
+  if (v >= locked_by_.size()) return out;
+  DYNCON_INVARIANT(locked_by_[v] == kNoAgent, "evicting a locked node");
+  grow(parent);
+  Queue& src = queues_[v];
+  Queue& dst = queues_[parent];  // deque growth keeps src valid
+  out.moved = src.size();
+  for (const Waiter& w : src) dst.push_back(w);
   // Keep the flood marker conservative: if either saw the wave, the
   // survivor did.
-  dst.flooded = dst.flooded || src.flooded;
-  src = Whiteboard{};  // the node is gone; drop its coordination state
-  if (!dst.locked && !dst.queue.empty()) {
-    out.resume = dst.queue.front();
-    dst.queue.pop_front();
+  flooded_[parent] |= flooded_[v];
+  // The node is gone; drop its coordination state.
+  src.clear();
+  locked_by_[v] = kNoAgent;
+  down_child_[v] = kNoNode;
+  flooded_[v] = 0;
+  if (locked_by_[parent] == kNoAgent && !dst.empty()) {
+    out.resume = dst.front();
+    dst.pop_front();
   }
   mark_dirty(v);
   mark_dirty(parent);
   return out;
+}
+
+void WhiteboardManager::wipe(NodeId v) {
+  if (v >= locked_by_.size()) return;
+  locked_by_[v] = kNoAgent;
+  down_child_[v] = kNoNode;
+  flooded_[v] = 0;
+  queues_[v].clear();
+}
+
+void WhiteboardManager::restore(NodeId v, AgentId locked_by, NodeId down_child,
+                                bool flooded, Queue queue) {
+  grow(v);
+  locked_by_[v] = locked_by;
+  down_child_[v] = down_child;
+  flooded_[v] = flooded ? 1 : 0;
+  queues_[v] = std::move(queue);
 }
 
 }  // namespace dyncon::agent

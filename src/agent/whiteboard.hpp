@@ -27,54 +27,80 @@ namespace dyncon::agent {
 using AgentId = std::uint64_t;
 inline constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
 
-/// One node's coordination state.
-struct Whiteboard {
-  bool locked = false;
-  AgentId locked_by = kNoAgent;
-  /// Child the locking agent arrived from (kNoNode when it was created
-  /// here); consumed by the taxi's Down operation.
-  NodeId down_child = kNoNode;
-  /// Agents waiting for the lock, FIFO.  Each entry remembers the child the
-  /// agent arrived from so it can restore its own down pointer on resume.
-  struct Waiter {
-    AgentId agent;
-    NodeId came_from;
-    bool operator==(const Waiter&) const = default;
-  };
-  std::deque<Waiter> queue;
-  /// Reject-wave flood marker (each node is flooded at most once).
-  bool flooded = false;
-
-  bool operator==(const Whiteboard&) const = default;
+/// One parked agent: who is waiting and the child it arrived from (so it can
+/// restore its own down pointer on resume).
+struct Waiter {
+  AgentId agent;
+  NodeId came_from;
+  bool operator==(const Waiter&) const = default;
 };
 
 /// Whiteboards for all nodes of one controller instance.
 ///
 /// NodeIds are dense vector indices (tree::DynamicTree allocates them that
-/// way), so the boards live in an indexed deque grown on demand: the
-/// per-hop locked/lock/unlock operations index directly instead of hashing.
-/// A deque (not a vector) because growth at the end leaves references to
-/// existing boards valid — callers hold a `Whiteboard&` across code that
-/// may create boards for new nodes, a stability guarantee the previous
-/// unordered_map also gave.  An index past the end — or a default-state
-/// entry — both mean "no coordination state", i.e., a fresh whiteboard.
+/// way), so the boards live in structure-of-arrays form (PR 9): one parallel
+/// POD column per field — `locked_by`, `down_child`, `flooded` — plus a
+/// deque-of-deques for the wait queues.  The per-hop locked/lock/unlock
+/// operations index one 8-byte column instead of striding over a 64+-byte
+/// record, and whole-tree sweeps (the crash-recovery lock scan, the Claim
+/// 4.8 memory audit, snapshot encoding) walk each column cache-linearly.
+///
+/// There is no stored `locked` flag: a node is locked iff its `locked_by`
+/// entry is a real agent (lock() always records the holder, so the two were
+/// always equal).  An index past the end — or a default-state entry — both
+/// mean "no coordination state", i.e., a fresh whiteboard.
+///
+/// The queues live in a deque-of-deques (not vector-of-deques) because
+/// growth at the end leaves references to existing queues valid — callers
+/// hold a `Queue&` across code that may create boards for new nodes (the
+/// add-internal splice), a stability guarantee the previous deque-of-structs
+/// layout also gave.  The POD columns are plain vectors: they hand out
+/// values, never references.
 class WhiteboardManager {
  public:
-  /// Whiteboard of `v`, created empty on first access.
-  Whiteboard& at(NodeId v) {
-    while (v >= boards_.size()) boards_.emplace_back();
-    return boards_[v];
-  }
-  [[nodiscard]] const Whiteboard& at(NodeId v) const;
+  using Queue = std::deque<Waiter>;
 
-  [[nodiscard]] bool locked(NodeId v) const;
+  [[nodiscard]] bool locked(NodeId v) const {
+    return locked_by(v) != kNoAgent;
+  }
+  [[nodiscard]] AgentId locked_by(NodeId v) const {
+    return v < locked_by_.size() ? locked_by_[v] : kNoAgent;
+  }
+  /// Child the locking agent arrived from (kNoNode when it was created
+  /// here); consumed by the taxi's Down operation.
+  [[nodiscard]] NodeId down_child(NodeId v) const {
+    return v < down_child_.size() ? down_child_[v] : kNoNode;
+  }
+  /// Reject-wave flood marker (each node is flooded at most once).
+  [[nodiscard]] bool flooded(NodeId v) const {
+    return v < flooded_.size() && flooded_[v] != 0;
+  }
+  /// Direct flood-marker write (the reject wave).  A direct mutation in the
+  /// set_observer sense: the caller must mark_dirty itself.
+  void set_flooded(NodeId v, bool f) {
+    grow(v);
+    flooded_[v] = f ? 1 : 0;
+  }
+
+  /// Agents waiting for v's lock, FIFO.
+  [[nodiscard]] const Queue& queue(NodeId v) const;
+  /// Mutable queue access (the add-internal splice, the crash kill sweep).
+  /// A direct mutation: the caller must mark_dirty itself.  The reference
+  /// stays valid across board growth (deque-of-deques).
+  [[nodiscard]] Queue& queue_mut(NodeId v) {
+    grow(v);
+    return queues_[v];
+  }
+
+  /// Number of board slots in the columns (scan bound for sweeps).
+  [[nodiscard]] std::size_t board_count() const { return locked_by_.size(); }
 
   /// Lock `v` for `a`, recording the arrival child.  Requires unlocked.
   void lock(NodeId v, AgentId a, NodeId came_from);
 
   /// Unlock `v` (must be held by `a`).  Returns the next waiter to resume,
   /// if any (the caller reschedules it; FIFO order).
-  [[nodiscard]] std::optional<Whiteboard::Waiter> unlock(NodeId v, AgentId a);
+  [[nodiscard]] std::optional<Waiter> unlock(NodeId v, AgentId a);
 
   /// Clear the lock without dequeuing anyone (used just before the node is
   /// removed and its whole queue is evicted to the parent).
@@ -89,15 +115,25 @@ class WhiteboardManager {
   /// caller can resume it.
   struct EvictResult {
     std::size_t moved = 0;
-    std::optional<Whiteboard::Waiter> resume;
+    std::optional<Waiter> resume;
   };
   EvictResult evict_to_parent(NodeId v, NodeId parent);
 
+  /// Crash damage: reset v to a blank board (volatile whiteboards lose
+  /// everything).  Queue capacity is retained.  Callers persist or kill the
+  /// casualties themselves; no observer notification fires here.
+  void wipe(NodeId v);
+
+  /// Journal replay: overwrite v's whole board in one shot (on_restart).
+  /// No observer notification — re-persisting what was just restored would
+  /// only churn the journal.
+  void restore(NodeId v, AgentId locked_by, NodeId down_child, bool flooded,
+               Queue queue);
+
   /// Dirty-board observer (the durable-whiteboard journal): called with the
   /// node id after every mutation through this manager.  One branch per
-  /// mutation when unset.  Callers that mutate a board *directly* through
-  /// at() (the reject-flood marker, the add-internal queue splice) must
-  /// call mark_dirty themselves.
+  /// mutation when unset.  Callers that mutate a board *directly* — via
+  /// set_flooded or queue_mut — must call mark_dirty themselves.
   void set_observer(std::function<void(NodeId)> on_dirty) {
     on_dirty_ = std::move(on_dirty);
   }
@@ -106,7 +142,20 @@ class WhiteboardManager {
   }
 
  private:
-  std::deque<Whiteboard> boards_;
+  void grow(NodeId v) {
+    if (v < locked_by_.size()) return;
+    const std::size_t n = static_cast<std::size_t>(v) + 1;
+    locked_by_.resize(n, kNoAgent);
+    down_child_.resize(n, kNoNode);
+    flooded_.resize(n, 0);
+    while (queues_.size() < n) queues_.emplace_back();
+  }
+
+  // Parallel columns, all grown in lockstep (grow()).
+  std::vector<AgentId> locked_by_;
+  std::vector<NodeId> down_child_;
+  std::vector<std::uint8_t> flooded_;
+  std::deque<Queue> queues_;
   std::function<void(NodeId)> on_dirty_;
 };
 

@@ -100,12 +100,14 @@ Result CentralizedController::handle_impl(NodeId u, const EventSpec& ev) {
   // Step 1: a reject package at u rejects immediately.
   if (packages_.has_reject(u)) {
     ++rejects_;
-    obs::count("permits.rejected");
+    static thread_local obs::CounterHandle rejected("permits.rejected");
+    rejected.add();
     obs::emit(obs::TraceEvent{obs::EventKind::kRequestRejected, 0, u, 0, 0});
     return Result{Outcome::kRejected};
   }
   if (exhausted_ && options_.mode == Mode::kExhaustSignal) {
-    obs::count("requests.exhausted");
+    static thread_local obs::CounterHandle exhausted_c("requests.exhausted");
+    exhausted_c.add();
     return Result{Outcome::kExhausted};
   }
 
@@ -144,13 +146,15 @@ Result CentralizedController::handle_impl(NodeId u, const EventSpec& ev) {
   if (storage_ < need) {
     if (options_.mode == Mode::kExhaustSignal) {
       exhausted_ = true;
-      obs::count("requests.exhausted");
+      static thread_local obs::CounterHandle exhausted_c("requests.exhausted");
+      exhausted_c.add();
       obs::emit(obs::TraceEvent{obs::EventKind::kRequestExhausted, 0, u, 0, 0});
       return Result{Outcome::kExhausted};
     }
     start_reject_wave();
     ++rejects_;
-    obs::count("permits.rejected");
+    static thread_local obs::CounterHandle rejected("permits.rejected");
+    rejected.add();
     obs::emit(obs::TraceEvent{obs::EventKind::kRequestRejected, 0, u, 0, 0});
     return Result{Outcome::kRejected};
   }

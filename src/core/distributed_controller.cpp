@@ -1,5 +1,6 @@
 #include "core/distributed_controller.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/events.hpp"
@@ -125,7 +126,7 @@ void DistributedController::submit(const RequestSpec& spec, Callback done) {
                                ? tree_.parent(spec.subject)
                                : spec.subject;
     const AgentId id = ids_.next();
-    Agent& a = agents_[id];
+    Agent& a = agents_.create(id);
     a.id = id;
     a.origin = arrival;
     a.at = arrival;
@@ -211,22 +212,61 @@ void DistributedController::hop_down(Agent& a, NodeId to) {
 }
 
 DistributedController::Agent& DistributedController::agent(AgentId id) {
-  auto it = agents_.find(id);
-  DYNCON_INVARIANT(it != agents_.end(), "unknown agent id");
-  return it->second;
+  Agent* a = agents_.find(id);
+  DYNCON_INVARIANT(a != nullptr, "unknown agent id");
+  return *a;
 }
 
-void DistributedController::resume_waiter(const agent::Whiteboard::Waiter& w,
+void DistributedController::resume_waiter(const agent::Waiter& w,
                                           NodeId at) {
   taxi_.resume_local(w.agent, at, w.came_from);
+}
+
+void DistributedController::resume_waiter_tail(const agent::Waiter& w,
+                                               NodeId at) {
+  // Inline the waiter only when the queue proves it would have fired next
+  // anyway: a +0 schedule lands at the current tick with the next fresh
+  // seq, so if nothing else is pending at this tick (and all in-flight
+  // messages ride >= 1-tick links), the scheduled continuation would run
+  // immediately after the current event — which is exactly where we are.
+  // The depth cap turns a pathological wave into plain scheduling instead
+  // of deep recursion; scheduling is always the conservative fallback.
+  constexpr std::uint32_t kMaxChain = 128;
+  sim::EventQueue& q = net_.queue();
+  if (!options_.batch_grants || resume_depth_ >= kMaxChain ||
+      net_.guarded_dispatch() || (!q.empty() && q.next_time() <= q.now())) {
+    ++resume_stats_.scheduled;
+    resume_waiter(w, at);
+    return;
+  }
+  ++resume_stats_.inlined;
+  ++resume_depth_;
+  resume_stats_.max_chain =
+      std::max<std::uint64_t>(resume_stats_.max_chain, resume_depth_);
+  q.count_extra_fired(1);  // the event this inline call replaces
+  on_arrival(w.agent, at, w.came_from);
+  --resume_depth_;
+  if (resume_depth_ == 0) flush_grants();
+}
+
+void DistributedController::note_grant() {
+  ++pending_grants_;
+  if (resume_depth_ == 0) flush_grants();
+}
+
+void DistributedController::flush_grants() {
+  if (pending_grants_ == 0) return;
+  static thread_local obs::CounterHandle granted_c("permits.granted");
+  granted_c.add(pending_grants_);
+  pending_grants_ = 0;
 }
 
 // ---- arrival dispatch ------------------------------------------------------------
 
 void DistributedController::on_arrival(AgentId id, NodeId node,
                                        NodeId came_from) {
-  auto it = agents_.find(id);
-  if (it == agents_.end()) {
+  Agent* ap = agents_.find(id);
+  if (ap == nullptr) {
     // Only a crash can leave a dangling delivery (an ARQ retransmission
     // that bridged the outage after its agent was force-finalized); any
     // other miss is a real bug.
@@ -235,7 +275,7 @@ void DistributedController::on_arrival(AgentId id, NodeId node,
     stale.add();
     return;
   }
-  Agent& a = it->second;
+  Agent& a = *ap;
   if (doomed_.count(id) != 0) {
     // The failure detector caught up with a doomed lock holder: its next
     // arrival is where it dies.
@@ -305,13 +345,13 @@ void DistributedController::evaluate(Agent& a) {
   if (a.distance == 0 && moot(a.request)) {
     --a.locks_held;
     if (options_.debug_trace) a.history += " UO" + std::to_string(node);
-    auto waiter = boards_.unlock(node, a.id);
+    const auto waiter = boards_.unlock(node, a.id);
     a.result = Result{Outcome::kMoot};
     obs::count("requests.moot");
     obs::emit(obs::TraceEvent{obs::EventKind::kRequestMoot,
                               net_.queue().now(), node, a.id, 0});
-    if (waiter) resume_waiter(*waiter, node);
-    finish(a);
+    finish(a);  // `a` is gone after this
+    if (waiter) resume_waiter_tail(*waiter, node);
     return;
   }
 
@@ -328,7 +368,7 @@ void DistributedController::evaluate(Agent& a) {
       a.result.outcome = Outcome::kGranted;
       a.result.serial = packages_.consume_one(st);
       ++granted_;
-      obs::count("permits.granted");
+      note_grant();
       obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted,
                                 net_.queue().now(), node,
                                 a.result.serial.value_or(~0ULL), storage_});
@@ -404,9 +444,8 @@ void DistributedController::on_proc_down(Agent& a, NodeId node) {
   const std::uint64_t target =
       a.bag_level > 0 ? params_.uk_distance(a.bag_level - 1) : 0;
   if (a.distance > target) {
-    const NodeId down = boards_.at(node).down_child;
+    const NodeId down = boards_.down_child(node);
     if (down == kNoNode) {
-      const auto& wb = boards_.at(node);
       throw InvariantError(
           "down pointer missing on locked path: agent=" +
           std::to_string(a.id) + " node=" + std::to_string(node) +
@@ -414,8 +453,8 @@ void DistributedController::on_proc_down(Agent& a, NodeId node) {
           " dist=" + std::to_string(a.distance) +
           " top=" + std::to_string(a.top_distance) +
           " bag=" + std::to_string(a.bag_level) +
-          " locked=" + std::to_string(wb.locked) +
-          " locked_by=" + std::to_string(wb.locked_by) +
+          " locked=" + std::to_string(boards_.locked(node)) +
+          " locked_by=" + std::to_string(boards_.locked_by(node)) +
           " type=" + std::to_string(static_cast<int>(a.request.type)));
     }
     hop_down(a, down);
@@ -449,7 +488,7 @@ void DistributedController::on_proc_down(Agent& a, NodeId node) {
   a.carrying = go;
   a.bag_level -= 1;
 
-  const NodeId down = boards_.at(node).down_child;
+  const NodeId down = boards_.down_child(node);
   DYNCON_INVARIANT(down != kNoNode, "down pointer missing at u_k");
   hop_down(a, down);
 }
@@ -461,7 +500,7 @@ void DistributedController::deliver_grant(Agent& a) {
   a.result.serial = packages_.consume_one(a.carrying);
   a.carrying = kNoPackage;
   ++granted_;
-  obs::count("permits.granted");
+  note_grant();
   obs::emit(obs::TraceEvent{obs::EventKind::kPermitGranted,
                             net_.queue().now(), a.origin,
                             a.result.serial.value_or(~0ULL), storage_});
@@ -517,7 +556,9 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       // agent's locked path: m starts out locked by it with the down
       // pointer to `child`, the agent's distance grows by the new edge,
       // and its future lock of the origin records m as the arrival child.
-      for (auto& w : boards_.at(origin).queue) {
+      // queue_mut's reference stays valid while lock(m, ...) grows the
+      // columns (deque-of-deques stability).
+      for (auto& w : boards_.queue_mut(origin)) {
         if (w.came_from != child) continue;
         Agent& qa = agent(w.agent);
         qa.distance += 1;
@@ -545,10 +586,10 @@ void DistributedController::apply_event_at_grant(Agent& a) {
       // lose their meaning; everything else moves to the parent with its
       // distance intact (the path contracts by exactly the hop it
       // counted).
-      agent::Whiteboard& wb = boards_.at(origin);
-      std::deque<agent::Whiteboard::Waiter> kept;
+      agent::WhiteboardManager::Queue& q = boards_.queue_mut(origin);
+      agent::WhiteboardManager::Queue kept;
       std::vector<AgentId> moot_ids;
-      for (const auto& w : wb.queue) {
+      for (const auto& w : q) {
         Agent& qa = agent(w.agent);
         if (qa.origin == origin) {
           const auto t = qa.request.type;
@@ -562,7 +603,7 @@ void DistributedController::apply_event_at_grant(Agent& a) {
         }
         kept.push_back(w);
       }
-      wb.queue = std::move(kept);
+      q = std::move(kept);
       boards_.mark_dirty(origin);
 
       const std::size_t npkgs = packages_.move_all(origin, parent);
@@ -616,13 +657,13 @@ void DistributedController::unlock_step(Agent& a, NodeId node) {
     terminate_at_origin(a);
     return;
   }
-  const NodeId down = boards_.at(node).down_child;
+  const NodeId down = boards_.down_child(node);
   DYNCON_INVARIANT(down != kNoNode, "down pointer missing on unlock walk");
   --a.locks_held;
   if (options_.debug_trace) a.history += " U" + std::to_string(node);
-  auto waiter = boards_.unlock(node, a.id);
-  if (waiter) resume_waiter(*waiter, node);
+  const auto waiter = boards_.unlock(node, a.id);
   hop_down(a, down);
+  if (waiter) resume_waiter_tail(*waiter, node);
 }
 
 // ---- rejects -----------------------------------------------------------------
@@ -638,13 +679,13 @@ void DistributedController::reject_step(Agent& a, NodeId node) {
     terminate_at_origin(a);
     return;
   }
-  const NodeId down = boards_.at(node).down_child;
+  const NodeId down = boards_.down_child(node);
   DYNCON_INVARIANT(down != kNoNode, "down pointer missing on reject walk");
   --a.locks_held;
   if (options_.debug_trace) a.history += " RU" + std::to_string(node);
-  auto waiter = boards_.unlock(node, a.id);
-  if (waiter) resume_waiter(*waiter, node);
+  const auto waiter = boards_.unlock(node, a.id);
   hop_down(a, down);
+  if (waiter) resume_waiter_tail(*waiter, node);
 }
 
 void DistributedController::abort_step(Agent& a, NodeId node) {
@@ -652,13 +693,13 @@ void DistributedController::abort_step(Agent& a, NodeId node) {
     terminate_at_origin(a);
     return;
   }
-  const NodeId down = boards_.at(node).down_child;
+  const NodeId down = boards_.down_child(node);
   DYNCON_INVARIANT(down != kNoNode, "down pointer missing on abort walk");
   --a.locks_held;
   if (options_.debug_trace) a.history += " AU" + std::to_string(node);
-  auto waiter = boards_.unlock(node, a.id);
-  if (waiter) resume_waiter(*waiter, node);
+  const auto waiter = boards_.unlock(node, a.id);
   hop_down(a, down);
+  if (waiter) resume_waiter_tail(*waiter, node);
 }
 
 void DistributedController::start_reject_flood() {
@@ -667,8 +708,7 @@ void DistributedController::start_reject_flood() {
   obs::count("wave.count");
   obs::emit(obs::TraceEvent{obs::EventKind::kWaveStart, net_.queue().now(),
                             tree_.root(), tree_.size(), 0});
-  agent::Whiteboard& wb = boards_.at(tree_.root());
-  wb.flooded = true;
+  boards_.set_flooded(tree_.root(), true);
   boards_.mark_dirty(tree_.root());
   if (!packages_.has_reject(tree_.root())) {
     packages_.create_reject(tree_.root());
@@ -681,9 +721,8 @@ void DistributedController::flood_fanout(NodeId from) {
     ++messages_;
     net_.send(from, c, sim::Message::reject_wave(), [this, c] {
                 if (!tree_.alive(c)) return;
-                agent::Whiteboard& wb = boards_.at(c);
-                if (wb.flooded) return;
-                wb.flooded = true;
+                if (boards_.flooded(c)) return;
+                boards_.set_flooded(c, true);
                 boards_.mark_dirty(c);
                 if (!packages_.has_reject(c)) packages_.create_reject(c);
                 flood_fanout(c);
@@ -697,14 +736,18 @@ void DistributedController::terminate_at_origin(Agent& a) {
   // Events were already applied at grant time (apply_event_at_grant);
   // termination only releases the origin's lock — unless a granted removal
   // already released everything (the origin is gone and the agent stands
-  // relocated at its old parent with no remaining climb).
+  // relocated at its old parent with no remaining climb).  The dequeued
+  // waiter resumes at the tail, after finish() delivered the verdict: the
+  // tail position is what lets resume_waiter_tail run it inline.
+  std::optional<agent::Waiter> waiter;
+  const NodeId origin = a.origin;
   if (a.locks_held > 0) {
     --a.locks_held;
-    if (options_.debug_trace) a.history += " UO" + std::to_string(a.origin);
-    auto waiter = boards_.unlock(a.origin, a.id);
-    if (waiter) resume_waiter(*waiter, a.origin);
+    if (options_.debug_trace) a.history += " UO" + std::to_string(origin);
+    waiter = boards_.unlock(origin, a.id);
   }
-  finish(a);
+  finish(a);  // `a` is gone after this
+  if (waiter) resume_waiter_tail(*waiter, origin);
 }
 
 void DistributedController::finish(Agent& a) {
@@ -750,15 +793,15 @@ void DistributedController::on_crash(NodeId v) {
     return;
   }
   if (!tree_.alive(v)) return;
-  agent::Whiteboard& wb = boards_.at(v);
-  if (!wb.locked && wb.queue.empty() && !wb.flooded) {
+  const agent::WhiteboardManager::Queue& q = boards_.queue(v);
+  if (!boards_.locked(v) && q.empty() && !boards_.flooded(v)) {
     return;  // blank board: the crash destroys nothing
   }
-  const AgentId holder = wb.locked ? wb.locked_by : agent::kNoAgent;
+  const AgentId holder = boards_.locked_by(v);
   std::vector<AgentId> parked;
-  parked.reserve(wb.queue.size());
-  for (const auto& w : wb.queue) parked.push_back(w.agent);
-  wb = agent::Whiteboard{};
+  parked.reserve(q.size());
+  for (const auto& w : q) parked.push_back(w.agent);
+  boards_.wipe(v);
 
   if (holder != agent::kNoAgent) {
     // The holder itself is elsewhere (its locked path runs through v), but
@@ -781,7 +824,7 @@ void DistributedController::on_crash(NodeId v) {
   if (holder != agent::kNoAgent && doomed_.count(holder) != 0) {
     for (NodeId u : tree_.alive_nodes()) {
       bool found = false;
-      for (const auto& w : boards_.at(u).queue) {
+      for (const auto& w : boards_.queue(u)) {
         found = found || w.agent == holder;
       }
       if (found) {
@@ -802,15 +845,12 @@ void DistributedController::on_restart(NodeId v) {
   const agent::BoardSnapshot decoded = durable_->restore(v);
   DYNCON_INVARIANT(decoded == snapshot_board(v),
                    "durable journal diverged from the live whiteboard");
-  agent::Whiteboard& wb = boards_.at(v);
-  wb.locked = decoded.locked;
-  wb.locked_by = decoded.locked_by;
-  wb.down_child = decoded.down_child;
-  wb.flooded = decoded.flooded;
-  wb.queue.clear();
+  agent::WhiteboardManager::Queue q;
   for (const agent::ParkedAgent& p : decoded.queue) {
-    wb.queue.push_back(agent::Whiteboard::Waiter{p.agent, p.came_from});
+    q.push_back(agent::Waiter{p.agent, p.came_from});
   }
+  boards_.restore(v, decoded.locked ? decoded.locked_by : agent::kNoAgent,
+                  decoded.down_child, decoded.flooded, std::move(q));
   static thread_local obs::CounterHandle restored("recovery.boards_restored");
   restored.add();
   static thread_local obs::CounterHandle reinc("recovery.agents_reincarnated");
@@ -841,15 +881,15 @@ bool DistributedController::crash_recover() {
 
 void DistributedController::kill_agent(AgentId id) {
   doomed_.erase(id);
-  auto it = agents_.find(id);
-  DYNCON_INVARIANT(it != agents_.end(), "killing an unknown agent");
-  Agent& a = it->second;
+  Agent* ap = agents_.find(id);
+  DYNCON_INVARIANT(ap != nullptr, "killing an unknown agent");
+  Agent& a = *ap;
   obs::ScopedSpanContext span_scope(a.span);
   // Release every lock it still holds and pull it out of any queue it is
   // parked in; alive_nodes() fixes a deterministic sweep order.
   for (NodeId v : tree_.alive_nodes()) {
-    agent::Whiteboard& wb = boards_.at(v);
-    if (wb.locked && wb.locked_by == id) {
+    // The locked_by column scan is the SoA payoff: one POD load per node.
+    if (boards_.locked_by(v) == id) {
       DYNCON_INVARIANT(a.locks_held >= 1, "orphan lock without accounting");
       --a.locks_held;
       static thread_local obs::CounterHandle released(
@@ -858,14 +898,15 @@ void DistributedController::kill_agent(AgentId id) {
       auto waiter = boards_.unlock(v, id);
       if (waiter) resume_waiter(*waiter, v);
     }
-    if (!wb.queue.empty()) {
-      const std::size_t before = wb.queue.size();
-      std::deque<agent::Whiteboard::Waiter> kept;
-      for (const auto& w : wb.queue) {
+    if (!boards_.queue(v).empty()) {
+      agent::WhiteboardManager::Queue& q = boards_.queue_mut(v);
+      const std::size_t before = q.size();
+      agent::WhiteboardManager::Queue kept;
+      for (const auto& w : q) {
         if (w.agent != id) kept.push_back(w);
       }
       if (kept.size() != before) {
-        wb.queue = std::move(kept);
+        q = std::move(kept);
         boards_.mark_dirty(v);
       }
     }
@@ -895,17 +936,17 @@ void DistributedController::kill_agent(AgentId id) {
 }
 
 agent::BoardSnapshot DistributedController::snapshot_board(NodeId v) const {
-  const agent::Whiteboard& wb = boards_.at(v);
   agent::BoardSnapshot b;
-  b.locked = wb.locked;
-  b.locked_by = wb.locked_by;
-  b.down_child = wb.down_child;
-  b.flooded = wb.flooded;
-  b.queue.reserve(wb.queue.size());
-  for (const auto& w : wb.queue) {
-    auto it = agents_.find(w.agent);
-    DYNCON_INVARIANT(it != agents_.end(), "parked agent not in agent table");
-    const Agent& a = it->second;
+  b.locked = boards_.locked(v);
+  b.locked_by = boards_.locked_by(v);
+  b.down_child = boards_.down_child(v);
+  b.flooded = boards_.flooded(v);
+  const agent::WhiteboardManager::Queue& wq = boards_.queue(v);
+  b.queue.reserve(wq.size());
+  for (const auto& w : wq) {
+    const Agent* ap = agents_.find(w.agent);
+    DYNCON_INVARIANT(ap != nullptr, "parked agent not in agent table");
+    const Agent& a = *ap;
     agent::ParkedAgent p;
     p.agent = w.agent;
     p.came_from = w.came_from;
@@ -959,9 +1000,9 @@ std::uint64_t DistributedController::memory_bits(
   // designer-port model, a single list-head pointer here with the entries
   // distributed among the children (§4.4.2).
   if (designer_port_model) {
-    if (!boards_.at(v).queue.empty()) bits += logN;
+    if (!boards_.queue(v).empty()) bits += logN;
   } else {
-    bits += boards_.at(v).queue.size() *
+    bits += boards_.queue(v).size() *
             agent::agent_message_bits(tree_.size(), params_.max_level());
   }
   return bits;
@@ -969,18 +1010,17 @@ std::uint64_t DistributedController::memory_bits(
 
 std::string DistributedController::debug_agents() const {
   std::string out;
-  for (const auto& [id, a] : agents_) {
-    out += "agent " + std::to_string(id) + " at=" + std::to_string(a.at) +
+  agents_.for_each([&](const Agent& a) {
+    out += "agent " + std::to_string(a.id) + " at=" + std::to_string(a.at) +
            " origin=" + std::to_string(a.origin) +
            " dist=" + std::to_string(a.distance) +
            " phase=" + std::to_string(static_cast<int>(a.phase)) +
            " type=" + std::to_string(static_cast<int>(a.request.type));
-    const auto& wb = boards_.at(a.at);
-    out += " [node locked=" + std::to_string(wb.locked) +
-           " by=" + std::to_string(static_cast<long long>(
-                        static_cast<std::int64_t>(wb.locked_by))) +
-           " queue=" + std::to_string(wb.queue.size()) + "]\n";
-  }
+    out += " [node locked=" + std::to_string(boards_.locked(a.at)) +
+           " by=" + std::to_string(static_cast<long long>(static_cast<std::int64_t>(
+                        boards_.locked_by(a.at)))) +
+           " queue=" + std::to_string(boards_.queue(a.at).size()) + "]\n";
+  });
   return out;
 }
 

@@ -37,6 +37,7 @@
 
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "agent/durable.hpp"
 #include "agent/runtime.hpp"
@@ -104,6 +105,26 @@ class DistributedController : public sim::CrashListener {
     /// shows up in NetStats.  Off by default: charging changes the per-kind
     /// byte counts of runs that existed before this layer.
     bool meter_persistence = false;
+    /// Vectorized permit grants (PR 9): when a lock release hands the node
+    /// to a waiter and the event queue has nothing else pending at the
+    /// current tick, run the waiter's continuation inline at the tail of
+    /// the current event instead of scheduling it at +0.  A grant wave
+    /// draining k queued requests then dispatches as one event (the k-1
+    /// inlined continuations are credited via
+    /// EventQueue::count_extra_fired, and their permit counters flush as
+    /// one batched add), so every counter — including perf.events — is
+    /// bit-identical to an unbatched run: the inlined waiter would have
+    /// been the very next event to fire anyway.
+    bool batch_grants = true;
+  };
+
+  /// Grant-wave economics (exported as the perf.batch.* bench family, never
+  /// to the metrics registry: registry snapshots must stay bit-identical
+  /// between batched and unbatched runs).
+  struct ResumeStats {
+    std::uint64_t inlined = 0;    ///< waiter continuations run inline
+    std::uint64_t scheduled = 0;  ///< waiter continuations scheduled at +0
+    std::uint64_t max_chain = 0;  ///< longest inline resume chain
   };
 
   /// Completion callback.  Deliberately std::function, not the hot-path
@@ -172,6 +193,10 @@ class DistributedController : public sim::CrashListener {
   /// flood + data handoffs): the paper's message complexity.
   [[nodiscard]] std::uint64_t messages_used() const { return messages_; }
 
+  [[nodiscard]] const ResumeStats& resume_stats() const {
+    return resume_stats_;
+  }
+
   /// Modeled whiteboard memory at node v in bits (Claim 4.8 accounting).
   /// In the designer-port model (§4.4.2) the agent queue at v is kept as a
   /// linked list distributed among v's children, so v itself only pays
@@ -216,6 +241,71 @@ class DistributedController : public sim::CrashListener {
     SimTime span_begin = 0;
   };
 
+  /// Dense slot map keyed by the sequential AgentId stream.  Lookup — the
+  /// single hottest controller operation (one per arrival) — is two array
+  /// loads (id -> slot -> Agent) instead of a hash probe.  Finished agents'
+  /// slots are recycled through a free list, so the pool stays at
+  /// peak-concurrency size while the id index grows 4 bytes per request
+  /// ever submitted.  The pool is a deque: references handed out by find()
+  /// / create() stay valid across later create() calls (the old
+  /// unordered_map gave the same guarantee, and callers rely on it).
+  class AgentTable {
+   public:
+    static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+    [[nodiscard]] Agent* find(agent::AgentId id) {
+      if (id >= slot_of_.size()) return nullptr;
+      const std::uint32_t s = slot_of_[id];
+      return s == kNoSlot ? nullptr : &pool_[s];
+    }
+    [[nodiscard]] const Agent* find(agent::AgentId id) const {
+      if (id >= slot_of_.size()) return nullptr;
+      const std::uint32_t s = slot_of_[id];
+      return s == kNoSlot ? nullptr : &pool_[s];
+    }
+
+    Agent& create(agent::AgentId id) {
+      if (id >= slot_of_.size()) slot_of_.resize(id + 1, kNoSlot);
+      std::uint32_t s;
+      if (!free_.empty()) {
+        s = free_.back();
+        free_.pop_back();
+        pool_[s] = Agent{};  // recycled slot: back to default state
+      } else {
+        s = static_cast<std::uint32_t>(pool_.size());
+        pool_.emplace_back();
+      }
+      slot_of_[id] = s;
+      ++live_;
+      return pool_[s];
+    }
+
+    void erase(agent::AgentId id) {
+      const std::uint32_t s = slot_of_[id];
+      slot_of_[id] = kNoSlot;
+      pool_[s].id = agent::kNoAgent;  // liveness marker for for_each
+      free_.push_back(s);
+      --live_;
+    }
+
+    [[nodiscard]] std::size_t size() const { return live_; }
+
+    /// Visit live agents in slot order (deterministic: a pure function of
+    /// the operation history, unlike hash-table order).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (const Agent& a : pool_) {
+        if (a.id != agent::kNoAgent) fn(a);
+      }
+    }
+
+   private:
+    std::vector<std::uint32_t> slot_of_;
+    std::deque<Agent> pool_;
+    std::vector<std::uint32_t> free_;
+    std::size_t live_ = 0;
+  };
+
   void on_arrival(agent::AgentId id, NodeId node, NodeId came_from);
   void on_enter(Agent& a, NodeId node, NodeId came_from);
   void evaluate(Agent& a);
@@ -235,7 +325,18 @@ class DistributedController : public sim::CrashListener {
   /// Zero-width op span for requests resolved without an agent (moot).
   [[nodiscard]] obs::Span instant_op_span(obs::SpanSink& sink,
                                           Outcome outcome, NodeId node);
-  void resume_waiter(const agent::Whiteboard::Waiter& w, NodeId at);
+  void resume_waiter(const agent::Waiter& w, NodeId at);
+  /// Tail-position resume (the vectorized grant path).  Callers guarantee
+  /// this is the LAST action of the current event's handler; the waiter is
+  /// then run inline when that is provably equivalent to the +0 schedule
+  /// it replaces (nothing else pending at the current tick), else
+  /// scheduled.
+  void resume_waiter_tail(const agent::Waiter& w, NodeId at);
+  /// Count one granted permit.  Inside an inline resume chain the registry
+  /// add is deferred and flushed as one batched op at the end of the chain
+  /// (identical totals, k-1 fewer registry touches).
+  void note_grant();
+  void flush_grants();
   /// Force-finalize `id` right now: release every lock it holds (resuming
   /// waiters), remove it from any queue it is parked in, rescue a carried
   /// package as a static package where the agent stood, and deliver its
@@ -258,7 +359,7 @@ class DistributedController : public sim::CrashListener {
   agent::WhiteboardManager boards_;
   agent::Taxi taxi_;
   agent::AgentIdAllocator ids_;
-  std::unordered_map<agent::AgentId, Agent> agents_;
+  AgentTable agents_;
 
   PackageTable packages_;
   std::unique_ptr<DomainTracker> domains_;
@@ -275,6 +376,9 @@ class DistributedController : public sim::CrashListener {
 
   std::uint64_t storage_;
   Interval storage_serials_;
+  ResumeStats resume_stats_;
+  std::uint32_t resume_depth_ = 0;  ///< inline resume chain depth
+  std::uint64_t pending_grants_ = 0;  ///< grants awaiting the batched flush
   std::uint64_t granted_ = 0;
   std::uint64_t rejects_ = 0;
   std::uint64_t messages_ = 0;

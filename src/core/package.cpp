@@ -20,7 +20,8 @@ PackageId PackageTable::create_mobile(NodeId host, std::uint32_t level,
   packages_.push_back(
       Package{id, PackageKind::kMobile, host, size, level, serials, true});
   attach(id, host);
-  obs::count("package.created");
+  static thread_local obs::CounterHandle created("package.created");
+  created.add();
   return id;
 }
 
@@ -50,8 +51,12 @@ void PackageTable::move(PackageId p, NodeId new_host, std::uint64_t hops) {
   pkg.host = new_host;
   attach(p, new_host);
   moves_ += hops;
-  static thread_local obs::CounterHandle moves_batch("moves.total");
-  moves_batch.add(hops);
+  // Same name as move_all()'s handle on purpose (both feed "moves.total");
+  // each function-local static binds its own epoch, so neither can observe
+  // the other's stale slot.  The old `moves_batch` name suggested a separate
+  // counter and hid that this is the same registry row.
+  static thread_local obs::CounterHandle moves("moves.total");
+  moves.add(hops);
 }
 
 void PackageTable::pick_up(PackageId p) {
@@ -96,7 +101,8 @@ std::pair<PackageId, PackageId> PackageTable::split_mobile(PackageId p) {
       create_mobile(pkg.host, pkg.level - 1, pkg.size / 2, lo);
   const PackageId b =
       create_mobile(pkg.host, pkg.level - 1, pkg.size / 2, hi);
-  obs::count("package.splits");
+  static thread_local obs::CounterHandle splits("package.splits");
+  splits.add();
   obs::emit(obs::TraceEvent{obs::EventKind::kPackageSplit, 0, pkg.host,
                             pkg.level, pkg.size / 2});
   return {a, b};

@@ -81,6 +81,12 @@ struct ForestConfig {
   /// Per-shard span-ring capacity (used only when spans are enabled — a
   /// SpanSink installed on the constructing thread; see the ctor).
   std::size_t span_capacity = std::size_t{1} << 15;
+  /// Account each shard's per-window completion hand-off as ONE BatchFrame
+  /// (gamma count prefix + the completions encoded back to back) instead of
+  /// one message per completion.  Pure accounting: routing, ordering, and
+  /// every registry total are identical either way; only the exchange_*
+  /// diagnostics below appear/disappear.
+  bool batch_exchange = true;
 };
 
 struct ForestStats {
@@ -95,6 +101,15 @@ struct ForestStats {
   // Shard-count DEPENDENT diagnostics (never in the metrics registry).
   std::uint64_t cross_shard = 0;  ///< handoffs whose tree changed shards
   std::uint64_t barriers = 0;
+  // Exchange batching (cfg.batch_exchange): one BatchFrame per (shard,
+  // window) with completions.  Frame grouping follows the shard count, so
+  // these stay out of the registry too.  member_bits is what the same
+  // completions would cost unbatched (one AppMsg header each);
+  // frame_bits is the coalesced cost actually charged.
+  std::uint64_t exchange_frames = 0;
+  std::uint64_t exchange_batched_msgs = 0;
+  std::uint64_t exchange_frame_bits = 0;
+  std::uint64_t exchange_member_bits = 0;
 };
 
 class ForestEngine {
@@ -170,10 +185,13 @@ class ForestEngine {
 
   ForestConfig cfg_;
   workload::RequestMux mux_;
+  void account_exchange_frame(const Shard& sh);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<TreeState> trees_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when shards == 1
   std::vector<Completion> exchange_scratch_;
+  std::vector<std::uint64_t> frame_bits_scratch_;  // reused across windows
   SimTime clock_ = 0;  ///< current window edge (virtual time)
   SimTime window_end_ = 0;
   ForestStats stats_;

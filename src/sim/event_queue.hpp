@@ -9,17 +9,32 @@
 // firing time; ties are broken by insertion sequence so a run is a pure
 // function of (scenario, seed).
 //
-// Hot-path notes: actions are InlineFn (inline storage, no heap), and the
-// heap is an explicit std::vector driven by std::push_heap/pop_heap — the
-// comparator is a total strict order over (when, seq), so FIFO tie-breaking
-// survives the heap's internal reshuffling, and pop_heap lets us move the
-// fired entry out of a mutable back() instead of const_casting top().
-// Actions live out-of-line in a slot slab (recycled through a free list):
-// the heap entries the sift operations shuffle are trivially copyable
-// 24-byte records, so a sift level is a memcpy instead of a destroy +
-// relocate through InlineFn's ops table; each action is moved exactly
-// twice (into its slab slot, out again when it fires).
+// Hot-path notes: actions are InlineFn (inline storage, no heap) living
+// out-of-line in a slot slab (recycled through a free list), so the records
+// the queue shuffles are trivially copyable 24-byte entries.
+//
+// The queue itself is a two-tier calendar (PR 9): a window of kWindow
+// one-tick FIFO buckets covers [now, now + kWindow), and everything farther
+// out waits in a binary heap.  Near-term traffic — which is almost all of
+// it: protocol messages ride 1-tick links, resumes fire at +0 — costs an
+// append and a bitmap scan per event instead of O(log n) sift levels
+// through a heap that open-loop benches keep ~10^5 entries deep.  Far
+// entries migrate heap -> bucket when the window slides over them, which
+// happens exactly once per entry (amortized one heap pop per far schedule).
+//
+// Exactness of the (when, seq) order, which byte-identical replay rests on:
+//   * a bucket only ever holds ONE firing time (the window spans kWindow
+//     ticks, so within it each residue class mod kWindow names one tick;
+//     ticks at or before `now` are fully drained before `now` advances);
+//   * appends to a bucket arrive in ascending seq: the window only slides
+//     when now advances, migration drains the heap in (when, seq) order at
+//     that instant — before any action at the new time can schedule — and
+//     direct schedules afterwards carry strictly larger seqs;
+//   * the heap and the buckets never hold the same firing time (a time
+//     inside the window was either migrated already or was never eligible
+//     for the heap), so min(bucket front, heap top) needs no tie-break.
 
+#include <array>
 #include <cstdint>
 #include <type_traits>
 #include <vector>
@@ -35,11 +50,30 @@ class EventQueue {
  public:
   using Action = InlineFn<void()>;
 
+  /// Width of the near-term calendar window, in ticks.
+  static constexpr SimTime kWindow = 256;
+
   /// Schedule `action` to fire `delay` ticks after the current time.
-  void schedule_after(SimTime delay, Action action);
+  /// Returns the slab slot holding the action (see replace_action).
+  std::uint32_t schedule_after(SimTime delay, Action action);
 
   /// Schedule at an absolute time (must not be in the past).
-  void schedule_at(SimTime when, Action action);
+  /// Returns the slab slot holding the action (see replace_action).
+  std::uint32_t schedule_at(SimTime when, Action action);
+
+  /// Swap the pending action in `slot` for another one, in place — the
+  /// entry's (when, seq) position is untouched.  This is how the network
+  /// upgrades an already-scheduled plain delivery into a coalesced-frame
+  /// dispatch when a second same-edge send arrives: the common n==1 case
+  /// pays for a plain schedule and nothing else.  The caller must prove
+  /// the entry has not fired yet (slots are recycled at pop time): the
+  /// network's test is "schedule_seq() unchanged since the schedule AND
+  /// the firing tick is still in the future".
+  Action replace_action(std::uint32_t slot, Action action) {
+    Action old = std::move(slab_[slot]);
+    slab_[slot] = std::move(action);
+    return old;
+  }
 
   /// Fire the earliest pending event.  Requires !empty().
   void step();
@@ -57,21 +91,42 @@ class EventQueue {
 
   /// Firing time of the earliest pending event.  Requires !empty().
   [[nodiscard]] SimTime next_time() const {
-    DYNCON_REQUIRE(!heap_.empty(), "next_time on empty queue");
+    DYNCON_REQUIRE(!empty(), "next_time on empty queue");
+    if (bucket_pending_ != 0) {
+      const SimTime tb = earliest_bucket_time();
+      return heap_.empty() || tb < heap_.front().when ? tb
+                                                      : heap_.front().when;
+    }
     return heap_.front().when;
   }
 
-  /// Pre-size the event heap (events the caller is about to schedule).
+  /// Pre-size the far heap (events the caller is about to schedule).
   void reserve(std::size_t events) {
     heap_.reserve(events);
     slab_.reserve(events);
     free_.reserve(events);
   }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const {
+    return heap_.empty() && bucket_pending_ == 0;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() + bucket_pending_;
+  }
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  /// The seq the NEXT schedule_at/schedule_after call will consume.  Lets
+  /// the network detect "nothing was scheduled since" — the legality test
+  /// for coalescing consecutive same-edge deliveries into one batch.
+  [[nodiscard]] std::uint64_t schedule_seq() const { return seq_; }
+
+  /// Credit `n` additional fired events without dispatching through the
+  /// queue.  Batched dispatch (a coalesced delivery frame, an inlined grant
+  /// wave) runs k logical events under one queue pop; crediting the other
+  /// k-1 here keeps events_fired() — and every perf.events counter derived
+  /// from it — identical between batched and unbatched runs.
+  void count_extra_fired(std::uint64_t n) { fired_ += n; }
 
  private:
   struct Entry {
@@ -80,7 +135,7 @@ class EventQueue {
     std::uint32_t slot;  ///< index of the action in slab_
   };
   static_assert(std::is_trivially_copyable_v<Entry>,
-                "heap sifts must reduce to memcpy");
+                "queue shuffles must reduce to memcpy");
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -88,7 +143,21 @@ class EventQueue {
     }
   };
 
-  std::vector<Entry> heap_;  // max-heap under Later == min-(when, seq) first
+  static constexpr std::size_t kBitmapWords = kWindow / 64;
+
+  void bucket_put(const Entry& e);
+  /// Slide the window to the (just advanced) now_: drain heap entries whose
+  /// time fell inside [now_, now_ + kWindow) into their buckets, in
+  /// (when, seq) order.
+  void migrate();
+  /// Earliest non-empty bucket's firing time; requires bucket_pending_ != 0.
+  [[nodiscard]] SimTime earliest_bucket_time() const;
+
+  std::vector<Entry> heap_;  // beyond-window events; max-heap under Later
+  std::array<std::vector<Entry>, kWindow> buckets_;  // one tick each, FIFO
+  std::array<std::uint32_t, kWindow> cursor_{};  // per-bucket read position
+  std::array<std::uint64_t, kBitmapWords> live_{};  // non-empty-bucket bits
+  std::size_t bucket_pending_ = 0;
   std::vector<Action> slab_;          // pending actions, addressed by slot
   std::vector<std::uint32_t> free_;   // recycled slab slots
   SimTime now_ = 0;

@@ -25,9 +25,11 @@
 // compares it to the original, so an encode/decode asymmetry fails loudly
 // at the send site.
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -54,6 +56,7 @@ enum class MsgKind : std::uint8_t {
   kDataMove,    ///< graceful-deletion data handoff to parent
   kApp,         ///< application-layer traffic (DFS relabeling, estimates, ...)
   kChannel,     ///< reliable-channel control traffic (acks; see sim/channel.hpp)
+  kBatch,       ///< coalesced same-edge frame of back-to-back messages
   kKindCount__  ///< sentinel
 };
 
@@ -75,6 +78,9 @@ struct Encoded {
   std::uint64_t bits = 0;
   bool operator==(const Encoded&) const = default;
 };
+
+/// Width of the leading kind tag on every wire message (3 bits: 7 kinds).
+inline constexpr std::uint32_t kMsgTagBits = 3;
 
 /// Exact bit cost of the Elias-gamma code for `v` (see BitWriter::put_gamma).
 [[nodiscard]] constexpr std::uint64_t gamma_bits(std::uint64_t v) {
@@ -244,6 +250,21 @@ struct ChannelMsg {
   [[nodiscard]] MsgKind inner_kind() const;
 };
 
+/// One coalesced same-edge frame: consecutive sends on one (src, dst) link
+/// within a delivery window, shipped as a single wire message.  The layout
+/// is one 3-bit tag, a gamma-coded payload count, then the payloads back to
+/// back (each with its own gamma length prefix, the ChannelMsg embedding
+/// convention) — so the frame costs one header plus the measured payload
+/// bits, which is exactly the saving batching claims.  Batch frames never
+/// nest: a payload must not itself be a kBatch message.
+struct BatchMsg {
+  std::vector<Encoded> payloads;
+  bool operator==(const BatchMsg&) const = default;
+
+  /// Accounting kind of payload `i` (its leading tag).
+  [[nodiscard]] MsgKind payload_kind(std::size_t i) const;
+};
+
 // ---- the tagged message -----------------------------------------------------
 
 /// A tagged wire message.  The variant order matches `MsgKind`, so the
@@ -251,7 +272,7 @@ struct ChannelMsg {
 class Message {
  public:
   using Body = std::variant<AgentHopMsg, RejectWaveMsg, ControlMsg,
-                            DataMoveMsg, AppMsg, ChannelMsg>;
+                            DataMoveMsg, AppMsg, ChannelMsg, BatchMsg>;
 
   explicit Message(Body body) : body_(std::move(body)) {}
 
@@ -267,9 +288,16 @@ class Message {
   /// A reliable-channel data frame wrapping `inner` (which must not itself
   /// be a channel frame: the channel never nests).
   static Message channel_data(std::uint64_t seq, const Message& inner);
+  /// Same, from an already-encoded inner message — the channel feeds it the
+  /// network's per-kind encode cache so a run of same-shaped sends reuses
+  /// one encoding instead of re-running the encoder per frame.
+  static Message channel_data(std::uint64_t seq, Encoded inner);
   /// A reliable-channel cumulative ack: every frame with sequence < `seq`
   /// on this link has been delivered.
   static Message channel_ack(std::uint64_t seq);
+  /// A coalesced same-edge frame of already-encoded payloads (none of which
+  /// may itself be a batch frame: batches never nest).
+  static Message batch_frame(std::vector<Encoded> payloads);
 
   [[nodiscard]] MsgKind kind() const {
     return static_cast<MsgKind>(body_.index());
@@ -297,6 +325,102 @@ class Message {
 
  private:
   Body body_;
+};
+
+/// Exact wire size of a batch frame over payloads whose sizes are already
+/// known: the 3-bit tag + gamma(count) + per payload gamma(bits) + bits.
+/// Lets the release-build network charge a frame arithmetically, without
+/// assembling (or allocating) it; test_batch asserts it equals the bits of
+/// the frame Message::batch_frame actually encodes.
+[[nodiscard]] inline std::uint64_t batch_frame_bits(
+    const std::uint64_t* payload_bits, std::size_t count) {
+  std::uint64_t bits = kMsgTagBits + gamma_bits(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bits += gamma_bits(payload_bits[i]) + payload_bits[i];
+  }
+  return bits;
+}
+
+// ---- per-kind encode cache --------------------------------------------------
+
+/// Per-kind memo of the last message encoded, extending the PR-4 charge memo
+/// (kind -> (prototype, bits)) to the full encoded bytes.  Protocol traffic
+/// is dominated by runs of near-identical small messages (an agent re-sends
+/// the same hop shape along a path; rejects and acks repeat verbatim), so a
+/// one-entry-per-kind cache already captures most of the redundancy while
+/// costing one POD comparison per lookup.
+///
+/// Only POD-bodied kinds are cacheable: kChannel and kBatch embed encoded
+/// payload vectors, so their equality test would cost as much as the encode
+/// they are meant to skip (and their seq/count fields change every frame).
+///
+/// Two tiers, so the zero-alloc release hot path stays zero-alloc:
+///   * measured_bits() caches (prototype -> bits); a miss runs the size-only
+///     BitCounter pass (no allocation) and refreshes the slot.
+///   * encoded() caches the full byte buffer; a miss materializes it once,
+///     then repeat senders (the ARQ channel re-wrapping the same inner
+///     message) get the bytes back without re-encoding.
+class EncodeCache {
+ public:
+  [[nodiscard]] static constexpr bool cacheable(MsgKind k) {
+    return k != MsgKind::kChannel && k != MsgKind::kBatch &&
+           k != MsgKind::kKindCount__;
+  }
+
+  /// Measured encoded size of `msg` in bits (== msg.encoded_bits()); skips
+  /// the BitCounter pass on a hit.  Never allocates for cacheable kinds.
+  [[nodiscard]] std::uint64_t measured_bits(const Message& msg) {
+    const MsgKind k = msg.kind();
+    if (!cacheable(k)) return msg.encoded_bits();
+    if (k == MsgKind::kAgent) {
+      // Agent hops mutate every hop (distance / top_distance), so the memo
+      // never pays for them: every lookup would miss, and the miss path
+      // adds a prototype compare + copy-assign on top of the size pass it
+      // runs anyway.  Skip straight to the (allocation-free) counter.
+      return msg.encoded_bits();
+    }
+    Slot& slot = slots_[static_cast<std::size_t>(k)];
+    ++lookups_;
+    if (slot.key && *slot.key == msg) {
+      ++hits_;
+      return slot.bits;
+    }
+    slot.key = msg;
+    slot.bits = msg.encoded_bits();
+    slot.enc.reset();  // bytes of the old prototype are stale
+    return slot.bits;
+  }
+
+  /// Full encoded bytes of `msg` (== msg.encode()); returns the cached
+  /// buffer on a hit.  The reference is valid until the next cache call for
+  /// the same kind.
+  [[nodiscard]] const Encoded& encoded(const Message& msg) {
+    const MsgKind k = msg.kind();
+    DYNCON_REQUIRE(cacheable(k), "EncodeCache::encoded needs a POD-bodied kind");
+    Slot& slot = slots_[static_cast<std::size_t>(k)];
+    ++lookups_;
+    if (slot.key && *slot.key == msg && slot.enc) {
+      ++hits_;
+      return *slot.enc;
+    }
+    slot.key = msg;
+    slot.enc = msg.encode();
+    slot.bits = slot.enc->bits;
+    return *slot.enc;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  struct Slot {
+    std::optional<Message> key;   ///< last prototype of this kind
+    std::uint64_t bits = 0;       ///< its measured size (always fresh)
+    std::optional<Encoded> enc;   ///< its bytes (filled lazily by encoded())
+  };
+  std::array<Slot, static_cast<std::size_t>(MsgKind::kKindCount__)> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t lookups_ = 0;
 };
 
 }  // namespace dyncon::sim

@@ -5,6 +5,7 @@
 namespace dyncon::tree {
 
 PortId PortAssigner::attach(NodeId node, NodeId neighbor) {
+  if (node >= tables_.size()) tables_.resize(node + 1);
   Table& t = tables_[node];
   DYNCON_REQUIRE(!t.by_neighbor.contains(neighbor),
                  "port to this neighbor already exists");
@@ -19,40 +20,43 @@ PortId PortAssigner::attach(NodeId node, NodeId neighbor) {
 }
 
 void PortAssigner::detach(NodeId node, NodeId neighbor) {
-  auto it = tables_.find(node);
-  if (it == tables_.end()) return;
-  auto nit = it->second.by_neighbor.find(neighbor);
-  if (nit == it->second.by_neighbor.end()) return;
-  it->second.by_port.erase(nit->second);
-  it->second.by_neighbor.erase(nit);
+  Table* t = table(node);
+  if (t == nullptr) return;
+  auto nit = t->by_neighbor.find(neighbor);
+  if (nit == t->by_neighbor.end()) return;
+  t->by_port.erase(nit->second);
+  t->by_neighbor.erase(nit);
 }
 
-void PortAssigner::drop_node(NodeId node) { tables_.erase(node); }
+void PortAssigner::drop_node(NodeId node) {
+  // Ids are permanent, so the slot never comes back: release its storage.
+  if (Table* t = table(node)) *t = Table{};
+}
 
 bool PortAssigner::has_port(NodeId node, NodeId neighbor) const {
-  auto it = tables_.find(node);
-  return it != tables_.end() && it->second.by_neighbor.contains(neighbor);
+  const Table* t = table(node);
+  return t != nullptr && t->by_neighbor.contains(neighbor);
 }
 
 PortId PortAssigner::port_to(NodeId node, NodeId neighbor) const {
-  auto it = tables_.find(node);
-  DYNCON_REQUIRE(it != tables_.end(), "node has no ports");
-  auto nit = it->second.by_neighbor.find(neighbor);
-  DYNCON_REQUIRE(nit != it->second.by_neighbor.end(), "no port to neighbor");
+  const Table* t = table(node);
+  DYNCON_REQUIRE(t != nullptr, "node has no ports");
+  auto nit = t->by_neighbor.find(neighbor);
+  DYNCON_REQUIRE(nit != t->by_neighbor.end(), "no port to neighbor");
   return nit->second;
 }
 
 NodeId PortAssigner::neighbor_at(NodeId node, PortId port) const {
-  auto it = tables_.find(node);
-  DYNCON_REQUIRE(it != tables_.end(), "node has no ports");
-  auto pit = it->second.by_port.find(port);
-  DYNCON_REQUIRE(pit != it->second.by_port.end(), "no such port");
+  const Table* t = table(node);
+  DYNCON_REQUIRE(t != nullptr, "node has no ports");
+  auto pit = t->by_port.find(port);
+  DYNCON_REQUIRE(pit != t->by_port.end(), "no such port");
   return pit->second;
 }
 
 std::size_t PortAssigner::degree(NodeId node) const {
-  auto it = tables_.find(node);
-  return it == tables_.end() ? 0 : it->second.by_port.size();
+  const Table* t = table(node);
+  return t == nullptr ? 0 : t->by_port.size();
 }
 
 }  // namespace dyncon::tree

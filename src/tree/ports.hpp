@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -41,8 +42,19 @@ class PortAssigner {
     std::unordered_map<PortId, NodeId> by_port;
     std::unordered_map<NodeId, PortId> by_neighbor;
   };
-  std::unordered_map<NodeId, Table> tables_;
+  /// Indexed by NodeId — node ids are dense (DynamicTree allocates them
+  /// sequentially and never reuses them), so the per-node table is two
+  /// array loads instead of a hash probe, and growing the topology never
+  /// rehashes an outer map that is thousands of nodes wide.
+  std::vector<Table> tables_;
   Rng rng_;
+
+  Table* table(NodeId node) {
+    return node < tables_.size() ? &tables_[node] : nullptr;
+  }
+  [[nodiscard]] const Table* table(NodeId node) const {
+    return node < tables_.size() ? &tables_[node] : nullptr;
+  }
 };
 
 }  // namespace dyncon::tree

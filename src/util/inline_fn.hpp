@@ -20,6 +20,7 @@
 //   - moved-from InlineFns are empty; invoking one is a contract violation.
 
 #include <cstddef>
+#include <cstring>
 #include <type_traits>
 #include <utility>
 
@@ -60,7 +61,7 @@ class InlineFn<R(Args...)> {
 
   InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
-      ops_->relocate(storage_, other.storage_);
+      relocate_from(other);
       other.ops_ = nullptr;
     }
   }
@@ -70,7 +71,7 @@ class InlineFn<R(Args...)> {
       reset();
       ops_ = other.ops_;
       if (ops_ != nullptr) {
-        ops_->relocate(storage_, other.storage_);
+        relocate_from(other);
         other.ops_ = nullptr;
       }
     }
@@ -96,6 +97,12 @@ class InlineFn<R(Args...)> {
     R (*invoke)(void*, Args&&...);
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void*) noexcept;
+    /// Trivially copyable + trivially destructible capture: relocation is
+    /// an inline memcpy and destruction a no-op, so the hot paths (every
+    /// queue slab move, every delivery continuation) skip both indirect
+    /// calls.  Nearly every capture in the tree is a handful of PODs, so
+    /// this is the common case, not an optimization corner.
+    bool trivial;
   };
 
   template <class D>
@@ -109,11 +116,20 @@ class InlineFn<R(Args...)> {
         static_cast<D*>(src)->~D();
       },
       [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>,
   };
+
+  void relocate_from(InlineFn& other) noexcept {
+    if (ops_->trivial) {
+      std::memcpy(storage_, other.storage_, kCapacity);
+    } else {
+      ops_->relocate(storage_, other.storage_);
+    }
+  }
 
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (!ops_->trivial) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }

@@ -20,12 +20,12 @@ TEST(Whiteboard, LockUnlockBasics) {
   EXPECT_FALSE(wb.locked(5));
   wb.lock(5, 1, 10);
   EXPECT_TRUE(wb.locked(5));
-  EXPECT_EQ(wb.at(5).locked_by, 1u);
-  EXPECT_EQ(wb.at(5).down_child, 10u);
+  EXPECT_EQ(wb.locked_by(5), 1u);
+  EXPECT_EQ(wb.down_child(5), 10u);
   const auto next = wb.unlock(5, 1);
   EXPECT_FALSE(next.has_value());
   EXPECT_FALSE(wb.locked(5));
-  EXPECT_EQ(wb.at(5).down_child, kNoNode);
+  EXPECT_EQ(wb.down_child(5), kNoNode);
 }
 
 TEST(Whiteboard, DoubleLockIsInvariantViolation) {
@@ -51,8 +51,8 @@ TEST(Whiteboard, FifoQueueOrder) {
   EXPECT_EQ(first->agent, 2u);
   EXPECT_EQ(first->came_from, 20u);
   // Remaining waiters stay queued in order.
-  EXPECT_EQ(wb.at(5).queue.size(), 2u);
-  EXPECT_EQ(wb.at(5).queue.front().agent, 3u);
+  EXPECT_EQ(wb.queue(5).size(), 2u);
+  EXPECT_EQ(wb.queue(5).front().agent, 3u);
 }
 
 TEST(Whiteboard, EnqueueRequiresLocked) {
@@ -71,8 +71,8 @@ TEST(Whiteboard, EvictMovesQueueInOrder) {
   // Parent was unlocked: the first mover is handed back for resumption.
   ASSERT_TRUE(res.resume.has_value());
   EXPECT_EQ(res.resume->agent, 2u);
-  EXPECT_EQ(wb.at(4).queue.size(), 1u);
-  EXPECT_EQ(wb.at(4).queue.front().agent, 3u);
+  EXPECT_EQ(wb.queue(4).size(), 1u);
+  EXPECT_EQ(wb.queue(4).front().agent, 3u);
 }
 
 TEST(Whiteboard, EvictIntoLockedParentJustAppends) {
@@ -84,15 +84,15 @@ TEST(Whiteboard, EvictIntoLockedParentJustAppends) {
   const auto res = wb.evict_to_parent(5, 4);
   EXPECT_EQ(res.moved, 1u);
   EXPECT_FALSE(res.resume.has_value());
-  EXPECT_EQ(wb.at(4).queue.size(), 1u);
+  EXPECT_EQ(wb.queue(4).size(), 1u);
 }
 
 TEST(Whiteboard, EvictPreservesFloodMarker) {
   WhiteboardManager wb;
-  wb.at(5).flooded = true;
+  wb.set_flooded(5, true);
   const auto res = wb.evict_to_parent(5, 4);
   EXPECT_EQ(res.moved, 0u);
-  EXPECT_TRUE(wb.at(4).flooded);
+  EXPECT_TRUE(wb.flooded(4));
 }
 
 struct TaxiFixture {

@@ -1,0 +1,323 @@
+// Batch-coalescing tests (PR 9): the BatchFrame wire format, the network's
+// same-edge delivery coalescing, and the end-to-end identity contract —
+// batching is a transport optimization, so every observable of a run
+// (registry snapshot, NetStats, delivery order, event count) must be
+// bit-identical with batching on and off, under every fault adversary and
+// at every shard count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distributed_controller.hpp"
+#include "forest/forest.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/wire.hpp"
+#include "util/rng.hpp"
+#include "workload/shapes.hpp"
+
+namespace dyncon::sim {
+namespace {
+
+// ---- BatchFrame wire properties ---------------------------------------------
+
+/// A random non-batch payload, small ids biased toward the sizes real runs
+/// produce (agent hops dominate the coalesced traffic).
+Message random_payload(Rng& rng) {
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return Message::agent_hop(rng.uniform(0, 1u << 20),
+                                rng.uniform(0, 1u << 10),
+                                rng.uniform(0, 1u << 10),
+                                static_cast<std::uint32_t>(rng.uniform(0, 30)),
+                                static_cast<std::uint8_t>(rng.uniform(0, 7)),
+                                rng.chance(0.5));
+    case 1:
+      return Message::data_move(rng.uniform(0, 1u << 20));
+    case 2:
+      return Message::control(static_cast<ControlTopic>(rng.uniform(0, 3)),
+                              rng.uniform(0, 1u << 16));
+    default:
+      return Message::reject_wave();
+  }
+}
+
+TEST(BatchFrame, RoundTripRandomKindMixes) {
+  Rng rng(0xba7c4);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t n = 1 + rng.uniform(0, 7);
+    std::vector<Encoded> payloads;
+    std::vector<std::uint64_t> sizes;
+    for (std::size_t i = 0; i < n; ++i) {
+      payloads.push_back(random_payload(rng).encode());
+      sizes.push_back(payloads.back().bits);
+    }
+    const Message frame = Message::batch_frame(payloads);
+    const Encoded e = frame.encode();
+    // The size arithmetic the release network charges with must match the
+    // bits the encoder actually produces.
+    EXPECT_EQ(e.bits, batch_frame_bits(sizes.data(), n));
+    EXPECT_EQ(e.bits, frame.measured_bits());
+    const Message back = Message::decode(e);
+    ASSERT_EQ(back, frame);
+    // Payloads decode back to the original messages, in order.
+    const auto& bm = back.as<BatchMsg>();
+    ASSERT_EQ(bm.payloads.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bm.payloads[i], payloads[i]);
+    }
+  }
+}
+
+TEST(BatchFrame, CountPrefixEdgeCases) {
+  // A single-payload frame is legal on the wire (the network never emits
+  // one — lazy opening guarantees n >= 2 — but the codec must not care),
+  // and so is a frame far wider than any delivery window.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                              std::size_t{64}, std::size_t{257}}) {
+    std::vector<Encoded> payloads;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Smallest possible payload: the tag-only reject wave.
+      payloads.push_back(Message::reject_wave().encode());
+    }
+    const Message frame = Message::batch_frame(std::move(payloads));
+    const Encoded e = frame.encode();
+    const Message back = Message::decode(e);
+    ASSERT_EQ(back, frame) << "count=" << n;
+    EXPECT_EQ(back.as<BatchMsg>().payloads.size(), n);
+  }
+}
+
+TEST(BatchFrame, TruncationIsRejected) {
+  Rng rng(0x7041);
+  std::vector<Encoded> payloads;
+  for (int i = 0; i < 5; ++i) payloads.push_back(random_payload(rng).encode());
+  const Message frame = Message::batch_frame(std::move(payloads));
+  const Encoded whole = frame.encode();
+  // Chopping the frame anywhere — inside the count prefix, between
+  // payloads, mid-payload — must throw, never mis-decode.
+  for (std::uint64_t bits = 0; bits < whole.bits; ++bits) {
+    Encoded cut = whole;
+    cut.bits = bits;
+    EXPECT_THROW((void)Message::decode(cut), ContractError) << "bits=" << bits;
+  }
+  // A stray trailing bit is equally malformed.
+  Encoded padded = whole;
+  padded.bits += 1;
+  padded.bytes.resize((padded.bits + 7) / 8, 0);
+  EXPECT_THROW((void)Message::decode(padded), ContractError);
+}
+
+TEST(BatchFrame, FramesNeverNest) {
+  std::vector<Encoded> inner;
+  inner.push_back(Message::reject_wave().encode());
+  inner.push_back(Message::data_move(7).encode());
+  const Encoded nested = Message::batch_frame(std::move(inner)).encode();
+  std::vector<Encoded> outer;
+  outer.push_back(nested);
+  EXPECT_THROW((void)Message::batch_frame(std::move(outer)), ContractError);
+}
+
+// ---- coalescing preserves per-link delivery order ---------------------------
+
+/// One delivery stream: bursts of same-tick sends on two links, under the
+/// given fault policy, recording arrival order per link.  Returns the two
+/// per-link sequences; batching on and off must produce the same ones.
+struct StreamResult {
+  std::vector<std::uint64_t> link_a;
+  std::vector<std::uint64_t> link_b;
+  std::uint64_t frames = 0;
+  bool operator==(const StreamResult&) const = default;
+};
+
+using FaultFactory = std::unique_ptr<FaultPolicy> (*)();
+
+StreamResult run_stream(DelayKind kind, FaultFactory make_fault,
+                        bool batching) {
+  EventQueue q;
+  Network net(q, make_delay(kind, 99));
+  net.set_batching(batching);
+  if (make_fault != nullptr) net.set_fault_policy(make_fault());
+  StreamResult out;
+  Rng rng(5);
+  std::uint64_t id = 0;
+  for (int burst = 0; burst < 40; ++burst) {
+    // Same-tick bursts are what coalescing feeds on; vary the burst size
+    // and interleave the two links so frames open and close mid-burst.
+    const std::uint64_t k = 1 + rng.uniform(0, 5);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t msg_id = id++;
+      net.send(0, 1, Message::data_move(msg_id),
+               [&out, msg_id] { out.link_a.push_back(msg_id); });
+      if (rng.chance(0.4)) {
+        const std::uint64_t other = id++;
+        net.send(2, 3, Message::data_move(other),
+                 [&out, other] { out.link_b.push_back(other); });
+      }
+    }
+    q.run();
+  }
+  out.frames = net.batch_stats().frames;
+  return out;
+}
+
+class BatchFifo : public ::testing::TestWithParam<DelayKind> {};
+
+TEST_P(BatchFifo, OrderIdenticalUnderEveryFaultAdversary) {
+  const DelayKind kind = GetParam();
+  const FaultFactory adversaries[] = {
+      nullptr,
+      +[]() -> std::unique_ptr<FaultPolicy> {
+        return std::make_unique<DropFault>(Rng(11), 0.2);
+      },
+      +[]() -> std::unique_ptr<FaultPolicy> {
+        return std::make_unique<DuplicateFault>(Rng(5), 0.3);
+      },
+      +[]() -> std::unique_ptr<FaultPolicy> {
+        return std::make_unique<BurstLossFault>(Rng(7), 0.5, 96, 24);
+      },
+      +[]() -> std::unique_ptr<FaultPolicy> {
+        return std::make_unique<StallFault>(Rng(3), 0.2, 64, 8);
+      },
+      +[]() -> std::unique_ptr<FaultPolicy> {
+        std::vector<std::unique_ptr<FaultPolicy>> kids;
+        kids.push_back(std::make_unique<DropFault>(Rng(1), 0.1));
+        kids.push_back(std::make_unique<StallFault>(Rng(2), 0.1, 64, 8));
+        return std::make_unique<ComposedFault>(std::move(kids));
+      },
+  };
+  for (std::size_t i = 0; i < std::size(adversaries); ++i) {
+    const StreamResult plain = run_stream(kind, adversaries[i], false);
+    const StreamResult batched = run_stream(kind, adversaries[i], true);
+    EXPECT_EQ(batched.link_a, plain.link_a) << "adversary " << i;
+    EXPECT_EQ(batched.link_b, plain.link_b) << "adversary " << i;
+    EXPECT_EQ(plain.frames, 0u) << "adversary " << i;
+  }
+  // The comparison must not be vacuous: fault-free streams coalesce.
+  EXPECT_GT(run_stream(kind, nullptr, true).frames, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDelayKinds, BatchFifo,
+                         ::testing::Values(DelayKind::kFixed,
+                                           DelayKind::kUniform,
+                                           DelayKind::kHeavyTail,
+                                           DelayKind::kBiased,
+                                           DelayKind::kReorder),
+                         [](const auto& info) {
+                           return std::string(delay_kind_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace dyncon::sim
+
+// ---- batched grants: registry-identical to unbatched ------------------------
+
+namespace dyncon::core {
+namespace {
+
+struct DistRun {
+  std::string registry_json;
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;
+  std::uint64_t granted = 0;
+};
+
+/// An async request flood on a mixed tree: overlapping events at shared
+/// ancestors force waiter queues, so unlock waves release multiple agents
+/// back to back — the traffic both vectorized grants and same-edge
+/// coalescing act on.
+DistRun run_distributed(std::uint64_t seed, bool batch_grants,
+                        bool net_batching) {
+  obs::Registry reg;
+  DistRun out;
+  {
+    obs::ScopedMetrics scope(reg);
+    Rng rng(seed);
+    sim::EventQueue queue;
+    sim::Network net(queue, sim::make_delay(sim::DelayKind::kUniform, 17));
+    net.set_batching(net_batching);
+    tree::DynamicTree t;
+    workload::build(t, workload::Shape::kRandomAttach, 48, rng);
+    DistributedController::Options opts;
+    opts.batch_grants = batch_grants;
+    DistributedController ctrl(net, t, Params(1u << 16, 1u << 15, 4096),
+                               opts);
+    const auto nodes = t.alive_nodes();
+    for (int wave = 0; wave < 6; ++wave) {
+      for (int i = 0; i < 24; ++i) {
+        const NodeId u = nodes[rng.uniform(0, nodes.size() - 1)];
+        ctrl.submit_event(u, [&out](const Result& r) {
+          out.granted += r.granted() ? 1 : 0;
+        });
+      }
+      queue.run();
+    }
+    out.messages = ctrl.messages_used();
+    out.events = queue.events_fired();
+  }
+  out.registry_json = reg.to_json().dump();
+  return out;
+}
+
+TEST(BatchedGrants, BitIdenticalToUnbatchedOnSeedSweep) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const DistRun base = run_distributed(seed, false, false);
+    ASSERT_GT(base.granted, 0u);
+    for (const bool grants : {false, true}) {
+      for (const bool batching : {false, true}) {
+        if (!grants && !batching) continue;
+        const DistRun r = run_distributed(seed, grants, batching);
+        EXPECT_EQ(r.registry_json, base.registry_json)
+            << "seed=" << seed << " grants=" << grants
+            << " batching=" << batching;
+        EXPECT_EQ(r.messages, base.messages) << "seed=" << seed;
+        EXPECT_EQ(r.events, base.events) << "seed=" << seed;
+        EXPECT_EQ(r.granted, base.granted) << "seed=" << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyncon::core
+
+// ---- forest: byte-identical across shard counts and batching ----------------
+
+namespace dyncon::forest {
+namespace {
+
+std::string forest_registry(unsigned shards, bool batch_exchange) {
+  ForestConfig cfg;
+  cfg.shards = shards;
+  cfg.mux.users = 96;
+  cfg.mux.trees = 12;
+  cfg.mux.requests_per_user = 6;
+  cfg.tree_size = 12;
+  cfg.window = 64;
+  cfg.batch_exchange = batch_exchange;
+  obs::Registry reg;
+  ForestEngine engine(cfg, /*seed=*/77);
+  {
+    obs::ScopedMetrics scope(reg);
+    (void)engine.run();
+  }
+  return reg.to_json().dump();
+}
+
+TEST(ForestBatching, ByteIdenticalAcrossShardsAndBatching) {
+  const std::string base = forest_registry(1, false);
+  for (const unsigned shards : {1u, 3u, 8u}) {
+    for (const bool batching : {false, true}) {
+      if (shards == 1 && !batching) continue;
+      EXPECT_EQ(forest_registry(shards, batching), base)
+          << "shards=" << shards << " batch_exchange=" << batching;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyncon::forest

@@ -144,8 +144,10 @@ def main() -> None:
 
     tol = args.tolerance
     for name, expected in sorted(base["gauges"].items()):
-        if name.startswith(("perf.parallel.", "perf.forest.")):
-            continue  # machine-dependent; checked within the current report
+        if name.startswith(("perf.parallel.", "perf.forest.", "perf.batch.")):
+            continue  # machine- or knob-dependent; checked within the
+            # current report (check_report.py validates perf.batch.*
+            # arithmetic; its values follow --no-batch/--batch-window)
         actual = cur["gauges"].get(name)
         if actual is None:
             errors.append(f"gauge {name} missing from current report")
