@@ -13,6 +13,8 @@
 
 #include "agent/convergecast.hpp"
 #include "agent/whiteboard.hpp"
+#include "forest/hibernate.hpp"
+#include "forest/tree_slab.hpp"
 #include "core/centralized_controller.hpp"
 #include "core/distributed_controller.hpp"
 #include "core/package.hpp"
@@ -209,6 +211,77 @@ void BM_WatchdogArmDisarmAllocs(benchmark::State& state) {
   wd.verify_idle();
 }
 BENCHMARK(BM_WatchdogArmDisarmAllocs);
+
+void BM_TreeSlabAcquireReleaseAllocs(benchmark::State& state) {
+  // The forest's per-tree arena: a hibernation cycle is release -> (later)
+  // acquire, and the slab machinery itself — free-list pop/push, in-place
+  // slot reset — must be allocation-free once the first chunk exists.
+  // (Rebuilding a woken tree's topology is the wake path's cost, priced by
+  // the engine's hibernation counters and amortized by the residency
+  // budget; the engine's own steady-state gate measures the no-eviction
+  // loop, where no slab call happens at all.)
+  forest::TreeSlab slab;
+  for (int i = 0; i < 256; ++i) {  // warm up: first chunk + free list
+    slab.release(slab.acquire());
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const std::uint32_t slot = slab.acquire();
+    sink += slab.at(slot).tree.size();
+    slab.release(slot);
+    ++ops;
+  }
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  check_steady_state_allocs("TreeSlab::acquire/release", per_op);
+}
+BENCHMARK(BM_TreeSlabAcquireReleaseAllocs);
+
+void BM_HibernateEncodeAllocs(benchmark::State& state) {
+  // Hibernating a tree encodes its TreeImage into a recycled byte buffer
+  // (the frozen-slot free list hands the last Encoded back to BitWriter's
+  // reuse constructor).  After the first encode sizes the buffer, the
+  // capture -> encode cycle must not touch the allocator.
+  tree::DynamicTree t;
+  Rng build_rng(0x51ab51abULL);
+  forest::build_initial_topology(t, build_rng, 48);
+  std::vector<NodeId> grown;
+  for (int i = 0; i < 8; ++i) {
+    grown.push_back(t.add_leaf(static_cast<NodeId>(i)));
+  }
+  Rng tree_rng(0xfeedbeefULL);
+  forest::TreeImage img;
+  sim::Encoded enc;
+  {
+    // Warm up: capture once (sizes img.grown) and encode once (sizes the
+    // byte buffer).
+    forest::capture_tree_image(img, t, nullptr, tree_rng, grown,
+                               grown.size());
+    enc = forest::encode_tree_image(img, std::move(enc));
+  }
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    forest::capture_tree_image(img, t, nullptr, tree_rng, grown,
+                               grown.size());
+    enc = forest::encode_tree_image(img, std::move(enc));
+    sink += enc.bits;
+    ++ops;
+  }
+  benchmark::DoNotOptimize(sink);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  const double per_op =
+      ops ? static_cast<double>(after - before) / static_cast<double>(ops) : 0;
+  state.counters["allocs_per_op"] = per_op;
+  check_steady_state_allocs("capture/encode_tree_image", per_op);
+}
+BENCHMARK(BM_HibernateEncodeAllocs);
 
 void BM_TreeAddRemoveLeaf(benchmark::State& state) {
   tree::DynamicTree t;

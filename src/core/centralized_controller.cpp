@@ -73,6 +73,35 @@ void CentralizedController::clear_data_structure() {
   storage_serials_ = Interval{};  // serials are not reconstructed
 }
 
+void CentralizedController::extract_image(Image& out) const {
+  DYNCON_REQUIRE(storage_serials_.empty() && options_.serials.empty(),
+                 "extract_image: serial-tracking controllers not supported");
+  DYNCON_REQUIRE(domains_ == nullptr,
+                 "extract_image: domain-tracking controllers not supported");
+  DYNCON_REQUIRE(!options_.on_pass_down,
+                 "extract_image: on_pass_down hook not supported");
+  out.storage = storage_;
+  out.granted = granted_;
+  out.rejects = rejects_;
+  out.wave = wave_;
+  out.exhausted = exhausted_;
+  packages_.extract_image(out.packages);
+}
+
+void CentralizedController::restore_image(const Image& img) {
+  DYNCON_REQUIRE(granted_ == 0 && rejects_ == 0 && !wave_ && !exhausted_ &&
+                     packages_.move_complexity() == 0,
+                 "restore_image onto a used controller");
+  DYNCON_REQUIRE(domains_ == nullptr && storage_serials_.empty(),
+                 "restore_image: tracked controllers not supported");
+  storage_ = img.storage;
+  granted_ = img.granted;
+  rejects_ = img.rejects;
+  wave_ = img.wave;
+  exhausted_ = img.exhausted;
+  packages_.restore_image(img.packages);
+}
+
 Result CentralizedController::handle(NodeId u, const EventSpec& ev) {
   obs::SpanSink* sink = obs::spans();
   if (sink == nullptr) return handle_impl(u, ev);  // the one-branch path

@@ -104,6 +104,35 @@ class CentralizedController final : public IController {
   /// Used by iteration wrappers when re-parameterizing.
   void clear_data_structure();
 
+  // ---- hibernation images --------------------------------------------------
+
+  /// The controller's complete mutable state (the tree itself is rebuilt
+  /// separately).  Forest-scoped: controllers with serial tracking, domain
+  /// tracking, or an on_pass_down hook refuse to be imaged.
+  struct Image {
+    std::uint64_t storage = 0;
+    std::uint64_t granted = 0;
+    std::uint64_t rejects = 0;
+    bool wave = false;
+    bool exhausted = false;
+    PackageTable::Image packages;
+    bool operator==(const Image&) const = default;
+  };
+
+  /// Capture the controller's state into `out` (cleared first).
+  void extract_image(Image& out) const;
+
+  /// Restore onto a freshly constructed controller with identical Params /
+  /// Options over an identically rebuilt tree.  No counters re-fire
+  /// (`permits.granted`, `wave.count`, `moves.total`, ... already counted
+  /// in their original shard registry before hibernation).
+  void restore_image(const Image& img);
+
+  /// Rough heap footprint in bytes (delegates to the package table).
+  [[nodiscard]] std::uint64_t approx_bytes() const {
+    return packages_.approx_bytes();
+  }
+
  private:
   /// What to do at u when the permit is granted.
   struct EventSpec {

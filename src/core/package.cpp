@@ -191,6 +191,62 @@ std::uint64_t PackageTable::permits_in_packages() const {
   return total;
 }
 
+void PackageTable::extract_image(Image& out) const {
+  out.next_id = packages_.size();
+  out.moves = moves_;
+  out.alive.clear();
+  std::vector<NodeId> hosts;
+  hosts.reserve(by_host_.size());
+  for (const auto& [host, pkgs] : by_host_) hosts.push_back(host);
+  std::sort(hosts.begin(), hosts.end());
+  for (NodeId host : hosts) {
+    for (PackageId p : by_host_.at(host)) {
+      const Package& pkg = get(p);
+      DYNCON_REQUIRE(pkg.serials.empty(),
+                     "extract_image: serial-tracking packages not supported");
+      out.alive.push_back(Record{pkg.id, pkg.kind, pkg.host, pkg.size,
+                                 pkg.level});
+    }
+  }
+  // by_host_ indexes exactly the alive packages (carried ones would hide at
+  // host kNoNode, which never appears as a tree node id).
+  std::uint64_t alive_count = 0;
+  for (const Package& pkg : packages_) {
+    if (pkg.alive) {
+      DYNCON_REQUIRE(pkg.host != kNoNode,
+                     "extract_image: carried packages not supported");
+      ++alive_count;
+    }
+  }
+  DYNCON_INVARIANT(alive_count == out.alive.size(),
+                   "extract_image: host index out of sync");
+}
+
+void PackageTable::restore_image(const Image& img) {
+  DYNCON_REQUIRE(packages_.empty() && by_host_.empty() && moves_ == 0,
+                 "restore_image into a non-fresh table");
+  packages_.assign(static_cast<std::size_t>(img.next_id), Package{});
+  for (const Record& rec : img.alive) {
+    DYNCON_REQUIRE(rec.id < img.next_id, "restore_image: id beyond next_id");
+    Package& pkg = packages_[static_cast<std::size_t>(rec.id)];
+    DYNCON_REQUIRE(!pkg.alive, "restore_image: duplicate package id");
+    pkg = Package{rec.id, rec.kind, rec.host, rec.size, rec.level,
+                  Interval{}, true};
+    by_host_[rec.host].push_back(rec.id);
+  }
+  moves_ = img.moves;
+}
+
+std::uint64_t PackageTable::approx_bytes() const {
+  std::uint64_t bytes = packages_.capacity() * sizeof(Package);
+  bytes += by_host_.bucket_count() * sizeof(void*);
+  for (const auto& [host, pkgs] : by_host_) {
+    bytes += sizeof(NodeId) + sizeof(std::vector<PackageId>) + 16;
+    bytes += pkgs.capacity() * sizeof(PackageId);
+  }
+  return bytes;
+}
+
 void PackageTable::attach(PackageId p, NodeId host) {
   by_host_[host].push_back(p);
 }

@@ -117,6 +117,44 @@ class PackageTable {
   /// Total permits currently held in alive (non-reject) packages.
   [[nodiscard]] std::uint64_t permits_in_packages() const;
 
+  // ---- hibernation images --------------------------------------------------
+
+  /// One alive package, as recorded in an `Image`.
+  struct Record {
+    PackageId id = kNoPackage;
+    PackageKind kind = PackageKind::kMobile;
+    NodeId host = kNoNode;
+    std::uint64_t size = 0;
+    std::uint32_t level = 0;
+    bool operator==(const Record&) const = default;
+  };
+
+  /// A complete, order-preserving snapshot of the table: `alive` lists
+  /// packages grouped by host in ascending host order, preserving each
+  /// host's whiteboard order (which find_static / find_mobile_of_level scan
+  /// positionally, so it is semantically load-bearing).  `next_id` keeps
+  /// the never-reused id space advancing across a hibernate cycle.
+  struct Image {
+    std::uint64_t next_id = 0;
+    std::uint64_t moves = 0;
+    std::vector<Record> alive;
+    bool operator==(const Image&) const = default;
+  };
+
+  /// Capture the table into `out` (cleared first).  Requires that no
+  /// package is carried in a Bag and none tracks serial intervals — true of
+  /// every forest controller; the distributed layers never hibernate.
+  void extract_image(Image& out) const;
+
+  /// Rebuild a *default-constructed* table from an image.  Replays no
+  /// creation/move paths, so `package.created` / `package.splits` /
+  /// `moves.total` counters do not re-fire.
+  void restore_image(const Image& img);
+
+  /// Rough heap footprint in bytes (package array plus host-index nodes);
+  /// an accounting estimate for `perf.mem.*`, not an allocator truth.
+  [[nodiscard]] std::uint64_t approx_bytes() const;
+
   // ---- accounting ----------------------------------------------------------------
 
   [[nodiscard]] std::uint64_t move_complexity() const { return moves_; }

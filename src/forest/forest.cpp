@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "core/params.hpp"
 #include "sim/wire.hpp"
 #include "util/error.hpp"
 
@@ -24,8 +23,31 @@ bool ready_order(const workload::MuxRequest& a,
 
 }  // namespace
 
+std::uint64_t resolved_grow_cap(const ForestConfig& cfg) {
+  // Auto: the tree may double its initial size plus a constant before
+  // grows saturate — enough headroom for every workload mix the benches
+  // drive, small enough that U (and hence the parameter levels) stay a
+  // per-tree constant.
+  return cfg.grow_cap != 0 ? cfg.grow_cap : 2 * cfg.tree_size + 64;
+}
+
+core::Params tree_params(const ForestConfig& cfg) {
+  DYNCON_REQUIRE(cfg.tree_size >= 1, "trees need at least the root");
+  const std::uint64_t budget = cfg.permits_per_tree != 0
+                                   ? cfg.permits_per_tree
+                                   : std::uint64_t{1} << 30;
+  // U upper-bounds nodes-ever per tree INSTANCE: the initial build plus at
+  // most grow_cap granted grows (the engine refuses further grows as
+  // kMoot).  Independent of users, trees, and the global request count.
+  const std::uint64_t u_bound = cfg.tree_size + resolved_grow_cap(cfg) + 2;
+  return core::Params(budget, u_bound, u_bound);
+}
+
 ForestEngine::ForestEngine(const ForestConfig& cfg, std::uint64_t seed)
-    : cfg_(cfg), mux_(cfg.mux, seed) {
+    : cfg_(cfg),
+      mux_(cfg.mux, seed),
+      params_(tree_params(cfg)),
+      grow_cap_(resolved_grow_cap(cfg)) {
   DYNCON_REQUIRE(cfg_.shards >= 1, "forest needs at least one shard");
   DYNCON_REQUIRE(cfg_.window >= 1, "window width must be >= 1 tick");
   DYNCON_REQUIRE(cfg_.tree_size >= 1, "trees need at least the root");
@@ -53,44 +75,32 @@ ForestEngine::ForestEngine(const ForestConfig& cfg, std::uint64_t seed)
   }
   frame_bits_scratch_.reserve(256);  // grows once, then steady-state clean
 
-  // Every tree draws from its own split-chain generator keyed by tree id,
-  // and its permit budget / U bound are per-tree constants — nothing about
-  // a tree depends on which shard hosts it.
-  const std::uint64_t budget =
-      cfg_.permits_per_tree != 0 ? cfg_.permits_per_tree
-                                 : std::uint64_t{1} << 30;
-  // U must upper-bound nodes-ever per tree: the initial build plus at most
-  // one add-leaf per request in the whole workload (all grows could hit
-  // one hot tree under heavy Zipf skew).
-  const std::uint64_t u_bound =
-      cfg_.tree_size + mux_.total_requests() + 2;
-  const std::uint64_t w_bound = std::max<std::uint64_t>(u_bound, 1);
+  // Per-tree SoA index: one split-chain walk records each tree's ctor seed
+  // (8 bytes), so a tree's stream is Rng(tree_seed_[t]) whether it
+  // materializes now (--eager), at first touch, or after any number of
+  // hibernate cycles — byte-identity at any --shards / --resident-trees
+  // follows by construction.  Startup is O(trees) index writes, not
+  // O(trees) heap objects.
+  const auto n = static_cast<std::size_t>(cfg_.mux.trees);
   Rng tree_parent(seed ^ kTreeSalt);
-  trees_.resize(static_cast<std::size_t>(cfg_.mux.trees));
-  for (std::size_t t = 0; t < trees_.size(); ++t) {
-    TreeState& ts = trees_[t];
-    ts.rng = tree_parent.split();
-    ts.shard = shard_of(static_cast<std::uint32_t>(t));
-    ts.tree = std::make_unique<tree::DynamicTree>();
-    ts.sites.reserve(static_cast<std::size_t>(cfg_.tree_size));
-    ts.sites.push_back(ts.tree->root());
-    for (std::uint64_t i = 1; i < cfg_.tree_size; ++i) {
-      const NodeId parent = ts.sites[ts.rng.index(ts.sites.size())];
-      ts.sites.push_back(ts.tree->add_leaf(parent));
-    }
-    ts.grown.reserve(64);
-    if (cfg_.service == Service::kController) {
-      core::CentralizedController::Options opts;
-      opts.track_domains = false;
-      ts.ctrl = std::make_unique<core::CentralizedController>(
-          *ts.tree, core::Params(budget, w_bound, u_bound), opts);
+  tree_seed_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    tree_seed_.push_back(tree_parent.split_seed());
+  }
+  tree_status_.assign(n, static_cast<std::uint8_t>(TreeStatus::kVirgin));
+  tree_slot_.assign(n, 0);
+
+  if (cfg_.eager) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto tree = static_cast<std::uint32_t>(t);
+      materialize(tree, *shards_[shard_of(tree)]);
     }
   }
 
   // Seed the first window: every user's opening request goes straight to
   // its target shard's inbox; stage_inboxes schedules them.
   for (const workload::MuxRequest& req : mux_.initial_requests()) {
-    shards_[trees_[req.tree].shard]->inbox.push_back(req);
+    shards_[shard_of(req.tree)]->inbox.push_back(req);
   }
 }
 
@@ -165,17 +175,21 @@ void ForestEngine::run_window_on_shard(std::uint64_t s) {
   obs::ScopedMetrics scope(sh.registry);
   // The inbox was filled by the main thread before the dispatch barrier
   // and is owned by this worker until the next one — no synchronization
-  // beyond the barriers themselves.
+  // beyond the barriers themselves.  Residency enforcement runs at the
+  // window's trailing edge, off the per-event path: the coldest trees
+  // beyond the budget hibernate before the barrier.
   if (sh.spans != nullptr) {
     // Spans follow the registry's thread-confinement: this window's worker
     // emits into THIS shard's sink; run() merges in shard order.
     obs::ScopedSpans span_scope(*sh.spans);
     stage_inbox(sh);
     sh.queue.run_until(window_end_);
+    enforce_residency(sh);
     return;
   }
   stage_inbox(sh);
   sh.queue.run_until(window_end_);
+  enforce_residency(sh);
 }
 
 void ForestEngine::account_exchange_frame(const Shard& sh) {
@@ -235,17 +249,143 @@ void ForestEngine::exchange() {
   for (const Completion& c : exchange_scratch_) {
     workload::MuxRequest req;
     if (!mux_.next_request(c.user, c.done, window_end_, req)) continue;
-    const std::uint32_t target = trees_[req.tree].shard;
+    const std::uint32_t target = shard_of(req.tree);
     shards_[target]->inbox.push_back(req);
     ++stats_.handoffs;
-    if (target != trees_[c.tree].shard) ++stats_.cross_shard;
+    if (target != shard_of(c.tree)) ++stats_.cross_shard;
+  }
+}
+
+LiveTree& ForestEngine::touch(std::uint32_t tree, Shard& sh) {
+  const auto t = static_cast<std::size_t>(tree);
+  switch (static_cast<TreeStatus>(tree_status_[t])) {
+    case TreeStatus::kLive:
+      break;
+    case TreeStatus::kVirgin:
+      materialize(tree, sh);
+      break;
+    case TreeStatus::kFrozen:
+      wake(tree, sh);
+      break;
+  }
+  LiveTree& lt = sh.slab.at(tree_slot_[t]);
+  lt.last_touch = sh.queue.now();
+  return lt;
+}
+
+void ForestEngine::materialize(std::uint32_t tree, Shard& sh) {
+  const std::uint32_t slot = sh.slab.acquire();
+  LiveTree& lt = sh.slab.at(slot);
+  lt.tree_id = tree;
+  lt.rng = Rng(tree_seed_[tree]);
+  // The build draws come first off the tree's chain; serve-time draws
+  // continue the same stream, exactly as the eager engine consumed it.
+  build_initial_topology(lt.tree, lt.rng, cfg_.tree_size);
+  if (cfg_.service == Service::kController) {
+    core::CentralizedController::Options opts;
+    opts.track_domains = false;
+    lt.ctrl.emplace(lt.tree, params_, opts);
+  }
+  tree_slot_[tree] = slot;
+  tree_status_[tree] = static_cast<std::uint8_t>(TreeStatus::kLive);
+  ++sh.tree_builds;
+}
+
+void ForestEngine::wake(std::uint32_t tree, Shard& sh) {
+  const std::uint32_t fslot = tree_slot_[tree];
+  decode_tree_image(sh.image_scratch, sh.frozen[fslot]);
+  const TreeImage& img = sh.image_scratch;
+
+  const std::uint32_t slot = sh.slab.acquire();
+  LiveTree& lt = sh.slab.at(slot);
+  lt.tree_id = tree;
+  {
+    // The build's draws replay from the recorded seed on a scratch
+    // generator; the live stream then resumes from the snapshot state.
+    Rng build_rng(tree_seed_[tree]);
+    build_initial_topology(lt.tree, build_rng, cfg_.tree_size);
+  }
+  replay_grown_nodes(lt.tree, img);
+  lt.rng.set_state(img.rng_state);
+  lt.grown.clear();
+  for (const auto& [id, parent] : img.grown) lt.grown.push_back(id);
+  lt.grows = img.grows;
+  if (img.has_ctrl) {
+    DYNCON_INVARIANT(cfg_.service == Service::kController,
+                     "controller image for an echo-mode tree");
+    core::CentralizedController::Options opts;
+    opts.track_domains = false;
+    lt.ctrl.emplace(lt.tree, params_, opts);
+    lt.ctrl->restore_image(img.ctrl);
+  }
+
+  // Recycle the frozen slot; its byte buffer stays behind on the free list
+  // for the next hibernation (allocation-free steady state).
+  sh.frozen_free.push_back(fslot);
+  tree_slot_[tree] = slot;
+  tree_status_[tree] = static_cast<std::uint8_t>(TreeStatus::kLive);
+  ++sh.wakes;
+}
+
+void ForestEngine::hibernate(std::uint32_t tree, Shard& sh) {
+  const std::uint32_t slot = tree_slot_[tree];
+  LiveTree& lt = sh.slab.at(slot);
+  capture_tree_image(sh.image_scratch, lt.tree,
+                     lt.ctrl.has_value() ? &*lt.ctrl : nullptr, lt.rng,
+                     lt.grown, lt.grows);
+  std::uint32_t fslot;
+  if (!sh.frozen_free.empty()) {
+    fslot = sh.frozen_free.back();
+    sh.frozen_free.pop_back();
+  } else {
+    fslot = static_cast<std::uint32_t>(sh.frozen.size());
+    sh.frozen.emplace_back();
+  }
+  sh.frozen[fslot] =
+      encode_tree_image(sh.image_scratch, std::move(sh.frozen[fslot]));
+  sh.hibernate_bits += sh.frozen[fslot].bits;
+  sh.slab.release(slot);
+  tree_slot_[tree] = fslot;
+  tree_status_[tree] = static_cast<std::uint8_t>(TreeStatus::kFrozen);
+  ++sh.hibernations;
+}
+
+void ForestEngine::destroy_tree(std::uint32_t tree, Shard& sh) {
+  const auto t = static_cast<std::size_t>(tree);
+  switch (static_cast<TreeStatus>(tree_status_[t])) {
+    case TreeStatus::kLive:
+      sh.slab.release(tree_slot_[t]);
+      break;
+    case TreeStatus::kFrozen:
+      sh.frozen_free.push_back(tree_slot_[t]);
+      break;
+    case TreeStatus::kVirgin:
+      break;
+  }
+  tree_status_[t] = static_cast<std::uint8_t>(TreeStatus::kVirgin);
+}
+
+void ForestEngine::enforce_residency(Shard& sh) {
+  const std::uint64_t budget = cfg_.resident_trees;
+  if (budget == 0 || sh.slab.occupied() <= budget) return;
+  // Deterministic LRU: (last_touch, tree_id) over this shard's residents.
+  // The POLICY may group differently at different shard counts — harmless,
+  // because the hibernate round-trip is lossless; only the hibernation
+  // diagnostics move.
+  sh.evict_scratch.clear();
+  sh.slab.for_each_occupied([&](const LiveTree& lt) {
+    sh.evict_scratch.emplace_back(lt.last_touch, lt.tree_id);
+  });
+  std::sort(sh.evict_scratch.begin(), sh.evict_scratch.end());
+  const std::size_t excess = sh.slab.occupied() - budget;
+  for (std::size_t i = 0; i < excess; ++i) {
+    hibernate(sh.evict_scratch[i].second, sh);
   }
 }
 
 void ForestEngine::serve(std::uint64_t user, std::uint32_t tree,
                          workload::ForestOp op, obs::TraceId trace) {
-  TreeState& ts = trees_[static_cast<std::size_t>(tree)];
-  Shard& sh = *shards_[ts.shard];
+  Shard& sh = *shards_[shard_of(tree)];
 
   // Causal context for everything this request touches: the controller's
   // op span (and any hop spans under it) parent to the request's root span.
@@ -264,48 +404,76 @@ void ForestEngine::serve(std::uint64_t user, std::uint32_t tree,
   static thread_local obs::CounterHandle c_other("forest.requests.other");
   static thread_local obs::CounterHandle c_permit("forest.ops.permit");
   static thread_local obs::CounterHandle c_grow("forest.ops.grow");
+  static thread_local obs::CounterHandle c_capped("forest.ops.grow_capped");
   static thread_local obs::CounterHandle c_shrink("forest.ops.shrink");
   static thread_local obs::CounterHandle c_noop("forest.ops.shrink_noop");
+  static thread_local obs::CounterHandle c_destroy("forest.ops.destroy");
   static thread_local obs::HistogramHandle h_cost("forest.serve.cost");
   c_total.add();
 
+  LiveTree& lt = touch(tree, sh);
+
   core::Outcome outcome = core::Outcome::kGranted;
+  bool destroyed = false;
   if (cfg_.service == Service::kEcho) {
     // Engine-only mode: grant unconditionally, touch no controller.  What
-    // remains is exactly the sharded runtime's own per-event work.
+    // remains is exactly the sharded runtime's own per-event work (destroy
+    // is a tenancy op on controller state, so echo ignores it too).
     c_permit.add();
+  } else if (op == workload::ForestOp::kDestroy) {
+    // Tenant teardown: free the tree's state entirely; the next request
+    // that touches this tree id lazily builds a fresh instance from the
+    // same seed.  Zero controller cost, granted outcome.
+    c_destroy.add();
+    h_cost.observe(0);
+    destroyed = true;
   } else {
-    const std::uint64_t cost_before = ts.ctrl->cost();
+    const std::uint64_t cost_before = lt.ctrl->cost();
     switch (op) {
       case workload::ForestOp::kPermit: {
         c_permit.add();
-        const NodeId site = ts.sites[ts.rng.index(ts.sites.size())];
-        outcome = ts.ctrl->request_event(site).outcome;
+        const NodeId site = static_cast<NodeId>(
+            lt.rng.index(static_cast<std::size_t>(cfg_.tree_size)));
+        outcome = lt.ctrl->request_event(site).outcome;
         break;
       }
       case workload::ForestOp::kGrow: {
         c_grow.add();
-        const NodeId parent = ts.sites[ts.rng.index(ts.sites.size())];
-        const core::Result res = ts.ctrl->request_add_leaf(parent);
+        if (lt.grows >= grow_cap_) {
+          // This instance's grow budget — the U bound's headroom — is
+          // spent; refuse without touching the controller.
+          c_capped.add();
+          outcome = core::Outcome::kMoot;
+          break;
+        }
+        const NodeId parent = static_cast<NodeId>(
+            lt.rng.index(static_cast<std::size_t>(cfg_.tree_size)));
+        const core::Result res = lt.ctrl->request_add_leaf(parent);
         outcome = res.outcome;
-        if (res.granted()) ts.grown.push_back(res.new_node);
+        if (res.granted()) {
+          lt.grown.push_back(res.new_node);
+          ++lt.grows;
+        }
         break;
       }
       case workload::ForestOp::kShrink: {
         c_shrink.add();
-        if (ts.grown.empty()) {
+        if (lt.grown.empty()) {
           // Nothing this user's tree can give back; a no-op completion.
           c_noop.add();
           outcome = core::Outcome::kMoot;
           break;
         }
-        const core::Result res = ts.ctrl->request_remove(ts.grown.back());
+        const core::Result res = lt.ctrl->request_remove(lt.grown.back());
         outcome = res.outcome;
-        if (res.granted()) ts.grown.pop_back();
+        if (res.granted()) lt.grown.pop_back();
         break;
       }
+      case workload::ForestOp::kDestroy:
+        DYNCON_INVARIANT(false, "destroy handled above");
+        break;
     }
-    h_cost.observe(ts.ctrl->cost() - cost_before);
+    h_cost.observe(lt.ctrl->cost() - cost_before);
   }
 
   switch (outcome) {
@@ -322,15 +490,17 @@ void ForestEngine::serve(std::uint64_t user, std::uint32_t tree,
 
   // Service latency: base + per-tree jitter (same stream as the site
   // draws, so it too is shard-count invariant), then a completion event
-  // that hands the response back at the next barrier.
-  const SimTime delay = cfg_.service_delay + (ts.rng.next() & 3);
+  // that hands the response back at the next barrier.  The jitter draw
+  // happens before a destroy releases the tree's state.
+  const SimTime delay = cfg_.service_delay + (lt.rng.next() & 3);
+  if (destroyed) destroy_tree(tree, sh);
   sh.queue.schedule_after(delay, [this, user, tree] {
     complete(user, tree);
   });
 }
 
 void ForestEngine::complete(std::uint64_t user, std::uint32_t tree) {
-  Shard& sh = *shards_[trees_[tree].shard];
+  Shard& sh = *shards_[shard_of(tree)];
   sh.outbox.push_back(Completion{sh.queue.now(), user, tree});
 }
 
@@ -355,6 +525,10 @@ ForestStats ForestEngine::run() {
     stats_.granted += shp->registry.counter("forest.requests.granted");
     stats_.rejected += shp->registry.counter("forest.requests.rejected");
     stats_.other += shp->registry.counter("forest.requests.other");
+    stats_.tree_builds += shp->tree_builds;
+    stats_.hibernations += shp->hibernations;
+    stats_.wakes += shp->wakes;
+    stats_.hibernate_bits += shp->hibernate_bits;
   }
 
   // Deterministic reduction: shard registries fold into the caller's
@@ -365,6 +539,35 @@ ForestStats ForestEngine::run() {
   }
   merge_shard_spans();
   return stats_;
+}
+
+ForestMemStats ForestEngine::mem_stats() const {
+  ForestMemStats m;
+  m.trees = tree_status_.size();
+  for (std::uint8_t st : tree_status_) {
+    switch (static_cast<TreeStatus>(st)) {
+      case TreeStatus::kVirgin:
+        ++m.virgin;
+        break;
+      case TreeStatus::kLive:
+        ++m.resident;
+        break;
+      case TreeStatus::kFrozen:
+        ++m.hibernated;
+        break;
+    }
+  }
+  m.materialized = m.resident + m.hibernated;
+  for (const auto& shp : shards_) {
+    m.arena_bytes += shp->slab.approx_bytes();
+    for (const sim::Encoded& e : shp->frozen) {
+      m.image_bytes += e.bytes.capacity() + sizeof(sim::Encoded);
+    }
+  }
+  m.index_bytes = tree_seed_.capacity() * sizeof(std::uint64_t) +
+                  tree_status_.capacity() +
+                  tree_slot_.capacity() * sizeof(std::uint32_t);
+  return m;
 }
 
 void ForestEngine::merge_shard_spans() {

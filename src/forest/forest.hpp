@@ -26,6 +26,17 @@
 //     not it crosses shards, so the virtual timeline is byte-identical at
 //     any --shards=N; sharding changes wall-clock time only.
 //
+//   * Pay-as-you-go trees: the engine's per-tree footprint is a 13-byte
+//     SoA index entry (split-chain seed, status, slot).  A tree's
+//     DynamicTree + controller materialize into the shard's TreeSlab arena
+//     on the first request that touches it (a tree's build is a pure
+//     function of (seed, tree_id), so laziness cannot change a byte of
+//     output), and under a --resident-trees budget cold trees hibernate
+//     into compact wire-codec snapshots at window edges, rematerializing on
+//     the next touch (forest/hibernate.hpp) — again byte-identical at any
+//     budget, because the snapshot round-trip is lossless and restore
+//     paths re-fire no counters.
+//
 //   * Tree event timelines are independent: two trees never share state,
 //     each draws from its own split-chain Rng, and a tree's events execute
 //     in the same relative order whatever else its shard interleaves
@@ -38,13 +49,17 @@
 // exchange) allocates nothing per event: queues recycle their slabs, all
 // engine buffers (outboxes, inboxes, sort scratch) retain capacity across
 // windows, and actions fit InlineFn's inline storage.  exp19's echo phase
-// measures this with the operator-new counter.
+// measures this with the operator-new counter (using --eager so one-time
+// materialization stays out of the measured loop).
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/centralized_controller.hpp"
+#include "core/params.hpp"
+#include "forest/hibernate.hpp"
+#include "forest/tree_slab.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -75,6 +90,21 @@ struct ForestConfig {
   /// Permit budget M per tree; 0 = effectively unlimited (requests mostly
   /// grant, the throughput-bench setting).
   std::uint64_t permits_per_tree = 0;
+  /// Cap on grows *granted* per tree instance; 0 = auto (2*tree_size + 64,
+  /// "the tree may double and change"). This — not the global request
+  /// count — is what sizes each controller's U bound, so per-tree
+  /// parameter levels no longer grow with unrelated trees or users
+  /// (tree_params() is the single source of truth).  A grow arriving at a
+  /// capped tree completes as kMoot (forest.ops.grow_capped).
+  std::uint64_t grow_cap = 0;
+  /// Per-shard budget of resident (materialized) trees; 0 = unlimited.
+  /// Enforced at window edges: the least-recently-touched trees beyond the
+  /// budget hibernate into compact snapshots and rematerialize on their
+  /// next touch.  Output is byte-identical at any budget.
+  std::uint64_t resident_trees = 0;
+  /// Materialize every tree at construction (the pre-lazy behavior).  Used
+  /// by benches/tests to price laziness; semantics are identical.
+  bool eager = false;
   /// Base service latency added to every request (plus 0..3 per-tree
   /// jitter ticks).
   SimTime service_delay = 1;
@@ -89,6 +119,15 @@ struct ForestConfig {
   bool batch_exchange = true;
 };
 
+/// The (M, W, U) parameter set the engine instantiates every controller
+/// with: a pure function of the per-tree knobs (permits_per_tree,
+/// tree_size, grow_cap) — never of the user population, the trees count, or
+/// the global request budget.  Exposed so tests can pin that property.
+[[nodiscard]] core::Params tree_params(const ForestConfig& cfg);
+
+/// grow_cap with the 0 = auto default resolved.
+[[nodiscard]] std::uint64_t resolved_grow_cap(const ForestConfig& cfg);
+
 struct ForestStats {
   // Shard-count invariant (compared across --shards values).
   std::uint64_t requests = 0;  ///< completions delivered back to users
@@ -101,6 +140,15 @@ struct ForestStats {
   // Shard-count DEPENDENT diagnostics (never in the metrics registry).
   std::uint64_t cross_shard = 0;  ///< handoffs whose tree changed shards
   std::uint64_t barriers = 0;
+  // Materialization / hibernation diagnostics (populated by run()).  These
+  // follow the --eager / --resident-trees knobs (and eviction grouping
+  // follows the shard count), so they stay out of the registry and out of
+  // the invariant compare; the knobs they track must not change a byte of
+  // registry output — that is what tests pin.
+  std::uint64_t tree_builds = 0;     ///< virgin -> live materializations
+  std::uint64_t hibernations = 0;    ///< live -> frozen transitions
+  std::uint64_t wakes = 0;           ///< frozen -> live rematerializations
+  std::uint64_t hibernate_bits = 0;  ///< total snapshot bits encoded
   // Exchange batching (cfg.batch_exchange): one BatchFrame per (shard,
   // window) with completions.  Frame grouping follows the shard count, so
   // these stay out of the registry too.  member_bits is what the same
@@ -110,6 +158,23 @@ struct ForestStats {
   std::uint64_t exchange_batched_msgs = 0;
   std::uint64_t exchange_frame_bits = 0;
   std::uint64_t exchange_member_bits = 0;
+};
+
+/// Memory accounting snapshot (perf.mem.* feedstock).  Byte figures are
+/// capacity-based estimates from the owning containers, not allocator
+/// truth — deterministic for a given run, comparable across knobs.
+struct ForestMemStats {
+  std::uint64_t trees = 0;
+  std::uint64_t virgin = 0;      ///< never touched (or destroyed) — index only
+  std::uint64_t resident = 0;    ///< live in a shard's TreeSlab
+  std::uint64_t hibernated = 0;  ///< frozen snapshots
+  std::uint64_t materialized = 0;  ///< resident + hibernated
+  std::uint64_t arena_bytes = 0;   ///< TreeSlab slots incl. retained capacity
+  std::uint64_t image_bytes = 0;   ///< frozen snapshot buffers
+  std::uint64_t index_bytes = 0;   ///< the per-tree SoA index
+  [[nodiscard]] std::uint64_t accounting_bytes() const {
+    return arena_bytes + image_bytes + index_bytes;
+  }
 };
 
 class ForestEngine {
@@ -136,6 +201,7 @@ class ForestEngine {
   void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
 
   [[nodiscard]] const ForestStats& stats() const { return stats_; }
+  [[nodiscard]] ForestMemStats mem_stats() const;
   [[nodiscard]] unsigned shards() const {
     return static_cast<unsigned>(shards_.size());
   }
@@ -163,16 +229,22 @@ class ForestEngine {
               ///< stay shard-count invariant
     std::vector<Completion> outbox;            // filled during a window
     std::vector<workload::MuxRequest> inbox;   // staged at barriers
+    // Resident-tree arena + frozen snapshot store, both thread-confined to
+    // whichever worker runs this shard's window (distinct SoA index
+    // elements for distinct shards' trees, so no cross-thread writes).
+    TreeSlab slab;
+    std::vector<sim::Encoded> frozen;        // snapshot slots (buffers kept)
+    std::vector<std::uint32_t> frozen_free;  // recycled snapshot slots
+    TreeImage image_scratch;                 // reused capture/decode scratch
+    std::vector<std::pair<SimTime, std::uint32_t>> evict_scratch;
+    // Worker-local diagnostics, folded into ForestStats by run().
+    std::uint64_t tree_builds = 0;
+    std::uint64_t hibernations = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t hibernate_bits = 0;
   };
 
-  struct TreeState {
-    std::unique_ptr<tree::DynamicTree> tree;
-    std::unique_ptr<core::CentralizedController> ctrl;
-    Rng rng;
-    std::vector<NodeId> sites;  ///< initial nodes (never removed)
-    std::vector<NodeId> grown;  ///< grow-added leaves (shrink pops back)
-    std::uint32_t shard = 0;
-  };
+  enum class TreeStatus : std::uint8_t { kVirgin, kLive, kFrozen };
 
   void stage_inbox(Shard& sh);
   void run_window_on_shard(std::uint64_t s);
@@ -183,12 +255,28 @@ class ForestEngine {
   void merge_shard_spans();
   [[nodiscard]] bool drained() const;
 
+  /// Ensure `tree` is live in its shard's slab and stamp its LRU touch
+  /// time; materializes virgin trees and wakes hibernated ones.
+  LiveTree& touch(std::uint32_t tree, Shard& sh);
+  void materialize(std::uint32_t tree, Shard& sh);
+  void wake(std::uint32_t tree, Shard& sh);
+  void hibernate(std::uint32_t tree, Shard& sh);
+  void destroy_tree(std::uint32_t tree, Shard& sh);
+  void enforce_residency(Shard& sh);
+
   ForestConfig cfg_;
   workload::RequestMux mux_;
+  core::Params params_;        ///< per-tree controller parameters
+  std::uint64_t grow_cap_;     ///< resolved per-tree grow cap
   void account_exchange_frame(const Shard& sh);
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<TreeState> trees_;
+  // Per-tree SoA index — the only always-resident per-tree state (13
+  // bytes/tree).  Entries for a tree are written only by its own shard's
+  // worker (distinct vector elements; never a vector<bool>).
+  std::vector<std::uint64_t> tree_seed_;    ///< split-chain ctor seed
+  std::vector<std::uint8_t> tree_status_;   ///< TreeStatus
+  std::vector<std::uint32_t> tree_slot_;    ///< slab slot / frozen slot
   std::unique_ptr<util::ThreadPool> pool_;  // null when shards == 1
   std::vector<Completion> exchange_scratch_;
   std::vector<std::uint64_t> frame_bits_scratch_;  // reused across windows

@@ -104,6 +104,13 @@ class BitWriter {
   explicit BitWriter(std::uint64_t expected_bits) {
     out_.bytes.reserve((expected_bits + 7) / 8);
   }
+  /// Adopts `reuse`'s byte buffer (cleared, capacity kept): a caller that
+  /// round-trips the same Encoded through repeated encode cycles reaches an
+  /// allocation-free steady state (forest hibernation does exactly this).
+  explicit BitWriter(Encoded&& reuse) : out_(std::move(reuse)) {
+    out_.bytes.clear();
+    out_.bits = 0;
+  }
 
   void put_bit(bool bit);
   /// Appends the low `width` bits of `value`, most significant first.

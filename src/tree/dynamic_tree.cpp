@@ -221,6 +221,31 @@ void DynamicTree::remove_node(NodeId v) {
   }
 }
 
+void DynamicTree::reserve_nodes(std::size_t n) {
+  nodes_.reserve(n);
+  ports_.reserve_nodes(n);
+}
+
+void DynamicTree::shrink_to_fit() {
+  nodes_.shrink_to_fit();
+  ports_.shrink_to_fit();
+}
+
+void DynamicTree::reset_to_root() {
+  DYNCON_REQUIRE(observers_.empty(),
+                 "reset_to_root with observers still registered");
+  nodes_.clear();
+  nodes_.push_back(Node{});
+  alive_count_ = 1;
+  ports_.reset();
+}
+
+std::uint64_t DynamicTree::approx_bytes() const {
+  std::uint64_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) bytes += n.children.capacity() * sizeof(NodeId);
+  return bytes + ports_.approx_bytes();
+}
+
 void DynamicTree::add_observer(TreeObserver* obs) {
   DYNCON_REQUIRE(obs != nullptr, "null observer");
   observers_.push_back(obs);

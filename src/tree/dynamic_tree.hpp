@@ -100,6 +100,26 @@ class DynamicTree {
   /// Remove any non-root node, dispatching on leaf/internal.
   void remove_node(NodeId v);
 
+  // ---- storage management (forest slab recycling) -------------------------
+
+  /// Reserve node storage for `n` ids up front (skips the doubling walk
+  /// when the final size is known, e.g. a forest tree's initial build).
+  void reserve_nodes(std::size_t n);
+
+  /// Trim node/port storage capacity to size — the small-tree common case
+  /// pays for exactly the nodes it has.
+  void shrink_to_fit();
+
+  /// Rewind to the single-root state of a freshly constructed tree while
+  /// keeping `nodes_` / port-table capacity (slab-recycled trees rebuild
+  /// into the same storage without reallocating it).  Requires that no
+  /// observers are registered: a recycled identity would dangle them.
+  void reset_to_root();
+
+  /// Rough heap footprint in bytes (node array, child lists, port tables);
+  /// an accounting estimate for `perf.mem.*`, not an allocator truth.
+  [[nodiscard]] std::uint64_t approx_bytes() const;
+
   // ---- observers -----------------------------------------------------------
 
   void add_observer(TreeObserver* obs);

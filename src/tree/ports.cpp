@@ -4,6 +4,24 @@
 
 namespace dyncon::tree {
 
+void PortAssigner::reset() {
+  tables_.clear();
+  rng_ = Rng(seed_);
+}
+
+std::uint64_t PortAssigner::approx_bytes() const {
+  std::uint64_t bytes = tables_.capacity() * sizeof(Table);
+  for (const Table& t : tables_) {
+    // Per map: one pointer-ish slot per bucket plus a node per element
+    // (key/value pair and two link/hash words) — libstdc++-shaped estimate.
+    bytes += (t.by_port.bucket_count() + t.by_neighbor.bucket_count()) *
+             sizeof(void*);
+    bytes += t.by_port.size() * (sizeof(PortId) + sizeof(NodeId) + 16);
+    bytes += t.by_neighbor.size() * (sizeof(NodeId) + sizeof(PortId) + 16);
+  }
+  return bytes;
+}
+
 PortId PortAssigner::attach(NodeId node, NodeId neighbor) {
   if (node >= tables_.size()) tables_.resize(node + 1);
   Table& t = tables_[node];

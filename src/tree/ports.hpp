@@ -21,7 +21,23 @@ namespace dyncon::tree {
 /// Per-node port table: port -> neighbor and neighbor -> port.
 class PortAssigner {
  public:
-  explicit PortAssigner(std::uint64_t seed = 0xdecafbadULL) : rng_(seed) {}
+  explicit PortAssigner(std::uint64_t seed = 0xdecafbadULL)
+      : rng_(seed), seed_(seed) {}
+
+  /// Forget every port and rewind the adversary to its construction seed,
+  /// keeping the outer table array's capacity (slab-recycled trees reuse
+  /// it).  Equivalent to `*this = PortAssigner(seed)` minus the free.
+  void reset();
+
+  /// Reserve outer-table capacity for `nodes` node ids.
+  void reserve_nodes(std::size_t nodes) { tables_.reserve(nodes); }
+
+  /// Trim outer-table capacity to size (small-tree common case).
+  void shrink_to_fit() { tables_.shrink_to_fit(); }
+
+  /// Rough heap footprint in bytes (tables plus hash-map nodes/buckets);
+  /// an accounting estimate for `perf.mem.*`, not an allocator truth.
+  [[nodiscard]] std::uint64_t approx_bytes() const;
 
   /// Assign a fresh port at `node` leading to `neighbor`.
   PortId attach(NodeId node, NodeId neighbor);
@@ -48,6 +64,7 @@ class PortAssigner {
   /// rehashes an outer map that is thousands of nodes wide.
   std::vector<Table> tables_;
   Rng rng_;
+  std::uint64_t seed_;
 
   Table* table(NodeId node) {
     return node < tables_.size() ? &tables_[node] : nullptr;

@@ -80,6 +80,12 @@ std::size_t Rng::index(std::size_t size) {
   return static_cast<std::size_t>(uniform(0, size - 1));
 }
 
-Rng Rng::split() { return Rng(next() ^ 0xd6e8feb86659fd93ULL); }
+Rng Rng::split() { return Rng(split_seed()); }
+
+void Rng::set_state(const State& s) {
+  DYNCON_REQUIRE((s[0] | s[1] | s[2] | s[3]) != 0,
+                 "set_state: all-zero xoshiro state is absorbing");
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+}
 
 }  // namespace dyncon

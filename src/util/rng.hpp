@@ -8,6 +8,7 @@
 // splitmix64, which is fast, has a 256-bit state, and — unlike
 // std::mt19937 — has a guaranteed identical stream across platforms.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,20 @@ class Rng {
 
   /// Derive an independent child generator (for per-component streams).
   Rng split();
+
+  /// The seed that `split()` would construct its child from, without
+  /// materializing the child.  `Rng(parent.split_seed())` produces exactly
+  /// the same stream as `parent.split()` — this is what lets a forest of
+  /// lazily-built trees record one u64 per tree instead of an Rng each.
+  std::uint64_t split_seed() { return next() ^ 0xd6e8feb86659fd93ULL; }
+
+  /// Raw 256-bit generator state, for hibernation snapshots.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Restore a state previously captured with `state()`; the stream
+  /// continues exactly where the captured generator left off.
+  void set_state(const State& s);
 
  private:
   std::uint64_t s_[4];

@@ -13,7 +13,10 @@ RequestMux::RequestMux(MuxConfig cfg, std::uint64_t seed)
   DYNCON_REQUIRE(cfg_.trees >= 1, "at least one tree");
   DYNCON_REQUIRE(cfg_.trees <= UINT32_MAX, "tree ids are 32-bit");
   DYNCON_REQUIRE(cfg_.grow_fraction >= 0.0 && cfg_.shrink_fraction >= 0.0 &&
-                     cfg_.grow_fraction + cfg_.shrink_fraction <= 1.0,
+                     cfg_.destroy_fraction >= 0.0 &&
+                     cfg_.grow_fraction + cfg_.shrink_fraction +
+                             cfg_.destroy_fraction <=
+                         1.0,
                  "request mix fractions must form a distribution");
   DYNCON_REQUIRE(cfg_.mean_think >= 1, "mean think time must be >= 1");
   // One split chain for the users: user u's stream depends only on
@@ -36,6 +39,11 @@ void RequestMux::draw(UserState& u, MuxRequest& out) {
     out.op = ForestOp::kGrow;
   } else if (mix < cfg_.grow_fraction + cfg_.shrink_fraction) {
     out.op = ForestOp::kShrink;
+  } else if (mix < cfg_.grow_fraction + cfg_.shrink_fraction +
+                       cfg_.destroy_fraction) {
+    // The destroy band sits after grow+shrink so a 0.0 fraction leaves the
+    // branch thresholds — and every seeded op sequence — untouched.
+    out.op = ForestOp::kDestroy;
   } else {
     out.op = ForestOp::kPermit;
   }
@@ -85,6 +93,7 @@ void RequestMux::close_pending(UserState& u, SimTime done) {
   static thread_local obs::HistogramHandle lat_permit("req.latency.permit");
   static thread_local obs::HistogramHandle lat_grow("req.latency.grow");
   static thread_local obs::HistogramHandle lat_shrink("req.latency.shrink");
+  static thread_local obs::HistogramHandle lat_destroy("req.latency.destroy");
   const SimTime latency = done - req.ready;
   switch (req.op) {
     case ForestOp::kPermit:
@@ -95,6 +104,9 @@ void RequestMux::close_pending(UserState& u, SimTime done) {
       break;
     case ForestOp::kShrink:
       lat_shrink.observe(latency);
+      break;
+    case ForestOp::kDestroy:
+      lat_destroy.observe(latency);
       break;
   }
   if (obs::SpanSink* sink = obs::spans()) {

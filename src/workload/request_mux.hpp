@@ -28,9 +28,10 @@ namespace dyncon::workload {
 
 /// What a forest user asks a tree for.
 enum class ForestOp : std::uint8_t {
-  kPermit,  ///< non-topological event request (a "ticket")
-  kGrow,    ///< add-leaf under a popular site
-  kShrink,  ///< remove a previously grown leaf
+  kPermit,   ///< non-topological event request (a "ticket")
+  kGrow,     ///< add-leaf under a popular site
+  kShrink,   ///< remove a previously grown leaf
+  kDestroy,  ///< tenant teardown: drop the tree's state entirely
 };
 
 [[nodiscard]] constexpr const char* forest_op_name(ForestOp op) {
@@ -41,6 +42,8 @@ enum class ForestOp : std::uint8_t {
       return "grow";
     case ForestOp::kShrink:
       return "shrink";
+    case ForestOp::kDestroy:
+      return "destroy";
   }
   return "?";
 }
@@ -54,6 +57,10 @@ struct MuxConfig {
   /// Request mix; the permit fraction is the remainder.
   double grow_fraction = 0.15;
   double shrink_fraction = 0.10;
+  /// Fraction of requests that tear the target tree down (tenant churn).
+  /// Default 0 keeps the draw sequence — and hence every seeded stream —
+  /// exactly what it was before the knob existed.
+  double destroy_fraction = 0.0;
   /// Mean think time between a completion and the user's next request.
   SimTime mean_think = 12;
   /// First arrivals are paced by this process (gap per user).

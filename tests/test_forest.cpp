@@ -176,7 +176,8 @@ TEST(ForestRegistry, MergedTotalsMatchTheWorkload) {
   EXPECT_EQ(reg.counter("forest.requests.other"), stats.other);
   EXPECT_EQ(reg.counter("forest.ops.permit") +
                 reg.counter("forest.ops.grow") +
-                reg.counter("forest.ops.shrink"),
+                reg.counter("forest.ops.shrink") +
+                reg.counter("forest.ops.destroy"),
             expected);
   const obs::Histogram* cost = reg.histogram("forest.serve.cost");
   ASSERT_NE(cost, nullptr);
@@ -220,6 +221,300 @@ TEST(ForestEngineContracts, ShardPlacementIsModulo) {
   EXPECT_EQ(engine.shard_of(0), 0u);
   EXPECT_EQ(engine.shard_of(4), 1u);
   EXPECT_EQ(engine.shard_of(11), 2u);
+}
+
+// ---- controller parameter sizing (the u_bound regression) -------------------
+
+TEST(ForestParams, ControllerLevelsIndependentOfUsersAndTrees) {
+  // The bug this pins down: u_bound was tree_size + total_requests + 2, so
+  // adding unrelated users or trees to the workload silently deepened every
+  // controller's level structure.  tree_params must be a pure function of
+  // the per-tree knobs.
+  ForestConfig small = small_config(1);
+  ForestConfig huge = small_config(1);
+  huge.mux.users = 1'000'000;
+  huge.mux.requests_per_user = 64;
+  huge.mux.trees = 500'000;
+  const core::Params a = tree_params(small);
+  const core::Params b = tree_params(huge);
+  EXPECT_EQ(a.M(), b.M());
+  EXPECT_EQ(a.U(), b.U());
+  EXPECT_EQ(a.W(), b.W());
+  EXPECT_EQ(a.U(), small.tree_size + resolved_grow_cap(small) + 2);
+  // An explicit cap flows straight through.
+  ForestConfig capped = small_config(1);
+  capped.grow_cap = 7;
+  EXPECT_EQ(resolved_grow_cap(capped), 7u);
+  EXPECT_EQ(tree_params(capped).U(), capped.tree_size + 7 + 2);
+}
+
+TEST(ForestParams, GrowCapRefusesAsMootDeterministically) {
+  // A cap tight enough to trip: grows beyond it complete as kMoot and are
+  // counted, and the refusal is byte-identical at any shard count.
+  ForestConfig cfg = small_config(1);
+  cfg.grow_cap = 2;
+  cfg.mux.grow_fraction = 0.5;
+  obs::Registry reg;
+  ForestEngine engine(cfg, 42);
+  {
+    obs::ScopedMetrics scope(reg);
+    (void)engine.run();
+  }
+  EXPECT_GT(reg.counter("forest.ops.grow_capped"), 0u);
+  EXPECT_LE(reg.counter("forest.ops.grow_capped"),
+            reg.counter("forest.ops.grow"));
+  const RunResult serial = run_forest(cfg, 42);
+  cfg.shards = 5;
+  const RunResult sharded = run_forest(cfg, 42);
+  EXPECT_EQ(serial.registry_json, sharded.registry_json);
+}
+
+// ---- lazy materialization / hibernation -------------------------------------
+
+TEST(ForestMemory, LazyMatchesEagerByteForByte) {
+  // Materializing a tree at construction or at first touch must be
+  // indistinguishable in every counter, histogram, and invariant stat — a
+  // tree's build is a pure function of (seed, tree_id).
+  for (std::uint64_t seed : {77ull, 5ull, 910ull}) {
+    for (unsigned shards : {1u, 4u}) {
+      ForestConfig lazy = small_config(shards);
+      ForestConfig eager = small_config(shards);
+      eager.eager = true;
+      const RunResult a = run_forest(lazy, seed);
+      const RunResult b = run_forest(eager, seed);
+      EXPECT_EQ(a.registry_json, b.registry_json)
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(a.stats.events, b.stats.events);
+      EXPECT_EQ(a.stats.granted, b.stats.granted);
+      EXPECT_GE(b.stats.tree_builds, a.stats.tree_builds)
+          << "eager builds every tree; lazy only the touched ones";
+    }
+  }
+}
+
+TEST(ForestMemory, ByteIdenticalAtAnyResidentBudget) {
+  // The hibernate -> rematerialize round-trip must be invisible: any
+  // residency budget (including a starved budget of one resident tree per
+  // shard) reproduces the unlimited run's registry exactly.
+  for (std::uint64_t seed : {77ull, 31ull}) {
+    for (unsigned shards : {1u, 3u, 8u}) {
+      ForestConfig cfg = small_config(shards);
+      const RunResult unlimited = run_forest(cfg, seed);
+      for (std::uint64_t budget : {1ull, 2ull, 8ull}) {
+        cfg.resident_trees = budget;
+        const RunResult r = run_forest(cfg, seed);
+        EXPECT_EQ(r.registry_json, unlimited.registry_json)
+            << "seed=" << seed << " shards=" << shards
+            << " budget=" << budget;
+        EXPECT_EQ(r.stats.events, unlimited.stats.events);
+        EXPECT_EQ(r.stats.granted, unlimited.stats.granted);
+        EXPECT_EQ(r.stats.handoffs, unlimited.stats.handoffs);
+        // Eviction only triggers where a shard hosts more trees than its
+        // budget (trees stripe modulo shards).
+        const std::uint64_t max_per_shard =
+            (cfg.mux.trees + shards - 1) / shards;
+        if (budget < max_per_shard) {
+          EXPECT_GT(r.stats.hibernations, 0u)
+              << "seed=" << seed << " shards=" << shards
+              << " budget=" << budget << ": starved budget must evict";
+          EXPECT_GT(r.stats.wakes, 0u);
+          EXPECT_GT(r.stats.hibernate_bits, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(ForestMemory, SpansIdenticalAtAnyResidentBudget) {
+  // Causal spans ride the same determinism contract as the registry.
+  auto spans_json = [](std::uint64_t budget) {
+    ForestConfig cfg = small_config(3);
+    cfg.resident_trees = budget;
+    obs::SpanSink sink(std::size_t{1} << 15);
+    obs::ScopedSpans span_scope(sink);
+    obs::Registry reg;
+    ForestEngine engine(cfg, 66);
+    {
+      obs::ScopedMetrics scope(reg);
+      (void)engine.run();
+    }
+    return sink.to_json().dump();
+  };
+  const std::string unlimited = spans_json(0);
+  EXPECT_EQ(spans_json(1), unlimited);
+  EXPECT_EQ(spans_json(4), unlimited);
+}
+
+TEST(ForestMemory, TightBudgetUnderManyShards) {
+  // The TSan cell: pool workers hibernating and waking trees behind the
+  // window barriers, with lazy first-touch materialization on every shard.
+  ForestConfig cfg = small_config(8);
+  cfg.resident_trees = 1;
+  const RunResult r = run_forest(cfg, 123);
+  EXPECT_EQ(r.stats.requests, cfg.mux.users * cfg.mux.requests_per_user);
+  EXPECT_GT(r.stats.hibernations, 0u);
+  EXPECT_GT(r.stats.wakes, 0u);
+}
+
+TEST(ForestMemory, MemStatsPartitionAndAccounting) {
+  ForestConfig cfg = small_config(2);
+  cfg.resident_trees = 2;
+  ForestEngine engine(cfg, 9);
+  (void)engine.run();
+  const ForestMemStats m = engine.mem_stats();
+  EXPECT_EQ(m.trees, cfg.mux.trees);
+  EXPECT_EQ(m.resident + m.hibernated, m.materialized);
+  EXPECT_EQ(m.materialized + m.virgin, m.trees);
+  EXPECT_LE(m.resident, 2u * cfg.shards) << "per-shard budget enforced";
+  EXPECT_GT(m.hibernated, 0u);
+  EXPECT_GT(m.image_bytes, 0u);
+  EXPECT_GT(m.arena_bytes, 0u);
+  EXPECT_GT(m.index_bytes, 0u);
+  EXPECT_EQ(m.accounting_bytes(),
+            m.arena_bytes + m.image_bytes + m.index_bytes);
+}
+
+TEST(ForestMemory, NeverTouchedForestCostsOnlyTheIndex) {
+  // A lazily-constructed engine with zero requests materializes nothing.
+  ForestConfig cfg = small_config(1);
+  cfg.mux.trees = 10'000;
+  cfg.mux.requests_per_user = 0;
+  ForestEngine engine(cfg, 4);
+  const ForestMemStats m = engine.mem_stats();
+  EXPECT_EQ(m.virgin, 10'000u);
+  EXPECT_EQ(m.materialized, 0u);
+  EXPECT_EQ(m.arena_bytes, 0u);
+  EXPECT_LT(m.index_bytes / m.trees, 32u) << "a few dozen bytes per tree";
+}
+
+// ---- tenant destroy ---------------------------------------------------------
+
+TEST(ForestDestroy, DeterministicAcrossShardsAndBudgets) {
+  ForestConfig cfg = small_config(1);
+  cfg.mux.destroy_fraction = 0.12;
+  obs::Registry reg;
+  {
+    ForestEngine engine(cfg, 202);
+    obs::ScopedMetrics scope(reg);
+    (void)engine.run();
+  }
+  EXPECT_GT(reg.counter("forest.ops.destroy"), 0u);
+  EXPECT_EQ(reg.counter("forest.ops.permit") +
+                reg.counter("forest.ops.grow") +
+                reg.counter("forest.ops.shrink") +
+                reg.counter("forest.ops.destroy"),
+            reg.counter("forest.requests.total"));
+  const RunResult serial = run_forest(cfg, 202);
+  cfg.shards = 4;
+  const RunResult sharded = run_forest(cfg, 202);
+  EXPECT_EQ(serial.registry_json, sharded.registry_json);
+  cfg.resident_trees = 1;
+  const RunResult starved = run_forest(cfg, 202);
+  EXPECT_EQ(starved.registry_json, serial.registry_json)
+      << "destroy + hibernation must still be byte-identical";
+}
+
+}  // namespace
+}  // namespace dyncon::forest
+
+// ---- hibernation round-trip (component level) -------------------------------
+
+namespace dyncon::forest {
+namespace {
+
+/// Drive `steps` deterministic ops against a controller-backed tree,
+/// mirroring the engine's serve() draws.  Mutates grown/grows like the
+/// engine does.
+void drive(tree::DynamicTree& t, core::CentralizedController& ctrl, Rng& rng,
+           std::vector<NodeId>& grown, std::uint64_t& grows,
+           std::uint64_t tree_size, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    const std::uint64_t pick = rng.next() % 4;
+    if (pick == 0) {
+      const NodeId parent =
+          static_cast<NodeId>(rng.index(static_cast<std::size_t>(tree_size)));
+      const core::Result res = ctrl.request_add_leaf(parent);
+      if (res.granted()) {
+        grown.push_back(res.new_node);
+        ++grows;
+      }
+    } else if (pick == 1 && !grown.empty()) {
+      const core::Result res = ctrl.request_remove(grown.back());
+      if (res.granted()) grown.pop_back();
+    } else {
+      const NodeId site =
+          static_cast<NodeId>(rng.index(static_cast<std::size_t>(tree_size)));
+      (void)ctrl.request_event(site);
+    }
+  }
+  (void)t;
+}
+
+TEST(HibernateRoundTrip, CaptureEncodeDecodeRestoreIsLossless) {
+  constexpr std::uint64_t kTreeSize = 16;
+  ForestConfig cfg;
+  cfg.tree_size = kTreeSize;
+  const core::Params params = tree_params(cfg);
+  core::CentralizedController::Options opts;
+  opts.track_domains = false;
+
+  for (std::uint64_t seed : {1ull, 99ull, 4242ull}) {
+    // Original timeline: build, drive, capture.
+    tree::DynamicTree t1;
+    Rng build1(seed);
+    build_initial_topology(t1, build1, kTreeSize);
+    core::CentralizedController c1(t1, params, opts);
+    Rng rng1(seed ^ 0xabcdefULL);
+    std::vector<NodeId> grown1;
+    std::uint64_t grows1 = 0;
+    drive(t1, c1, rng1, grown1, grows1, kTreeSize, 60);
+
+    TreeImage img;
+    capture_tree_image(img, t1, &c1, rng1, grown1, grows1);
+    const sim::Encoded enc = encode_tree_image(img);
+    EXPECT_EQ(enc.bits, tree_image_bits(img)) << "counter and writer agree";
+    const TreeImage dec = decode_tree_image(enc);
+    EXPECT_EQ(img, dec) << "codec round-trip, seed=" << seed;
+
+    // Rematerialize exactly as wake() does.
+    tree::DynamicTree t2;
+    Rng build2(seed);
+    build_initial_topology(t2, build2, kTreeSize);
+    replay_grown_nodes(t2, dec);
+    EXPECT_EQ(t2.total_ever(), t1.total_ever());
+    EXPECT_EQ(t2.size(), t1.size());
+    core::CentralizedController c2(t2, params, opts);
+    c2.restore_image(dec.ctrl);
+    Rng rng2(1);  // state overwritten below
+    rng2.set_state(dec.rng_state);
+    std::vector<NodeId> grown2;
+    grown2.reserve(dec.grown.size());
+    for (const auto& [id, parent] : dec.grown) grown2.push_back(id);
+    std::uint64_t grows2 = dec.grows;
+
+    // Both timelines must now evolve identically: same draws, same grants,
+    // same captured state afterwards.
+    drive(t1, c1, rng1, grown1, grows1, kTreeSize, 40);
+    drive(t2, c2, rng2, grown2, grows2, kTreeSize, 40);
+    TreeImage after1;
+    TreeImage after2;
+    capture_tree_image(after1, t1, &c1, rng1, grown1, grows1);
+    capture_tree_image(after2, t2, &c2, rng2, grown2, grows2);
+    EXPECT_EQ(after1, after2) << "post-wake divergence, seed=" << seed;
+    EXPECT_EQ(c1.cost(), c2.cost());
+  }
+}
+
+TEST(HibernateRoundTrip, EchoImageHasNoController) {
+  tree::DynamicTree t;
+  Rng build(7);
+  build_initial_topology(t, build, 8);
+  Rng rng(8);
+  TreeImage img;
+  capture_tree_image(img, t, nullptr, rng, {}, 0);
+  EXPECT_FALSE(img.has_ctrl);
+  const TreeImage dec = decode_tree_image(encode_tree_image(img));
+  EXPECT_EQ(img, dec);
 }
 
 }  // namespace
@@ -327,6 +622,36 @@ TEST(RequestMux, OpMixRoughlyMatchesFractions) {
   EXPECT_NEAR(static_cast<double>(shrink) / total, 0.2, 0.03);
 }
 
+TEST(RequestMux, DestroyFractionDrawsDestroyOps) {
+  MuxConfig cfg = mux_config();
+  cfg.users = 400;
+  cfg.requests_per_user = 10;
+  cfg.destroy_fraction = 0.25;
+  RequestMux mux(cfg, 7);
+  std::uint64_t destroy = 0, total = 0;
+  for (const auto& r : mux.initial_requests()) {
+    destroy += r.op == ForestOp::kDestroy;
+    ++total;
+  }
+  MuxRequest req;
+  for (std::uint64_t u = 0; u < cfg.users; ++u) {
+    while (mux.next_request(u, 1, 0, req)) {
+      destroy += req.op == ForestOp::kDestroy;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(destroy) / total, 0.25, 0.03);
+}
+
+TEST(RequestMux, ZeroDestroyFractionDrawsNone) {
+  // The default keeps every seeded stream exactly as it was before the
+  // knob existed: the destroy band is empty, so no draw can land in it.
+  RequestMux mux(mux_config(), 123);
+  for (const auto& r : mux.initial_requests()) {
+    EXPECT_NE(r.op, ForestOp::kDestroy);
+  }
+}
+
 TEST(RequestMux, RejectsBadConfigs) {
   MuxConfig cfg = mux_config();
   cfg.users = 0;
@@ -334,6 +659,11 @@ TEST(RequestMux, RejectsBadConfigs) {
   cfg = mux_config();
   cfg.grow_fraction = 0.8;
   cfg.shrink_fraction = 0.4;  // sums past 1.0
+  EXPECT_THROW(RequestMux(cfg, 1), ContractError);
+  cfg = mux_config();
+  cfg.grow_fraction = 0.5;
+  cfg.shrink_fraction = 0.3;
+  cfg.destroy_fraction = 0.3;  // sums past 1.0 only with destroy
   EXPECT_THROW(RequestMux(cfg, 1), ContractError);
   cfg = mux_config();
   cfg.mean_think = 0;

@@ -114,6 +114,15 @@ def main() -> None:
     ap.add_argument("--forest-speedup-min", type=float, default=None,
                     help="require perf.forest.speedup.s4 >= this value "
                          "when the current host has >= 4 hardware threads")
+    ap.add_argument("--forest-mem-reduction-min", type=float, default=None,
+                    help="require perf.forest.mem_reduction (eager bytes/"
+                         "tree over lazy bytes/tree) >= this value")
+    ap.add_argument("--forest-bytes-per-tree-max", type=float, default=None,
+                    help="require perf.forest.bytes_per_tree (lazy engine, "
+                         "post-run accounting bytes / trees) <= this value")
+    ap.add_argument("--forest-startup-ratio-max", type=float, default=None,
+                    help="require perf.forest.startup_ratio (lazy startup "
+                         "seconds over eager startup seconds) <= this value")
     ap.add_argument("--family", default=None,
                     help="restrict the comparison to metric names under "
                          "these comma-separated prefixes "
@@ -144,10 +153,13 @@ def main() -> None:
 
     tol = args.tolerance
     for name, expected in sorted(base["gauges"].items()):
-        if name.startswith(("perf.parallel.", "perf.forest.", "perf.batch.")):
+        if name.startswith(("perf.parallel.", "perf.forest.", "perf.batch.",
+                            "perf.mem.")):
             continue  # machine- or knob-dependent; checked within the
             # current report (check_report.py validates perf.batch.*
-            # arithmetic; its values follow --no-batch/--batch-window)
+            # arithmetic and the perf.mem.* family's internal consistency;
+            # their values follow --no-batch/--batch-window/--resident-trees
+            # and the host's allocator)
         actual = cur["gauges"].get(name)
         if actual is None:
             errors.append(f"gauge {name} missing from current report")
@@ -235,6 +247,29 @@ def main() -> None:
         else:
             print(f"check_bench: skipping --forest-speedup-min "
                   f"({hw:.0f} hardware threads < 4)")
+
+    # Forest memory model: within-report gates on EXP19's memory phase.
+    # Machine-local like the speedups (capacity accounting + wall clock),
+    # but the *ratios* hold on any host, so CI pins them at scale.
+    mem_gates = [
+        ("perf.forest.mem_reduction", args.forest_mem_reduction_min, ">=",
+         "lazy+hibernated engine must keep its memory advantage over the "
+         "eager build"),
+        ("perf.forest.bytes_per_tree", args.forest_bytes_per_tree_max, "<=",
+         "per-tree footprint regression in the lazy engine"),
+        ("perf.forest.startup_ratio", args.forest_startup_ratio_max, "<=",
+         "lazy startup must stay far below the eager build"),
+    ]
+    for name, bound, op, why in mem_gates:
+        if bound is None:
+            continue
+        actual = cur["gauges"].get(name)
+        if actual is None:
+            errors.append(f"{name} missing but its gate was requested")
+        elif (actual < bound) if op == ">=" else (actual > bound):
+            errors.append(f"{name}: {actual:.2f} not {op} {bound:.2f}: {why}")
+        else:
+            checked += 1
 
     if errors:
         for e in errors:

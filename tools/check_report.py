@@ -157,10 +157,11 @@ def check_perf_family(path: str, counters: dict, gauges: dict) -> None:
                  f"non-negative number")
     # The perf_suite headline gauges are only required when the report IS a
     # perf_suite report — one whose perf.* family extends beyond the
-    # self-contained perf.parallel.* / perf.forest.* scaling sub-families
-    # (exp19 writes perf.forest.* alone).
+    # self-contained perf.parallel. / perf.forest. / perf.mem. scaling and
+    # memory sub-families (exp19 writes perf.forest.* and perf.mem.* alone).
     suite_gauges = {k for k in perf_gauges
-                    if not k.startswith(("perf.parallel.", "perf.forest."))}
+                    if not k.startswith(("perf.parallel.", "perf.forest.",
+                                         "perf.mem."))}
     if suite_gauges:
         for required in ("perf.events_per_sec", "perf.allocs_per_event",
                          "perf.ns_per_event_p50", "perf.ns_per_event_p99"):
@@ -284,13 +285,17 @@ def check_forest_family(path: str, counters: dict, gauges: dict) -> None:
                  f"forest.requests.total = {total}")
         ops = (counters.get("forest.ops.permit", 0)
                + counters.get("forest.ops.grow", 0)
-               + counters.get("forest.ops.shrink", 0))
+               + counters.get("forest.ops.shrink", 0)
+               + counters.get("forest.ops.destroy", 0))
         if ops != total:
             fail(f"{path}: forest op-mix counters sum to {ops} but "
                  f"forest.requests.total = {total}")
         if counters.get("forest.ops.shrink_noop", 0) > counters.get(
                 "forest.ops.shrink", 0):
             fail(f"{path}: forest.ops.shrink_noop exceeds forest.ops.shrink")
+        if counters.get("forest.ops.grow_capped", 0) > counters.get(
+                "forest.ops.grow", 0):
+            fail(f"{path}: forest.ops.grow_capped exceeds forest.ops.grow")
 
     rates = {k: v for k, v in gauges.items()
              if k.startswith("perf.forest.requests_per_sec.s")}
@@ -316,6 +321,49 @@ def check_forest_family(path: str, counters: dict, gauges: dict) -> None:
     print(f"check_report: forest family ok ({len(rates)} shard counts, "
           f"{gauges.get('perf.forest.allocs_per_event', 0.0):.4f} "
           f"allocs/event)")
+
+
+def check_mem_family(path: str, gauges: dict) -> None:
+    """Consistency of the perf.mem.* gauges written by EXP19's memory
+    phase: the tree population must partition by lifecycle state
+    (resident + hibernated == materialized, materialized + virgin ==
+    trees), hibernated snapshots must carry bytes, and the kernel's peak
+    RSS can never sit below the current reading.  Absolute byte values are
+    machine-local (check_bench.py excludes the family from baseline
+    diffs); only the internal arithmetic is checked here."""
+    mem = {k[len("perf.mem."):]: v for k, v in gauges.items()
+           if k.startswith("perf.mem.")}
+    if not mem:
+        return
+    def get(name):
+        v = mem.get(name)
+        if v is None:
+            fail(f"{path}: perf.mem.{name} missing from the perf.mem family")
+        return v
+    trees = get("trees")
+    virgin = get("virgin_trees")
+    resident = get("resident_trees")
+    hibernated = get("hibernated_trees")
+    materialized = get("materialized_trees")
+    if resident + hibernated != materialized:
+        fail(f"{path}: perf.mem tree states do not partition: "
+             f"{resident:.0f} resident + {hibernated:.0f} hibernated != "
+             f"{materialized:.0f} materialized")
+    if materialized + virgin != trees:
+        fail(f"{path}: perf.mem tree states do not partition: "
+             f"{materialized:.0f} materialized + {virgin:.0f} virgin != "
+             f"{trees:.0f} trees")
+    if hibernated > 0 and get("image_bytes") <= 0:
+        fail(f"{path}: {hibernated:.0f} hibernated trees but "
+             f"perf.mem.image_bytes is zero")
+    rss = get("rss_bytes")
+    peak = get("peak_rss_bytes")
+    if rss > 0 and peak > 0 and peak < rss:
+        fail(f"{path}: perf.mem.peak_rss_bytes = {peak:.0f} below the "
+             f"current rss {rss:.0f}")
+    print(f"check_report: mem family ok ({resident:.0f} resident / "
+          f"{hibernated:.0f} hibernated / {virgin:.0f} virgin of "
+          f"{trees:.0f} trees)")
 
 
 def check_exp17_monotone(path: str, gauges: dict) -> None:
@@ -504,6 +552,7 @@ def main() -> None:
                        report.get("params", {}))
     check_perf_family(path, counters, metrics["gauges"])
     check_forest_family(path, counters, metrics["gauges"])
+    check_mem_family(path, metrics["gauges"])
     check_latency_family(path, counters, metrics["gauges"],
                          report["histograms"])
     check_timeline(path, report["timeline"], counters)
